@@ -1,0 +1,119 @@
+//! Replay of a recorded sample buffer.
+//!
+//! Used by tests that need exact, hand-crafted excitations, and as the hook
+//! for feeding real captured IQ traces into the stack (the trace is
+//! normalised to unit mean power at load time, matching the other sources'
+//! contract).
+
+use fdb_dsp::sample::mean_power;
+use fdb_dsp::Iq;
+
+/// Loops over a fixed sample buffer.
+#[derive(Debug, Clone)]
+pub struct RecordedSource {
+    samples: Vec<Iq>,
+    pos: usize,
+}
+
+impl RecordedSource {
+    /// Creates a source from a buffer, normalising to unit mean power.
+    /// An empty or all-zero buffer becomes a single zero sample (silence).
+    pub fn new(mut samples: Vec<Iq>) -> Self {
+        let p = mean_power(&samples);
+        if samples.is_empty() || p <= 0.0 {
+            return RecordedSource {
+                samples: vec![Iq::ZERO],
+                pos: 0,
+            };
+        }
+        let k = 1.0 / p.sqrt();
+        for s in samples.iter_mut() {
+            *s = *s * k;
+        }
+        RecordedSource { samples, pos: 0 }
+    }
+
+    /// Creates a source that replays the buffer *as-is* (no normalisation).
+    pub fn raw(samples: Vec<Iq>) -> Self {
+        if samples.is_empty() {
+            return RecordedSource {
+                samples: vec![Iq::ZERO],
+                pos: 0,
+            };
+        }
+        RecordedSource { samples, pos: 0 }
+    }
+
+    /// Buffer length.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the buffer holds only the silence sample.
+    pub fn is_empty(&self) -> bool {
+        self.samples.len() == 1 && self.samples[0] == Iq::ZERO
+    }
+
+    /// Produces the next sample (wraps around).
+    #[inline]
+    pub fn next_sample(&mut self) -> Iq {
+        let s = self.samples[self.pos];
+        self.pos = (self.pos + 1) % self.samples.len();
+        s
+    }
+
+    /// Restarts playback from the beginning.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_to_unit_power() {
+        let buf: Vec<Iq> = (0..100).map(|i| Iq::real(3.0 + (i % 2) as f64)).collect();
+        let mut s = RecordedSource::new(buf);
+        let n = 100;
+        let p: f64 = (0..n).map(|_| s.next_sample().norm_sq()).sum::<f64>() / n as f64;
+        assert!((p - 1.0).abs() < 1e-9, "power {p}");
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut s = RecordedSource::raw(vec![Iq::real(1.0), Iq::real(2.0)]);
+        assert_eq!(s.next_sample().re, 1.0);
+        assert_eq!(s.next_sample().re, 2.0);
+        assert_eq!(s.next_sample().re, 1.0);
+    }
+
+    #[test]
+    fn empty_buffer_is_silence() {
+        let mut s = RecordedSource::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.next_sample(), Iq::ZERO);
+    }
+
+    #[test]
+    fn all_zero_buffer_is_silence() {
+        let s = RecordedSource::new(vec![Iq::ZERO; 16]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rewind_restarts() {
+        let mut s = RecordedSource::raw(vec![Iq::real(1.0), Iq::real(2.0), Iq::real(3.0)]);
+        s.next_sample();
+        s.next_sample();
+        s.rewind();
+        assert_eq!(s.next_sample().re, 1.0);
+    }
+
+    #[test]
+    fn raw_preserves_amplitude() {
+        let mut s = RecordedSource::raw(vec![Iq::real(5.0)]);
+        assert_eq!(s.next_sample().re, 5.0);
+    }
+}

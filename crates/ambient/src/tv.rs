@@ -1,0 +1,177 @@
+//! TV-broadcast-like ambient source.
+//!
+//! Models the envelope statistics of an ATSC 8-VSB broadcast: an 8-level
+//! PAM symbol stream (PRBS-driven — real broadcasts are whitened, so a
+//! maximal LFSR is statistically faithful), root-raised-cosine shaped, with
+//! the small DC pilot ATSC inserts. The resulting envelope has the
+//! moderate, band-limited ripple that a backscatter receiver actually sees
+//! when riding a TV tower — rougher than CW, far tamer than bursty Wi-Fi.
+
+use fdb_dsp::fir::{rrc_taps, Fir};
+use fdb_dsp::prbs::{Prbs, PrbsOrder};
+use fdb_dsp::Iq;
+
+/// ATSC-like 8-VSB pilot offset relative to the symbol levels (the real
+/// standard adds 1.25 to symbols in {−7,…,+7}).
+const PILOT: f64 = 1.25;
+
+/// TV-broadcast-like source, unit long-run mean power.
+#[derive(Debug, Clone)]
+pub struct TvSource {
+    prbs: Prbs,
+    shaper: Fir,
+    sps: usize,
+    phase: usize,
+    current_symbol: f64,
+    norm: f64,
+}
+
+impl TvSource {
+    /// Creates a source with `sps` samples per TV symbol (≥ 2) and an
+    /// internal symbol-stream seed.
+    pub fn new(sps: usize, seed: u64) -> Self {
+        let sps = sps.max(2);
+        // Span 8 symbols, roll-off 0.115 (the ATSC value).
+        let taps = rrc_taps(sps, 0.115, 8);
+        // Normalisation: symbol levels {±1,±3,±5,±7} have mean square 21;
+        // adding the pilot gives 21 + 1.5625. The RRC has unit energy, but
+        // upsampled-impulse shaping divides power by sps; fold both into
+        // one amplitude factor, then trim empirically in tests.
+        let mean_square = 21.0 + PILOT * PILOT;
+        let norm = (sps as f64 / mean_square).sqrt();
+        let mut src = TvSource {
+            prbs: Prbs::new(PrbsOrder::Prbs23, seed.max(1)),
+            shaper: Fir::new(taps.clone()),
+            sps,
+            phase: 0,
+            current_symbol: 0.0,
+            norm,
+        };
+        // The pilot's DC component interacts with the shaping filter in a
+        // way the first-order normalisation above misses (~ a few percent),
+        // so calibrate empirically: measure the actual mean power over a
+        // deterministic warm-up run and rescale, then reset state so the
+        // calibrated source replays identically for a given seed.
+        let trial = 1 << 16;
+        let mut p = 0.0;
+        for _ in 0..trial {
+            p += src.next_sample().norm_sq();
+        }
+        p /= trial as f64;
+        let calibrated = if p > 0.0 { norm / p.sqrt() } else { norm };
+        TvSource {
+            prbs: Prbs::new(PrbsOrder::Prbs23, seed.max(1)),
+            shaper: Fir::new(taps),
+            sps,
+            phase: 0,
+            current_symbol: 0.0,
+            norm: calibrated,
+        }
+    }
+
+    fn next_symbol(&mut self) -> f64 {
+        // Three PRBS bits → one of 8 levels {−7,−5,−3,−1,1,3,5,7}.
+        let mut idx = 0u8;
+        for _ in 0..3 {
+            idx = (idx << 1) | u8::from(self.prbs.next_bit());
+        }
+        let level = 2.0 * idx as f64 - 7.0;
+        level + PILOT
+    }
+
+    /// Produces the next baseband sample.
+    pub fn next_sample(&mut self) -> Iq {
+        if self.phase == 0 {
+            self.current_symbol = self.next_symbol();
+        }
+        // Impulse-train excitation of the RRC: symbol at phase 0, zeros
+        // between (classic polyphase-equivalent shaping).
+        let x = if self.phase == 0 {
+            Iq::real(self.current_symbol * self.norm)
+        } else {
+            Iq::ZERO
+        };
+        self.phase = (self.phase + 1) % self.sps;
+        self.shaper.process(x)
+    }
+
+    /// Samples per symbol.
+    pub fn sps(&self) -> usize {
+        self.sps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_power_near_unity() {
+        let mut s = TvSource::new(4, 5);
+        let n = 400_000;
+        let mut p = 0.0;
+        for _ in 0..n {
+            p += s.next_sample().norm_sq();
+        }
+        p /= n as f64;
+        assert!((p - 1.0).abs() < 0.05, "mean power {p}");
+    }
+
+    #[test]
+    fn envelope_fluctuates_but_is_band_limited() {
+        let mut s = TvSource::new(8, 9);
+        // Warm up past the filter span.
+        for _ in 0..200 {
+            s.next_sample();
+        }
+        let xs: Vec<f64> = (0..50_000).map(|_| s.next_sample().norm_sq()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(var > 0.1, "TV envelope should ripple, var {var}");
+        // Band limitation: adjacent samples highly correlated at 8 sps.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for w in xs.windows(2) {
+            num += (w[0] - mean) * (w[1] - mean);
+            den += (w[0] - mean) * (w[0] - mean);
+        }
+        let rho = num / den;
+        assert!(rho > 0.7, "lag-1 envelope correlation {rho}");
+    }
+
+    #[test]
+    fn pilot_gives_nonzero_mean_field() {
+        let mut s = TvSource::new(4, 3);
+        for _ in 0..200 {
+            s.next_sample();
+        }
+        let n = 200_000;
+        let mut acc = Iq::ZERO;
+        for _ in 0..n {
+            acc += s.next_sample();
+        }
+        let mean = acc / n as f64;
+        // Pilot fraction of amplitude: 1.25/√(21+1.5625) ≈ 0.26 at DC,
+        // spread by shaping; just require a clearly nonzero mean.
+        assert!(mean.re > 0.05, "pilot missing: mean {mean:?}");
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = TvSource::new(4, 1);
+        let mut b = TvSource::new(4, 2);
+        let mut diff = 0;
+        for _ in 0..1000 {
+            if (a.next_sample() - b.next_sample()).abs() > 1e-12 {
+                diff += 1;
+            }
+        }
+        assert!(diff > 500);
+    }
+
+    #[test]
+    fn sps_clamped() {
+        let s = TvSource::new(0, 1);
+        assert_eq!(s.sps(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Retransmission-protocol throughput and energy models.
+//!
+//! These closed forms predict the shapes of experiments E4/E5: stop-and-
+//! wait ARQ pays a full frame + turnaround + ACK per failure, while
+//! early-abort pays only up to the first failed block plus one feedback
+//! latency — the gap grows with loss rate and frame length.
+
+use serde::{Deserialize, Serialize};
+
+/// Expected transmissions until first success for per-attempt failure
+/// probability `p` (geometric): `1/(1−p)`. Infinite at `p = 1`.
+pub fn expected_attempts(p_fail: f64) -> f64 {
+    let p = p_fail.clamp(0.0, 1.0);
+    if p >= 1.0 {
+        f64::INFINITY
+    } else {
+        1.0 / (1.0 - p)
+    }
+}
+
+/// Airtime model of one frame, in bits (chips are a constant factor away).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FrameModel {
+    /// Preamble + header overhead bits.
+    pub overhead_bits: f64,
+    /// Number of payload blocks.
+    pub n_blocks: u32,
+    /// Bits per block (payload + CRC trailer).
+    pub block_bits: f64,
+    /// Per-block error probability (i.i.d.).
+    pub p_block: f64,
+}
+
+impl FrameModel {
+    /// Total frame airtime in bits.
+    pub fn frame_bits(&self) -> f64 {
+        self.overhead_bits + self.n_blocks as f64 * self.block_bits
+    }
+
+    /// Frame failure probability.
+    pub fn p_frame(&self) -> f64 {
+        1.0 - (1.0 - self.p_block.clamp(0.0, 1.0)).powi(self.n_blocks as i32)
+    }
+
+    /// Expected airtime of one *failed* early-abort attempt: transmission
+    /// up to the end of the first failed block, plus the feedback latency
+    /// before the abort lands.
+    ///
+    /// Conditioned on failure, the first failed block index `i` has
+    /// probability `q^i·p / (1 − q^B)` with `q = 1 − p_block`.
+    pub fn early_abort_fail_bits(&self, feedback_latency_bits: f64) -> f64 {
+        let p = self.p_block.clamp(1e-12, 1.0);
+        let q = 1.0 - p;
+        let b = self.n_blocks as f64;
+        let p_frame = 1.0 - q.powf(b);
+        if p_frame <= 0.0 {
+            return self.frame_bits();
+        }
+        // E[i | failure] = Σ_{i=0}^{B-1} i·q^i·p / p_frame.
+        let mut e_i = 0.0;
+        let mut qi = 1.0;
+        for i in 0..self.n_blocks {
+            e_i += i as f64 * qi * p;
+            qi *= q;
+        }
+        e_i /= p_frame;
+        let through = self.overhead_bits + (e_i + 1.0) * self.block_bits + feedback_latency_bits;
+        through.min(self.frame_bits() + feedback_latency_bits)
+    }
+
+    /// Expected total airtime (bits) to deliver the frame with stop-and-wait:
+    /// every attempt costs the full frame + ACK + turnarounds; expected
+    /// attempts are geometric.
+    pub fn stop_and_wait_expected_bits(&self, ack_bits: f64, turnaround_bits: f64) -> f64 {
+        expected_attempts(self.p_frame()) * (self.frame_bits() + ack_bits + 2.0 * turnaround_bits)
+    }
+
+    /// Expected total airtime (bits) with early abort + in-band ACK:
+    /// `E[failures]·E[abort cost] + full frame + post-frame verdict`.
+    pub fn early_abort_expected_bits(
+        &self,
+        feedback_latency_bits: f64,
+        retry_gap_bits: f64,
+    ) -> f64 {
+        let p = self.p_frame();
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        let e_failures = p / (1.0 - p);
+        e_failures * (self.early_abort_fail_bits(feedback_latency_bits) + retry_gap_bits)
+            + self.frame_bits()
+            + feedback_latency_bits
+    }
+
+    /// Throughput advantage of early abort over stop-and-wait (ratio > 1
+    /// means early abort wins).
+    pub fn early_abort_advantage(
+        &self,
+        ack_bits: f64,
+        turnaround_bits: f64,
+        feedback_latency_bits: f64,
+        retry_gap_bits: f64,
+    ) -> f64 {
+        self.stop_and_wait_expected_bits(ack_bits, turnaround_bits)
+            / self.early_abort_expected_bits(feedback_latency_bits, retry_gap_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(p_block: f64) -> FrameModel {
+        FrameModel {
+            overhead_bits: 58.0,
+            n_blocks: 8,
+            block_bits: 136.0,
+            p_block,
+        }
+    }
+
+    #[test]
+    fn expected_attempts_geometric() {
+        assert!((expected_attempts(0.0) - 1.0).abs() < 1e-12);
+        assert!((expected_attempts(0.5) - 2.0).abs() < 1e-12);
+        assert!(expected_attempts(1.0).is_infinite());
+    }
+
+    #[test]
+    fn p_frame_composes_blocks() {
+        let f = frame(0.1);
+        assert!((f.p_frame() - (1.0 - 0.9f64.powi(8))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_channel_both_cost_one_frame() {
+        let f = frame(0.0);
+        let sw = f.stop_and_wait_expected_bits(100.0, 50.0);
+        assert!((sw - (f.frame_bits() + 100.0 + 100.0)).abs() < 1e-9);
+        let ea = f.early_abort_expected_bits(64.0, 10.0);
+        assert!((ea - (f.frame_bits() + 64.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_cost_below_full_frame() {
+        let f = frame(0.3);
+        let fail_cost = f.early_abort_fail_bits(64.0);
+        assert!(fail_cost < f.frame_bits());
+        // High p_block ⇒ failures concentrate at the first block.
+        let f_bad = frame(0.9);
+        let early = f_bad.early_abort_fail_bits(64.0);
+        assert!(
+            early < f_bad.overhead_bits + 2.0 * f_bad.block_bits + 64.0 + 1.0,
+            "cost {early}"
+        );
+    }
+
+    #[test]
+    fn advantage_grows_with_loss() {
+        let adv = |p| frame(p).early_abort_advantage(364.0, 400.0, 64.0, 20.0);
+        let a1 = adv(0.02);
+        let a2 = adv(0.1);
+        let a3 = adv(0.3);
+        assert!(a1 > 1.0, "early abort must win even at low loss: {a1}");
+        assert!(a2 > a1 && a3 > a2, "advantage not growing: {a1} {a2} {a3}");
+    }
+
+    #[test]
+    fn advantage_shape_vs_frame_length() {
+        // With FULL-frame retransmission, the early-abort advantage is
+        // largest for short frames (the saved ACK + turnaround overhead
+        // dominates) and decays toward ~1 for long frames, where both
+        // protocols pay ≈ E[attempts]·frame. (Partial retransmission —
+        // resuming from the failed block — is what rescues long frames;
+        // it is modelled by re-running the model on the remaining blocks.)
+        let mk = |blocks| FrameModel {
+            overhead_bits: 58.0,
+            n_blocks: blocks,
+            block_bits: 136.0,
+            p_block: 0.05,
+        };
+        let short = mk(2).early_abort_advantage(364.0, 400.0, 64.0, 20.0);
+        let long = mk(16).early_abort_advantage(364.0, 400.0, 64.0, 20.0);
+        assert!(short > long, "{short} vs {long}");
+        assert!(long > 1.0, "early abort must still win: {long}");
+    }
+
+    #[test]
+    fn hopeless_channel_infinite_cost() {
+        let f = frame(1.0);
+        assert!(f.early_abort_expected_bits(64.0, 20.0).is_infinite());
+        assert!(f.stop_and_wait_expected_bits(100.0, 50.0).is_infinite());
+    }
+}

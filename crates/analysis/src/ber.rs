@@ -1,0 +1,206 @@
+//! Bit-error-rate models for envelope-detected backscatter links.
+//!
+//! ## The operating regime
+//!
+//! An ambient backscatter receiver rides a strong carrier whose power
+//! fluctuates (source modulation) and adds a small differential swing
+//! (the far device's reflection). With the wideband Gamma substitution,
+//! each envelope sample is `μ·(1 ± s/2)·(1 + ν)` where `s` is the relative
+//! reflect/absorb swing and `ν` has standard deviation `1/√k`. Chip
+//! integration averages `n` samples, and a Manchester decision compares
+//! two adjacent chips, giving the Gaussian error model
+//! `BER = Q( s·√(k·n) / √2 )` — multiplicative noise, so absolute power
+//! cancels. The same structure at `m/2`-bit integration scale gives the
+//! feedback BER.
+
+use fdb_dsp::math::{binomial_tail, q_func};
+use serde::{Deserialize, Serialize};
+
+/// Relative modulation swing at a receiver: the fractional change of
+/// detected *power* when the far device toggles between absorb and reflect.
+///
+/// For a far-device path amplitude gain `h_ab` (≤ 1), reflection
+/// coefficients `rho` (reflect) and `rho_res` (absorb residual), and
+/// source path gains `g_src_far / g_src_self` (power):
+/// `s ≈ 2·(√rho − √rho_res)·h_ab·√(g_far/g_self)`.
+pub fn relative_swing(h_ab_amp: f64, rho: f64, rho_res: f64, g_far: f64, g_self: f64) -> f64 {
+    if g_self <= 0.0 {
+        return 0.0;
+    }
+    2.0 * (rho.max(0.0).sqrt() - rho_res.max(0.0).sqrt()) * h_ab_amp * (g_far / g_self).sqrt()
+}
+
+/// Noise context of an envelope-detected link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkNoiseModel {
+    /// Source pre-averaging factor `k` (per-sample relative power variance
+    /// is `1/k`; see `fdb_ambient::power`).
+    pub k_factor: f64,
+    /// Samples integrated per chip.
+    pub samples_per_chip: usize,
+    /// Additive detector noise, relative to the mean envelope level
+    /// (0 = source-fluctuation-limited).
+    pub detector_noise_rel: f64,
+}
+
+impl LinkNoiseModel {
+    /// Relative standard deviation of one *chip energy* estimate.
+    pub fn chip_sigma_rel(&self) -> f64 {
+        let n = self.samples_per_chip.max(1) as f64;
+        let source_var = 1.0 / self.k_factor.max(1e-9) / n;
+        let detector_var = self.detector_noise_rel * self.detector_noise_rel / n;
+        (source_var + detector_var).sqrt()
+    }
+
+    /// Forward-data BER for Manchester chip-pair comparison with relative
+    /// swing `s`: `Q( s / (σ_chip·√2) )`.
+    pub fn manchester_ber(&self, swing_rel: f64) -> f64 {
+        let sigma = self.chip_sigma_rel();
+        if sigma <= 0.0 {
+            return if swing_rel > 0.0 { 0.0 } else { 0.5 };
+        }
+        q_func(swing_rel / (sigma * std::f64::consts::SQRT_2))
+    }
+
+    /// Feedback BER for Manchester half-bit comparison: integration over
+    /// `half_samples` raw samples per half, swing `s`:
+    /// `Q( s·√(k·N_half) / √2 )` (+ detector noise folded in).
+    pub fn feedback_ber(&self, swing_rel: f64, half_samples: usize) -> f64 {
+        let n = half_samples.max(1) as f64;
+        let var = (1.0 / self.k_factor.max(1e-9) + self.detector_noise_rel.powi(2)) / n;
+        let sigma = var.sqrt();
+        if sigma <= 0.0 {
+            return if swing_rel > 0.0 { 0.0 } else { 0.5 };
+        }
+        q_func(swing_rel / (sigma * std::f64::consts::SQRT_2))
+    }
+}
+
+/// Non-coherent binary orthogonal detection (energy comparison of two
+/// chips, one holding all signal energy): `Pe = ½·e^(−γ/2)` with `γ` the
+/// per-bit SNR. The additive-noise-limited regime of the tag receiver
+/// (relevant near the sensitivity floor, where the carrier itself is
+/// weak).
+pub fn noncoherent_orthogonal_ber(snr: f64) -> f64 {
+    0.5 * (-snr.max(0.0) / 2.0).exp()
+}
+
+/// Block error probability for independent bit errors: a `bits`-bit block
+/// fails when any bit flips (CRC detects all of them at these sizes).
+pub fn block_error_prob(ber: f64, bits: u32) -> f64 {
+    1.0 - (1.0 - ber.clamp(0.0, 1.0)).powi(bits as i32)
+}
+
+/// Frame success probability over `n_blocks` independent blocks.
+pub fn frame_success_prob(p_block: f64, n_blocks: u32) -> f64 {
+    (1.0 - p_block.clamp(0.0, 1.0)).powi(n_blocks as i32)
+}
+
+/// Error probability after an `n`-way repetition code with majority vote
+/// over a raw BER `p` (ties broken against us for even `n`).
+pub fn repetition_ber(p: f64, n: u64) -> f64 {
+    let k = n / 2 + 1;
+    binomial_tail(n, k, p.clamp(0.0, 1.0))
+        + if n % 2 == 0 {
+            // Half the ties fail.
+            0.5 * (binomial_tail(n, n / 2, p) - binomial_tail(n, n / 2 + 1, p))
+        } else {
+            0.0
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LinkNoiseModel {
+        LinkNoiseModel {
+            k_factor: 300.0,
+            samples_per_chip: 10,
+            detector_noise_rel: 0.0,
+        }
+    }
+
+    #[test]
+    fn chip_sigma_matches_hand_calc() {
+        // 1/√(300·10) ≈ 0.01826.
+        assert!((model().chip_sigma_rel() - 0.018257).abs() < 1e-5);
+    }
+
+    #[test]
+    fn manchester_ber_monotone_in_swing() {
+        let m = model();
+        let mut prev = 0.6;
+        for &s in &[0.02, 0.05, 0.08, 0.12, 0.2] {
+            let b = m.manchester_ber(s);
+            assert!(b < prev, "not monotone at {s}");
+            prev = b;
+        }
+        // Zero swing = coin flip (tolerance: erfc rational-fit accuracy).
+        assert!((m.manchester_ber(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detector_noise_adds_in_quadrature() {
+        let clean = model();
+        let noisy = LinkNoiseModel {
+            detector_noise_rel: 0.1,
+            ..model()
+        };
+        assert!(noisy.chip_sigma_rel() > clean.chip_sigma_rel());
+        let expect = ((1.0 / 300.0 + 0.01) / 10.0f64).sqrt();
+        assert!((noisy.chip_sigma_rel() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feedback_integration_gain() {
+        let m = model();
+        // 4× the integration → 2× the argument → much lower BER.
+        let b1 = m.feedback_ber(0.02, 160);
+        let b2 = m.feedback_ber(0.02, 640);
+        assert!(b2 < b1 / 5.0, "{b1} vs {b2}");
+    }
+
+    #[test]
+    fn swing_formula() {
+        // Symmetric source distances: g_far = g_self.
+        let s = relative_swing(0.0886, 0.4, 0.0, 1e-9, 1e-9);
+        assert!((s - 2.0 * 0.4f64.sqrt() * 0.0886).abs() < 1e-12);
+        // Residual reflection eats into the swing.
+        let s2 = relative_swing(0.0886, 0.4, 0.1, 1e-9, 1e-9);
+        assert!(s2 < s);
+    }
+
+    #[test]
+    fn noncoherent_known_point() {
+        // γ = 2·ln(5) ⇒ Pe = 0.1.
+        let snr = 2.0 * 5.0f64.ln();
+        assert!((noncoherent_orthogonal_ber(snr) - 0.1).abs() < 1e-12);
+        assert!((noncoherent_orthogonal_ber(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_and_frame_probabilities() {
+        let p = block_error_prob(1e-3, 136);
+        assert!((p - (1.0 - 0.999f64.powi(136))).abs() < 1e-12);
+        assert!(p > 0.12 && p < 0.13);
+        let f = frame_success_prob(p, 4);
+        assert!((f - (1.0 - p).powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repetition_helps_and_matches_formula() {
+        // n=3, p=0.1 → 3p²(1−p)+p³ = 0.028.
+        assert!((repetition_ber(0.1, 3) - 0.028).abs() < 1e-9);
+        assert!(repetition_ber(0.1, 5) < repetition_ber(0.1, 3));
+        assert!(repetition_ber(0.1, 1) > repetition_ber(0.1, 3));
+    }
+
+    #[test]
+    fn repetition_even_tie_handling() {
+        // n=2, p: error = p² + half of the tie mass 2p(1−p).
+        let p: f64 = 0.2;
+        let expect = p * p + 0.5 * 2.0 * p * (1.0 - p);
+        assert!((repetition_ber(p, 2) - expect).abs() < 1e-9);
+    }
+}

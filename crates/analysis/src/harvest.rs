@@ -1,0 +1,109 @@
+//! Energy-harvesting feasibility models (E10 cross-checks).
+//!
+//! Harvested power falls as the source path gain; a tag is *sustainable*
+//! at duty cycle `d` when `η·P_in ≥ d·P_load`. Under Rayleigh fading the
+//! incident power is exponential around its mean, giving a closed-form
+//! harvesting-outage probability.
+
+use serde::{Deserialize, Serialize};
+
+/// Parametric harvester model (mirrors `fdb_device::Harvester`'s curve).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HarvestModel {
+    /// Sensitivity floor, watts.
+    pub sensitivity_w: f64,
+    /// Saturation input, watts.
+    pub saturation_w: f64,
+    /// Peak efficiency.
+    pub max_efficiency: f64,
+}
+
+impl HarvestModel {
+    /// Efficiency at a given input power (log-linear rise, like the
+    /// behavioural model).
+    pub fn efficiency(&self, input_w: f64) -> f64 {
+        if input_w <= self.sensitivity_w || self.sensitivity_w <= 0.0 {
+            0.0
+        } else if input_w >= self.saturation_w {
+            self.max_efficiency
+        } else {
+            self.max_efficiency * (input_w / self.sensitivity_w).ln()
+                / (self.saturation_w / self.sensitivity_w).ln()
+        }
+    }
+
+    /// Harvested power at a given input.
+    pub fn harvested_w(&self, input_w: f64) -> f64 {
+        self.efficiency(input_w) * input_w
+    }
+
+    /// Maximum sustainable duty cycle for a load.
+    pub fn sustainable_duty(&self, input_w: f64, load_w: f64) -> f64 {
+        if load_w <= 0.0 {
+            1.0
+        } else {
+            (self.harvested_w(input_w) / load_w).min(1.0)
+        }
+    }
+
+    /// Harvesting outage probability under Rayleigh fading with mean
+    /// incident power `mean_w`: `P(P_in < sensitivity) = 1 − e^(−sens/mean)`.
+    pub fn rayleigh_outage(&self, mean_w: f64) -> f64 {
+        if mean_w <= 0.0 {
+            return 1.0;
+        }
+        1.0 - (-self.sensitivity_w / mean_w).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> HarvestModel {
+        HarvestModel {
+            sensitivity_w: 1e-5,
+            saturation_w: 3.16e-4,
+            max_efficiency: 0.4,
+        }
+    }
+
+    #[test]
+    fn efficiency_curve_shape() {
+        let m = model();
+        assert_eq!(m.efficiency(5e-6), 0.0);
+        assert!(m.efficiency(5e-5) > 0.0 && m.efficiency(5e-5) < 0.4);
+        assert!((m.efficiency(1e-3) - 0.4).abs() < 1e-12);
+        // Monotone.
+        assert!(m.efficiency(1e-4) > m.efficiency(3e-5));
+    }
+
+    #[test]
+    fn duty_cycle_scaling() {
+        let m = model();
+        // Harvest ≈ 126 µW at saturation; 1 mW load → ~12.6 % duty.
+        let d = m.sustainable_duty(3.16e-4, 1e-3);
+        assert!((d - 0.126).abs() < 0.01, "duty {d}");
+        assert_eq!(m.sustainable_duty(1e-6, 1e-3), 0.0);
+        assert_eq!(m.sustainable_duty(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn rayleigh_outage_limits() {
+        let m = model();
+        // Mean far above the floor ⇒ outage ≈ sens/mean (small).
+        let p = m.rayleigh_outage(1e-3);
+        assert!((p - 1e-2).abs() < 1e-3, "outage {p}");
+        // Mean at the floor ⇒ outage = 1 − e⁻¹.
+        let p = m.rayleigh_outage(1e-5);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(m.rayleigh_outage(0.0), 1.0);
+    }
+
+    #[test]
+    fn outage_monotone_in_mean_power() {
+        let m = model();
+        assert!(m.rayleigh_outage(1e-5) > m.rayleigh_outage(1e-4));
+        assert!(m.rayleigh_outage(1e-4) > m.rayleigh_outage(1e-3));
+    }
+}

@@ -1,0 +1,28 @@
+//! # fdb-analysis — closed-form performance models
+//!
+//! Small, parametric models of every mechanism in the stack, used three
+//! ways:
+//!
+//! 1. **Cross-checks.** The workspace integration tests compare these
+//!    predictions against the sample-level simulation; agreement in shape
+//!    (and, where the model is exact, in value) is the repository's main
+//!    defence against silent simulation bugs.
+//! 2. **Experiment overlays.** The bench harness prints theory columns
+//!    next to measured ones.
+//! 3. **Design intuition.** The models expose *why* each experiment's
+//!    curve bends where it does.
+//!
+//! Everything here is a pure function of scalars — path gains, noise
+//! ratios, block counts — so this crate depends only on `fdb-dsp`'s special
+//! functions. The bench harness computes the scalars from the physical
+//! configuration.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod access;
+pub mod arq;
+pub mod ber;
+pub mod harvest;
+
+pub use ber::LinkNoiseModel;

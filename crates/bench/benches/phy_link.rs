@@ -1,0 +1,93 @@
+//! End-to-end PHY benchmarks: what one simulated frame costs, and the
+//! resulting real-time factor (simulated seconds per wall second).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fdb_ambient::AmbientConfig;
+use fdb_core::config::PhyConfig;
+use fdb_core::link::{FdLink, LinkConfig, RunOptions};
+use fdb_core::rx::DataReceiver;
+use fdb_core::tx::DataTransmitter;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_tx_rx_loopback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phy_loopback");
+    let cfg = PhyConfig::default_fd();
+    let payload = vec![0xA5u8; 64];
+    // Pre-render the ideal waveform once.
+    let mut tx = DataTransmitter::new(&cfg, &payload).unwrap();
+    let mut wave = Vec::with_capacity(tx.total_samples());
+    while let Some(s) = tx.next_state() {
+        wave.push(if s { 1.0 } else { 0.4 });
+    }
+    wave.extend(vec![0.4; cfg.samples_per_bit() * 2]);
+    g.throughput(Throughput::Elements(wave.len() as u64));
+    g.bench_function("rx_decode_64B_frame", |b| {
+        b.iter(|| {
+            let mut rx = DataReceiver::new(cfg.clone());
+            for &v in &wave {
+                rx.push_sample(black_box(v));
+            }
+            rx.take_result().is_some()
+        })
+    });
+    g.bench_function("tx_schedule_64B_frame", |b| {
+        b.iter(|| {
+            let mut tx = DataTransmitter::new(&cfg, black_box(&payload)).unwrap();
+            let mut n = 0usize;
+            while tx.next_state().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fd_link");
+    g.sample_size(10);
+    for (name, ambient) in [
+        ("cw", AmbientConfig::Cw),
+        ("tv_wideband", AmbientConfig::TvWideband { k_factor: 300.0 }),
+    ] {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.ambient = ambient;
+        cfg.geometry.device_dist_m = 0.4;
+        // ~13k samples per 64-byte frame.
+        g.throughput(Throughput::Elements(13_000));
+        g.bench_function(format!("run_frame_64B_{name}"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut link = FdLink::new(cfg.clone(), &mut rng).unwrap();
+            let payload = vec![0x5Au8; 64];
+            b.iter(|| {
+                link.run_frame(black_box(&payload), &RunOptions::fd_monitor(), &mut rng)
+                    .unwrap()
+                    .blocks_ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_network_step(c: &mut Criterion) {
+    use fdb_ambient::AmbientConfig;
+    use fdb_core::network::{BackscatterNetwork, NetworkConfig};
+    use fdb_device::TagConfig;
+    let mut g = c.benchmark_group("network");
+    for k in [4usize, 8, 16] {
+        let mut cfg = NetworkConfig::ring(k, 1.0, TagConfig::typical(5e-5));
+        cfg.ambient = AmbientConfig::TvWideband { k_factor: 300.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = BackscatterNetwork::new(&cfg, 5e-5, &mut rng).unwrap();
+        let states = vec![false; k];
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("step_{k}_devices"), |b| {
+            b.iter(|| net.step(black_box(&states), &mut rng).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tx_rx_loopback, bench_full_link, bench_network_step);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! experiments <id>... [--quick]     run specific experiments (e1..e10, a1, a2)
+//! experiments all [--quick]         run everything
+//! experiments list                  list experiment identifiers
+//! ```
+
+use fdb_bench::experiments;
+use fdb_bench::Effort;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+
+    if ids.is_empty() || ids.iter().any(|a| a == "help" || a == "--help") {
+        eprintln!("usage: experiments <id>...|all|list [--quick]");
+        eprintln!("ids: {}", experiments::all_ids().join(", "));
+        std::process::exit(2);
+    }
+    if ids.iter().any(|a| a == "list") {
+        for id in experiments::all_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+    let selected: Vec<&str> = if ids.iter().any(|a| a == "all") {
+        experiments::all_ids().to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    let started = std::time::Instant::now();
+    for id in &selected {
+        let t0 = std::time::Instant::now();
+        match experiments::run(id, effort) {
+            Some(results) => {
+                for r in results {
+                    r.emit();
+                }
+                eprintln!("[{} finished in {:.1?}]", id, t0.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' — try 'experiments list'");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("\n[all selected experiments done in {:.1?}]", started.elapsed());
+}

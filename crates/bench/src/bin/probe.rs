@@ -1,0 +1,44 @@
+//! Link operating-envelope probe.
+//!
+//! Prints a fast summary of the default link across device separations:
+//! lock rate, delivery, block success and feedback health. Useful when
+//! calibrating new scenarios or sanity-checking a configuration change.
+//!
+//! ```text
+//! cargo run --release -p fdb-bench --bin probe [frames-per-point]
+//! ```
+
+use fdb_core::link::{FdLink, LinkConfig, RunOptions};
+use rand::SeedableRng;
+
+fn main() {
+    let frames: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    println!("frames per point: {frames}");
+    println!("distance | locked | delivered | blocks_ok | fb_nack_bits");
+    for dist in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0] {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.geometry.device_dist_m = dist;
+        let mut link = FdLink::new(cfg, &mut rng).expect("valid default config");
+        let payload: Vec<u8> = (0..64u8).collect();
+        let (mut locked, mut ok, mut blocks_ok, mut blocks, mut fb_nack, mut fb_total) =
+            (0u32, 0u32, 0usize, 0usize, 0usize, 0usize);
+        for _ in 0..frames {
+            let out = link
+                .run_frame(&payload, &RunOptions::fd_monitor(), &mut rng)
+                .expect("frame");
+            locked += u32::from(out.b_locked);
+            ok += u32::from(out.fully_delivered());
+            blocks_ok += out.blocks_ok();
+            blocks += out.blocks_total();
+            fb_total += out.feedback.len();
+            fb_nack += out.feedback.iter().filter(|f| !f.bit).count();
+        }
+        println!(
+            "  {dist:.2} m | {locked:>4}/{frames} | {ok:>6}/{frames} | {blocks_ok:>5}/{blocks:<5} | {fb_nack:>5}/{fb_total}"
+        );
+    }
+}

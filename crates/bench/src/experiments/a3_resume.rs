@@ -1,0 +1,104 @@
+//! A3 — Extension: resume-from-failed-block vs full-frame early abort vs
+//! stop-and-wait, on long frames.
+//!
+//! The analytical model (`fdb_analysis::arq`) shows plain early abort's
+//! advantage shrinking for long frames: both it and stop-and-wait end up
+//! paying `E[attempts]·frame`. Partial retransmission changes the
+//! asymptotics — a retry costs only the surviving tail — and this
+//! experiment measures all three protocols on 160-byte (10-block) frames
+//! across the loss sweep.
+
+use crate::{Effort, ExperimentResult};
+use fdb_core::link::LinkConfig;
+use fdb_mac::arq::{ArqConfig, StopAndWait};
+use fdb_mac::early_abort::{EarlyAbortArq, EarlyAbortConfig};
+use fdb_mac::report::TransferReport;
+use fdb_mac::selective::{ResumeArq, ResumeArqConfig};
+use fdb_sim::report::{fmt_sig, Table};
+use fdb_sim::runner::{derive_seed, random_payload};
+use fdb_sim::parallel_sweep;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use super::e4_goodput::{batch_delivery_rate, batch_goodput_bps};
+
+/// Runs A3.
+pub fn run(effort: Effort) -> Vec<ExperimentResult> {
+    let transfers = effort.frames(16);
+    let payload_len = 160; // 10 blocks: long enough that resume matters
+    let distances = vec![0.35, 0.45, 0.5, 0.55];
+    let fs = LinkConfig::default_fd().phy.sample_rate_hz;
+    let rows = parallel_sweep(&distances, 8, |&d| {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.geometry.device_dist_m = d;
+        let seed = derive_seed(0xA3, (d * 1000.0) as u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut sw = StopAndWait::new(
+            cfg.clone(),
+            ArqConfig {
+                max_attempts: 24,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("A3 sw");
+        let mut ea = EarlyAbortArq::new(
+            cfg.clone(),
+            EarlyAbortConfig {
+                max_attempts: 24,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("A3 ea");
+        let mut resume = ResumeArq::new(
+            cfg,
+            ResumeArqConfig {
+                max_attempts: 24,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("A3 resume");
+        let mut sw_r: Vec<TransferReport> = Vec::new();
+        let mut ea_r: Vec<TransferReport> = Vec::new();
+        let mut re_r: Vec<TransferReport> = Vec::new();
+        for _ in 0..transfers {
+            let payload = random_payload(&mut rng, payload_len);
+            sw_r.push(sw.transfer(&payload, &mut rng).expect("sw"));
+            ea_r.push(ea.transfer(&payload, &mut rng).expect("ea"));
+            re_r.push(resume.transfer(&payload, &mut rng).expect("resume"));
+        }
+        (d, sw_r, ea_r, re_r)
+    });
+    let mut table = Table::new(&[
+        "distance_m",
+        "goodput_sw_bps",
+        "goodput_early_abort_bps",
+        "goodput_resume_bps",
+        "resume_over_ea",
+        "delivery_sw",
+        "delivery_ea",
+        "delivery_resume",
+    ]);
+    for (d, sw_r, ea_r, re_r) in &rows {
+        let g_sw = batch_goodput_bps(sw_r, fs);
+        let g_ea = batch_goodput_bps(ea_r, fs);
+        let g_re = batch_goodput_bps(re_r, fs);
+        table.row(&[
+            fmt_sig(*d, 3),
+            fmt_sig(g_sw, 3),
+            fmt_sig(g_ea, 3),
+            fmt_sig(g_re, 3),
+            fmt_sig(if g_ea > 0.0 { g_re / g_ea } else { f64::NAN }, 3),
+            fmt_sig(batch_delivery_rate(sw_r), 3),
+            fmt_sig(batch_delivery_rate(ea_r), 3),
+            fmt_sig(batch_delivery_rate(re_r), 3),
+        ]);
+    }
+    vec![ExperimentResult {
+        id: "a3",
+        title: "extension: resume-from-failed-block vs full-frame early abort (160 B frames)",
+        table,
+    }]
+}

@@ -1,0 +1,63 @@
+//! E11 — Flow control: in-band backpressure vs overflow-and-retransmit.
+//!
+//! An under-provisioned receiver (drain slower than line rate, occasional
+//! stalls) is fed a stream of blocks. Without feedback the sender discovers
+//! overflow only by losing blocks and re-sending them a round trip later;
+//! with the FD busy bit it pauses within one feedback latency. Sweeps the
+//! receiver's drain ratio and reports drops, retransmission overhead and
+//! goodput for both strategies.
+
+use crate::{Effort, ExperimentResult};
+use fdb_mac::flow::{run as run_flow, FlowConfig, FlowMode};
+use fdb_sim::report::{fmt_sig, Table};
+use fdb_sim::runner::derive_seed;
+use fdb_sim::parallel_sweep;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runs E11.
+pub fn run(effort: Effort) -> Vec<ExperimentResult> {
+    let total_blocks = match effort {
+        Effort::Quick => 2_000,
+        Effort::Full => 20_000,
+    };
+    let drain_ratios: Vec<f64> = vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let rows = parallel_sweep(&drain_ratios, 8, |&drain| {
+        let mk = |mode| FlowConfig {
+            total_blocks,
+            drain_ratio: drain,
+            ..FlowConfig::default_with(mode)
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(0xE11, (drain * 100.0) as u64));
+        let fd = run_flow(&mk(FlowMode::FdBackpressure), &mut rng);
+        let hd = run_flow(&mk(FlowMode::OverflowRetransmit), &mut rng);
+        (drain, fd, hd)
+    });
+    let mut table = Table::new(&[
+        "drain_ratio",
+        "goodput_fd",
+        "goodput_hd",
+        "drops_fd",
+        "drops_hd",
+        "retx_overhead_fd",
+        "retx_overhead_hd",
+        "fd_paused_fraction",
+    ]);
+    for (drain, fd, hd) in &rows {
+        table.row(&[
+            fmt_sig(*drain, 3),
+            fmt_sig(fd.goodput_fraction(), 3),
+            fmt_sig(hd.goodput_fraction(), 3),
+            fd.dropped.to_string(),
+            hd.dropped.to_string(),
+            fmt_sig(fd.retransmit_overhead(), 3),
+            fmt_sig(hd.retransmit_overhead(), 3),
+            fmt_sig(fd.paused_time as f64 / fd.elapsed.max(1) as f64, 3),
+        ]);
+    }
+    vec![ExperimentResult {
+        id: "e11",
+        title: "flow control: FD in-band backpressure vs overflow-and-retransmit",
+        table,
+    }]
+}

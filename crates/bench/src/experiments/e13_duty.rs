@@ -1,0 +1,116 @@
+//! E13 — Energy-neutral operation: sustainable throughput vs source
+//! distance.
+//!
+//! A battery-free sensor at distance `d` from the tower banks harvested
+//! energy and fires one report per charge cycle. Near the tower the link
+//! is airtime-limited (duty → 1); beyond the harvester's sensitivity the
+//! tag is dead. In between, throughput rolls off as the harvested power —
+//! the charge-and-fire staircase this experiment measures.
+//!
+//! Per-transfer energy and airtime come from real PHY-backed transfers
+//! (the sensor's transmit/receive loads); the inter-transfer banking uses
+//! the closed-form harvester income at that distance.
+
+use crate::{Effort, ExperimentResult};
+use fdb_analysis::harvest::HarvestModel;
+use fdb_channel::pathloss::PathLoss;
+use fdb_core::link::LinkConfig;
+use fdb_mac::duty::{DutyConfig, DutyCycleController};
+use fdb_mac::early_abort::{EarlyAbortArq, EarlyAbortConfig};
+use fdb_sim::report::{fmt_sig, Table};
+use fdb_sim::runner::{derive_seed, random_payload};
+use fdb_sim::parallel_sweep;
+use fdb_dsp::sample::dbm_to_watts;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runs E13.
+pub fn run(effort: Effort) -> Vec<ExperimentResult> {
+    let transfers = effort.frames(24);
+    let dists: Vec<f64> = vec![50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 600.0];
+    let payload_len = 64usize;
+    let model = HarvestModel {
+        sensitivity_w: 1e-5,
+        saturation_w: 3.16e-4,
+        max_efficiency: 0.4,
+    };
+    let rows = parallel_sweep(&dists, 8, |&d| {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.geometry.source_dist_a_m = d;
+        cfg.geometry.source_dist_b_m = d;
+        let fs = cfg.phy.sample_rate_hz;
+        let incident_w = dbm_to_watts(cfg.geometry.source_power_dbm)
+            * PathLoss::tv_band().gain(d);
+        let income_w = model.harvested_w(incident_w);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(0xE13, d as u64));
+        let mut arq = EarlyAbortArq::new(
+            cfg,
+            EarlyAbortConfig {
+                max_attempts: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("E13 arq");
+        let mut duty = DutyCycleController::new(DutyConfig::default());
+        let mut delivered_bits = 0u64;
+        let mut wall_s = 0.0f64;
+        let mut dead = false;
+        for _ in 0..transfers {
+            match duty.sleep_until_ready(income_w) {
+                Some(t) => wall_s += t,
+                None => {
+                    dead = true;
+                    break;
+                }
+            }
+            let payload = random_payload(&mut rng, payload_len);
+            let r = arq.transfer(&payload, &mut rng).expect("E13 transfer");
+            let dur = r.elapsed_samples as f64 / fs;
+            wall_s += dur;
+            duty.fire(r.energy_a_j, dur, income_w);
+            if r.delivered {
+                delivered_bits += (payload_len * 8) as u64;
+            }
+        }
+        let goodput = if wall_s > 0.0 && !dead {
+            delivered_bits as f64 / wall_s
+        } else {
+            0.0
+        };
+        let (fired, brown) = duty.counts();
+        (d, income_w, goodput, duty.slept_s(), wall_s, fired, brown, dead)
+    });
+
+    let mut table = Table::new(&[
+        "source_dist_m",
+        "harvest_income_uw",
+        "sustainable_goodput_bps",
+        "duty_cycle",
+        "transfers_fired",
+        "brown_outs",
+        "tag_dead",
+    ]);
+    for (d, income, goodput, slept, wall, fired, brown, dead) in &rows {
+        let duty_cycle = if *wall > 0.0 {
+            (wall - slept) / wall
+        } else {
+            0.0
+        };
+        table.row(&[
+            fmt_sig(*d, 4),
+            fmt_sig(income * 1e6, 3),
+            fmt_sig(*goodput, 3),
+            fmt_sig(duty_cycle, 3),
+            fired.to_string(),
+            brown.to_string(),
+            dead.to_string(),
+        ]);
+    }
+    vec![ExperimentResult {
+        id: "e13",
+        title: "energy-neutral duty cycling: sustainable goodput vs source distance",
+        table,
+    }]
+}

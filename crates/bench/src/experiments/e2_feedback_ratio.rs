@@ -1,0 +1,100 @@
+//! E2 — Feedback BER vs rate ratio `m`, with the integrator-gain model.
+//!
+//! The design's central dial: a feedback bit integrates `m` data bits of
+//! envelope, so its BER falls as `Q(s·√(k·N)/√2)` while its rate falls as
+//! `1/m`. The experiment locates the usable-`m` threshold at two
+//! distances and checks the integration-gain shape.
+
+use crate::{Effort, ExperimentResult};
+use fdb_analysis::ber::{relative_swing, LinkNoiseModel};
+use fdb_ambient::AmbientConfig;
+use fdb_core::link::LinkConfig;
+use fdb_sim::report::{fmt_ber, fmt_sig, Table};
+use fdb_sim::runner::derive_seed;
+use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+
+/// Predicted feedback BER for a configuration (theory overlay).
+pub fn predicted_feedback_ber(cfg: &LinkConfig) -> f64 {
+    let g = &cfg.geometry;
+    // A decodes B's reflection: far device is B.
+    let h_ab = g.pathloss_device.amplitude_gain(g.device_dist_m);
+    let g_self = g.pathloss_source.gain(g.source_dist_a_m);
+    let g_far = g.pathloss_source.gain(g.source_dist_b_m);
+    let swing = relative_swing(h_ab, cfg.tag_b.rho, cfg.tag_b.rho_residual, g_far, g_self);
+    let k = match cfg.ambient {
+        AmbientConfig::TvWideband { k_factor } => k_factor,
+        AmbientConfig::Cw => 1e12,
+        _ => 1.0,
+    };
+    let model = LinkNoiseModel {
+        k_factor: k,
+        samples_per_chip: cfg.phy.samples_per_chip,
+        detector_noise_rel: 0.0,
+    };
+    let half_samples = (cfg.phy.feedback_ratio / 2) * cfg.phy.samples_per_bit();
+    model.feedback_ber(swing, half_samples)
+}
+
+/// Runs E2.
+///
+/// The sweep runs at a *weak* feedback operating point (ρ_B = 0.03, wider
+/// device separation): at the default ρ_B = 0.2 the feedback channel is
+/// essentially error-free at every m — robustness worth knowing, but the
+/// experiment's purpose is to locate the usable-m threshold, which needs
+/// the channel pushed to where integration length visibly matters.
+pub fn run(effort: Effort) -> Vec<ExperimentResult> {
+    let frames = effort.frames(64);
+    let ratios: Vec<usize> = vec![4, 8, 16, 32, 64, 128];
+    let mut out = Vec::new();
+    for &dist in &[0.7f64, 0.85] {
+        let rows = parallel_sweep(&ratios, 8, |&m| {
+            let mut cfg = LinkConfig::default_fd();
+            cfg.geometry.device_dist_m = dist;
+            cfg.tag_b.rho = 0.03;
+            cfg.phy.feedback_ratio = m;
+            // Long frames so even m = 128 yields several feedback bits.
+            let metrics = measure_link(
+                &cfg,
+                &MeasureSpec {
+                    frames,
+                    payload_len: 192,
+                    seed: derive_seed(0xE2, m as u64 + (dist * 100.0) as u64),
+                    feedback_probe: Some(true),
+                },
+            )
+            .expect("E2 run");
+            let theory = predicted_feedback_ber(&cfg);
+            let fb_rate = cfg.phy.feedback_rate_bps();
+            (m, metrics, theory, fb_rate)
+        });
+        let mut table = Table::new(&[
+            "m_ratio",
+            "feedback_rate_bps",
+            "feedback_ber",
+            "feedback_ber_theory",
+            "pilot_verify_rate",
+        ]);
+        for (m, metrics, theory, fb_rate) in &rows {
+            table.row(&[
+                m.to_string(),
+                fmt_sig(*fb_rate, 4),
+                fmt_ber(&metrics.feedback_ber),
+                fmt_sig(*theory, 3),
+                fmt_sig(
+                    metrics.pilots_ok as f64 / metrics.frames.max(1) as f64,
+                    3,
+                ),
+            ]);
+        }
+        out.push(ExperimentResult {
+            id: if dist < 0.8 { "e2" } else { "e2b" },
+            title: if dist < 0.8 {
+                "feedback BER vs rate ratio m (weak feedback: rho_B=0.03, d = 0.7 m)"
+            } else {
+                "feedback BER vs rate ratio m (weak feedback: rho_B=0.03, d = 0.85 m)"
+            },
+            table,
+        });
+    }
+    out
+}

@@ -1,0 +1,65 @@
+//! E3 — Self-interference ablation: what breaks without known-state SIC.
+//!
+//! Sweeps the feedback reflection coefficient ρ_B (the strength of the
+//! receiver's own toggling) with cancellation on and off. Without SIC, the
+//! receiver's own antenna flips amplitude-modulate its detector by
+//! `(1 − ρ_B)` and the forward BER floors; with SIC the flips divide out
+//! and the forward link barely notices. The transmitter side is measured
+//! too: A's feedback decoder without SIC sees A's *own data* as a huge
+//! in-band interferer.
+
+use crate::{Effort, ExperimentResult};
+use fdb_core::config::SicMode;
+use fdb_core::link::LinkConfig;
+use fdb_sim::report::{fmt_ber, fmt_sig, Table};
+use fdb_sim::runner::derive_seed;
+use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+
+/// Runs E3.
+pub fn run(effort: Effort) -> Vec<ExperimentResult> {
+    let frames = effort.frames(48);
+    let rhos: Vec<f64> = vec![0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+    let rows = parallel_sweep(&rhos, 8, |&rho_b| {
+        let mut on_cfg = LinkConfig::default_fd();
+        on_cfg.geometry.device_dist_m = 0.35; // strong link: isolate SIC effect
+        on_cfg.tag_b.rho = rho_b;
+        let mut off_cfg = on_cfg.clone();
+        off_cfg.phy.sic = SicMode::Off;
+        let seed = derive_seed(0xE3, (rho_b * 1000.0) as u64);
+        let spec = MeasureSpec {
+            frames,
+            payload_len: 96,
+            seed,
+            feedback_probe: Some(true),
+        };
+        let on = measure_link(&on_cfg, &spec).expect("E3 on");
+        let off = measure_link(&off_cfg, &spec).expect("E3 off");
+        (rho_b, on, off)
+    });
+
+    let mut table = Table::new(&[
+        "rho_feedback",
+        "data_ber_sic_on",
+        "data_ber_sic_off",
+        "delivery_sic_on",
+        "delivery_sic_off",
+        "fb_ber_sic_on",
+        "fb_ber_sic_off",
+    ]);
+    for (rho, on, off) in &rows {
+        table.row(&[
+            fmt_sig(*rho, 3),
+            fmt_ber(&on.data_ber),
+            fmt_ber(&off.data_ber),
+            fmt_sig(on.delivery_rate(), 3),
+            fmt_sig(off.delivery_rate(), 3),
+            fmt_ber(&on.feedback_ber),
+            fmt_ber(&off.feedback_ber),
+        ]);
+    }
+    vec![ExperimentResult {
+        id: "e3",
+        title: "self-interference cancellation ablation vs feedback reflection strength",
+        table,
+    }]
+}

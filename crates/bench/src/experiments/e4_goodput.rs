@@ -1,0 +1,184 @@
+//! E4 — Goodput: early-abort ARQ vs stop-and-wait, PHY-backed.
+//!
+//! The paper's motivating win. Both protocols transfer the same payloads
+//! over the same channels; stop-and-wait pays a reverse ACK frame and two
+//! turnarounds per attempt and only discovers corruption at frame end,
+//! while early abort cuts dead frames short and carries its ACK in-band.
+//! The analytical advantage model overlays the measurement.
+
+use crate::{Effort, ExperimentResult};
+use fdb_analysis::arq::FrameModel;
+use fdb_core::link::LinkConfig;
+use fdb_mac::arq::{ArqConfig, StopAndWait};
+use fdb_mac::early_abort::{EarlyAbortArq, EarlyAbortConfig};
+use fdb_mac::report::TransferReport;
+use fdb_sim::report::{fmt_sig, Table};
+use fdb_sim::runner::{derive_seed, random_payload};
+use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One protocol-comparison measurement at a given distance.
+pub struct GoodputPoint {
+    /// Device separation (metres).
+    pub distance_m: f64,
+    /// Measured per-block error rate (calibration for the model).
+    pub p_block: f64,
+    /// Per-transfer stop-and-wait reports.
+    pub sw: Vec<TransferReport>,
+    /// Per-transfer early-abort reports.
+    pub ea: Vec<TransferReport>,
+    /// Model-predicted advantage ratio.
+    pub predicted_advantage: f64,
+}
+
+/// Aggregate goodput over a batch of transfers: delivered payload bits over
+/// *all* elapsed time (failed transfers burn time but deliver nothing).
+pub fn batch_goodput_bps(reports: &[TransferReport], sample_rate_hz: f64) -> f64 {
+    let bits: u64 = reports
+        .iter()
+        .filter(|r| r.delivered)
+        .map(|r| (r.payload_bytes * 8) as u64)
+        .sum();
+    let samples: u64 = reports.iter().map(|r| r.elapsed_samples).sum();
+    if samples == 0 {
+        0.0
+    } else {
+        bits as f64 / (samples as f64 / sample_rate_hz)
+    }
+}
+
+/// Aggregate energy per delivered bit over a batch (all energy spent,
+/// divided by bits that actually arrived).
+pub fn batch_energy_per_bit_j(reports: &[TransferReport]) -> f64 {
+    let bits: u64 = reports
+        .iter()
+        .filter(|r| r.delivered)
+        .map(|r| (r.payload_bytes * 8) as u64)
+        .sum();
+    let energy: f64 = reports.iter().map(|r| r.energy_a_j + r.energy_b_j).sum();
+    if bits == 0 {
+        f64::INFINITY
+    } else {
+        energy / bits as f64
+    }
+}
+
+/// Fraction of transfers that completed.
+pub fn batch_delivery_rate(reports: &[TransferReport]) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().filter(|r| r.delivered).count() as f64 / reports.len() as f64
+}
+
+/// Measures both protocols at one distance.
+pub fn measure_point(
+    distance_m: f64,
+    payload_len: usize,
+    transfers: u64,
+    seed: u64,
+) -> GoodputPoint {
+    let mut cfg = LinkConfig::default_fd();
+    cfg.geometry.device_dist_m = distance_m;
+
+    // Calibrate the per-block error rate for the analytical overlay.
+    let cal = measure_link(
+        &cfg,
+        &MeasureSpec {
+            frames: transfers.max(8),
+            payload_len,
+            seed: seed ^ 0xCA11,
+            feedback_probe: Some(false),
+        },
+    )
+    .expect("E4 calibration");
+    let p_block = cal.block_error_rate();
+
+    let phy = &cfg.phy;
+    let n_blocks = payload_len.div_ceil(phy.block_len_bytes) as u32;
+    let model = FrameModel {
+        overhead_bits: (phy.preamble.len() + fdb_core::frame::HEADER_BITS) as f64,
+        n_blocks,
+        block_bits: ((phy.block_len_bytes + 1) * 8) as f64,
+        p_block,
+    };
+    let ack_bits = fdb_core::frame::frame_bits_len(phy, 2) as f64 + phy.preamble.len() as f64;
+    let latency_bits =
+        (phy.feedback_guard_bits + (fdb_core::feedback::PILOTS.len() + 1) * phy.feedback_ratio) as f64;
+    let predicted_advantage = model.early_abort_advantage(ack_bits, 400.0 / 20.0, latency_bits, 20.0);
+
+    // Run the protocols.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let arq_cfg = ArqConfig {
+        max_attempts: 16,
+        ..Default::default()
+    };
+    let ea_cfg = EarlyAbortConfig {
+        max_attempts: 16,
+        ..Default::default()
+    };
+    let mut sw = StopAndWait::new(cfg.clone(), arq_cfg, &mut rng).expect("E4 stop-and-wait");
+    let mut ea = EarlyAbortArq::new(cfg, ea_cfg, &mut rng).expect("E4 early-abort");
+    let mut sw_reports = Vec::with_capacity(transfers as usize);
+    let mut ea_reports = Vec::with_capacity(transfers as usize);
+    for _ in 0..transfers {
+        let payload = random_payload(&mut rng, payload_len);
+        sw_reports.push(sw.transfer(&payload, &mut rng).expect("sw transfer"));
+        ea_reports.push(ea.transfer(&payload, &mut rng).expect("ea transfer"));
+    }
+    GoodputPoint {
+        distance_m,
+        p_block,
+        sw: sw_reports,
+        ea: ea_reports,
+        predicted_advantage,
+    }
+}
+
+/// Runs E4.
+pub fn run(effort: Effort) -> Vec<ExperimentResult> {
+    let transfers = effort.frames(24);
+    let payload_len = 96;
+    let distances = vec![0.3, 0.4, 0.45, 0.5, 0.55, 0.6];
+    let fs = LinkConfig::default_fd().phy.sample_rate_hz;
+    let rows = parallel_sweep(&distances, 8, |&d| {
+        measure_point(d, payload_len, transfers, derive_seed(0xE4, (d * 1000.0) as u64))
+    });
+    let mut table = Table::new(&[
+        "distance_m",
+        "p_block",
+        "goodput_sw_bps",
+        "goodput_ea_bps",
+        "measured_advantage",
+        "predicted_advantage",
+        "delivery_sw",
+        "delivery_ea",
+        "ea_aborts",
+        "sw_frames",
+        "ea_frames",
+    ]);
+    for p in &rows {
+        let g_sw = batch_goodput_bps(&p.sw, fs);
+        let g_ea = batch_goodput_bps(&p.ea, fs);
+        let adv = if g_sw > 0.0 { g_ea / g_sw } else { f64::NAN };
+        table.row(&[
+            fmt_sig(p.distance_m, 3),
+            fmt_sig(p.p_block, 3),
+            fmt_sig(g_sw, 3),
+            fmt_sig(g_ea, 3),
+            fmt_sig(adv, 3),
+            fmt_sig(p.predicted_advantage, 3),
+            fmt_sig(batch_delivery_rate(&p.sw), 3),
+            fmt_sig(batch_delivery_rate(&p.ea), 3),
+            p.ea.iter().map(|r| r.aborts).sum::<u32>().to_string(),
+            p.sw.iter().map(|r| r.frames_sent).sum::<u32>().to_string(),
+            p.ea.iter().map(|r| r.frames_sent).sum::<u32>().to_string(),
+        ]);
+    }
+    vec![ExperimentResult {
+        id: "e4",
+        title: "goodput: early-abort FD ARQ vs stop-and-wait HD ARQ vs loss rate",
+        table,
+    }]
+}

@@ -1,0 +1,62 @@
+//! E5 — Energy per delivered bit vs distance.
+//!
+//! Battery-free devices live or die on joules per bit. Early abort saves
+//! energy two ways: aborted frames stop burning both devices' receive
+//! chains, and the missing ACK frames remove the reverse-direction cost
+//! entirely. This experiment reuses the E4 protocol machinery and reads
+//! the devices' energy ledgers.
+
+use crate::experiments::e4_goodput::{
+    batch_delivery_rate, batch_energy_per_bit_j, measure_point,
+};
+use crate::{Effort, ExperimentResult};
+use fdb_sim::report::{fmt_sig, Table};
+use fdb_sim::runner::derive_seed;
+use fdb_sim::parallel_sweep;
+
+/// Runs E5.
+pub fn run(effort: Effort) -> Vec<ExperimentResult> {
+    let transfers = effort.frames(24);
+    let payload_len = 96;
+    let distances = vec![0.3, 0.4, 0.45, 0.5, 0.55, 0.6];
+    let rows = parallel_sweep(&distances, 8, |&d| {
+        measure_point(
+            d,
+            payload_len,
+            transfers,
+            derive_seed(0xE5, (d * 1000.0) as u64),
+        )
+    });
+    let mut table = Table::new(&[
+        "distance_m",
+        "p_block",
+        "energy_per_bit_sw_j",
+        "energy_per_bit_ea_j",
+        "energy_ratio_sw_over_ea",
+        "delivery_sw",
+        "delivery_ea",
+    ]);
+    for p in &rows {
+        let e_sw = batch_energy_per_bit_j(&p.sw);
+        let e_ea = batch_energy_per_bit_j(&p.ea);
+        let ratio = if e_ea > 0.0 && e_ea.is_finite() && e_sw.is_finite() {
+            e_sw / e_ea
+        } else {
+            f64::NAN
+        };
+        table.row(&[
+            fmt_sig(p.distance_m, 3),
+            fmt_sig(p.p_block, 3),
+            fmt_sig(e_sw, 3),
+            fmt_sig(e_ea, 3),
+            fmt_sig(ratio, 3),
+            fmt_sig(batch_delivery_rate(&p.sw), 3),
+            fmt_sig(batch_delivery_rate(&p.ea), 3),
+        ]);
+    }
+    vec![ExperimentResult {
+        id: "e5",
+        title: "energy per delivered bit: early abort vs stop-and-wait vs distance",
+        table,
+    }]
+}

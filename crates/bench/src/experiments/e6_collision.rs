@@ -1,0 +1,73 @@
+//! E6 — Multi-access: FD collision detection vs ALOHA vs contention.
+//!
+//! The event-level MAC model (calibrated by the PHY: frame length and
+//! pilot-window latency come from the default configuration, and the
+//! underlying "overlap ⇒ no lock" assumption is validated in the
+//! workspace integration tests against the sample-level K-device network).
+//! The renewal-model theory column shows the expected ordering.
+
+use crate::{Effort, ExperimentResult};
+use fdb_analysis::access::{aloha_renewal_throughput, CollisionDetectModel};
+use fdb_mac::csma::{run as run_csma, AccessMode, CsmaConfig};
+use fdb_sim::report::{fmt_sig, Table};
+use fdb_sim::runner::derive_seed;
+use fdb_sim::parallel_sweep;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runs E6.
+pub fn run(effort: Effort) -> Vec<ExperimentResult> {
+    let horizon: u64 = match effort {
+        Effort::Quick => 400_000,
+        Effort::Full => 4_000_000,
+    };
+    let node_counts: Vec<usize> = vec![2, 4, 8, 16, 32];
+    let rows = parallel_sweep(&node_counts, 8, |&n| {
+        let mut aloha_cfg = CsmaConfig::default_with(n, AccessMode::Aloha);
+        aloha_cfg.horizon_bits = horizon;
+        aloha_cfg.arrival_per_bit = 4e-5;
+        let mut fd_cfg = aloha_cfg;
+        fd_cfg.mode = AccessMode::FdCollisionDetect;
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(0xE6, n as u64));
+        let aloha = run_csma(&aloha_cfg, &mut rng);
+        let fd = run_csma(&fd_cfg, &mut rng);
+        // Theory: offered load G in frames per frame-time.
+        let g = n as f64 * aloha_cfg.arrival_per_bit * aloha_cfg.frame_bits as f64;
+        let cd_model = CollisionDetectModel {
+            pilot_fraction: fd_cfg.pilot_latency_bits as f64 / fd_cfg.frame_bits as f64,
+        };
+        (n, aloha, fd, g, aloha_renewal_throughput(g), cd_model.throughput(g), aloha_cfg.frame_bits)
+    });
+
+    let mut table = Table::new(&[
+        "nodes",
+        "offered_load_G",
+        "goodput_aloha",
+        "goodput_fd_cd",
+        "theory_aloha",
+        "theory_fd_cd",
+        "waste_aloha",
+        "waste_fd_cd",
+        "dropped_aloha",
+        "dropped_fd_cd",
+    ]);
+    for (n, aloha, fd, g, th_a, th_cd, frame_bits) in &rows {
+        table.row(&[
+            n.to_string(),
+            fmt_sig(*g, 3),
+            fmt_sig(aloha.goodput_fraction(*frame_bits), 3),
+            fmt_sig(fd.goodput_fraction(*frame_bits), 3),
+            fmt_sig(*th_a, 3),
+            fmt_sig(*th_cd, 3),
+            fmt_sig(aloha.waste_fraction(), 3),
+            fmt_sig(fd.waste_fraction(), 3),
+            aloha.dropped.to_string(),
+            fd.dropped.to_string(),
+        ]);
+    }
+    vec![ExperimentResult {
+        id: "e6",
+        title: "multi-access throughput: FD collision detection vs ALOHA vs contention",
+        table,
+    }]
+}

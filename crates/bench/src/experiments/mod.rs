@@ -1,0 +1,50 @@
+//! The experiment suite (see DESIGN.md §3 for the per-experiment index).
+
+pub mod a3_resume;
+pub mod ablations;
+pub mod e1_ber_distance;
+pub mod e2_feedback_ratio;
+pub mod e3_sic_ablation;
+pub mod e4_goodput;
+pub mod e5_energy;
+pub mod e6_collision;
+pub mod e7_rate_adapt;
+pub mod e8_sources;
+pub mod e9_clock;
+pub mod e10_harvest;
+pub mod e11_flow;
+pub mod e12_coexistence;
+pub mod e13_duty;
+
+use crate::{Effort, ExperimentResult};
+
+/// All experiment entry points by identifier.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2", "a3", "a4",
+    ]
+}
+
+/// Runs one experiment by identifier.
+pub fn run(id: &str, effort: Effort) -> Option<Vec<ExperimentResult>> {
+    Some(match id {
+        "e1" => e1_ber_distance::run(effort),
+        "e2" => e2_feedback_ratio::run(effort),
+        "e3" => e3_sic_ablation::run(effort),
+        "e4" => e4_goodput::run(effort),
+        "e5" => e5_energy::run(effort),
+        "e6" => e6_collision::run(effort),
+        "e7" => e7_rate_adapt::run(effort),
+        "e8" => e8_sources::run(effort),
+        "e9" => e9_clock::run(effort),
+        "e10" => e10_harvest::run(effort),
+        "e11" => e11_flow::run(effort),
+        "e12" => e12_coexistence::run(effort),
+        "e13" => e13_duty::run(effort),
+        "a1" => ablations::line_codes(effort),
+        "a2" => ablations::block_size(effort),
+        "a3" => a3_resume::run(effort),
+        "a4" => ablations::fec(effort),
+        _ => return None,
+    })
+}

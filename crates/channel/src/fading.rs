@@ -1,0 +1,214 @@
+//! Small-scale block fading.
+//!
+//! The simulation holds each channel coefficient constant for a block of
+//! samples (the block-fading assumption: channels are static over a symbol
+//! and evolve symbol-to-symbol). Temporal correlation across blocks follows
+//! a first-order Gauss–Markov process, the standard discrete surrogate for
+//! a Jakes Doppler spectrum: `h[k+1] = ρ·h[k] + √(1−ρ²)·w`, with `ρ`
+//! derived from the coherence length.
+
+use crate::randcn;
+use fdb_dsp::Iq;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Small-scale fading statistics for one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fading {
+    /// No fading: the coefficient is the unit phasor (path loss applies
+    /// separately). Models a static, strongly line-of-sight deployment.
+    Static,
+    /// Rayleigh: zero-mean complex Gaussian, unit mean power.
+    Rayleigh {
+        /// Number of blocks over which the channel decorrelates to 1/e.
+        coherence_blocks: f64,
+    },
+    /// Rician: a fixed LOS component plus Rayleigh scatter, unit mean power.
+    Rician {
+        /// K-factor: LOS power / scattered power (linear).
+        k_factor: f64,
+        /// Number of blocks over which the scatter decorrelates to 1/e.
+        coherence_blocks: f64,
+    },
+}
+
+impl Fading {
+    /// Convenience constructor for Rayleigh with the given coherence.
+    pub fn rayleigh(coherence_blocks: f64) -> Self {
+        Fading::Rayleigh { coherence_blocks }
+    }
+}
+
+/// Stateful per-hop block-fading generator.
+///
+/// `advance(rng)` steps to the next block and returns the new coefficient;
+/// `coeff()` re-reads the current one. Mean power is always 1 so that path
+/// loss fully owns the scale.
+#[derive(Debug, Clone)]
+pub struct BlockFader {
+    model: Fading,
+    scatter: Iq,
+    rho: f64,
+}
+
+impl BlockFader {
+    /// Creates a fader and draws the initial block coefficient.
+    pub fn new<R: Rng + ?Sized>(model: Fading, rng: &mut R) -> Self {
+        let rho = match model {
+            Fading::Static => 0.0,
+            Fading::Rayleigh { coherence_blocks } | Fading::Rician { coherence_blocks, .. } => {
+                coherence_from_rho(coherence_blocks)
+            }
+        };
+        let mut f = BlockFader {
+            model,
+            scatter: Iq::ZERO,
+            rho,
+        };
+        // Draw the stationary initial state.
+        if !matches!(model, Fading::Static) {
+            f.scatter = randcn(rng, 1.0);
+        }
+        f
+    }
+
+    /// Current block coefficient (unit mean power).
+    pub fn coeff(&self) -> Iq {
+        match self.model {
+            Fading::Static => Iq::ONE,
+            Fading::Rayleigh { .. } => self.scatter,
+            Fading::Rician { k_factor, .. } => {
+                let k = k_factor.max(0.0);
+                let los = (k / (k + 1.0)).sqrt();
+                let diffuse = (1.0 / (k + 1.0)).sqrt();
+                Iq::real(los) + self.scatter * diffuse
+            }
+        }
+    }
+
+    /// Steps to the next block and returns its coefficient.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Iq {
+        if !matches!(self.model, Fading::Static) {
+            let w = randcn(rng, 1.0);
+            let r = self.rho;
+            self.scatter = self.scatter * r + w * (1.0 - r * r).sqrt();
+        }
+        self.coeff()
+    }
+
+    /// The AR(1) correlation coefficient in use.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
+/// Maps a coherence length in blocks to the AR(1) coefficient such that the
+/// correlation decays to 1/e after `coherence_blocks` steps:
+/// `ρ = exp(−1 / coherence_blocks)`.
+fn coherence_from_rho(coherence_blocks: f64) -> f64 {
+    if coherence_blocks <= 0.0 {
+        0.0
+    } else {
+        (-1.0 / coherence_blocks).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn static_is_unit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut f = BlockFader::new(Fading::Static, &mut rng);
+        assert_eq!(f.coeff(), Iq::ONE);
+        assert_eq!(f.advance(&mut rng), Iq::ONE);
+    }
+
+    #[test]
+    fn rayleigh_unit_mean_power() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut f = BlockFader::new(Fading::rayleigh(1.0), &mut rng);
+        let n = 100_000;
+        let mut p = 0.0;
+        for _ in 0..n {
+            p += f.advance(&mut rng).norm_sq();
+        }
+        p /= n as f64;
+        assert!((p - 1.0).abs() < 0.02, "power {p}");
+    }
+
+    #[test]
+    fn rician_unit_mean_power_and_los_bias() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let k = 5.0;
+        let mut f = BlockFader::new(
+            Fading::Rician {
+                k_factor: k,
+                coherence_blocks: 1.0,
+            },
+            &mut rng,
+        );
+        let n = 100_000;
+        let mut p = 0.0;
+        let mut mean = Iq::ZERO;
+        for _ in 0..n {
+            let h = f.advance(&mut rng);
+            p += h.norm_sq();
+            mean += h;
+        }
+        p /= n as f64;
+        mean = mean / n as f64;
+        assert!((p - 1.0).abs() < 0.02, "power {p}");
+        let expected_los = (k / (k + 1.0)).sqrt();
+        assert!((mean.re - expected_los).abs() < 0.02, "LOS {}", mean.re);
+        assert!(mean.im.abs() < 0.02);
+    }
+
+    #[test]
+    fn coherence_controls_correlation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let coh = 50.0;
+        let mut f = BlockFader::new(Fading::rayleigh(coh), &mut rng);
+        // Estimate lag-1 autocorrelation of the real part.
+        let n = 200_000;
+        let mut prev = f.coeff().re;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for _ in 0..n {
+            let cur = f.advance(&mut rng).re;
+            num += prev * cur;
+            den += prev * prev;
+            prev = cur;
+        }
+        let rho_hat = num / den;
+        let rho_expect = (-1.0f64 / coh).exp();
+        assert!((rho_hat - rho_expect).abs() < 0.01, "{rho_hat} vs {rho_expect}");
+    }
+
+    #[test]
+    fn zero_coherence_is_iid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let f = BlockFader::new(Fading::rayleigh(0.0), &mut rng);
+        assert_eq!(f.rho(), 0.0);
+    }
+
+    #[test]
+    fn rayleigh_envelope_distribution() {
+        // P(|h| < r) = 1 − exp(−r²) for unit-power Rayleigh; check median.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut f = BlockFader::new(Fading::rayleigh(0.0), &mut rng);
+        let n = 100_000;
+        let median_r = (2.0f64.ln()).sqrt();
+        let mut below = 0;
+        for _ in 0..n {
+            if f.advance(&mut rng).abs() < median_r {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median fraction {frac}");
+    }
+}

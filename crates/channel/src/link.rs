@@ -1,0 +1,149 @@
+//! A single directional RF hop: path loss × block fading.
+//!
+//! `fdb-core` composes hops into backscatter paths (source → tag, tag →
+//! reader, …). Each hop exposes its current complex coefficient so that the
+//! sample-synchronous link loop can combine multiple propagation paths
+//! coherently — the defining interference structure of backscatter.
+
+use crate::fading::{BlockFader, Fading};
+use crate::pathloss::PathLoss;
+use fdb_dsp::Iq;
+use rand::Rng;
+
+/// One directional propagation path with large- and small-scale effects.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    amplitude: f64,
+    fader: BlockFader,
+    /// Static phase rotation of the path (electrical length), applied on
+    /// top of fading. Backscatter self-interference cancellation quality
+    /// depends on such phase offsets, so they are first-class here.
+    phase: f64,
+}
+
+impl Hop {
+    /// Creates a hop over `distance_m` with the given path loss and fading
+    /// models. The initial fading state is drawn from `rng`.
+    pub fn new<R: Rng + ?Sized>(
+        pathloss: PathLoss,
+        distance_m: f64,
+        fading: Fading,
+        rng: &mut R,
+    ) -> Self {
+        Hop {
+            amplitude: pathloss.amplitude_gain(distance_m),
+            fader: BlockFader::new(fading, rng),
+            phase: 0.0,
+        }
+    }
+
+    /// An ideal unity hop (tests, loopback).
+    pub fn ideal<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Hop::new(
+            PathLoss::LogDistance {
+                freq_hz: 539e6,
+                exponent: 2.0,
+                ref_dist_m: 1.0,
+            },
+            0.0,
+            Fading::Static,
+            rng,
+        )
+        .with_amplitude(1.0)
+    }
+
+    /// Overrides the amplitude gain directly (calibration, tests).
+    pub fn with_amplitude(mut self, amplitude: f64) -> Self {
+        self.amplitude = amplitude.max(0.0);
+        self
+    }
+
+    /// Adds a static phase rotation (radians).
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Current complex channel coefficient.
+    pub fn coeff(&self) -> Iq {
+        self.fader.coeff() * Iq::phasor(self.phase) * self.amplitude
+    }
+
+    /// Amplitude gain from path loss alone.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Power gain including the current fading state.
+    pub fn power_gain(&self) -> f64 {
+        self.coeff().norm_sq()
+    }
+
+    /// Advances the fading process by one block.
+    pub fn advance_block<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Iq {
+        self.fader.advance(rng);
+        self.coeff()
+    }
+
+    /// Applies the hop to one sample.
+    #[inline]
+    pub fn apply(&self, x: Iq) -> Iq {
+        x * self.coeff()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ideal_hop_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(30);
+        let h = Hop::ideal(&mut rng);
+        let x = Iq::new(1.0, 2.0);
+        assert_eq!(h.apply(x), x);
+    }
+
+    #[test]
+    fn static_hop_power_matches_pathloss() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let pl = PathLoss::indoor();
+        let h = Hop::new(pl, 5.0, Fading::Static, &mut rng);
+        assert!((h.power_gain() - pl.gain(5.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phase_rotates_coefficient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let h = Hop::ideal(&mut rng).with_phase(std::f64::consts::FRAC_PI_2);
+        let y = h.apply(Iq::ONE);
+        assert!(y.re.abs() < 1e-12);
+        assert!((y.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rayleigh_hop_mean_power_matches_pathloss() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let pl = PathLoss::indoor();
+        let mut h = Hop::new(pl, 3.0, Fading::rayleigh(0.0), &mut rng);
+        let n = 100_000;
+        let mut p = 0.0;
+        for _ in 0..n {
+            h.advance_block(&mut rng);
+            p += h.power_gain();
+        }
+        p /= n as f64;
+        assert!((p / pl.gain(3.0) - 1.0).abs() < 0.03, "ratio {}", p / pl.gain(3.0));
+    }
+
+    #[test]
+    fn coeff_constant_within_block() {
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let h = Hop::new(PathLoss::tv_band(), 100.0, Fading::rayleigh(5.0), &mut rng);
+        let c1 = h.coeff();
+        let c2 = h.coeff();
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Large-scale path loss models.
+//!
+//! Three models cover the scenarios the evaluation sweeps:
+//!
+//! * **Free space** — the TV-tower-to-device link (kilometres, line of
+//!   sight).
+//! * **Log-distance** — the device-to-device backscatter links (metres,
+//!   indoor clutter, exponent 2–4).
+//! * **Two-ray ground reflection** — the long-range outdoor regime where
+//!   the d⁴ rolloff matters.
+//!
+//! All models return **power gain** (≤ 1, linear); amplitude scaling is
+//! `gain.sqrt()`.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in m/s.
+pub const C: f64 = 299_792_458.0;
+
+/// A large-scale path loss model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathLoss {
+    /// Friis free-space: `G = (λ / 4πd)²`.
+    FreeSpace {
+        /// Carrier frequency in Hz.
+        freq_hz: f64,
+    },
+    /// Log-distance: free-space up to `ref_dist_m`, then
+    /// `G(d) = G(ref) · (ref/d)^exponent`.
+    LogDistance {
+        /// Carrier frequency in Hz (sets the reference gain).
+        freq_hz: f64,
+        /// Path loss exponent (2 = free space, 2.5–4 = indoor/cluttered).
+        exponent: f64,
+        /// Reference distance in metres (typically 1 m).
+        ref_dist_m: f64,
+    },
+    /// Two-ray ground reflection: free-space below the crossover distance
+    /// `d_c = 4π h_t h_r / λ`, then `G = (h_t·h_r)² / d⁴`.
+    TwoRay {
+        /// Carrier frequency in Hz.
+        freq_hz: f64,
+        /// Transmit antenna height in metres.
+        h_tx_m: f64,
+        /// Receive antenna height in metres.
+        h_rx_m: f64,
+    },
+}
+
+impl PathLoss {
+    /// UHF TV broadcast default (539 MHz, ATSC channel 26) — the ambient
+    /// source regime of the original prototype measurements.
+    pub fn tv_band() -> Self {
+        PathLoss::FreeSpace { freq_hz: 539e6 }
+    }
+
+    /// Indoor device-to-device default at the TV band.
+    pub fn indoor() -> Self {
+        PathLoss::LogDistance {
+            freq_hz: 539e6,
+            exponent: 2.7,
+            ref_dist_m: 1.0,
+        }
+    }
+
+    /// Power gain (linear, ≤ 1 for `d` ≥ the model's near-field floor).
+    ///
+    /// Distances below 0.1 m are clamped: the far-field models diverge at
+    /// d → 0 and nothing in the evaluation operates closer than that.
+    pub fn gain(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(0.1);
+        match *self {
+            PathLoss::FreeSpace { freq_hz } => friis(freq_hz, d),
+            PathLoss::LogDistance {
+                freq_hz,
+                exponent,
+                ref_dist_m,
+            } => {
+                let d0 = ref_dist_m.max(0.1);
+                if d <= d0 {
+                    friis(freq_hz, d)
+                } else {
+                    friis(freq_hz, d0) * (d0 / d).powf(exponent)
+                }
+            }
+            PathLoss::TwoRay {
+                freq_hz,
+                h_tx_m,
+                h_rx_m,
+            } => {
+                let lambda = C / freq_hz;
+                let crossover = 4.0 * std::f64::consts::PI * h_tx_m * h_rx_m / lambda;
+                if d < crossover {
+                    friis(freq_hz, d)
+                } else {
+                    // Continuity-preserving two-ray: matches Friis at the
+                    // crossover, rolls off as d⁻⁴ beyond it.
+                    friis(freq_hz, crossover) * (crossover / d).powi(4)
+                }
+            }
+        }
+    }
+
+    /// Path loss in dB (positive number).
+    pub fn loss_db(&self, distance_m: f64) -> f64 {
+        -fdb_dsp::sample::lin_to_db(self.gain(distance_m))
+    }
+
+    /// Amplitude gain (`√power-gain`).
+    pub fn amplitude_gain(&self, distance_m: f64) -> f64 {
+        self.gain(distance_m).sqrt()
+    }
+}
+
+fn friis(freq_hz: f64, d: f64) -> f64 {
+    let lambda = C / freq_hz.max(1.0);
+    let x = lambda / (4.0 * std::f64::consts::PI * d);
+    (x * x).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_known_value() {
+        // FSPL at 1 GHz, 1 km ≈ 92.45 dB.
+        let m = PathLoss::FreeSpace { freq_hz: 1e9 };
+        assert!((m.loss_db(1000.0) - 92.45).abs() < 0.1);
+    }
+
+    #[test]
+    fn free_space_inverse_square() {
+        let m = PathLoss::tv_band();
+        let g1 = m.gain(100.0);
+        let g2 = m.gain(200.0);
+        assert!((g1 / g2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_exponent() {
+        let m = PathLoss::LogDistance {
+            freq_hz: 539e6,
+            exponent: 3.0,
+            ref_dist_m: 1.0,
+        };
+        let g1 = m.gain(2.0);
+        let g2 = m.gain(4.0);
+        assert!((g1 / g2 - 8.0).abs() < 1e-9); // 2³
+    }
+
+    #[test]
+    fn log_distance_continuous_at_reference() {
+        let m = PathLoss::indoor();
+        let inside = m.gain(0.999);
+        let outside = m.gain(1.001);
+        assert!((inside / outside - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn two_ray_crossover_continuity_and_rolloff() {
+        let m = PathLoss::TwoRay {
+            freq_hz: 539e6,
+            h_tx_m: 10.0,
+            h_rx_m: 1.0,
+        };
+        let lambda = C / 539e6;
+        let dc = 4.0 * std::f64::consts::PI * 10.0 * 1.0 / lambda;
+        let below = m.gain(dc * 0.99);
+        let above = m.gain(dc * 1.01);
+        assert!((below / above - 1.0).abs() < 0.1);
+        // d⁻⁴ beyond crossover.
+        let g1 = m.gain(dc * 2.0);
+        let g2 = m.gain(dc * 4.0);
+        assert!((g1 / g2 - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gain_never_exceeds_unity() {
+        for model in [
+            PathLoss::tv_band(),
+            PathLoss::indoor(),
+            PathLoss::TwoRay {
+                freq_hz: 539e6,
+                h_tx_m: 5.0,
+                h_rx_m: 1.0,
+            },
+        ] {
+            for &d in &[0.0, 0.05, 0.5, 1.0, 10.0, 1e4] {
+                let g = model.gain(d);
+                assert!(g <= 1.0 && g > 0.0, "{model:?} at {d}: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn amplitude_is_sqrt_of_power() {
+        let m = PathLoss::indoor();
+        let g = m.gain(7.0);
+        assert!((m.amplitude_gain(7.0) - g.sqrt()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests over channel-model invariants.
+
+use fdb_channel::budget::{BackscatterBudget, DirectBudget};
+use fdb_channel::fading::{BlockFader, Fading};
+use fdb_channel::pathloss::PathLoss;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn any_pathloss() -> impl Strategy<Value = PathLoss> {
+    prop_oneof![
+        (1e8f64..6e9).prop_map(|f| PathLoss::FreeSpace { freq_hz: f }),
+        ((1e8f64..6e9), (2.0f64..4.5), (0.5f64..2.0)).prop_map(|(f, e, r)| {
+            PathLoss::LogDistance {
+                freq_hz: f,
+                exponent: e,
+                ref_dist_m: r,
+            }
+        }),
+        ((1e8f64..6e9), (1.0f64..30.0), (0.5f64..3.0)).prop_map(|(f, ht, hr)| {
+            PathLoss::TwoRay {
+                freq_hz: f,
+                h_tx_m: ht,
+                h_rx_m: hr,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Path gain is monotone non-increasing in distance and within (0, 1].
+    #[test]
+    fn pathloss_monotone_and_bounded(
+        model in any_pathloss(),
+        d1 in 0.2f64..5_000.0,
+        factor in 1.01f64..100.0,
+    ) {
+        let g1 = model.gain(d1);
+        let g2 = model.gain(d1 * factor);
+        prop_assert!(g1 > 0.0 && g1 <= 1.0, "{model:?} at {d1}: {g1}");
+        prop_assert!(g2 <= g1 * 1.0000001, "{model:?}: gain grew with distance");
+    }
+
+    /// loss_db and gain are consistent inverses.
+    #[test]
+    fn loss_db_consistency(model in any_pathloss(), d in 0.5f64..2_000.0) {
+        let g = model.gain(d);
+        let l = model.loss_db(d);
+        prop_assert!((10f64.powf(-l / 10.0) - g).abs() / g < 1e-9);
+    }
+
+    /// Received power never exceeds transmitted power, and the backscatter
+    /// budget never exceeds the incident power at the tag.
+    #[test]
+    fn budgets_never_create_energy(
+        model in any_pathloss(),
+        tx_dbm in -10.0f64..63.0,
+        d1 in 0.5f64..2_000.0,
+        d2 in 0.2f64..10.0,
+        rho in 0.01f64..1.0,
+    ) {
+        let direct = DirectBudget { tx_dbm, pathloss: model, distance_m: d1 };
+        prop_assert!(direct.rx_dbm() <= tx_dbm + 1e-9);
+        let bs = BackscatterBudget {
+            src_dbm: tx_dbm,
+            src_tag: (model, d1),
+            tag_rx: (model, d2),
+            rho,
+        };
+        prop_assert!(bs.rx_dbm() <= bs.incident_dbm() + 1e-9);
+        prop_assert!(bs.harvest_input_watts() <= fdb_dsp::sample::dbm_to_watts(bs.incident_dbm()) + 1e-18);
+    }
+
+    /// Block fading coefficients stay finite and (for Rician) K controls
+    /// the LOS fraction ordering.
+    #[test]
+    fn fading_finite_and_k_ordering(seed in any::<u64>(), k_lo in 0.1f64..2.0, k_hi in 5.0f64..50.0) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut lo = BlockFader::new(Fading::Rician { k_factor: k_lo, coherence_blocks: 1.0 }, &mut rng);
+        let mut hi = BlockFader::new(Fading::Rician { k_factor: k_hi, coherence_blocks: 1.0 }, &mut rng);
+        let n = 2000;
+        let (mut var_lo, mut var_hi) = (0.0, 0.0);
+        for _ in 0..n {
+            let a = lo.advance(&mut rng);
+            let b = hi.advance(&mut rng);
+            prop_assert!(a.is_finite() && b.is_finite());
+            var_lo += (a - fdb_dsp::Iq::real((k_lo / (k_lo + 1.0)).sqrt())).norm_sq();
+            var_hi += (b - fdb_dsp::Iq::real((k_hi / (k_hi + 1.0)).sqrt())).norm_sq();
+        }
+        // Higher K ⇒ less scatter variance.
+        prop_assert!(var_hi < var_lo, "var_hi {var_hi} vs var_lo {var_lo}");
+    }
+}

@@ -1,0 +1,214 @@
+//! PHY configuration.
+//!
+//! One validated struct carries every knob of the full-duplex PHY. The
+//! defaults reproduce the operating point of the original prototype class:
+//! ~1 kbps forward data (Manchester at 2 kchips/s), feedback at
+//! `data_rate / m`, 16-byte CRC blocks.
+
+use crate::error::PhyError;
+use fdb_dsp::line_code::LineCode;
+use serde::{Deserialize, Serialize};
+
+/// Self-interference cancellation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SicMode {
+    /// No cancellation — the ablation baseline (experiment E3).
+    Off,
+    /// Divide the detected envelope by the device's own antenna pass
+    /// fraction, which the device knows exactly.
+    KnownState,
+}
+
+/// Full-duplex PHY parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhyConfig {
+    /// Simulation sample rate in Hz.
+    pub sample_rate_hz: f64,
+    /// Samples per chip (≥ 4 for usable sync).
+    pub samples_per_chip: usize,
+    /// Forward-data line code.
+    pub line_code: LineCode,
+    /// Data bits per feedback bit (`m`); must be even and ≥ 2 so the
+    /// Manchester-coded feedback halves align with data-bit boundaries.
+    pub feedback_ratio: usize,
+    /// Preamble bit pattern (line-coded like data; chosen for a sharp
+    /// autocorrelation peak).
+    pub preamble: Vec<bool>,
+    /// Payload block size in bytes between CRC-8 trailers.
+    pub block_len_bytes: usize,
+    /// Whether payload bits are PRBS-scrambled (whitens pathological data).
+    pub scramble: bool,
+    /// Per-block forward error correction: Hamming(7,4) + depth-7 block
+    /// interleaving over each block's bytes (1.75× airtime for single-error
+    /// correction per codeword). The FEC-vs-ARQ tradeoff is ablation A4.
+    #[serde(default)]
+    pub payload_fec: bool,
+    /// Self-interference cancellation mode.
+    pub sic: SicMode,
+    /// Guard interval (in data bits) between frame start and the feedback
+    /// epoch, covering the receiver's lock latency.
+    pub feedback_guard_bits: usize,
+    /// Preamble correlation threshold for acquisition, `(0, 1)`.
+    pub sync_threshold: f64,
+}
+
+impl PhyConfig {
+    /// The default operating point: 20 kHz sample rate, 10 samples/chip
+    /// (2 kchips/s → 1 kbps Manchester data), m = 32, 16-byte blocks.
+    pub fn default_fd() -> Self {
+        PhyConfig {
+            sample_rate_hz: 20_000.0,
+            samples_per_chip: 10,
+            line_code: LineCode::Manchester,
+            feedback_ratio: 32,
+            preamble: vec![
+                true, false, true, false, true, true, false, false, true, false, false, true,
+                true, true, false, false,
+            ],
+            block_len_bytes: 16,
+            scramble: true,
+            payload_fec: false,
+            sic: SicMode::KnownState,
+            feedback_guard_bits: 4,
+            sync_threshold: 0.62,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), PhyError> {
+        if !(self.sample_rate_hz > 0.0) {
+            return Err(PhyError::InvalidConfig {
+                field: "sample_rate_hz",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.samples_per_chip < 4 {
+            return Err(PhyError::InvalidConfig {
+                field: "samples_per_chip",
+                reason: "need ≥ 4 samples per chip for synchronisation".into(),
+            });
+        }
+        if self.feedback_ratio < 2 || self.feedback_ratio % 2 != 0 {
+            return Err(PhyError::InvalidConfig {
+                field: "feedback_ratio",
+                reason: "must be even and ≥ 2".into(),
+            });
+        }
+        if self.preamble.len() < 8 {
+            return Err(PhyError::InvalidConfig {
+                field: "preamble",
+                reason: "need ≥ 8 preamble bits".into(),
+            });
+        }
+        if self.block_len_bytes == 0 || self.block_len_bytes > 255 {
+            return Err(PhyError::InvalidConfig {
+                field: "block_len_bytes",
+                reason: "must be in 1..=255".into(),
+            });
+        }
+        if !(self.sync_threshold > 0.0 && self.sync_threshold < 1.0) {
+            return Err(PhyError::InvalidConfig {
+                field: "sync_threshold",
+                reason: "must be in (0, 1)".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Chips per data bit for the configured line code.
+    pub fn chips_per_bit(&self) -> usize {
+        self.line_code.chips_per_bit()
+    }
+
+    /// Samples per data bit.
+    pub fn samples_per_bit(&self) -> usize {
+        self.samples_per_chip * self.chips_per_bit()
+    }
+
+    /// Samples per feedback bit (`m` data bits).
+    pub fn samples_per_feedback_bit(&self) -> usize {
+        self.samples_per_bit() * self.feedback_ratio
+    }
+
+    /// Data bit rate in bits/s.
+    pub fn data_rate_bps(&self) -> f64 {
+        self.sample_rate_hz / self.samples_per_bit() as f64
+    }
+
+    /// Feedback bit rate in bits/s.
+    pub fn feedback_rate_bps(&self) -> f64 {
+        self.data_rate_bps() / self.feedback_ratio as f64
+    }
+
+    /// Chip duration in seconds.
+    pub fn chip_duration_s(&self) -> f64 {
+        self.samples_per_chip as f64 / self.sample_rate_hz
+    }
+
+    /// Sample period in seconds.
+    pub fn sample_period_s(&self) -> f64 {
+        1.0 / self.sample_rate_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(PhyConfig::default_fd().validate().is_ok());
+    }
+
+    #[test]
+    fn derived_rates() {
+        let c = PhyConfig::default_fd();
+        // 20 kHz / (10 samples × 2 chips) = 1 kbps.
+        assert!((c.data_rate_bps() - 1000.0).abs() < 1e-9);
+        assert!((c.feedback_rate_bps() - 31.25).abs() < 1e-9);
+        assert_eq!(c.samples_per_bit(), 20);
+        assert_eq!(c.samples_per_feedback_bit(), 640);
+        assert!((c.chip_duration_s() - 0.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_odd_feedback_ratio() {
+        let mut c = PhyConfig::default_fd();
+        c.feedback_ratio = 7;
+        assert!(matches!(
+            c.validate(),
+            Err(PhyError::InvalidConfig { field: "feedback_ratio", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_tiny_sps() {
+        let mut c = PhyConfig::default_fd();
+        c.samples_per_chip = 2;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_block_len() {
+        let mut c = PhyConfig::default_fd();
+        c.block_len_bytes = 0;
+        assert!(c.validate().is_err());
+        c.block_len_bytes = 256;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_short_preamble() {
+        let mut c = PhyConfig::default_fd();
+        c.preamble = vec![true, false];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn nrz_changes_chip_geometry() {
+        let mut c = PhyConfig::default_fd();
+        c.line_code = LineCode::Nrz;
+        assert_eq!(c.samples_per_bit(), 10);
+        assert!((c.data_rate_bps() - 2000.0).abs() < 1e-9);
+    }
+}

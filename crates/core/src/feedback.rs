@@ -1,0 +1,372 @@
+//! The in-band feedback channel.
+//!
+//! While a device receives a frame, it simultaneously transmits a low-rate
+//! status stream by toggling its own antenna once per feedback half-bit.
+//! Design choices, each load-bearing:
+//!
+//! * **Manchester at the feedback level** — each feedback bit is sent as
+//!   `reflect/absorb` (1) or `absorb/reflect` (0) over two half-bits. The
+//!   decoder decides on the *difference* of the two half-bit integrals, so
+//!   slow drift of the ambient level cancels exactly.
+//! * **Half-bits span whole data bits** (`m/2` of them) — so the
+//!   DC-balanced data waveform contributes identically to both halves.
+//! * **Known pilots** — the stream starts with the fixed pattern
+//!   `1,0,1,1,0,0`. The sign of the envelope change when the far device
+//!   reflects depends on channel phases (constructive or destructive
+//!   addition), so the decoder learns the polarity from the first pilot
+//!   and verifies it against the remaining five — plus a margin-
+//!   consistency check — so that a *silent* far end (dead link,
+//!   collision) is reliably distinguished from a live feedback channel.
+//!   That distinction is precisely what the collision-detection MAC
+//!   trusts.
+//!
+//! The encoder runs at the data *receiver*; the decoder at the data
+//! *transmitter* (which corrects its own self-interference first — see
+//! [`crate::sic`]).
+
+use fdb_dsp::moving_average::IntegrateDump;
+use std::collections::VecDeque;
+
+/// The pilot pattern every feedback stream starts with. Six bits: the
+/// first teaches the decoder the channel polarity, the other five verify
+/// it (false-verification probability 2⁻⁵ on pure noise before the margin
+/// test cuts it further).
+pub const PILOTS: [bool; 6] = [true, false, true, true, false, false];
+
+/// Margin-consistency requirement: on a live channel all pilot margins
+/// cluster near the swing, while on noise they are heavy-tailed random
+/// magnitudes; requiring `min ≥ MARGIN_RATIO·max` rejects most of the
+/// noise cases that pass the bit check by luck.
+const MARGIN_RATIO: f64 = 0.2;
+
+/// Feedback bit stream encoder → antenna states.
+#[derive(Debug, Clone)]
+pub struct FeedbackEncoder {
+    /// Samples per feedback half-bit.
+    half_samples: usize,
+    sample_ctr: usize,
+    current_bit: bool,
+    in_second_half: bool,
+    queue: VecDeque<bool>,
+    /// Sent when the queue is empty (sticky last status).
+    idle_bit: bool,
+    started: bool,
+    bits_sent: usize,
+}
+
+impl FeedbackEncoder {
+    /// Creates an encoder with the given half-bit length in samples. The
+    /// protocol pilots ([`PILOTS`]) are pre-queued.
+    pub fn new(half_samples: usize) -> Self {
+        let mut queue = VecDeque::new();
+        queue.extend(PILOTS);
+        FeedbackEncoder {
+            half_samples: half_samples.max(1),
+            sample_ctr: 0,
+            current_bit: false,
+            in_second_half: false,
+            queue,
+            idle_bit: false,
+            started: false,
+            bits_sent: 0,
+        }
+    }
+
+    /// Queues a status bit for transmission.
+    pub fn push_bit(&mut self, bit: bool) {
+        self.queue.push_back(bit);
+    }
+
+    /// Sets the bit repeated when the queue runs dry.
+    pub fn set_idle_bit(&mut self, bit: bool) {
+        self.idle_bit = bit;
+    }
+
+    /// Number of complete feedback bits emitted so far.
+    pub fn bits_sent(&self) -> usize {
+        self.bits_sent
+    }
+
+    /// `true` when the *next* `tick` starts a new feedback bit — the moment
+    /// for the MAC to push a fresh status bit.
+    pub fn at_bit_boundary(&self) -> bool {
+        !self.started || (self.sample_ctr == 0 && !self.in_second_half)
+    }
+
+    /// Antenna state for this sample (`true` = reflect), then advance.
+    pub fn tick(&mut self) -> bool {
+        if !self.started || (self.sample_ctr == 0 && !self.in_second_half) {
+            // Starting a new feedback bit.
+            self.current_bit = self.queue.pop_front().unwrap_or(self.idle_bit);
+            self.started = true;
+        }
+        let state = if self.in_second_half {
+            !self.current_bit
+        } else {
+            self.current_bit
+        };
+        self.sample_ctr += 1;
+        if self.sample_ctr == self.half_samples {
+            self.sample_ctr = 0;
+            if self.in_second_half {
+                self.in_second_half = false;
+                self.bits_sent += 1;
+            } else {
+                self.in_second_half = true;
+            }
+        }
+        state
+    }
+}
+
+/// A decoded feedback bit with its soft metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackDecision {
+    /// The decoded bit (pilots are consumed internally and not reported).
+    pub bit: bool,
+    /// `|E_first − E_second|` — decision confidence in envelope units.
+    pub margin: f64,
+}
+
+/// Integrate-and-dump feedback decoder with pilot-learned polarity.
+pub struct FeedbackDecoder {
+    integrator: IntegrateDump,
+    first_half: Option<f64>,
+    /// `true` ⇒ reflecting *raises* the decoder's envelope.
+    polarity_positive: bool,
+    /// Pilots consumed so far (0..=PILOTS.len()).
+    pilot_idx: usize,
+    pilot_margins: Vec<f64>,
+    pilot_bits_ok: bool,
+    pilot_ok: bool,
+    decided: usize,
+}
+
+impl FeedbackDecoder {
+    /// Creates a decoder with the given half-bit length in samples.
+    pub fn new(half_samples: usize) -> Self {
+        FeedbackDecoder {
+            integrator: IntegrateDump::new(half_samples.max(1)),
+            first_half: None,
+            polarity_positive: true,
+            pilot_idx: 0,
+            pilot_margins: Vec::with_capacity(PILOTS.len()),
+            pilot_bits_ok: true,
+            pilot_ok: false,
+            decided: 0,
+        }
+    }
+
+    /// `true` once the pilot pattern decoded correctly with consistent
+    /// margins — the feedback channel is genuinely alive.
+    pub fn pilots_verified(&self) -> bool {
+        self.pilot_ok
+    }
+
+    /// Number of *data* (post-pilot) bits decided.
+    pub fn bits_decided(&self) -> usize {
+        self.decided
+    }
+
+    /// Feeds one (self-interference-corrected) envelope sample. Emits a
+    /// decision when a data feedback bit completes.
+    pub fn push(&mut self, envelope: f64) -> Option<FeedbackDecision> {
+        let half = self.integrator.process(envelope)?;
+        match self.first_half.take() {
+            None => {
+                self.first_half = Some(half);
+                None
+            }
+            Some(e1) => {
+                let diff = e1 - half;
+                if self.pilot_idx < PILOTS.len() {
+                    if self.pilot_idx == 0 {
+                        // First pilot is 1 ⇒ first half reflecting. If the
+                        // difference is negative, reflecting lowers our
+                        // envelope: negative polarity.
+                        self.polarity_positive = diff >= 0.0;
+                    } else {
+                        let bit =
+                            if self.polarity_positive { diff >= 0.0 } else { diff < 0.0 };
+                        if bit != PILOTS[self.pilot_idx] {
+                            self.pilot_bits_ok = false;
+                        }
+                    }
+                    self.pilot_margins.push(diff.abs());
+                    self.pilot_idx += 1;
+                    if self.pilot_idx == PILOTS.len() {
+                        let max = self
+                            .pilot_margins
+                            .iter()
+                            .cloned()
+                            .fold(0.0f64, f64::max);
+                        let min = self
+                            .pilot_margins
+                            .iter()
+                            .cloned()
+                            .fold(f64::MAX, f64::min);
+                        self.pilot_ok =
+                            self.pilot_bits_ok && max > 0.0 && min >= MARGIN_RATIO * max;
+                    }
+                    None
+                } else {
+                    let bit = if self.polarity_positive { diff >= 0.0 } else { diff < 0.0 };
+                    self.decided += 1;
+                    Some(FeedbackDecision {
+                        bit,
+                        margin: diff.abs(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Discards partial integration (resynchronisation).
+    pub fn reset(&mut self) {
+        self.integrator.reset();
+        self.first_half = None;
+        self.pilot_idx = 0;
+        self.pilot_margins.clear();
+        self.pilot_bits_ok = true;
+        self.pilot_ok = false;
+        self.decided = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs encoder → toy channel → decoder and returns decoded data bits.
+    ///
+    /// `gain` maps antenna state to envelope: reflect adds `swing` (or
+    /// subtracts, for negative polarity channels) on top of `base`.
+    fn loopback(bits: &[bool], half: usize, swing: f64, base: f64) -> Vec<bool> {
+        let mut enc = FeedbackEncoder::new(half);
+        for &b in bits {
+            enc.push_bit(b);
+        }
+        let mut dec = FeedbackDecoder::new(half);
+        let total = (bits.len() + PILOTS.len()) * 2 * half;
+        let mut out = Vec::new();
+        for _ in 0..total {
+            let state = enc.tick();
+            let env = base + if state { swing } else { 0.0 };
+            if let Some(d) = dec.push(env) {
+                out.push(d.bit);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clean_loopback_positive_polarity() {
+        let bits = vec![true, false, false, true, true, false];
+        assert_eq!(loopback(&bits, 40, 0.1, 1.0), bits);
+    }
+
+    #[test]
+    fn clean_loopback_negative_polarity() {
+        // Reflecting *lowers* the envelope (destructive channel phase):
+        // the pilots must teach the decoder to flip its decisions.
+        let bits = vec![true, false, true, true, false];
+        assert_eq!(loopback(&bits, 40, -0.1, 1.0), bits);
+    }
+
+    #[test]
+    fn pilots_verified_on_clean_channel() {
+        let mut enc = FeedbackEncoder::new(16);
+        let mut dec = FeedbackDecoder::new(16);
+        for _ in 0..(PILOTS.len() * 2 * 16) {
+            let env = 1.0 + if enc.tick() { 0.2 } else { 0.0 };
+            dec.push(env);
+        }
+        assert!(dec.pilots_verified());
+    }
+
+    #[test]
+    fn manchester_cancels_linear_drift() {
+        // A strong linear drift in the ambient level must not flip bits:
+        // drift contributes equally (to first order) to both halves.
+        let bits = vec![true, false, true, false];
+        let half = 50;
+        let mut enc = FeedbackEncoder::new(half);
+        for &b in &bits {
+            enc.push_bit(b);
+        }
+        let mut dec = FeedbackDecoder::new(half);
+        let total = (bits.len() + PILOTS.len()) * 2 * half;
+        let mut out = Vec::new();
+        for t in 0..total {
+            let drift = 0.5 * t as f64 / total as f64; // +50 % over the run
+            let env = 1.0 + drift + if enc.tick() { 0.08 } else { 0.0 };
+            if let Some(d) = dec.push(env) {
+                out.push(d.bit);
+            }
+        }
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn idle_bit_repeats_when_queue_dry() {
+        let half = 8;
+        let mut enc = FeedbackEncoder::new(half);
+        enc.set_idle_bit(true);
+        // Drain the pilots plus 3 idle bits.
+        let mut states = Vec::new();
+        for _ in 0..((PILOTS.len() + 3) * 2 * half) {
+            states.push(enc.tick());
+        }
+        // Bits after the pilots are idle `true` = reflect-then-absorb.
+        for bit_idx in PILOTS.len()..PILOTS.len() + 3 {
+            let start = bit_idx * 2 * half;
+            assert!(states[start], "bit {bit_idx} first half");
+            assert!(!states[start + half], "bit {bit_idx} second half");
+        }
+    }
+
+    #[test]
+    fn encoder_bit_boundary_flag() {
+        let mut enc = FeedbackEncoder::new(4);
+        assert!(enc.at_bit_boundary());
+        enc.tick();
+        assert!(!enc.at_bit_boundary());
+        for _ in 0..7 {
+            enc.tick();
+        }
+        assert!(enc.at_bit_boundary());
+        assert_eq!(enc.bits_sent(), 1);
+    }
+
+    #[test]
+    fn margin_scales_with_swing() {
+        let half = 30;
+        let run = |swing: f64| -> f64 {
+            let mut enc = FeedbackEncoder::new(half);
+            enc.push_bit(true);
+            let mut dec = FeedbackDecoder::new(half);
+            let mut margin = 0.0;
+            for _ in 0..((PILOTS.len() + 1) * 2 * half) {
+                let env = 1.0 + if enc.tick() { swing } else { 0.0 };
+                if let Some(d) = dec.push(env) {
+                    margin = d.margin;
+                }
+            }
+            margin
+        };
+        let m1 = run(0.05);
+        let m2 = run(0.10);
+        assert!((m2 / m1 - 2.0).abs() < 0.05, "margins {m1} {m2}");
+    }
+
+    #[test]
+    fn decoder_reset_restarts_pilot_phase() {
+        let mut dec = FeedbackDecoder::new(4);
+        for _ in 0..16 {
+            dec.push(1.0);
+        }
+        dec.reset();
+        assert!(!dec.pilots_verified());
+        assert_eq!(dec.bits_decided(), 0);
+    }
+}

@@ -1,0 +1,694 @@
+//! The sample-synchronous two-device full-duplex backscatter link.
+//!
+//! [`FdLink`] holds everything physical about one scenario — ambient
+//! source, the three propagation paths, and two tag devices — and runs one
+//! frame at a time through it:
+//!
+//! ```text
+//!                ambient source S
+//!               /               \
+//!          h_SA                 h_SB
+//!             /                    \
+//!   device A ───────── h_AB ───────── device B
+//!   (data TX,                        (data RX,
+//!    feedback RX)                     feedback TX)
+//! ```
+//!
+//! Per sample, the field at each device is assembled coherently from the
+//! direct path, the other device's first-order backscatter, and the
+//! second-order bounce (A→B→A / B→A→B); both devices then detect, harvest,
+//! and act. The source enters through its instantaneous power only — valid
+//! because every receiver is an envelope detector and all paths share one
+//! source (see `fdb_ambient::power`).
+//!
+//! The link is deliberately *not* a MAC: it runs exactly one frame, with an
+//! optional abort-on-NACK reflex, and reports everything a MAC needs
+//! (delivery, per-block status, feedback timeline, airtime, energy).
+
+use crate::config::PhyConfig;
+use crate::error::PhyError;
+use crate::feedback::{FeedbackDecoder, FeedbackEncoder};
+use crate::rx::{DataReceiver, RxResult, RxState};
+use crate::sic::SelfInterferenceCanceller;
+use crate::tx::DataTransmitter;
+use fdb_ambient::{Ambient, AmbientConfig};
+use fdb_channel::awgn::Awgn;
+use fdb_channel::fading::Fading;
+use fdb_channel::link::Hop;
+use fdb_channel::pathloss::PathLoss;
+use fdb_device::{TagConfig, TagHardware};
+use fdb_dsp::resample::Resampler;
+use fdb_dsp::sample::dbm_to_watts;
+use fdb_dsp::Iq;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Physical placement and propagation models for one link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkGeometry {
+    /// Ambient source transmit power in dBm.
+    pub source_power_dbm: f64,
+    /// Source → device A distance (metres).
+    pub source_dist_a_m: f64,
+    /// Source → device B distance (metres).
+    pub source_dist_b_m: f64,
+    /// Device A ↔ device B distance (metres).
+    pub device_dist_m: f64,
+    /// Path loss model for the source hops.
+    pub pathloss_source: PathLoss,
+    /// Path loss model for the device↔device hop.
+    pub pathloss_device: PathLoss,
+    /// Fading on the source hops.
+    pub fading_source: Fading,
+    /// Fading on the device hop (reciprocal).
+    pub fading_device: Fading,
+}
+
+impl LinkGeometry {
+    /// The default evaluation scenario: a 60 dBm TV tower 1 km away, two
+    /// devices 0.5 m apart, static channels. (The 2013-era prototypes
+    /// reached ~0.76 m at 1 kbps — the sub-metre regime is the honest one.)
+    pub fn default_indoor() -> Self {
+        LinkGeometry {
+            source_power_dbm: 60.0,
+            source_dist_a_m: 1000.0,
+            source_dist_b_m: 1000.0,
+            device_dist_m: 0.5,
+            pathloss_source: PathLoss::tv_band(),
+            pathloss_device: PathLoss::FreeSpace { freq_hz: 539e6 },
+            fading_source: Fading::Static,
+            fading_device: Fading::Static,
+        }
+    }
+
+    /// Swaps the two devices' positions (for reverse-direction frames).
+    pub fn swapped(mut self) -> Self {
+        std::mem::swap(&mut self.source_dist_a_m, &mut self.source_dist_b_m);
+        self
+    }
+}
+
+/// Everything needed to build an [`FdLink`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// PHY parameters.
+    pub phy: PhyConfig,
+    /// Physical scenario.
+    pub geometry: LinkGeometry,
+    /// Ambient excitation model.
+    pub ambient: AmbientConfig,
+    /// Device A (data transmitter / feedback receiver).
+    pub tag_a: TagConfig,
+    /// Device B (data receiver / feedback transmitter).
+    pub tag_b: TagConfig,
+    /// Field noise at each device's antenna.
+    pub field_noise_dbm: f64,
+    /// Advance block fading every this many data bits (0 = frozen).
+    pub fading_advance_bits: usize,
+    /// Seed for the ambient source's internal symbol stream.
+    pub ambient_seed: u64,
+}
+
+impl LinkConfig {
+    /// Default full evaluation configuration: wideband TV substitution
+    /// (k = 300 ≈ 6 MHz / 20 kHz), ρ_A = 0.4 data, ρ_B = 0.2 feedback.
+    pub fn default_fd() -> Self {
+        let phy = PhyConfig::default_fd();
+        let dt = phy.sample_period_s();
+        let mut tag_a = TagConfig::typical(dt);
+        tag_a.rho = 0.4;
+        let mut tag_b = TagConfig::typical(dt);
+        tag_b.rho = 0.2;
+        LinkConfig {
+            phy,
+            geometry: LinkGeometry::default_indoor(),
+            ambient: AmbientConfig::TvWideband { k_factor: 300.0 },
+            tag_a,
+            tag_b,
+            field_noise_dbm: -110.0,
+            fading_advance_bits: 0,
+            ambient_seed: 1,
+        }
+    }
+}
+
+/// How device B drives its feedback stream during a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedbackPolicy {
+    /// B never toggles — the half-duplex baseline.
+    Silent,
+    /// B sends this exact bit sequence after the pilots (PHY experiments).
+    Stream(Vec<bool>),
+    /// B streams its live block status: `true` = all blocks OK so far.
+    AckStatus,
+}
+
+/// Options for one frame run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Feedback policy at B.
+    pub feedback: FeedbackPolicy,
+    /// A aborts the frame when a verified feedback bit reports NACK.
+    pub abort_on_nack: bool,
+}
+
+impl RunOptions {
+    /// Full-duplex with live status and early abort.
+    pub fn fd_early_abort() -> Self {
+        RunOptions {
+            feedback: FeedbackPolicy::AckStatus,
+            abort_on_nack: true,
+        }
+    }
+
+    /// Full-duplex status stream, no abort (measurement runs).
+    pub fn fd_monitor() -> Self {
+        RunOptions {
+            feedback: FeedbackPolicy::AckStatus,
+            abort_on_nack: false,
+        }
+    }
+
+    /// Half-duplex baseline.
+    pub fn half_duplex() -> Self {
+        RunOptions {
+            feedback: FeedbackPolicy::Silent,
+            abort_on_nack: false,
+        }
+    }
+}
+
+/// Energy totals for one frame run (joules).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Energy consumed by A.
+    pub a_consumed_j: f64,
+    /// Energy consumed by B.
+    pub b_consumed_j: f64,
+    /// Energy harvested by A.
+    pub a_harvested_j: f64,
+    /// Energy harvested by B.
+    pub b_harvested_j: f64,
+}
+
+/// One decoded feedback bit with its arrival time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackEvent {
+    /// Simulation sample index at which the bit was decided.
+    pub sample: usize,
+    /// The decoded bit (`true` = ACK in [`FeedbackPolicy::AckStatus`]).
+    pub bit: bool,
+    /// Decision margin (envelope units).
+    pub margin: f64,
+}
+
+/// Result of one frame run.
+#[derive(Debug, Clone)]
+pub struct FrameOutcome {
+    /// B's reception result (None if B never locked or header failed).
+    pub delivered: Option<RxResult>,
+    /// Whether B achieved preamble lock.
+    pub b_locked: bool,
+    /// Feedback bits decoded at A, in order.
+    pub feedback: Vec<FeedbackEvent>,
+    /// Whether A's decoder verified the feedback pilots.
+    pub pilots_verified: bool,
+    /// Sample at which A aborted, if it did.
+    pub aborted_at_sample: Option<usize>,
+    /// Samples during which A actually held the channel (airtime).
+    pub airtime_samples: usize,
+    /// Total samples simulated (airtime + tail).
+    pub samples_run: usize,
+    /// Energy ledger.
+    pub energy: EnergyReport,
+    /// B's final NACK state.
+    pub nack: bool,
+    /// Payload bytes of the blocks B completed, even when the frame was
+    /// aborted or truncated (equals the delivered payload for finished
+    /// frames). Partial-retransmission MACs consume this.
+    pub partial_payload: Vec<u8>,
+    /// Verdicts of the blocks B completed (see `partial_payload`).
+    pub partial_blocks: Vec<crate::frame::BlockStatus>,
+    /// Net whole-sample timing corrections B's DLL applied (diagnostics).
+    pub rx_timing_corrections: i64,
+}
+
+impl FrameOutcome {
+    /// Count of correctly delivered blocks.
+    pub fn blocks_ok(&self) -> usize {
+        self.delivered
+            .as_ref()
+            .map(|r| r.blocks.iter().filter(|b| b.ok).count())
+            .unwrap_or(0)
+    }
+
+    /// Count of blocks in the frame as received.
+    pub fn blocks_total(&self) -> usize {
+        self.delivered.as_ref().map(|r| r.blocks.len()).unwrap_or(0)
+    }
+
+    /// `true` when every block arrived intact.
+    pub fn fully_delivered(&self) -> bool {
+        self.delivered
+            .as_ref()
+            .map(|r| !r.blocks.is_empty() && r.blocks.iter().all(|b| b.ok))
+            .unwrap_or(false)
+    }
+}
+
+/// The two-device full-duplex link simulator.
+pub struct FdLink {
+    cfg: LinkConfig,
+    source: Ambient,
+    hop_sa: Hop,
+    hop_sb: Hop,
+    hop_ab: Hop,
+    tag_a: TagHardware,
+    tag_b: TagHardware,
+    noise: Awgn,
+    source_amp: f64,
+}
+
+impl FdLink {
+    /// Builds a link; initial fading states are drawn from `rng`.
+    pub fn new<R: Rng + ?Sized>(cfg: LinkConfig, rng: &mut R) -> Result<Self, PhyError> {
+        cfg.phy.validate()?;
+        let g = &cfg.geometry;
+        let hop_sa = Hop::new(g.pathloss_source, g.source_dist_a_m, g.fading_source, rng);
+        let hop_sb = Hop::new(g.pathloss_source, g.source_dist_b_m, g.fading_source, rng);
+        let hop_ab = Hop::new(g.pathloss_device, g.device_dist_m, g.fading_device, rng);
+        let dt = cfg.phy.sample_period_s();
+        let tag_a = TagHardware::new(cfg.tag_a, dt);
+        let tag_b = TagHardware::new(cfg.tag_b, dt);
+        let noise = Awgn::from_dbm(cfg.field_noise_dbm);
+        let source = Ambient::from_config(cfg.ambient, cfg.ambient_seed);
+        let source_amp = dbm_to_watts(g.source_power_dbm).sqrt();
+        Ok(FdLink {
+            cfg,
+            source,
+            hop_sa,
+            hop_sb,
+            hop_ab,
+            tag_a,
+            tag_b,
+            noise,
+            source_amp,
+        })
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Device A's hardware (energy inspection).
+    pub fn tag_a(&self) -> &TagHardware {
+        &self.tag_a
+    }
+
+    /// Device B's hardware.
+    pub fn tag_b(&self) -> &TagHardware {
+        &self.tag_b
+    }
+
+    /// Runs one frame through the link.
+    pub fn run_frame<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+    ) -> Result<FrameOutcome, PhyError> {
+        let phy = self.cfg.phy.clone();
+        let dt = phy.sample_period_s();
+        let spb = phy.samples_per_bit();
+        let half_fb = (phy.feedback_ratio / 2) * spb;
+
+        let mut tx = DataTransmitter::new(&phy, payload)?;
+        let mut rx = DataReceiver::new(phy.clone());
+        let mut fb_enc = FeedbackEncoder::new(half_fb);
+        let mut fb_dec = FeedbackDecoder::new(half_fb);
+        if let FeedbackPolicy::Stream(bits) = &opts.feedback {
+            for &b in bits {
+                fb_enc.push_bit(b);
+            }
+        }
+        let mut sic_a = SelfInterferenceCanceller::new(
+            phy.sic,
+            self.cfg.tag_a.rho,
+            self.cfg.tag_a.rho_residual,
+        );
+        // B's data path blanks two samples after each of its own antenna
+        // toggles: the detector RC takes ~a sample to re-settle after the
+        // pass-fraction step, and the resulting glitch otherwise biases the
+        // receiver's timing DLL once per feedback half-bit (enough to walk
+        // the loop off over a long frame). Blanked samples are replaced by
+        // a hold of the last corrected value so chip sample counts stay
+        // exact.
+        let mut sic_b = SelfInterferenceCanceller::new(
+            phy.sic,
+            self.cfg.tag_b.rho,
+            self.cfg.tag_b.rho_residual,
+        )
+        .with_blanking(2);
+        let mut b_hold = 0.0f64;
+        // B consumes the envelope on its own clock.
+        let mut b_clock_rs = Resampler::from_ppm(self.tag_b.clock_mut().current_ppm());
+        let mut b_resampled: Vec<f64> = Vec::with_capacity(2);
+
+        let preamble_samples = phy.preamble.len() * spb;
+        let a_epoch = preamble_samples + phy.feedback_guard_bits * spb;
+        let mut b_epoch: Option<usize> = None;
+        let mut b_was_locked = false;
+
+        let total = tx.total_samples();
+        // With an active feedback channel, the run extends past the frame so
+        // B can deliver a *post-frame verdict*: the final status bit that
+        // covers the tail blocks (sent after the last in-frame feedback
+        // boundary). Without it, A could see ACK for a frame whose last
+        // blocks died after the final in-frame status bit.
+        let tail = if matches!(opts.feedback, FeedbackPolicy::Silent) {
+            8 * spb
+        } else {
+            2 * phy.samples_per_feedback_bit() + 8 * spb
+        };
+        let max_samples = total + tail;
+
+        let a_consumed0 = self.tag_a.consumed_j();
+        let b_consumed0 = self.tag_b.consumed_j();
+        let a_harvest0 = self.tag_a.harvester().harvested_total_j();
+        let b_harvest0 = self.tag_b.harvester().harvested_total_j();
+
+        let mut feedback_events = Vec::new();
+        let mut aborted_at = None;
+        let fade_every = self.cfg.fading_advance_bits * spb;
+
+        for t in 0..max_samples {
+            // --- fading evolution -------------------------------------
+            if fade_every > 0 && t % fade_every == 0 && t > 0 {
+                self.hop_sa.advance_block(rng);
+                self.hop_sb.advance_block(rng);
+                self.hop_ab.advance_block(rng);
+            }
+
+            // --- antenna schedules ------------------------------------
+            let a_state = tx.next_state().unwrap_or(false) && self.tag_a.is_alive();
+            self.tag_a.set_antenna(a_state);
+
+            let b_fb_active = !matches!(opts.feedback, FeedbackPolicy::Silent)
+                && b_epoch.map(|e| t >= e).unwrap_or(false)
+                && self.tag_b.is_alive();
+            let b_state = if b_fb_active {
+                if fb_enc.at_bit_boundary() {
+                    if let FeedbackPolicy::AckStatus = opts.feedback {
+                        // Live status: set as the idle bit rather than
+                        // queueing, so it is sampled at the moment each
+                        // status bit actually starts (queueing here would
+                        // pile up stale statuses behind the pilots and
+                        // delay every verdict by the pilot length).
+                        fb_enc.set_idle_bit(!rx.nack());
+                    }
+                }
+                fb_enc.tick()
+            } else {
+                false
+            };
+            self.tag_b.set_antenna(b_state);
+
+            // --- field assembly ---------------------------------------
+            let x = self.source_amp * self.source.next_power(rng).sqrt();
+            let h_sa = self.hop_sa.coeff();
+            let h_sb = self.hop_sb.coeff();
+            let h_ab = self.hop_ab.coeff();
+            let e_a0 = h_sa * x;
+            let e_b0 = h_sb * x;
+            let g_a = self.tag_a.reflected(Iq::ONE); // complex reflection coeff
+            let g_b = self.tag_b.reflected(Iq::ONE);
+            // First order + one second-order bounce each way.
+            let e_a = e_a0 + h_ab * g_b * (e_b0 + h_ab * g_a * e_a0);
+            let e_b = e_b0 + h_ab * g_a * (e_a0 + h_ab * g_b * e_b0);
+            let e_a = self.noise.corrupt(e_a, rng);
+            let e_b = self.noise.corrupt(e_b, rng);
+
+            // --- devices ----------------------------------------------
+            let env_a = self.tag_a.step_receive(e_a, dt, rng);
+            let env_b = self.tag_b.step_receive(e_b, dt, rng);
+            self.tag_a.charge_awake(dt, t >= a_epoch);
+            self.tag_b.charge_awake(dt, true);
+
+            // --- B: data reception on its own clock --------------------
+            let corrected = match sic_b.correct(env_b, b_state) {
+                Some(v) => {
+                    b_hold = v;
+                    v
+                }
+                None => b_hold, // blanked: hold the last settled value
+            };
+            b_resampled.clear();
+            b_clock_rs.push(corrected, &mut b_resampled);
+            for &v in &b_resampled {
+                rx.push_sample(v);
+            }
+            if !b_was_locked && rx.state() != RxState::Acquiring {
+                b_was_locked = true;
+                b_epoch = Some(t + phy.feedback_guard_bits * spb);
+            }
+
+            // --- A: feedback reception ---------------------------------
+            if t >= a_epoch && !matches!(opts.feedback, FeedbackPolicy::Silent) {
+                if let Some(corrected) = sic_a.correct(env_a, a_state) {
+                    if let Some(decision) = fb_dec.push(corrected) {
+                        feedback_events.push(FeedbackEvent {
+                            sample: t,
+                            bit: decision.bit,
+                            margin: decision.margin,
+                        });
+                        if opts.abort_on_nack
+                            && fb_dec.pilots_verified()
+                            && !decision.bit
+                            && aborted_at.is_none()
+                        {
+                            tx.abort();
+                            aborted_at = Some(t);
+                        }
+                    }
+                }
+            }
+
+            // Early loop exit once everything is settled: the frame is over,
+            // B's receiver is terminal, and (when feedback is on) A has
+            // decoded at least one post-frame verdict bit.
+            // An aborted frame is over the moment the antenna drops: A has
+            // already decided to retransmit, so it stops listening.
+            if aborted_at.is_some() && tx.is_done() {
+                return Ok(self.finish(
+                    t + 1,
+                    tx,
+                    rx,
+                    feedback_events,
+                    fb_dec.pilots_verified(),
+                    aborted_at,
+                    b_was_locked,
+                    (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
+                ));
+            }
+            // A verdict bit covers the whole frame only if its status was
+            // sampled (at its start boundary, one feedback-bit duration
+            // before the decision lands) after the last block completed.
+            // (+ one data bit of margin for B's parse/replay lag)
+            let verdict_horizon = total + phy.samples_per_feedback_bit() + spb;
+            let verdict_in = matches!(opts.feedback, FeedbackPolicy::Silent)
+                || !b_was_locked
+                || feedback_events
+                    .last()
+                    .map(|f| f.sample >= verdict_horizon)
+                    .unwrap_or(false);
+            if tx.is_done()
+                && (rx.state() == RxState::Done || rx.state() == RxState::Failed)
+                && verdict_in
+            {
+                return Ok(self.finish(
+                    t + 1,
+                    tx,
+                    rx,
+                    feedback_events,
+                    fb_dec.pilots_verified(),
+                    aborted_at,
+                    b_was_locked,
+                    (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
+                ));
+            }
+        }
+        Ok(self.finish(
+            max_samples,
+            tx,
+            rx,
+            feedback_events,
+            fb_dec.pilots_verified(),
+            aborted_at,
+            b_was_locked,
+            (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &mut self,
+        samples_run: usize,
+        tx: DataTransmitter,
+        mut rx: DataReceiver,
+        feedback: Vec<FeedbackEvent>,
+        pilots_verified: bool,
+        aborted_at_sample: Option<usize>,
+        b_locked: bool,
+        baselines: (f64, f64, f64, f64),
+    ) -> FrameOutcome {
+        let nack = rx.nack();
+        let (partial_payload, partial_blocks) = {
+            let (p, b) = rx.partial();
+            (p.to_vec(), b.to_vec())
+        };
+        FrameOutcome {
+            partial_payload,
+            partial_blocks,
+            rx_timing_corrections: rx.timing_corrections(),
+            delivered: rx.take_result(),
+            b_locked,
+            feedback,
+            pilots_verified,
+            aborted_at_sample,
+            airtime_samples: tx.samples_emitted(),
+            samples_run,
+            energy: EnergyReport {
+                a_consumed_j: self.tag_a.consumed_j() - baselines.0,
+                b_consumed_j: self.tag_b.consumed_j() - baselines.1,
+                a_harvested_j: self.tag_a.harvester().harvested_total_j() - baselines.2,
+                b_harvested_j: self.tag_b.harvester().harvested_total_j() - baselines.3,
+            },
+            nack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn quiet_cfg() -> LinkConfig {
+        // CW source → no source fluctuation; static channels; tiny noise.
+        let mut cfg = LinkConfig::default_fd();
+        cfg.ambient = AmbientConfig::Cw;
+        cfg.field_noise_dbm = -160.0;
+        cfg
+    }
+
+    #[test]
+    fn clean_frame_delivers_half_duplex() {
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+        let mut link = FdLink::new(quiet_cfg(), &mut rng).unwrap();
+        let payload: Vec<u8> = (0..32u8).collect();
+        let out = link
+            .run_frame(&payload, &RunOptions::half_duplex(), &mut rng)
+            .unwrap();
+        assert!(out.b_locked, "no lock");
+        assert!(out.fully_delivered(), "delivery failed: {:?}", out.delivered.as_ref().map(|r| &r.blocks));
+        assert_eq!(out.delivered.unwrap().payload, payload);
+        assert!(out.feedback.is_empty());
+    }
+
+    #[test]
+    fn clean_frame_delivers_full_duplex_with_acks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(101);
+        let mut link = FdLink::new(quiet_cfg(), &mut rng).unwrap();
+        let payload: Vec<u8> = (0..64u8).collect();
+        let out = link
+            .run_frame(&payload, &RunOptions::fd_monitor(), &mut rng)
+            .unwrap();
+        assert!(out.fully_delivered(), "FD frame lost");
+        assert_eq!(out.delivered.unwrap().payload, payload);
+        assert!(out.pilots_verified, "pilots failed");
+        assert!(!out.feedback.is_empty(), "no feedback decoded");
+        // All-clean frame ⇒ every status bit is ACK.
+        assert!(
+            out.feedback.iter().all(|f| f.bit),
+            "spurious NACK: {:?}",
+            out.feedback
+        );
+        assert!(out.aborted_at_sample.is_none());
+    }
+
+    #[test]
+    fn feedback_stream_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(102);
+        let mut link = FdLink::new(quiet_cfg(), &mut rng).unwrap();
+        let pattern = vec![true, false, false, true, true, false, true, false];
+        // Long payload so the frame outlasts the feedback stream.
+        let payload = vec![0x3Cu8; 200];
+        let out = link
+            .run_frame(
+                &payload,
+                &RunOptions {
+                    feedback: FeedbackPolicy::Stream(pattern.clone()),
+                    abort_on_nack: false,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert!(out.pilots_verified);
+        let got: Vec<bool> = out.feedback.iter().map(|f| f.bit).collect();
+        assert!(
+            got.len() >= pattern.len(),
+            "only {} feedback bits decoded",
+            got.len()
+        );
+        assert_eq!(&got[..pattern.len()], &pattern[..], "feedback corrupted");
+    }
+
+    #[test]
+    fn full_duplex_does_not_break_data() {
+        // The FD feedback toggling must not measurably hurt the forward
+        // link when SIC is on (the headline claim).
+        let mut rng = ChaCha8Rng::seed_from_u64(103);
+        let payload = vec![0xAAu8; 96];
+        let mut link = FdLink::new(quiet_cfg(), &mut rng).unwrap();
+        let hd = link
+            .run_frame(&payload, &RunOptions::half_duplex(), &mut rng)
+            .unwrap();
+        let fd = link
+            .run_frame(&payload, &RunOptions::fd_monitor(), &mut rng)
+            .unwrap();
+        assert!(hd.fully_delivered());
+        assert!(fd.fully_delivered());
+    }
+
+    #[test]
+    fn energy_ledger_is_populated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(104);
+        let mut cfg = quiet_cfg();
+        // Close to the source so the incident power clears the harvester's
+        // sensitivity floor (−20 dBm).
+        cfg.geometry.source_dist_a_m = 100.0;
+        cfg.geometry.source_dist_b_m = 100.0;
+        let mut link = FdLink::new(cfg, &mut rng).unwrap();
+        let out = link
+            .run_frame(&[1u8; 16], &RunOptions::fd_monitor(), &mut rng)
+            .unwrap();
+        assert!(out.energy.a_consumed_j > 0.0);
+        assert!(out.energy.b_consumed_j > 0.0);
+        assert!(out.energy.b_harvested_j > 0.0, "B harvested nothing");
+        assert!(out.airtime_samples > 0);
+    }
+
+    #[test]
+    fn swapped_geometry_swaps_distances() {
+        let g = LinkGeometry {
+            source_dist_a_m: 10.0,
+            source_dist_b_m: 20.0,
+            ..LinkGeometry::default_indoor()
+        };
+        let s = g.swapped();
+        assert_eq!(s.source_dist_a_m, 20.0);
+        assert_eq!(s.source_dist_b_m, 10.0);
+    }
+}

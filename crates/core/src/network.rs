@@ -1,0 +1,326 @@
+//! K-device backscatter networks with mutual first-order scattering.
+//!
+//! The two-device [`crate::link::FdLink`] is the paper's focus; this module
+//! generalises the field assembly to K devices sharing one ambient source,
+//! for the multi-link experiments (collision detection, carrier sense,
+//! ALOHA baselines — E6). Scattering is truncated at first order: device
+//! `i` sees the direct field plus every other device's backscatter of *its
+//! own direct field*. Higher-order bounces scale as the product of two
+//! device-hop gains (≈ −50 dB at metre scales) and are far below the
+//! first-order interference this module exists to study.
+//!
+//! The network deliberately exposes a lower-level interface than `FdLink`:
+//! the MAC sets every device's antenna state each sample and reads every
+//! device's envelope. PHY entities (transmitters, receivers) are layered on
+//! top by `fdb-mac`.
+
+use crate::error::PhyError;
+use fdb_ambient::{Ambient, AmbientConfig};
+use fdb_channel::awgn::Awgn;
+use fdb_channel::fading::Fading;
+use fdb_channel::link::Hop;
+use fdb_channel::pathloss::PathLoss;
+use fdb_device::{TagConfig, TagHardware};
+use fdb_dsp::sample::dbm_to_watts;
+use fdb_dsp::Iq;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a K-device shared-source network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Device positions on the plane, metres (the source is far away in
+    /// the +y direction; its per-device distance is `source_dist_m` plus
+    /// the device's y coordinate).
+    pub positions: Vec<(f64, f64)>,
+    /// Nominal source distance in metres.
+    pub source_dist_m: f64,
+    /// Ambient source power in dBm.
+    pub source_power_dbm: f64,
+    /// Path loss to the source.
+    pub pathloss_source: PathLoss,
+    /// Path loss between devices.
+    pub pathloss_device: PathLoss,
+    /// Fading on source hops.
+    pub fading_source: Fading,
+    /// Fading on device↔device hops.
+    pub fading_device: Fading,
+    /// Ambient source model.
+    pub ambient: AmbientConfig,
+    /// Field noise per device antenna, dBm.
+    pub field_noise_dbm: f64,
+    /// Per-device hardware (one per position).
+    pub tags: Vec<TagConfig>,
+    /// Ambient seed.
+    pub ambient_seed: u64,
+}
+
+impl NetworkConfig {
+    /// Places `n` devices uniformly on a circle of radius `radius_m`
+    /// (pairwise distances of the same order), all with `tag` hardware.
+    pub fn ring(n: usize, radius_m: f64, tag: TagConfig) -> Self {
+        let n = n.max(1);
+        let positions = (0..n)
+            .map(|i| {
+                let theta = std::f64::consts::TAU * i as f64 / n as f64;
+                (radius_m * theta.cos(), radius_m * theta.sin())
+            })
+            .collect();
+        NetworkConfig {
+            positions,
+            source_dist_m: 1000.0,
+            source_power_dbm: 60.0,
+            pathloss_source: PathLoss::tv_band(),
+            pathloss_device: PathLoss::FreeSpace { freq_hz: 539e6 },
+            fading_source: Fading::Static,
+            fading_device: Fading::Static,
+            ambient: AmbientConfig::TvWideband { k_factor: 300.0 },
+            field_noise_dbm: -110.0,
+            tags: vec![tag; n],
+            ambient_seed: 1,
+        }
+    }
+}
+
+/// A running K-device network.
+pub struct BackscatterNetwork {
+    source: Ambient,
+    source_amp: f64,
+    noise: Awgn,
+    hops_source: Vec<Hop>,
+    /// Upper-triangular pairwise hops: `pair_hop(i, j)` with `i < j`.
+    hops_pair: Vec<Hop>,
+    n: usize,
+    tags: Vec<TagHardware>,
+    dt: f64,
+}
+
+impl BackscatterNetwork {
+    /// Builds the network; fading initial states come from `rng`.
+    pub fn new<R: Rng + ?Sized>(
+        cfg: &NetworkConfig,
+        dt: f64,
+        rng: &mut R,
+    ) -> Result<Self, PhyError> {
+        let n = cfg.positions.len();
+        if n == 0 || cfg.tags.len() != n {
+            return Err(PhyError::InvalidConfig {
+                field: "positions/tags",
+                reason: format!("{} positions but {} tag configs", n, cfg.tags.len()),
+            });
+        }
+        let hops_source = cfg
+            .positions
+            .iter()
+            .map(|&(_, y)| {
+                Hop::new(
+                    cfg.pathloss_source,
+                    (cfg.source_dist_m + y).max(1.0),
+                    cfg.fading_source,
+                    rng,
+                )
+            })
+            .collect();
+        let mut hops_pair = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (xi, yi) = cfg.positions[i];
+                let (xj, yj) = cfg.positions[j];
+                let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt().max(0.1);
+                hops_pair.push(Hop::new(cfg.pathloss_device, d, cfg.fading_device, rng));
+            }
+        }
+        let tags = cfg.tags.iter().map(|&t| TagHardware::new(t, dt)).collect();
+        Ok(BackscatterNetwork {
+            source: Ambient::from_config(cfg.ambient, cfg.ambient_seed),
+            source_amp: dbm_to_watts(cfg.source_power_dbm).sqrt(),
+            noise: Awgn::from_dbm(cfg.field_noise_dbm),
+            hops_source,
+            hops_pair,
+            n,
+            tags,
+            dt,
+        })
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for an (invalid) empty network — never constructed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn pair_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        // Row-major upper triangle.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Channel coefficient between devices `i` and `j` (reciprocal).
+    pub fn pair_coeff(&self, i: usize, j: usize) -> Iq {
+        if i == j {
+            return Iq::ZERO;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.hops_pair[self.pair_index(a, b)].coeff()
+    }
+
+    /// Device hardware access.
+    pub fn tag(&self, i: usize) -> &TagHardware {
+        &self.tags[i]
+    }
+
+    /// Mutable device hardware access.
+    pub fn tag_mut(&mut self, i: usize) -> &mut TagHardware {
+        &mut self.tags[i]
+    }
+
+    /// Advances fading on all hops by one block.
+    pub fn advance_fading<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for h in &mut self.hops_source {
+            h.advance_block(rng);
+        }
+        for h in &mut self.hops_pair {
+            h.advance_block(rng);
+        }
+    }
+
+    /// One simulation sample: sets every device's antenna to
+    /// `states[i]`, assembles fields with first-order mutual scattering,
+    /// and returns each device's detected envelope.
+    pub fn step<R: Rng + ?Sized>(&mut self, states: &[bool], rng: &mut R) -> Vec<f64> {
+        debug_assert_eq!(states.len(), self.n);
+        let x = self.source_amp * self.source.next_power(rng).sqrt();
+        // Direct fields and reflection coefficients.
+        let mut direct = Vec::with_capacity(self.n);
+        let mut gamma = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            self.tags[i].set_antenna(states[i]);
+            direct.push(self.hops_source[i].coeff() * x);
+            gamma.push(self.tags[i].reflected(Iq::ONE));
+        }
+        let mut envelopes = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let mut field = direct[i];
+            for j in 0..self.n {
+                if j != i {
+                    field += self.pair_coeff(i, j) * gamma[j] * direct[j];
+                }
+            }
+            let field = self.noise.corrupt(field, rng);
+            let env = self.tags[i].step_receive(field, self.dt, rng);
+            self.tags[i].charge_awake(self.dt, true);
+            envelopes.push(env);
+        }
+        envelopes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg(n: usize) -> NetworkConfig {
+        let mut c = NetworkConfig::ring(n, 1.0, TagConfig::typical(5e-5));
+        c.ambient = AmbientConfig::Cw;
+        c.field_noise_dbm = -160.0;
+        c
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let mut c = cfg(3);
+        c.tags.pop();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(BackscatterNetwork::new(&c, 5e-5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn pair_index_covers_triangle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = BackscatterNetwork::new(&cfg(5), 5e-5, &mut rng).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert!(seen.insert(net.pair_index(i, j)), "dup at ({i},{j})");
+            }
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(*seen.iter().max().unwrap(), 9);
+    }
+
+    #[test]
+    fn reciprocity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let net = BackscatterNetwork::new(&cfg(4), 5e-5, &mut rng).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(net.pair_coeff(i, j), net.pair_coeff(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toggling_one_device_moves_others_envelopes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut net = BackscatterNetwork::new(&cfg(3), 5e-5, &mut rng).unwrap();
+        // Settle detector RCs.
+        for _ in 0..2000 {
+            net.step(&[false, false, false], &mut rng);
+        }
+        let quiet = net.step(&[false, false, false], &mut rng);
+        for _ in 0..2000 {
+            net.step(&[true, false, false], &mut rng);
+        }
+        let loud = net.step(&[true, false, false], &mut rng);
+        // Device 1 and 2 must see device 0's reflection.
+        for k in [1, 2] {
+            let delta = (loud[k] - quiet[k]).abs() / quiet[k];
+            assert!(delta > 1e-3, "device {k} blind to device 0: {delta}");
+        }
+        // Device 0's own envelope drops (reflect state passes less power).
+        assert!(loud[0] < quiet[0]);
+    }
+
+    #[test]
+    fn more_reflectors_more_interference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = BackscatterNetwork::new(&cfg(4), 5e-5, &mut rng).unwrap();
+        let settle = |net: &mut BackscatterNetwork, st: &[bool], rng: &mut ChaCha8Rng| {
+            for _ in 0..2000 {
+                net.step(st, rng);
+            }
+            net.step(st, rng)
+        };
+        let e0 = settle(&mut net, &[false, false, false, false], &mut rng)[0];
+        let e1 = settle(&mut net, &[false, true, false, false], &mut rng)[0];
+        let e2 = settle(&mut net, &[false, true, true, true], &mut rng)[0];
+        let d1 = (e1 - e0).abs();
+        let d2 = (e2 - e0).abs();
+        assert!(d2 > d1, "interference should grow: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn envelopes_scale_with_source_power() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut weak_cfg = cfg(2);
+        weak_cfg.source_power_dbm = 40.0;
+        let mut strong = BackscatterNetwork::new(&cfg(2), 5e-5, &mut rng).unwrap();
+        let mut weak = BackscatterNetwork::new(&weak_cfg, 5e-5, &mut rng).unwrap();
+        let mut es = 0.0;
+        let mut ew = 0.0;
+        for _ in 0..3000 {
+            es = strong.step(&[false, false], &mut rng)[0];
+            ew = weak.step(&[false, false], &mut rng)[0];
+        }
+        // 20 dB power difference → 100× envelope (power) difference.
+        assert!((es / ew - 100.0).abs() < 5.0, "ratio {}", es / ew);
+    }
+}

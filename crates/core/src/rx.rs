@@ -1,0 +1,462 @@
+//! Forward data receiver: envelope stream → synchronised bits → frame.
+//!
+//! Pipeline (all on the device's own clock):
+//!
+//! 1. **Acquisition** — slide a normalised correlator over the envelope
+//!    until the line-coded preamble peaks ([`fdb_dsp::correlate`]).
+//! 2. **Chip integration** — average the envelope over each chip period.
+//! 3. **Bit decisions** — the line code's soft rule over the chip energies
+//!    ([`fdb_dsp::line_code::SoftDecoder`]), with an adaptive peak-tracking
+//!    threshold for the codes that need one.
+//! 4. **Timing recovery** — a per-bit delay-locked loop that re-estimates
+//!    the mid-bit transition position (guaranteed by Manchester) and
+//!    lengthens/shortens chip windows by whole samples. This is what lets
+//!    a crystal-less tag hold sync over a multi-thousand-bit frame.
+//! 5. **Framing** — bits feed the streaming [`crate::frame::FrameParser`],
+//!    whose per-block CRC verdicts drive the feedback (NACK) channel.
+
+use crate::config::PhyConfig;
+use crate::frame::{BlockStatus, FrameParser, ParseEvent};
+use crate::tx::DataTransmitter;
+use fdb_dsp::correlate::{chips_to_template, PreambleSearcher, SyncEvent};
+use fdb_dsp::line_code::{LineCode, SoftDecoder};
+use fdb_dsp::moving_average::MovingAverage;
+use fdb_dsp::ringbuf::RingBuf;
+use fdb_dsp::threshold::PeakTracker;
+
+/// Gain of the timing DLL (fraction of the measured error fed back).
+const DLL_GAIN: f64 = 0.3;
+/// DLL search half-window in samples around the expected transition.
+const DLL_WINDOW_FRAC: f64 = 0.45;
+
+/// Receiver lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxState {
+    /// Hunting for the preamble.
+    Acquiring,
+    /// Locked; decoding payload bits.
+    Receiving,
+    /// Frame fully parsed.
+    Done,
+    /// Header unrecoverable — the frame is lost.
+    Failed,
+}
+
+/// Final result of a reception.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxResult {
+    /// Received payload (failed blocks included, corrupted).
+    pub payload: Vec<u8>,
+    /// Per-block CRC verdicts.
+    pub blocks: Vec<BlockStatus>,
+    /// Sample index (receiver clock) at which sync locked.
+    pub locked_at: usize,
+}
+
+/// Streaming data receiver for one frame.
+pub struct DataReceiver {
+    cfg: PhyConfig,
+    state: RxState,
+    searcher: PreambleSearcher,
+    /// Half-chip smoother in front of the correlator only: the payload path
+    /// integrates whole chips anyway, but the sample-level correlator needs
+    /// the source's fast power fluctuation knocked down to find the
+    /// preamble at realistic modulation depths.
+    sync_smoother: MovingAverage,
+    history: RingBuf<f64>,
+    slicer: PeakTracker,
+    soft: SoftDecoder,
+    parser: FrameParser,
+    // Chip/bit assembly.
+    chip_acc: f64,
+    chip_samples: usize,
+    chip_target: usize,
+    chip_energies: Vec<f64>,
+    bit_samples: Vec<f64>,
+    timing_debt: f64,
+    // Counters.
+    samples_seen: usize,
+    locked_at: Option<usize>,
+    bits_decoded: usize,
+    result: Option<RxResult>,
+    timing_corrections: i64,
+}
+
+impl DataReceiver {
+    /// Creates a receiver for one frame under `cfg`.
+    pub fn new(cfg: PhyConfig) -> Self {
+        let preamble_chips = DataTransmitter::preamble_chips(&cfg);
+        let template = chips_to_template(
+            &preamble_chips.iter().map(|&c| f64::from(u8::from(c))).collect::<Vec<_>>(),
+            cfg.samples_per_chip,
+        );
+        let smooth_len = (cfg.samples_per_chip / 2).max(1);
+        let hist_cap = template.len() + smooth_len + 8;
+        DataReceiver {
+            searcher: PreambleSearcher::new(template, cfg.sync_threshold),
+            sync_smoother: MovingAverage::new(smooth_len),
+            history: RingBuf::new(hist_cap),
+            slicer: PeakTracker::new(0.05),
+            soft: SoftDecoder::new(cfg.line_code),
+            parser: FrameParser::new(cfg.clone()),
+            chip_acc: 0.0,
+            chip_samples: 0,
+            chip_target: cfg.samples_per_chip,
+            chip_energies: Vec::with_capacity(cfg.chips_per_bit()),
+            bit_samples: Vec::with_capacity(cfg.samples_per_bit() + 2),
+            timing_debt: 0.0,
+            samples_seen: 0,
+            locked_at: None,
+            bits_decoded: 0,
+            result: None,
+            timing_corrections: 0,
+            state: RxState::Acquiring,
+            cfg,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> RxState {
+        self.state
+    }
+
+    /// `true` while any completed block has failed its CRC, or the header
+    /// was unrecoverable — the instantaneous NACK signal.
+    pub fn nack(&self) -> bool {
+        self.state == RxState::Failed || !self.parser.all_blocks_ok()
+    }
+
+    /// Data bits decoded so far.
+    pub fn bits_decoded(&self) -> usize {
+        self.bits_decoded
+    }
+
+    /// Whole-sample timing adjustments applied by the DLL (signed sum).
+    pub fn timing_corrections(&self) -> i64 {
+        self.timing_corrections
+    }
+
+    /// Consumes the result once the frame is done.
+    pub fn take_result(&mut self) -> Option<RxResult> {
+        self.result.take()
+    }
+
+    /// Per-block verdicts so far.
+    pub fn blocks(&self) -> &[BlockStatus] {
+        self.parser.blocks()
+    }
+
+    /// Payload and verdicts of blocks completed so far, regardless of
+    /// whether the frame finished (aborted frames keep their early blocks).
+    pub fn partial(&self) -> (&[u8], &[BlockStatus]) {
+        (self.parser.partial_payload(), self.parser.blocks())
+    }
+
+    /// Feeds one (self-interference-corrected) envelope sample.
+    pub fn push_sample(&mut self, env: f64) {
+        self.samples_seen += 1;
+        match self.state {
+            RxState::Acquiring => self.acquire(env),
+            RxState::Receiving => self.receive(env),
+            RxState::Done | RxState::Failed => {}
+        }
+    }
+
+    fn acquire(&mut self, env: f64) {
+        self.history.push_evict(env);
+        let smoothed = self.sync_smoother.process(env);
+        if let SyncEvent::Locked { lag, .. } = self.searcher.process(smoothed) {
+            self.locked_at = Some(self.samples_seen);
+            self.state = RxState::Receiving;
+            // Prime the slicer from the preamble's min/max levels.
+            let mut lo = f64::MAX;
+            let mut hi = f64::MIN;
+            for v in self.history.iter() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                self.slicer.prime(lo, hi);
+            }
+            // The smoother delays the correlation peak by its group delay,
+            // and `lag` further samples passed before the peak was declared;
+            // all of those raw samples belong to the payload — replay them.
+            let group_delay = (self.sync_smoother.window_len() - 1) / 2;
+            let behind = lag + group_delay;
+            let n = self.history.len();
+            let replay: Vec<f64> = (n.saturating_sub(behind)..n)
+                .filter_map(|i| self.history.get(i))
+                .collect();
+            for v in replay {
+                self.receive(v);
+            }
+        }
+    }
+
+    fn receive(&mut self, env: f64) {
+        self.bit_samples.push(env);
+        self.chip_acc += env;
+        self.chip_samples += 1;
+        if self.chip_samples < self.chip_target {
+            return;
+        }
+        // Chip complete.
+        let energy = self.chip_acc / self.chip_samples as f64;
+        self.chip_acc = 0.0;
+        self.chip_samples = 0;
+        self.chip_target = self.next_chip_target();
+        self.slicer.process(energy);
+        self.chip_energies.push(energy);
+        if self.chip_energies.len() < self.cfg.chips_per_bit() {
+            return;
+        }
+        // Bit complete.
+        let bit = self
+            .soft
+            .decide(&self.chip_energies, self.slicer.threshold())
+            .unwrap_or(false);
+        self.chip_energies.clear();
+        self.update_timing();
+        self.bit_samples.clear();
+        self.bits_decoded += 1;
+        if let Some(event) = self.parser.push_bit(bit) {
+            match event {
+                ParseEvent::HeaderInvalid => {
+                    self.state = RxState::Failed;
+                }
+                ParseEvent::Done { payload, blocks } => {
+                    self.state = RxState::Done;
+                    self.result = Some(RxResult {
+                        payload,
+                        blocks,
+                        locked_at: self.locked_at.unwrap_or(0),
+                    });
+                }
+                ParseEvent::Header { .. } | ParseEvent::Block(_) => {}
+            }
+        }
+    }
+
+    /// Applies accumulated timing debt to the next chip length.
+    fn next_chip_target(&mut self) -> usize {
+        let sps = self.cfg.samples_per_chip;
+        if self.timing_debt >= 1.0 {
+            self.timing_debt -= 1.0;
+            self.timing_corrections += 1;
+            sps + 1
+        } else if self.timing_debt <= -1.0 {
+            self.timing_debt += 1.0;
+            self.timing_corrections -= 1;
+            sps.saturating_sub(1).max(1)
+        } else {
+            sps
+        }
+    }
+
+    /// Mid-bit-transition DLL (Manchester only: the transition between the
+    /// two chips of a bit always exists).
+    fn update_timing(&mut self) {
+        if self.cfg.line_code != LineCode::Manchester {
+            return;
+        }
+        let n = self.bit_samples.len();
+        let sps = self.cfg.samples_per_chip;
+        if n < 2 * sps - 2 {
+            return;
+        }
+        // Prefix sums for O(window) split search.
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0.0);
+        for &v in &self.bit_samples {
+            prefix.push(prefix.last().unwrap() + v);
+        }
+        let total = *prefix.last().unwrap();
+        let w = ((sps as f64) * DLL_WINDOW_FRAC) as usize;
+        let centre = n / 2;
+        let lo = centre.saturating_sub(w).max(1);
+        let hi = (centre + w).min(n - 1);
+        let mut best_t = centre;
+        let mut best_metric = -1.0;
+        for t in lo..=hi {
+            let mean_a = prefix[t] / t as f64;
+            let mean_b = (total - prefix[t]) / (n - t) as f64;
+            let metric = (mean_a - mean_b).abs();
+            if metric > best_metric {
+                best_metric = metric;
+                best_t = t;
+            }
+        }
+        // Gate: only trust transitions with a swing comparable to the
+        // slicer's tracked modulation depth.
+        if best_metric < 0.25 * self.slicer.swing() {
+            return;
+        }
+        let err = best_t as f64 - centre as f64;
+        self.timing_debt += DLL_GAIN * err;
+        // Clamp the debt so one bad bit cannot slew the clock far.
+        self.timing_debt = self.timing_debt.clamp(-3.0, 3.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PhyConfig {
+        PhyConfig::default_fd()
+    }
+
+    /// Renders a frame as an ideal envelope waveform: chip=1 → `hi`,
+    /// chip=0 → `lo`, preceded by `idle` samples at `lo`.
+    fn render(cfg: &PhyConfig, payload: &[u8], idle: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut tx = DataTransmitter::new(cfg, payload).unwrap();
+        let mut out = vec![lo; idle];
+        while let Some(state) = tx.next_state() {
+            out.push(if state { hi } else { lo });
+        }
+        // Trailing idle so the parser sees the last bit through.
+        out.extend(vec![lo; cfg.samples_per_bit() * 2]);
+        out
+    }
+
+    #[test]
+    fn decodes_clean_frame() {
+        let cfg = cfg();
+        let payload: Vec<u8> = (0..48u8).collect();
+        let wave = render(&cfg, &payload, 100, 0.4, 1.0);
+        let mut rx = DataReceiver::new(cfg);
+        for &v in &wave {
+            rx.push_sample(v);
+        }
+        assert_eq!(rx.state(), RxState::Done);
+        let r = rx.take_result().unwrap();
+        assert_eq!(r.payload, payload);
+        assert!(r.blocks.iter().all(|b| b.ok));
+        assert!(!rx.nack());
+    }
+
+    #[test]
+    fn decodes_with_arbitrary_idle_offset() {
+        let cfg = cfg();
+        let payload = vec![0xC3u8; 10];
+        for idle in [0, 1, 7, 33, 250] {
+            let wave = render(&cfg, &payload, idle, 0.2, 0.9);
+            let mut rx = DataReceiver::new(cfg.clone());
+            for &v in &wave {
+                rx.push_sample(v);
+            }
+            assert_eq!(rx.state(), RxState::Done, "idle {idle}");
+            assert_eq!(rx.take_result().unwrap().payload, payload, "idle {idle}");
+        }
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // The receiver must not care about absolute envelope level.
+        let cfg = cfg();
+        let payload = vec![0x5Au8; 20];
+        for (lo, hi) in [(1e-9, 3e-9), (0.5, 0.6), (100.0, 180.0)] {
+            let wave = render(&cfg, &payload, 60, lo, hi);
+            let mut rx = DataReceiver::new(cfg.clone());
+            for &v in &wave {
+                rx.push_sample(v);
+            }
+            assert_eq!(rx.state(), RxState::Done, "levels ({lo},{hi})");
+            assert_eq!(rx.take_result().unwrap().payload, payload);
+        }
+    }
+
+    #[test]
+    fn nack_rises_on_corrupted_block() {
+        let cfg = cfg();
+        let payload: Vec<u8> = (0..64u8).collect(); // 4 blocks
+        let mut wave = render(&cfg, &payload, 50, 0.3, 1.0);
+        // Corrupt a run of samples inside the second block's airtime.
+        let preamble_samples = cfg.preamble.len() * cfg.samples_per_bit();
+        let hdr_samples = crate::frame::HEADER_BITS * cfg.samples_per_bit();
+        let block_samples = (16 + 1) * 8 * cfg.samples_per_bit();
+        let start = 50 + preamble_samples + hdr_samples + block_samples + block_samples / 2;
+        for v in wave.iter_mut().skip(start).take(cfg.samples_per_bit() * 3) {
+            *v = 0.65; // ambiguous level wipes out several bits
+        }
+        let mut rx = DataReceiver::new(cfg);
+        let mut nack_seen_during = false;
+        for &v in &wave {
+            rx.push_sample(v);
+            if rx.nack() && rx.state() == RxState::Receiving {
+                nack_seen_during = true;
+            }
+        }
+        assert!(nack_seen_during, "NACK must rise mid-frame");
+        assert_eq!(rx.state(), RxState::Done);
+        let r = rx.take_result().unwrap();
+        assert!(!r.blocks[1].ok);
+        assert!(r.blocks[0].ok);
+    }
+
+    #[test]
+    fn survives_clock_skew_via_dll() {
+        // Stretch the waveform by +2000 ppm (receiver clock slow) using a
+        // fractional resampler; the DLL must hold lock over a long frame.
+        use fdb_dsp::resample::Resampler;
+        let cfg = cfg();
+        let payload: Vec<u8> = (0..128).map(|i| (i * 7) as u8).collect();
+        let wave = render(&cfg, &payload, 80, 0.4, 1.0);
+        let mut rs = Resampler::from_ppm(2000.0);
+        let stretched = rs.process_block(&wave);
+        let mut rx = DataReceiver::new(cfg);
+        for &v in &stretched {
+            rx.push_sample(v);
+        }
+        assert_eq!(rx.state(), RxState::Done, "DLL failed to hold lock");
+        let r = rx.take_result().unwrap();
+        assert_eq!(r.payload, payload);
+        assert!(rx.timing_corrections() != 0, "DLL never engaged");
+    }
+
+    #[test]
+    fn no_lock_on_flat_input() {
+        let cfg = cfg();
+        let mut rx = DataReceiver::new(cfg);
+        for _ in 0..10_000 {
+            rx.push_sample(0.7);
+        }
+        assert_eq!(rx.state(), RxState::Acquiring);
+        assert!(rx.take_result().is_none());
+    }
+
+    #[test]
+    fn failed_header_reports_failed_state() {
+        let cfg = cfg();
+        let payload = vec![1u8; 8];
+        let mut wave = render(&cfg, &payload, 40, 0.3, 1.0);
+        // Obliterate the header region (after the preamble).
+        let pre = 40 + cfg.preamble.len() * cfg.samples_per_bit();
+        for v in wave
+            .iter_mut()
+            .skip(pre)
+            .take(crate::frame::HEADER_BITS * cfg.samples_per_bit())
+        {
+            *v = 0.65;
+        }
+        let mut rx = DataReceiver::new(cfg);
+        for &v in &wave {
+            rx.push_sample(v);
+        }
+        assert_eq!(rx.state(), RxState::Failed);
+        assert!(rx.nack());
+    }
+
+    #[test]
+    fn bits_decoded_counts() {
+        let cfg = cfg();
+        let payload = vec![0u8; 16];
+        let wave = render(&cfg, &payload, 30, 0.3, 1.0);
+        let mut rx = DataReceiver::new(cfg.clone());
+        for &v in &wave {
+            rx.push_sample(v);
+        }
+        let expected = crate::frame::frame_bits_len(&cfg, 16);
+        assert_eq!(rx.bits_decoded(), expected);
+    }
+}

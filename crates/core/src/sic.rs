@@ -1,0 +1,163 @@
+//! Known-state self-interference cancellation.
+//!
+//! A full-duplex backscatter device distorts its own reception: while its
+//! antenna is in the *reflect* state, only a fraction `1 − ρ` of the
+//! incident power reaches its detector. Conventional full-duplex radios
+//! fight self-interference with adaptive analog cancellers; a backscatter
+//! device doesn't need any of that, because the interference is a
+//! *deterministic, known* multiplicative factor — the device set the
+//! antenna state itself. Cancelling it is a single division.
+//!
+//! The subtlety modelled here (and exercised by ablation E3) is that the
+//! detector's RC low-pass smears envelope samples across antenna-state
+//! boundaries, so the division is exact only away from transitions. The
+//! canceller therefore also exposes a transition-blanking option that
+//! discards samples within the RC settling window of a state flip — the
+//! digital analogue of the comparator blanking real tags implement.
+
+use crate::config::SicMode;
+use serde::{Deserialize, Serialize};
+
+/// Per-device self-interference canceller.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SelfInterferenceCanceller {
+    mode: SicMode,
+    /// ρ of the device's own reflect state.
+    rho: f64,
+    /// ρ residual of the absorb state.
+    rho_residual: f64,
+    /// Samples to blank after an antenna-state transition (0 = off).
+    blank_samples: usize,
+    since_toggle: usize,
+    last_state: bool,
+}
+
+impl SelfInterferenceCanceller {
+    /// Creates a canceller for a device whose reflect/absorb power
+    /// reflection coefficients are `rho` / `rho_residual`.
+    pub fn new(mode: SicMode, rho: f64, rho_residual: f64) -> Self {
+        SelfInterferenceCanceller {
+            mode,
+            rho: rho.clamp(0.0, 1.0),
+            rho_residual: rho_residual.clamp(0.0, 1.0),
+            blank_samples: 0,
+            since_toggle: usize::MAX / 2,
+            last_state: false,
+        }
+    }
+
+    /// Enables transition blanking for `n` samples after each toggle.
+    pub fn with_blanking(mut self, n: usize) -> Self {
+        self.blank_samples = n;
+        self
+    }
+
+    /// The cancellation mode.
+    pub fn mode(&self) -> SicMode {
+        self.mode
+    }
+
+    /// Pass-power fraction for a given own-antenna state.
+    fn pass_fraction(&self, reflecting: bool) -> f64 {
+        1.0 - if reflecting { self.rho } else { self.rho_residual }
+    }
+
+    /// Corrects one envelope sample given the device's own antenna state at
+    /// that sample. Returns `None` when the sample falls in a blanking
+    /// window (caller should skip it).
+    #[inline]
+    pub fn correct(&mut self, envelope: f64, own_reflecting: bool) -> Option<f64> {
+        if own_reflecting != self.last_state {
+            self.last_state = own_reflecting;
+            self.since_toggle = 0;
+        } else {
+            self.since_toggle = self.since_toggle.saturating_add(1);
+        }
+        if self.since_toggle < self.blank_samples {
+            return None;
+        }
+        match self.mode {
+            SicMode::Off => Some(envelope),
+            SicMode::KnownState => {
+                let pass = self.pass_fraction(own_reflecting).max(1e-6);
+                Some(envelope / pass)
+            }
+        }
+    }
+
+    /// Resets transition tracking (new frame).
+    pub fn reset(&mut self) {
+        self.since_toggle = usize::MAX / 2;
+        self.last_state = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_state_inverts_pass_fraction() {
+        let mut s = SelfInterferenceCanceller::new(SicMode::KnownState, 0.3, 0.0);
+        // Incident power 1.0; detector sees 0.7 while reflecting.
+        let corrected = s.correct(0.7, true).unwrap();
+        assert!((corrected - 1.0).abs() < 1e-9);
+        let corrected = s.correct(1.0, false).unwrap();
+        assert!((corrected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_mode_passes_through() {
+        let mut s = SelfInterferenceCanceller::new(SicMode::Off, 0.5, 0.0);
+        assert_eq!(s.correct(0.42, true), Some(0.42));
+    }
+
+    #[test]
+    fn residual_reflection_accounted() {
+        let mut s = SelfInterferenceCanceller::new(SicMode::KnownState, 0.3, 0.01);
+        let corrected = s.correct(0.99, false).unwrap();
+        assert!((corrected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blanking_skips_post_toggle_samples() {
+        let mut s = SelfInterferenceCanceller::new(SicMode::KnownState, 0.3, 0.0).with_blanking(3);
+        // Initial state false, settled.
+        assert!(s.correct(1.0, false).is_some());
+        // Toggle: the next 3 samples are blanked.
+        assert!(s.correct(0.7, true).is_none());
+        assert!(s.correct(0.7, true).is_none());
+        assert!(s.correct(0.7, true).is_none());
+        assert!(s.correct(0.7, true).is_some());
+    }
+
+    #[test]
+    fn sic_makes_states_indistinguishable() {
+        // The property that matters: after correction, the envelope is the
+        // same regardless of the device's own antenna state.
+        let mut s = SelfInterferenceCanceller::new(SicMode::KnownState, 0.4, 0.02);
+        let incident = 2.5;
+        let e_reflect = incident * (1.0 - 0.4);
+        let e_absorb = incident * (1.0 - 0.02);
+        let c1 = s.correct(e_absorb, false).unwrap();
+        let c2 = s.correct(e_reflect, true).unwrap();
+        assert!((c1 - c2).abs() < 1e-9, "{c1} vs {c2}");
+    }
+
+    #[test]
+    fn without_sic_states_differ() {
+        let mut s = SelfInterferenceCanceller::new(SicMode::Off, 0.4, 0.02);
+        let incident = 2.5;
+        let c1 = s.correct(incident * 0.98, false).unwrap();
+        let c2 = s.correct(incident * 0.6, true).unwrap();
+        assert!((c1 - c2).abs() > 0.5);
+    }
+
+    #[test]
+    fn reset_clears_toggle_tracking() {
+        let mut s = SelfInterferenceCanceller::new(SicMode::KnownState, 0.3, 0.0).with_blanking(5);
+        s.correct(1.0, true); // toggle → blank
+        s.reset();
+        assert!(s.correct(1.0, false).is_some());
+    }
+}

@@ -1,0 +1,217 @@
+//! Forward transmitter: frame → line-coded chip schedule.
+//!
+//! The transmitter owns the timeline of the frame: preamble chips first,
+//! then the line-coded frame body. Each chip holds the antenna in one state
+//! for `samples_per_chip` simulation samples. The transmitter also supports
+//! **mid-frame abort** — the whole point of instantaneous feedback: when
+//! the decoded feedback stream reports a corrupted block, the MAC calls
+//! [`DataTransmitter::abort`] and the antenna drops to absorb for the rest
+//! of the (now unused) airtime.
+
+use crate::config::PhyConfig;
+use crate::error::PhyError;
+use crate::frame::encode_frame;
+use fdb_dsp::line_code::Encoder;
+
+/// Streaming chip scheduler for one frame.
+#[derive(Debug, Clone)]
+pub struct DataTransmitter {
+    chips: Vec<bool>,
+    sps: usize,
+    sample_in_chip: usize,
+    chip_idx: usize,
+    aborted_at_chip: Option<usize>,
+    preamble_chips: usize,
+}
+
+impl DataTransmitter {
+    /// Builds the chip schedule for `payload`.
+    pub fn new(cfg: &PhyConfig, payload: &[u8]) -> Result<Self, PhyError> {
+        cfg.validate()?;
+        let body_bits = encode_frame(cfg, payload)?;
+        let mut bits = cfg.preamble.clone();
+        bits.extend(body_bits);
+        // One continuous line-code encoding so FM0/Miller state carries from
+        // the preamble into the body (the receiver's template assumes it).
+        let mut enc = Encoder::new(cfg.line_code);
+        let mut chips = Vec::with_capacity(bits.len() * cfg.chips_per_bit());
+        for &b in &bits {
+            enc.push(b, &mut chips);
+        }
+        Ok(DataTransmitter {
+            preamble_chips: cfg.preamble.len() * cfg.chips_per_bit(),
+            chips,
+            sps: cfg.samples_per_chip,
+            sample_in_chip: 0,
+            chip_idx: 0,
+            aborted_at_chip: None,
+        })
+    }
+
+    /// The preamble chip pattern (for building the receiver's template).
+    pub fn preamble_chips(cfg: &PhyConfig) -> Vec<bool> {
+        cfg.line_code.encode(&cfg.preamble)
+    }
+
+    /// Total frame duration in samples (if not aborted).
+    pub fn total_samples(&self) -> usize {
+        self.chips.len() * self.sps
+    }
+
+    /// Total chips in the frame.
+    pub fn total_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Samples already emitted.
+    pub fn samples_emitted(&self) -> usize {
+        self.chip_idx * self.sps + self.sample_in_chip
+    }
+
+    /// `true` when the frame (or its aborted remainder) is over.
+    pub fn is_done(&self) -> bool {
+        match self.aborted_at_chip {
+            Some(at) => self.chip_idx >= at,
+            None => self.chip_idx >= self.chips.len(),
+        }
+    }
+
+    /// Antenna state for the current sample, then advances one sample.
+    /// Returns `None` once the frame is done (antenna should absorb).
+    pub fn next_state(&mut self) -> Option<bool> {
+        if self.is_done() {
+            return None;
+        }
+        let state = self.chips[self.chip_idx];
+        self.sample_in_chip += 1;
+        if self.sample_in_chip == self.sps {
+            self.sample_in_chip = 0;
+            self.chip_idx += 1;
+        }
+        Some(state)
+    }
+
+    /// Aborts the frame at the next chip boundary.
+    pub fn abort(&mut self) {
+        if self.aborted_at_chip.is_none() {
+            // Stop at the end of the current chip.
+            let at = if self.sample_in_chip == 0 {
+                self.chip_idx
+            } else {
+                self.chip_idx + 1
+            };
+            self.aborted_at_chip = Some(at.min(self.chips.len()));
+        }
+    }
+
+    /// Chip index at which the frame was aborted, if it was.
+    pub fn aborted_at(&self) -> Option<usize> {
+        self.aborted_at_chip
+    }
+
+    /// Number of *data* (post-preamble) chips emitted so far.
+    pub fn data_chips_emitted(&self) -> usize {
+        self.chip_idx.saturating_sub(self.preamble_chips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::frame_bits_len;
+
+    fn cfg() -> PhyConfig {
+        PhyConfig::default_fd()
+    }
+
+    #[test]
+    fn schedule_length_matches_frame() {
+        let cfg = cfg();
+        let payload = vec![0xA5u8; 20];
+        let tx = DataTransmitter::new(&cfg, &payload).unwrap();
+        let bits = cfg.preamble.len() + frame_bits_len(&cfg, payload.len());
+        assert_eq!(tx.total_chips(), bits * 2);
+        assert_eq!(tx.total_samples(), bits * 2 * 10);
+    }
+
+    #[test]
+    fn emits_sps_samples_per_chip() {
+        let cfg = cfg();
+        let mut tx = DataTransmitter::new(&cfg, &[1, 2, 3]).unwrap();
+        let first_chip = tx.next_state().unwrap();
+        for _ in 1..cfg.samples_per_chip {
+            assert_eq!(tx.next_state().unwrap(), first_chip);
+        }
+        // Manchester preamble starts with bit `true` → chips [1, 0].
+        assert!(first_chip);
+        let second_chip = tx.next_state().unwrap();
+        assert!(!second_chip);
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let cfg = cfg();
+        let mut tx = DataTransmitter::new(&cfg, &[9u8; 4]).unwrap();
+        let total = tx.total_samples();
+        let mut n = 0;
+        while tx.next_state().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, total);
+        assert!(tx.is_done());
+        assert!(tx.next_state().is_none());
+    }
+
+    #[test]
+    fn abort_stops_at_chip_boundary() {
+        let cfg = cfg();
+        let mut tx = DataTransmitter::new(&cfg, &[9u8; 64]).unwrap();
+        for _ in 0..(cfg.samples_per_chip * 10 + 3) {
+            tx.next_state();
+        }
+        tx.abort();
+        assert_eq!(tx.aborted_at(), Some(11));
+        // Finish the current chip, then stop.
+        let mut emitted = 0;
+        while tx.next_state().is_some() {
+            emitted += 1;
+        }
+        assert_eq!(emitted, cfg.samples_per_chip - 3);
+        assert!(tx.is_done());
+    }
+
+    #[test]
+    fn abort_before_start_emits_nothing() {
+        let cfg = cfg();
+        let mut tx = DataTransmitter::new(&cfg, &[1]).unwrap();
+        tx.abort();
+        assert!(tx.next_state().is_none());
+    }
+
+    #[test]
+    fn preamble_chip_template_matches_schedule_head() {
+        let cfg = cfg();
+        let template = DataTransmitter::preamble_chips(&cfg);
+        let mut tx = DataTransmitter::new(&cfg, &[0u8; 8]).unwrap();
+        for (i, &expect) in template.iter().enumerate() {
+            for _ in 0..cfg.samples_per_chip {
+                assert_eq!(tx.next_state().unwrap(), expect, "chip {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn data_chip_progress() {
+        let cfg = cfg();
+        let mut tx = DataTransmitter::new(&cfg, &[1, 2]).unwrap();
+        let preamble_samples = cfg.preamble.len() * 2 * cfg.samples_per_chip;
+        for _ in 0..preamble_samples {
+            tx.next_state();
+        }
+        assert_eq!(tx.data_chips_emitted(), 0);
+        for _ in 0..cfg.samples_per_chip * 4 {
+            tx.next_state();
+        }
+        assert_eq!(tx.data_chips_emitted(), 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! The backscatter reflection switch.
+//!
+//! A tag "transmits" by toggling its antenna between two impedance states:
+//!
+//! * **Reflect** — deliberately mismatched; a fraction `ρ` of the incident
+//!   *power* is re-radiated (amplitude `√ρ`), the rest continues into the
+//!   tag front end.
+//! * **Absorb** — matched; nominally everything flows into the tag, except
+//!   a small *structural* reflection that any physical antenna has even
+//!   when terminated (parameterised because it sets the floor of the OOK
+//!   modulation depth a receiver can exploit).
+//!
+//! The same switch is the source of full-duplex *self-interference*: while
+//! a device toggles its own antenna it simultaneously changes how much of
+//! the incident field reaches its own detector. That coupling is exposed
+//! here as [`ReflectionSwitch::pass_power_fraction`] and cancelled digitally
+//! in `fdb-core::sic`.
+
+use fdb_dsp::Iq;
+use serde::{Deserialize, Serialize};
+
+/// Two-state antenna reflection switch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReflectionSwitch {
+    /// Power reflection coefficient in the reflect state, `ρ ∈ [0, 1]`.
+    rho: f64,
+    /// Residual power reflection in the absorb state (structural mode).
+    rho_residual: f64,
+    /// Phase of the reflected wave (radians) relative to the incident wave.
+    phase: f64,
+    /// Current state: `true` = reflect.
+    state: bool,
+}
+
+impl ReflectionSwitch {
+    /// Creates a switch with reflect-state power coefficient `rho` and a
+    /// structural residual `rho_residual` (both clamped to `[0, 1]`,
+    /// residual clamped below `rho`).
+    pub fn new(rho: f64, rho_residual: f64) -> Self {
+        let rho = rho.clamp(0.0, 1.0);
+        ReflectionSwitch {
+            rho,
+            rho_residual: rho_residual.clamp(0.0, rho),
+            phase: 0.0,
+            state: false,
+        }
+    }
+
+    /// An idealised switch: perfect absorption in the absorb state.
+    pub fn ideal(rho: f64) -> Self {
+        ReflectionSwitch::new(rho, 0.0)
+    }
+
+    /// Sets the reflection phase (electrical length of the mismatch).
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the antenna state (`true` = reflect).
+    #[inline]
+    pub fn set_state(&mut self, reflect: bool) {
+        self.state = reflect;
+    }
+
+    /// Current state.
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Power reflection coefficient of the *current* state.
+    pub fn current_rho(&self) -> f64 {
+        if self.state {
+            self.rho
+        } else {
+            self.rho_residual
+        }
+    }
+
+    /// Configured reflect-state coefficient.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The complex field this antenna re-radiates for a given incident
+    /// field sample.
+    #[inline]
+    pub fn reflected(&self, incident: Iq) -> Iq {
+        let amp = self.current_rho().sqrt();
+        incident * Iq::from_polar(amp, self.phase)
+    }
+
+    /// Fraction of incident *power* that continues past the antenna into
+    /// the tag (detector + harvester share it downstream).
+    #[inline]
+    pub fn pass_power_fraction(&self) -> f64 {
+        1.0 - self.current_rho()
+    }
+
+    /// OOK modulation depth at a far receiver: difference in reflected
+    /// *amplitude* between the two states, relative to the incident field.
+    pub fn modulation_depth(&self) -> f64 {
+        self.rho.sqrt() - self.rho_residual.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflect_state_scales_amplitude_by_sqrt_rho() {
+        let mut sw = ReflectionSwitch::ideal(0.25);
+        sw.set_state(true);
+        let out = sw.reflected(Iq::real(2.0));
+        assert!((out.re - 1.0).abs() < 1e-12); // 2·√0.25
+        assert!(out.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_state_reflects_only_residual() {
+        let mut sw = ReflectionSwitch::new(0.5, 0.01);
+        sw.set_state(false);
+        let out = sw.reflected(Iq::real(1.0));
+        assert!((out.abs() - 0.1).abs() < 1e-12); // √0.01
+    }
+
+    #[test]
+    fn power_conservation_per_state() {
+        for rho in [0.0, 0.3, 1.0] {
+            let mut sw = ReflectionSwitch::ideal(rho);
+            sw.set_state(true);
+            let refl = sw.reflected(Iq::ONE).norm_sq();
+            let pass = sw.pass_power_fraction();
+            assert!((refl + pass - 1.0).abs() < 1e-12, "rho {rho}");
+        }
+    }
+
+    #[test]
+    fn phase_applies_to_reflection() {
+        let sw = ReflectionSwitch::ideal(1.0).with_phase(std::f64::consts::PI);
+        let mut sw = sw;
+        sw.set_state(true);
+        let out = sw.reflected(Iq::ONE);
+        assert!((out.re + 1.0).abs() < 1e-12, "{out:?}");
+    }
+
+    #[test]
+    fn modulation_depth() {
+        let sw = ReflectionSwitch::new(0.49, 0.09);
+        assert!((sw.modulation_depth() - 0.4).abs() < 1e-12); // 0.7 − 0.3
+        let ideal = ReflectionSwitch::ideal(0.49);
+        assert!((ideal.modulation_depth() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_clamped_below_rho() {
+        let sw = ReflectionSwitch::new(0.2, 0.9);
+        assert!(sw.modulation_depth() >= 0.0);
+    }
+
+    #[test]
+    fn rho_clamped_to_unit_interval() {
+        let sw = ReflectionSwitch::ideal(1.7);
+        assert_eq!(sw.rho(), 1.0);
+        let sw = ReflectionSwitch::ideal(-0.5);
+        assert_eq!(sw.rho(), 0.0);
+    }
+}

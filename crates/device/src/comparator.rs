@@ -1,0 +1,118 @@
+//! Hysteresis comparator — the tag's one-bit "ADC".
+//!
+//! Passive receivers slice the detector output with an analog comparator.
+//! Real comparators need hysteresis to avoid chattering on noise near the
+//! threshold; the hysteresis width also sets a minimum usable modulation
+//! depth, which is why it is a first-class parameter here rather than an
+//! implementation detail.
+
+use serde::{Deserialize, Serialize};
+
+/// A comparator with symmetric hysteresis around an externally supplied
+/// threshold.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Comparator {
+    /// Full hysteresis width (output flips only when the input crosses
+    /// `threshold ± width/2` in the flipping direction).
+    width: f64,
+    state: bool,
+}
+
+impl Comparator {
+    /// Creates a comparator with the given hysteresis width (≥ 0).
+    pub fn new(width: f64) -> Self {
+        Comparator {
+            width: width.max(0.0),
+            state: false,
+        }
+    }
+
+    /// A hysteresis-free ideal comparator.
+    pub fn ideal() -> Self {
+        Comparator::new(0.0)
+    }
+
+    /// Current output state.
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Hysteresis width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Compares `x` against `threshold`, honouring hysteresis.
+    #[inline]
+    pub fn process(&mut self, x: f64, threshold: f64) -> bool {
+        let half = self.width / 2.0;
+        if self.state {
+            if x < threshold - half {
+                self.state = false;
+            }
+        } else if x > threshold + half {
+            self.state = true;
+        }
+        self.state
+    }
+
+    /// Forces the output state (power-on initialisation).
+    pub fn set_state(&mut self, state: bool) {
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_comparator_is_plain_threshold() {
+        let mut c = Comparator::ideal();
+        assert!(c.process(1.1, 1.0));
+        assert!(!c.process(0.9, 1.0));
+        assert!(c.process(1.0001, 1.0));
+    }
+
+    #[test]
+    fn hysteresis_rejects_chatter() {
+        let mut c = Comparator::new(0.2);
+        c.process(2.0, 1.0); // go high
+        assert!(c.state());
+        // Noise wiggles within the dead band must not flip it.
+        for &x in &[1.05, 0.95, 1.02, 0.92, 1.08] {
+            assert!(c.process(x, 1.0), "flipped at {x}");
+        }
+        // A real transition does flip it.
+        assert!(!c.process(0.85, 1.0));
+    }
+
+    #[test]
+    fn flip_requires_crossing_band_edge() {
+        let mut c = Comparator::new(0.4);
+        // From low, exactly threshold is not enough.
+        assert!(!c.process(1.0, 1.0));
+        assert!(!c.process(1.19, 1.0));
+        assert!(c.process(1.21, 1.0));
+        // From high, must cross below threshold − 0.2.
+        assert!(c.process(0.81, 1.0));
+        assert!(!c.process(0.79, 1.0));
+    }
+
+    #[test]
+    fn set_state_overrides() {
+        let mut c = Comparator::new(0.2);
+        c.set_state(true);
+        assert!(c.state());
+        assert!(c.process(0.95, 1.0)); // inside dead band, stays high
+    }
+
+    #[test]
+    fn moving_threshold_tracks() {
+        // The threshold input is external (from the adaptive slicer); the
+        // comparator must honour per-call thresholds.
+        let mut c = Comparator::new(0.0);
+        assert!(c.process(5.0, 4.0));
+        assert!(!c.process(5.0, 6.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests over tag-hardware invariants.
+
+use fdb_device::antenna::ReflectionSwitch;
+use fdb_device::harvester::{Harvester, HarvesterConfig};
+use fdb_dsp::Iq;
+use proptest::prelude::*;
+
+proptest! {
+    /// Reflected power + passed power = incident power, in both states,
+    /// for every coefficient pair.
+    #[test]
+    fn antenna_conserves_power(
+        rho in 0.0f64..1.0,
+        residual in 0.0f64..1.0,
+        state in any::<bool>(),
+        amp in 0.01f64..100.0,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let mut sw = ReflectionSwitch::new(rho, residual).with_phase(phase);
+        sw.set_state(state);
+        let incident = Iq::from_polar(amp, phase / 2.0);
+        let reflected = sw.reflected(incident).norm_sq();
+        let passed = sw.pass_power_fraction() * incident.norm_sq();
+        prop_assert!(
+            (reflected + passed - incident.norm_sq()).abs() < 1e-9 * incident.norm_sq()
+        );
+    }
+
+    /// Stored energy never goes negative, never exceeds capacity, and the
+    /// ledger of successful draws is consistent.
+    #[test]
+    fn harvester_storage_invariants(
+        ops in proptest::collection::vec((any::<bool>(), 0.0f64..1e-2, 0.0f64..0.1), 0..100),
+    ) {
+        let cfg = HarvesterConfig::typical();
+        let mut h = Harvester::new(cfg);
+        let mut drawn = 0.0f64;
+        for (is_harvest, power, dt) in ops {
+            if is_harvest {
+                h.harvest(power, dt);
+            } else if h.consume(power, dt) {
+                drawn += power * dt;
+            }
+            prop_assert!(h.stored_j() >= -1e-18);
+            prop_assert!(h.stored_j() <= cfg.storage_j + 1e-18);
+        }
+        // Can never draw more than initial + everything harvested.
+        prop_assert!(drawn <= cfg.initial_j + h.harvested_total_j() + 1e-15);
+    }
+
+    /// Efficiency is monotone in input power and bounded by the maximum.
+    #[test]
+    fn harvester_efficiency_monotone(p1 in 1e-7f64..1e-1, factor in 1.0f64..100.0) {
+        let h = Harvester::new(HarvesterConfig::typical());
+        let e1 = h.efficiency(p1);
+        let e2 = h.efficiency(p1 * factor);
+        prop_assert!(e2 + 1e-12 >= e1);
+        prop_assert!(e2 <= 0.4 + 1e-12);
+    }
+
+    /// Failed draws leave the store untouched (no partial drain).
+    #[test]
+    fn failed_draw_is_atomic(load in 1e-3f64..1.0, dt in 0.1f64..10.0) {
+        let mut h = Harvester::new(HarvesterConfig::typical());
+        let before = h.stored_j();
+        // This demand (≥ 100 µJ) always exceeds the 50 µJ initial store.
+        prop_assume!(load * dt > before);
+        prop_assert!(!h.consume(load, dt));
+        prop_assert_eq!(h.stored_j(), before);
+        prop_assert_eq!(h.outages(), 1);
+    }
+}

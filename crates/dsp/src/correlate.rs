@@ -1,0 +1,240 @@
+//! Normalised correlation and streaming preamble search.
+//!
+//! Frame synchronisation in a backscatter receiver happens on the envelope
+//! stream: the transmitter prepends a known alternating preamble, and the
+//! receiver slides a zero-mean template across the incoming envelope. The
+//! zero-mean, unit-norm formulation makes the detector invariant to both the
+//! large DC ambient level and the unknown modulation depth — exactly the two
+//! nuisance parameters of an envelope-detected backscatter link.
+
+use crate::ringbuf::RingBuf;
+
+/// Zero-mean normalised cross-correlation of `window` against `template`.
+///
+/// Returns a value in `[-1, 1]` (Pearson correlation). Returns 0 when either
+/// side has zero variance (flat signal can never sync) or lengths mismatch.
+pub fn ncc(window: &[f64], template: &[f64]) -> f64 {
+    if window.len() != template.len() || window.is_empty() {
+        return 0.0;
+    }
+    let n = window.len() as f64;
+    let mw = window.iter().sum::<f64>() / n;
+    let mt = template.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut dw = 0.0;
+    let mut dt = 0.0;
+    for (&w, &t) in window.iter().zip(template.iter()) {
+        let a = w - mw;
+        let b = t - mt;
+        num += a * b;
+        dw += a * a;
+        dt += b * b;
+    }
+    let den = (dw * dt).sqrt();
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Outcome of feeding one sample to a [`PreambleSearcher`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncEvent {
+    /// Still hunting; no decision this sample.
+    Searching,
+    /// The correlation peak was confirmed `lag` samples ago; the payload
+    /// starts at the *next* sample. `score` is the peak correlation.
+    Locked {
+        /// Samples elapsed since the true peak position.
+        lag: usize,
+        /// Peak normalised correlation value.
+        score: f64,
+    },
+}
+
+/// Streaming preamble detector.
+///
+/// Feeds envelope samples one at a time; once the sliding normalised
+/// correlation against the template exceeds `threshold`, the searcher keeps
+/// tracking until the correlation peaks (starts to fall) and then reports a
+/// [`SyncEvent::Locked`] carrying how many samples ago the peak occurred, so
+/// the caller can align bit boundaries retroactively.
+#[derive(Debug, Clone)]
+pub struct PreambleSearcher {
+    template: Vec<f64>,
+    window: RingBuf<f64>,
+    threshold: f64,
+    best: f64,
+    rising: bool,
+    since_best: usize,
+}
+
+impl PreambleSearcher {
+    /// Creates a searcher for `template` with detection `threshold`
+    /// (sensible values: 0.6–0.9). The template must contain at least two
+    /// distinct values; a flat template never locks.
+    pub fn new(template: Vec<f64>, threshold: f64) -> Self {
+        let window = RingBuf::new(template.len().max(1));
+        PreambleSearcher {
+            template,
+            window,
+            threshold: threshold.clamp(0.0, 1.0),
+            best: 0.0,
+            rising: false,
+            since_best: 0,
+        }
+    }
+
+    /// Length of the template in samples.
+    pub fn template_len(&self) -> usize {
+        self.template.len()
+    }
+
+    /// Pushes one envelope sample.
+    pub fn process(&mut self, x: f64) -> SyncEvent {
+        self.window.push_evict(x);
+        if !self.window.is_full() {
+            return SyncEvent::Searching;
+        }
+        let buf: Vec<f64> = self.window.iter().collect();
+        let score = ncc(&buf, &self.template);
+        if self.rising {
+            if score > self.best {
+                self.best = score;
+                self.since_best = 0;
+                SyncEvent::Searching
+            } else {
+                self.since_best += 1;
+                // Declare the peak once the correlation has fallen for a few
+                // samples (guards against plateau jitter).
+                if self.since_best >= 2 || score < self.threshold {
+                    let ev = SyncEvent::Locked {
+                        lag: self.since_best,
+                        score: self.best,
+                    };
+                    self.reset();
+                    ev
+                } else {
+                    SyncEvent::Searching
+                }
+            }
+        } else if score >= self.threshold {
+            self.rising = true;
+            self.best = score;
+            self.since_best = 0;
+            SyncEvent::Searching
+        } else {
+            SyncEvent::Searching
+        }
+    }
+
+    /// Returns to the hunting state (also called internally after a lock).
+    pub fn reset(&mut self) {
+        self.best = 0.0;
+        self.rising = false;
+        self.since_best = 0;
+        // Window intentionally kept: a new frame may follow immediately.
+    }
+
+    /// Clears everything including the sample window.
+    pub fn hard_reset(&mut self) {
+        self.reset();
+        self.window.clear();
+    }
+}
+
+/// Builds an envelope-domain template for a chip pattern: each chip becomes
+/// `sps` samples of its level.
+pub fn chips_to_template(chips: &[f64], sps: usize) -> Vec<f64> {
+    let sps = sps.max(1);
+    let mut out = Vec::with_capacity(chips.len() * sps);
+    for &c in chips {
+        for _ in 0..sps {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ncc_perfect_match_is_one() {
+        let t = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        assert!((ncc(&t, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ncc_inverted_is_minus_one() {
+        let t = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let inv: Vec<f64> = t.iter().map(|x| 1.0 - x).collect();
+        assert!((ncc(&inv, &t) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ncc_invariant_to_gain_and_offset() {
+        let t = [1.0, 0.0, 0.0, 1.0, 1.0, 0.0];
+        let scaled: Vec<f64> = t.iter().map(|x| 100.0 + 0.003 * x).collect();
+        assert!((ncc(&scaled, &t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ncc_flat_window_is_zero() {
+        let t = [1.0, 0.0, 1.0];
+        assert_eq!(ncc(&[5.0, 5.0, 5.0], &t), 0.0);
+        assert_eq!(ncc(&[1.0, 2.0], &t), 0.0); // length mismatch
+    }
+
+    #[test]
+    fn searcher_locks_on_embedded_preamble() {
+        let chips = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+        let sps = 4;
+        let template = chips_to_template(&chips, sps);
+        let mut s = PreambleSearcher::new(template.clone(), 0.7);
+
+        // 30 samples of flat carrier, then the preamble, then payload-ish.
+        let mut stream: Vec<f64> = vec![0.5; 30];
+        stream.extend(template.iter().map(|x| 0.5 + 0.2 * x));
+        stream.extend(vec![0.5; 20]);
+
+        let mut locked_at = None;
+        for (i, &x) in stream.iter().enumerate() {
+            if let SyncEvent::Locked { lag, score } = s.process(x) {
+                assert!(score > 0.9, "weak lock {score}");
+                locked_at = Some(i - lag);
+                break;
+            }
+        }
+        let peak = locked_at.expect("no lock");
+        // True peak: window ends exactly at preamble end = 30 + template.len() - 1.
+        let expected = 30 + template.len() - 1;
+        assert!(
+            (peak as i64 - expected as i64).abs() <= 1,
+            "peak {peak} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn searcher_ignores_noise_below_threshold() {
+        let template = chips_to_template(&[1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0], 4);
+        let mut s = PreambleSearcher::new(template, 0.8);
+        // Deterministic pseudo-noise unrelated to the template.
+        let mut x = 0.37;
+        for _ in 0..2000 {
+            x = (x * 9301.0 + 49297.0) % 1.0;
+            if let SyncEvent::Locked { score, .. } = s.process(x) {
+                // Occasional weak random locks would indicate a broken threshold.
+                panic!("false lock at score {score}");
+            }
+        }
+    }
+
+    #[test]
+    fn chips_to_template_expands() {
+        assert_eq!(chips_to_template(&[1.0, 0.0], 3), vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(chips_to_template(&[1.0], 0), vec![1.0]); // sps clamped
+    }
+}

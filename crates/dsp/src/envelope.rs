@@ -1,0 +1,122 @@
+//! Square-law envelope detection.
+//!
+//! A passive backscatter receiver has no mixer, no LO and no ADC in the
+//! conventional sense: the antenna voltage drives a diode (square-law
+//! device) into an RC network, and a comparator slices the result. This
+//! module models the square-law + RC stage; the comparator lives in
+//! `fdb-device` and the slicers in [`crate::threshold`].
+
+use crate::iir::SinglePole;
+use crate::sample::Iq;
+
+/// Square-law envelope detector: `e[n] = LPF(|x[n]|²)`.
+///
+/// The low-pass corner is set by the detector's RC time constant; it must be
+/// fast relative to the data chip rate (to follow data transitions) and is
+/// the physical reason the *feedback* channel must be much slower than the
+/// data channel (a second, slower stage recovers it).
+#[derive(Debug, Clone, Copy)]
+pub struct EnvelopeDetector {
+    lpf: SinglePole,
+}
+
+impl EnvelopeDetector {
+    /// Creates a detector with RC time constant `tau` seconds sampled every
+    /// `dt` seconds. `tau = 0` gives an ideal (instantaneous) square-law
+    /// detector.
+    pub fn new(tau: f64, dt: f64) -> Self {
+        EnvelopeDetector {
+            lpf: SinglePole::from_rc(tau, dt),
+        }
+    }
+
+    /// Ideal detector (no RC smoothing) — handy in unit tests and in
+    /// analytical cross-checks.
+    pub fn ideal() -> Self {
+        EnvelopeDetector {
+            lpf: SinglePole::from_alpha(1.0),
+        }
+    }
+
+    /// Processes one complex sample into an envelope (power) sample.
+    #[inline]
+    pub fn process(&mut self, x: Iq) -> f64 {
+        self.lpf.process(x.norm_sq())
+    }
+
+    /// Processes a block, producing one envelope sample per input.
+    pub fn process_block(&mut self, xs: &[Iq]) -> Vec<f64> {
+        xs.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Current detector output (capacitor voltage analogue).
+    pub fn output(&self) -> f64 {
+        self.lpf.output()
+    }
+
+    /// Resets the RC state.
+    pub fn reset(&mut self) {
+        self.lpf.reset();
+    }
+
+    /// Pre-charges the RC state (e.g. to the expected carrier level, so a
+    /// simulation needn't burn samples on settling).
+    pub fn precharge(&mut self, level: f64) {
+        self.lpf.set_state(level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_detector_outputs_power() {
+        let mut d = EnvelopeDetector::ideal();
+        assert!((d.process(Iq::new(3.0, 4.0)) - 25.0).abs() < 1e-12);
+        assert!((d.process(Iq::ZERO)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_invariance() {
+        // An envelope detector cannot see phase — the property that forces
+        // non-coherent (energy) detection at tags.
+        let mut d1 = EnvelopeDetector::ideal();
+        let mut d2 = EnvelopeDetector::ideal();
+        let a = Iq::from_polar(1.7, 0.3);
+        let b = Iq::from_polar(1.7, -2.1);
+        assert!((d1.process(a) - d2.process(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_smooths_step() {
+        let dt = 1e-6;
+        let mut d = EnvelopeDetector::new(10e-6, dt);
+        let first = d.process(Iq::ONE);
+        assert!(first < 1.0);
+        let mut y = first;
+        for _ in 0..200 {
+            y = d.process(Iq::ONE);
+        }
+        assert!((y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precharge_skips_settling() {
+        let mut d = EnvelopeDetector::new(1e-3, 1e-6);
+        d.precharge(1.0);
+        let y = d.process(Iq::ONE);
+        assert!((y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_matches_sample_by_sample() {
+        let xs: Vec<Iq> = (0..50).map(|i| Iq::from_polar(0.1 * i as f64, i as f64)).collect();
+        let mut d1 = EnvelopeDetector::new(5e-6, 1e-6);
+        let mut d2 = d1;
+        let block = d1.process_block(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(block[i], d2.process(x));
+        }
+    }
+}

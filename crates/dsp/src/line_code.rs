@@ -1,0 +1,347 @@
+//! Backscatter line codes: NRZ-OOK, Manchester, FM0, Miller.
+//!
+//! A backscatter transmitter has exactly two antenna states — *reflect* and
+//! *absorb* — so every code here maps bits onto binary **chips** (`true` =
+//! reflect). The choice of code is load-bearing for the full-duplex design:
+//!
+//! * The forward data must be **DC-balanced over a short horizon** so that
+//!   integrating the envelope over one feedback bit cancels the data and
+//!   exposes the slow feedback level. Manchester balances within every bit;
+//!   FM0 keeps the running imbalance bounded by a constant; NRZ does not
+//!   balance at all (and is included precisely so the ablation experiment
+//!   can show the feedback channel collapsing without DC balance).
+//! * Mid-bit structure (Manchester/FM0/Miller) also gives the receiver a
+//!   transition to track timing against, which is how cheap tag oscillators
+//!   stay synchronised over a frame.
+
+use serde::{Deserialize, Serialize};
+
+/// The line codes supported by the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineCode {
+    /// Plain on-off keying: one chip per bit, no balance guarantee.
+    Nrz,
+    /// Manchester (bi-phase): `1 → [hi,lo]`, `0 → [lo,hi]`; balanced per bit.
+    Manchester,
+    /// FM0 (bi-phase space): level inverts at every bit boundary; a data 0
+    /// adds a mid-bit inversion. Balanced over bit pairs.
+    Fm0,
+    /// Miller (delay modulation): data 1 has a mid-bit transition; a 0
+    /// following a 0 transitions at the boundary. Near-balanced for typical
+    /// payloads but not guaranteed (see
+    /// [`LineCode::is_dc_balanced_short_horizon`]).
+    Miller,
+}
+
+impl LineCode {
+    /// Chips emitted per data bit.
+    pub fn chips_per_bit(self) -> usize {
+        match self {
+            LineCode::Nrz => 1,
+            LineCode::Manchester | LineCode::Fm0 | LineCode::Miller => 2,
+        }
+    }
+
+    /// `true` when every single bit period contains equal reflect/absorb
+    /// time (the strongest form of DC balance).
+    pub fn is_dc_balanced_per_bit(self) -> bool {
+        matches!(self, LineCode::Manchester)
+    }
+
+    /// `true` when the running chip imbalance is bounded by a small constant
+    /// for *every* data pattern — the property the feedback integrator
+    /// needs. Holds for Manchester (per-bit) and FM0 (0-bits are split,
+    /// consecutive 1-bits alternate polarity). Miller's imbalance is
+    /// data-dependent (a repeating `0,1,1` pattern drifts), so it does not
+    /// qualify even though typical payloads stay near balance.
+    pub fn is_dc_balanced_short_horizon(self) -> bool {
+        matches!(self, LineCode::Manchester | LineCode::Fm0)
+    }
+
+    /// Encodes a bit slice into chips. Stateful codes (FM0/Miller) start
+    /// from the *reflect* level; the caller's waveform mapper applies
+    /// modulation depth.
+    pub fn encode(self, bits: &[bool]) -> Vec<bool> {
+        let mut enc = Encoder::new(self);
+        let mut out = Vec::with_capacity(bits.len() * self.chips_per_bit());
+        for &b in bits {
+            enc.push(b, &mut out);
+        }
+        out
+    }
+
+    /// Decodes hard chips back to bits. Chips beyond the last complete bit
+    /// are ignored.
+    pub fn decode_hard(self, chips: &[bool]) -> Vec<bool> {
+        match self {
+            LineCode::Nrz => chips.to_vec(),
+            LineCode::Manchester => chips.chunks_exact(2).map(|c| c[0]).collect(),
+            LineCode::Fm0 => chips.chunks_exact(2).map(|c| c[0] == c[1]).collect(),
+            LineCode::Miller => chips.chunks_exact(2).map(|c| c[0] != c[1]).collect(),
+        }
+    }
+}
+
+/// Streaming line-code encoder (keeps FM0/Miller level memory across calls).
+#[derive(Debug, Clone, Copy)]
+pub struct Encoder {
+    code: LineCode,
+    level: bool,
+    prev_bit: bool,
+}
+
+impl Encoder {
+    /// Creates an encoder starting at the reflect level.
+    pub fn new(code: LineCode) -> Self {
+        Encoder {
+            code,
+            level: true,
+            prev_bit: true,
+        }
+    }
+
+    /// Appends the chips for one bit to `out`.
+    pub fn push(&mut self, bit: bool, out: &mut Vec<bool>) {
+        match self.code {
+            LineCode::Nrz => out.push(bit),
+            LineCode::Manchester => {
+                if bit {
+                    out.push(true);
+                    out.push(false);
+                } else {
+                    out.push(false);
+                    out.push(true);
+                }
+            }
+            LineCode::Fm0 => {
+                // Invert at every bit boundary.
+                self.level = !self.level;
+                out.push(self.level);
+                if !bit {
+                    // A data 0 also inverts mid-bit.
+                    self.level = !self.level;
+                }
+                out.push(self.level);
+            }
+            LineCode::Miller => {
+                if bit {
+                    out.push(self.level);
+                    self.level = !self.level;
+                    out.push(self.level);
+                } else {
+                    if !self.prev_bit {
+                        self.level = !self.level;
+                    }
+                    out.push(self.level);
+                    out.push(self.level);
+                }
+                self.prev_bit = bit;
+            }
+        }
+    }
+
+    /// Resets level memory to the initial state.
+    pub fn reset(&mut self) {
+        self.level = true;
+        self.prev_bit = true;
+    }
+}
+
+/// Soft-decision decoder over per-chip envelope energies.
+///
+/// The PHY integrates the envelope over each chip period and hands the
+/// decoder one energy value per chip. The decision rules are the
+/// maximum-likelihood comparisons for each code given only chip energies
+/// (phase is invisible to an envelope detector):
+///
+/// * Manchester: `bit = e₀ > e₁` — self-referencing, threshold-free.
+/// * NRZ: `bit = e₀ > mid` where `mid` must come from an external slicer.
+/// * FM0/Miller: compare the two within-bit energies against the running
+///   modulation midpoint to recover chip polarity, then apply the hard rule.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftDecoder {
+    code: LineCode,
+}
+
+impl SoftDecoder {
+    /// Creates a soft decoder for `code`.
+    pub fn new(code: LineCode) -> Self {
+        SoftDecoder { code }
+    }
+
+    /// Decides one bit from the chip energies of its period.
+    ///
+    /// `chips` must contain `chips_per_bit()` energies; `mid` is the current
+    /// slicer threshold (ignored by Manchester). Returns `None` on a length
+    /// mismatch.
+    pub fn decide(&self, chips: &[f64], mid: f64) -> Option<bool> {
+        if chips.len() != self.code.chips_per_bit() {
+            return None;
+        }
+        Some(match self.code {
+            LineCode::Nrz => chips[0] > mid,
+            LineCode::Manchester => chips[0] > chips[1],
+            LineCode::Fm0 => (chips[0] > mid) == (chips[1] > mid),
+            LineCode::Miller => (chips[0] > mid) != (chips[1] > mid),
+        })
+    }
+}
+
+/// Fraction of chips at the reflect level over a chip slice — the DC
+/// balance diagnostic used in tests and the ablation bench.
+pub fn reflect_fraction(chips: &[bool]) -> f64 {
+    if chips.is_empty() {
+        return 0.0;
+    }
+    chips.iter().filter(|&&c| c).count() as f64 / chips.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(code: LineCode, bits: &[bool]) {
+        let chips = code.encode(bits);
+        assert_eq!(chips.len(), bits.len() * code.chips_per_bit());
+        assert_eq!(code.decode_hard(&chips), bits, "{code:?}");
+    }
+
+    fn patterns() -> Vec<Vec<bool>> {
+        vec![
+            vec![],
+            vec![true],
+            vec![false],
+            vec![true, false, true, false, true, false],
+            vec![true; 16],
+            vec![false; 16],
+            (0..64).map(|i| (i * 13) % 7 < 3).collect(),
+        ]
+    }
+
+    #[test]
+    fn all_codes_round_trip() {
+        for code in [LineCode::Nrz, LineCode::Manchester, LineCode::Fm0, LineCode::Miller] {
+            for p in patterns() {
+                round_trip(code, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn manchester_balanced_per_bit() {
+        for p in patterns() {
+            let chips = LineCode::Manchester.encode(&p);
+            for bit_chips in chips.chunks_exact(2) {
+                assert_eq!(reflect_fraction(bit_chips), 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn fm0_cumulative_imbalance_bounded() {
+        // FM0's DC property: a data 0 is split (one high, one low chip) and
+        // consecutive data 1s alternate full-high/full-low, so the running
+        // imbalance Σ(±1) over any prefix is bounded by a small constant —
+        // which is why integrating over many chips cancels the data.
+        for p in patterns() {
+            let chips = LineCode::Fm0.encode(&p);
+            let mut acc: i64 = 0;
+            for &c in &chips {
+                acc += if c { 1 } else { -1 };
+                assert!(acc.abs() <= 3, "pattern {p:?} imbalance {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn miller_imbalance_is_data_dependent() {
+        // Benign patterns stay near balance…
+        for p in patterns() {
+            let chips = LineCode::Miller.encode(&p);
+            let mut acc: i64 = 0;
+            for &c in &chips {
+                acc += if c { 1 } else { -1 };
+                assert!(acc.abs() <= 4, "pattern {p:?} imbalance {acc}");
+            }
+        }
+        // …but the repeating 0,1,1 pattern drifts (+2 per period), which is
+        // why Miller is excluded from is_dc_balanced_short_horizon.
+        let bad: Vec<bool> = (0..30).map(|i| i % 3 != 0).collect();
+        let chips = LineCode::Miller.encode(&bad);
+        let acc: i64 = chips.iter().map(|&c| if c { 1i64 } else { -1 }).sum();
+        assert!(acc.abs() >= 10, "expected drift, got {acc}");
+    }
+
+    #[test]
+    fn nrz_cumulative_imbalance_unbounded() {
+        let chips = LineCode::Nrz.encode(&vec![true; 64]);
+        let acc: i64 = chips.iter().map(|&c| if c { 1i64 } else { -1 }).sum();
+        assert_eq!(acc, 64);
+    }
+
+    #[test]
+    fn nrz_all_ones_is_unbalanced() {
+        let chips = LineCode::Nrz.encode(&vec![true; 32]);
+        assert_eq!(reflect_fraction(&chips), 1.0);
+        assert!(!LineCode::Nrz.is_dc_balanced_short_horizon());
+    }
+
+    #[test]
+    fn fm0_has_boundary_transition_every_bit() {
+        let p: Vec<bool> = (0..40).map(|i| i % 3 != 0).collect();
+        let chips = LineCode::Fm0.encode(&p);
+        // Chip at end of bit k must differ from chip at start of bit k+1.
+        for k in 0..p.len() - 1 {
+            assert_ne!(chips[2 * k + 1], chips[2 * k + 2], "no inversion at boundary {k}");
+        }
+    }
+
+    #[test]
+    fn miller_zero_runs_alternate_at_boundaries() {
+        let chips = LineCode::Miller.encode(&[false, false, false, false]);
+        // Each 0 is a constant bit; consecutive 0s must alternate level.
+        assert_eq!(chips[0], chips[1]);
+        assert_ne!(chips[1], chips[2]);
+        assert_eq!(chips[2], chips[3]);
+        assert_ne!(chips[3], chips[4]);
+    }
+
+    #[test]
+    fn soft_decoder_manchester_threshold_free() {
+        let d = SoftDecoder::new(LineCode::Manchester);
+        // Any gain/offset: first-half-bigger means 1.
+        assert_eq!(d.decide(&[3.0e-6, 1.0e-6], 999.0), Some(true));
+        assert_eq!(d.decide(&[1.0e-6, 3.0e-6], -999.0), Some(false));
+        assert_eq!(d.decide(&[1.0], 0.0), None);
+    }
+
+    #[test]
+    fn soft_decoder_matches_hard_on_clean_chips() {
+        let bits: Vec<bool> = (0..32).map(|i| (i * 5) % 3 == 0).collect();
+        for code in [LineCode::Nrz, LineCode::Manchester, LineCode::Fm0, LineCode::Miller] {
+            let chips = code.encode(&bits);
+            let d = SoftDecoder::new(code);
+            let n = code.chips_per_bit();
+            let soft: Vec<f64> = chips.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect();
+            let decoded: Vec<bool> = soft
+                .chunks_exact(n)
+                .map(|c| d.decide(c, 0.5).unwrap())
+                .collect();
+            assert_eq!(decoded, bits, "{code:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_encoder_matches_batch() {
+        let bits: Vec<bool> = (0..23).map(|i| i % 4 == 1).collect();
+        for code in [LineCode::Fm0, LineCode::Miller] {
+            let batch = code.encode(&bits);
+            let mut enc = Encoder::new(code);
+            let mut streamed = Vec::new();
+            for &b in &bits {
+                enc.push(b, &mut streamed);
+            }
+            assert_eq!(streamed, batch, "{code:?}");
+        }
+    }
+}

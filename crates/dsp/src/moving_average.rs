@@ -1,0 +1,243 @@
+//! O(1) sliding-window mean and integrate-and-dump accumulator.
+//!
+//! The feedback decoder at the full-duplex transmitter is, at its heart, an
+//! integrate-and-dump filter spanning one feedback bit (= `m` data bits):
+//! because the forward data coding is DC-balanced, integrating the envelope
+//! over a feedback bit cancels the data and leaves the (slow) feedback
+//! level. [`MovingAverage`] provides the streaming window mean used by
+//! adaptive thresholds; [`IntegrateDump`] provides the bit-aligned
+//! accumulator used by the feedback decoder.
+
+use crate::ringbuf::RingBuf;
+
+/// Streaming mean over the last `n` samples.
+///
+/// Maintains a running sum for O(1) updates. To bound floating-point drift
+/// over very long runs, the sum is recomputed from the window every
+/// `REFRESH` updates; the window is at most a few thousand samples in this
+/// stack so the recompute is cheap.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: RingBuf<f64>,
+    sum: f64,
+    updates: u64,
+}
+
+const REFRESH: u64 = 1 << 16;
+
+impl MovingAverage {
+    /// Creates a window of length `n` (clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        MovingAverage {
+            window: RingBuf::new(n.max(1)),
+            sum: 0.0,
+            updates: 0,
+        }
+    }
+
+    /// Window length.
+    pub fn window_len(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// Number of samples currently in the window.
+    pub fn fill(&self) -> usize {
+        self.window.len()
+    }
+
+    /// `true` once the window is fully populated.
+    pub fn is_warm(&self) -> bool {
+        self.window.is_full()
+    }
+
+    /// Pushes a sample and returns the mean over the current window
+    /// (over fewer samples during warm-up).
+    pub fn process(&mut self, x: f64) -> f64 {
+        if let Some(old) = self.window.push_evict(x) {
+            self.sum += x - old;
+        } else {
+            self.sum += x;
+        }
+        self.updates += 1;
+        if self.updates % REFRESH == 0 {
+            self.sum = self.window.iter().sum();
+        }
+        self.sum / self.window.len() as f64
+    }
+
+    /// Current mean without pushing.
+    pub fn mean(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.sum / self.window.len() as f64
+        }
+    }
+
+    /// Clears the window.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+        self.updates = 0;
+    }
+}
+
+/// Integrate-and-dump: accumulates exactly `n` samples, then emits their
+/// mean and restarts.
+///
+/// This is the matched filter for a rectangular pulse of `n` samples and the
+/// core of the low-rate feedback demodulator.
+#[derive(Debug, Clone)]
+pub struct IntegrateDump {
+    n: usize,
+    count: usize,
+    acc: f64,
+}
+
+impl IntegrateDump {
+    /// Creates an accumulator over `n` samples (clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        IntegrateDump {
+            n: n.max(1),
+            count: 0,
+            acc: 0.0,
+        }
+    }
+
+    /// Integration length in samples.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no samples have been accumulated since the last dump.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Samples accumulated since the last dump.
+    pub fn pending(&self) -> usize {
+        self.count
+    }
+
+    /// Pushes one sample. Returns `Some(mean)` on the sample that completes
+    /// the window, `None` otherwise.
+    pub fn process(&mut self, x: f64) -> Option<f64> {
+        self.acc += x;
+        self.count += 1;
+        if self.count == self.n {
+            let mean = self.acc / self.n as f64;
+            self.acc = 0.0;
+            self.count = 0;
+            Some(mean)
+        } else {
+            None
+        }
+    }
+
+    /// Discards any partial accumulation (used on re-synchronisation).
+    pub fn reset(&mut self) {
+        self.acc = 0.0;
+        self.count = 0;
+    }
+
+    /// Changes the integration length, discarding partial state.
+    pub fn set_len(&mut self, n: usize) {
+        self.n = n.max(1);
+        self.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let mut ma = MovingAverage::new(8);
+        for _ in 0..32 {
+            assert!((ma.process(3.0) - 3.0).abs() < 1e-12);
+        }
+        assert!(ma.is_warm());
+    }
+
+    #[test]
+    fn moving_average_tracks_window_exactly() {
+        let mut ma = MovingAverage::new(4);
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut outs = Vec::new();
+        for &x in &xs {
+            outs.push(ma.process(x));
+        }
+        // warm-up means over 1..=4 samples, then sliding windows.
+        assert!((outs[0] - 1.0).abs() < 1e-12);
+        assert!((outs[1] - 1.5).abs() < 1e-12);
+        assert!((outs[3] - 2.5).abs() < 1e-12);
+        assert!((outs[4] - 3.5).abs() < 1e-12); // (2+3+4+5)/4
+        assert!((outs[5] - 4.5).abs() < 1e-12); // (3+4+5+6)/4
+    }
+
+    #[test]
+    fn moving_average_long_run_no_drift() {
+        let mut ma = MovingAverage::new(16);
+        let mut last = 0.0;
+        for i in 0..(1u64 << 18) {
+            last = ma.process(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        assert!(last.abs() < 1e-9, "drift {last}");
+    }
+
+    #[test]
+    fn integrate_dump_emits_every_n() {
+        let mut id = IntegrateDump::new(4);
+        let mut emissions = Vec::new();
+        for i in 1..=12 {
+            if let Some(m) = id.process(i as f64) {
+                emissions.push(m);
+            }
+        }
+        assert_eq!(emissions.len(), 3);
+        assert!((emissions[0] - 2.5).abs() < 1e-12); // (1+2+3+4)/4
+        assert!((emissions[1] - 6.5).abs() < 1e-12);
+        assert!((emissions[2] - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_dump_reset_discards_partials() {
+        let mut id = IntegrateDump::new(3);
+        id.process(100.0);
+        id.reset();
+        assert!(id.process(1.0).is_none());
+        assert!(id.process(1.0).is_none());
+        assert_eq!(id.process(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn integrate_dump_set_len() {
+        let mut id = IntegrateDump::new(10);
+        id.process(5.0);
+        id.set_len(2);
+        assert!(id.process(4.0).is_none());
+        assert_eq!(id.process(6.0), Some(5.0));
+        assert_eq!(id.len(), 2);
+    }
+
+    #[test]
+    fn dc_balanced_data_integrates_to_midpoint() {
+        // The property the FD feedback channel relies on: a Manchester-like
+        // alternating data waveform integrated over a full feedback bit
+        // yields the same value regardless of the data bits.
+        let mut id = IntegrateDump::new(8);
+        // data pattern A: 1,0,1,0 chips → envelope 1,0,1,0...
+        let mut a = None;
+        for i in 0..8 {
+            a = id.process(if i % 2 == 0 { 1.0 } else { 0.0 }).or(a);
+        }
+        let mut id2 = IntegrateDump::new(8);
+        // data pattern B: 0,1,0,1 chips
+        let mut b = None;
+        for i in 0..8 {
+            b = id2.process(if i % 2 == 1 { 1.0 } else { 0.0 }).or(b);
+        }
+        assert_eq!(a, b);
+    }
+}

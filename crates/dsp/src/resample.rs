@@ -1,0 +1,185 @@
+//! Fractional resampling — the model of clock-rate mismatch.
+//!
+//! A passive tag cannot afford a crystal; its bit clock comes from an RC
+//! relaxation oscillator that is off by hundreds to thousands of ppm and
+//! drifts with temperature. In the simulation, the channel produces samples
+//! on the *simulator* clock and the tag consumes them on *its* clock; a
+//! linear-interpolating fractional resampler converts between the two.
+
+/// Streaming linear-interpolation resampler.
+///
+/// For a rate ratio `r = f_out / f_in`, each input sample may produce zero,
+/// one or several output samples. Output sample `k` corresponds to input
+/// position `k / r`.
+#[derive(Debug, Clone)]
+pub struct Resampler {
+    /// Input samples consumed per output sample (`1/r`).
+    step: f64,
+    /// Position of the next output, in input-sample units, relative to the
+    /// most recent input sample (so it lies in `(-1, 0]` when an output is
+    /// pending between the previous and current input).
+    next_pos: f64,
+    prev: f64,
+    have_prev: bool,
+}
+
+impl Resampler {
+    /// Creates a resampler with rate ratio `ratio = f_out / f_in`.
+    /// Non-finite or non-positive ratios are clamped to 1.
+    pub fn new(ratio: f64) -> Self {
+        let ratio = if ratio.is_finite() && ratio > 0.0 { ratio } else { 1.0 };
+        Resampler {
+            step: 1.0 / ratio,
+            next_pos: 0.0,
+            prev: 0.0,
+            have_prev: false,
+        }
+    }
+
+    /// Creates a resampler for a clock error in parts-per-million: the
+    /// consumer's clock runs `ppm` fast (positive) or slow (negative)
+    /// relative to the producer.
+    ///
+    /// A consumer clock that runs fast *samples more often*, so the output
+    /// rate ratio is `1 + ppm·1e-6`.
+    pub fn from_ppm(ppm: f64) -> Self {
+        Resampler::new(1.0 + ppm * 1e-6)
+    }
+
+    /// The configured ratio `f_out / f_in`.
+    pub fn ratio(&self) -> f64 {
+        1.0 / self.step
+    }
+
+    /// Pushes one input sample; appends any due output samples to `out`.
+    pub fn push(&mut self, x: f64, out: &mut Vec<f64>) {
+        if !self.have_prev {
+            self.prev = x;
+            self.have_prev = true;
+            // First output coincides with the first input sample.
+            out.push(x);
+            self.next_pos = self.step - 1.0;
+            self.prev = x;
+            return;
+        }
+        // Interval covered this call: positions in (-1, 0] map linearly
+        // from prev (at -1) to x (at 0).
+        while self.next_pos <= 0.0 {
+            let frac = self.next_pos + 1.0; // in (0, 1]
+            out.push(self.prev + (x - self.prev) * frac);
+            self.next_pos += self.step;
+        }
+        self.next_pos -= 1.0;
+        self.prev = x;
+    }
+
+    /// Processes a whole block.
+    pub fn process_block(&mut self, xs: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity((xs.len() as f64 * self.ratio()) as usize + 2);
+        for &x in xs {
+            self.push(x, &mut out);
+        }
+        out
+    }
+
+    /// Resets phase and history.
+    pub fn reset(&mut self) {
+        self.next_pos = 0.0;
+        self.have_prev = false;
+        self.prev = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_ratio_is_identity() {
+        let mut r = Resampler::new(1.0);
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys = r.process_block(&xs);
+        assert_eq!(ys.len(), xs.len());
+        for (y, x) in ys.iter().zip(xs.iter()) {
+            assert!((y - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn output_count_matches_ratio() {
+        for &ratio in &[0.5, 0.9, 1.1, 2.0, 3.7] {
+            let mut r = Resampler::new(ratio);
+            let n = 10_000;
+            let xs = vec![1.0; n];
+            let ys = r.process_block(&xs);
+            // Outputs span the (n−1) input intervals plus the initial sample.
+            let expected = ((n - 1) as f64 * ratio).floor() as i64 + 1;
+            assert!(
+                (ys.len() as i64 - expected).abs() <= 1,
+                "ratio {ratio}: {} vs {expected}",
+                ys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn interpolates_a_ramp_exactly() {
+        // Linear interpolation reproduces a linear signal exactly.
+        let mut r = Resampler::new(1.6);
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys = r.process_block(&xs);
+        for (k, &y) in ys.iter().enumerate() {
+            let expect = k as f64 / 1.6;
+            assert!(
+                (y - expect).abs() < 1e-9,
+                "output {k}: {y} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ppm_offsets_accumulate() {
+        // +1000 ppm over 1e5 samples ⇒ ~100 extra samples.
+        let mut r = Resampler::from_ppm(1000.0);
+        let ys = r.process_block(&vec![0.0; 100_000]);
+        assert!(
+            (ys.len() as i64 - 100_100).abs() <= 2,
+            "{} samples",
+            ys.len()
+        );
+    }
+
+    #[test]
+    fn negative_ppm_drops_samples() {
+        let mut r = Resampler::from_ppm(-1000.0);
+        let ys = r.process_block(&vec![0.0; 100_000]);
+        assert!(
+            (ys.len() as i64 - 99_900).abs() <= 2,
+            "{} samples",
+            ys.len()
+        );
+    }
+
+    #[test]
+    fn invalid_ratio_clamps_to_identity() {
+        let r = Resampler::new(f64::NAN);
+        assert_eq!(r.ratio(), 1.0);
+        let r = Resampler::new(-2.0);
+        assert_eq!(r.ratio(), 1.0);
+    }
+
+    #[test]
+    fn preserves_slow_sine_shape() {
+        // Resampling at 1.003 must not distort a slow sine (max error small).
+        let mut r = Resampler::new(1.003);
+        let xs: Vec<f64> = (0..5000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 500.0).sin())
+            .collect();
+        let ys = r.process_block(&xs);
+        for (k, &y) in ys.iter().enumerate().skip(1) {
+            let t = k as f64 / 1.003;
+            let expect = (2.0 * std::f64::consts::PI * t / 500.0).sin();
+            assert!((y - expect).abs() < 1e-3, "sample {k}");
+        }
+    }
+}

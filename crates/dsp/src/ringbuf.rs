@@ -1,0 +1,180 @@
+//! Fixed-capacity ring buffer.
+//!
+//! Windowed operators (moving averages, correlators, delay lines) all need
+//! the same primitive: push a sample, evict the oldest once full, iterate in
+//! age order. `VecDeque` would work but exposes growth; a fixed ring keeps
+//! the capacity invariant in the type's hands and makes the delay-line use
+//! case (`push_evict`) a single call.
+
+/// A fixed-capacity FIFO ring buffer over `T`.
+///
+/// Once `len() == capacity()`, each push evicts the oldest element.
+#[derive(Debug, Clone)]
+pub struct RingBuf<T> {
+    buf: Vec<T>,
+    head: usize, // index of the oldest element when full / wrapped start
+    len: usize,
+    cap: usize,
+}
+
+impl<T: Copy + Default> RingBuf<T> {
+    /// Creates an empty ring with the given capacity.
+    ///
+    /// A zero capacity is clamped to 1 so that `push_evict` always has a
+    /// well-defined meaning.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        RingBuf {
+            buf: vec![T::default(); cap],
+            head: 0,
+            len: 0,
+            cap,
+        }
+    }
+
+    /// Maximum number of elements held.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current number of elements held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no elements are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once the ring has reached capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.cap
+    }
+
+    /// Pushes a new element. When full, the oldest element is evicted and
+    /// returned; otherwise `None`.
+    pub fn push_evict(&mut self, value: T) -> Option<T> {
+        if self.len < self.cap {
+            let idx = (self.head + self.len) % self.cap;
+            self.buf[idx] = value;
+            self.len += 1;
+            None
+        } else {
+            let evicted = self.buf[self.head];
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.cap;
+            Some(evicted)
+        }
+    }
+
+    /// Element at logical index `i` (0 = oldest). `None` when out of range.
+    pub fn get(&self, i: usize) -> Option<T> {
+        if i < self.len {
+            Some(self.buf[(self.head + i) % self.cap])
+        } else {
+            None
+        }
+    }
+
+    /// The most recently pushed element.
+    pub fn newest(&self) -> Option<T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.get(self.len - 1)
+        }
+    }
+
+    /// The element that would be evicted next.
+    pub fn oldest(&self) -> Option<T> {
+        self.get(0)
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len).map(move |i| self.buf[(self.head + i) % self.cap])
+    }
+
+    /// Clears the ring without touching capacity.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Fills the ring to capacity with `value` (resets any prior content).
+    ///
+    /// Useful to pre-charge delay lines so output is defined from sample 0.
+    pub fn fill(&mut self, value: T) {
+        for slot in self.buf.iter_mut() {
+            *slot = value;
+        }
+        self.head = 0;
+        self.len = self.cap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_fifo() {
+        let mut r: RingBuf<u32> = RingBuf::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.push_evict(1), None);
+        assert_eq!(r.push_evict(2), None);
+        assert_eq!(r.push_evict(3), None);
+        assert!(r.is_full());
+        assert_eq!(r.push_evict(4), Some(1));
+        assert_eq!(r.push_evict(5), Some(2));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(r.oldest(), Some(3));
+        assert_eq!(r.newest(), Some(5));
+    }
+
+    #[test]
+    fn get_respects_age_order_across_wrap() {
+        let mut r: RingBuf<i64> = RingBuf::new(4);
+        for v in 0..10 {
+            r.push_evict(v);
+        }
+        // holds 6,7,8,9
+        assert_eq!(r.get(0), Some(6));
+        assert_eq!(r.get(3), Some(9));
+        assert_eq!(r.get(4), None);
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let mut r: RingBuf<u8> = RingBuf::new(0);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.push_evict(7), None);
+        assert_eq!(r.push_evict(8), Some(7));
+    }
+
+    #[test]
+    fn fill_precharges() {
+        let mut r: RingBuf<f64> = RingBuf::new(5);
+        r.fill(1.5);
+        assert!(r.is_full());
+        assert!(r.iter().all(|x| x == 1.5));
+        assert_eq!(r.push_evict(2.0), Some(1.5));
+    }
+
+    #[test]
+    fn clear_resets_len_only() {
+        let mut r: RingBuf<u16> = RingBuf::new(2);
+        r.push_evict(1);
+        r.push_evict(2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 2);
+        assert_eq!(r.push_evict(9), None);
+        assert_eq!(r.newest(), Some(9));
+    }
+}

@@ -1,0 +1,302 @@
+//! Complex baseband sample type and power-unit conversions.
+//!
+//! The whole stack works on complex baseband ("IQ") samples at a fixed
+//! simulation rate. We provide a tiny purpose-built complex type rather than
+//! pulling in a numerics crate: the operations needed by a backscatter
+//! simulator are a short, closed list and having them inline keeps every
+//! crate in the workspace dependency-light and auditable.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex baseband sample (in-phase `re`, quadrature `im`).
+///
+/// Arithmetic follows ordinary complex-number rules. Power is `norm_sq()`
+/// (watts when the signal is scaled in √W), amplitude is `abs()`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Iq {
+    /// In-phase (real) component.
+    pub re: f64,
+    /// Quadrature (imaginary) component.
+    pub im: f64,
+}
+
+impl Iq {
+    /// The additive identity.
+    pub const ZERO: Iq = Iq { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Iq = Iq { re: 1.0, im: 0.0 };
+
+    /// Builds a sample from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Iq { re, im }
+    }
+
+    /// Builds a purely real sample.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Iq { re, im: 0.0 }
+    }
+
+    /// Builds a sample from polar form: `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Iq::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Unit phasor `e^{jθ}`.
+    #[inline]
+    pub fn phasor(theta: f64) -> Self {
+        Iq::from_polar(1.0, theta)
+    }
+
+    /// Squared magnitude `|x|²` — instantaneous power for a √W-scaled signal.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|x|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Iq::new(self.re, -self.im)
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Iq::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Iq {
+    type Output = Iq;
+    #[inline]
+    fn add(self, rhs: Iq) -> Iq {
+        Iq::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Iq {
+    #[inline]
+    fn add_assign(&mut self, rhs: Iq) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Iq {
+    type Output = Iq;
+    #[inline]
+    fn sub(self, rhs: Iq) -> Iq {
+        Iq::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Iq {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Iq) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Neg for Iq {
+    type Output = Iq;
+    #[inline]
+    fn neg(self) -> Iq {
+        Iq::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Iq {
+    type Output = Iq;
+    #[inline]
+    fn mul(self, rhs: Iq) -> Iq {
+        Iq::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Iq {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Iq) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Iq {
+    type Output = Iq;
+    #[inline]
+    fn mul(self, rhs: f64) -> Iq {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Iq> for f64 {
+    type Output = Iq;
+    #[inline]
+    fn mul(self, rhs: Iq) -> Iq {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Iq {
+    type Output = Iq;
+    #[inline]
+    fn div(self, rhs: f64) -> Iq {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Div for Iq {
+    type Output = Iq;
+    #[inline]
+    fn div(self, rhs: Iq) -> Iq {
+        let d = rhs.norm_sq();
+        (self * rhs.conj()).scale(1.0 / d)
+    }
+}
+
+impl Sum for Iq {
+    fn sum<I: Iterator<Item = Iq>>(iter: I) -> Iq {
+        iter.fold(Iq::ZERO, |a, b| a + b)
+    }
+}
+
+/// Converts a power ratio to decibels: `10·log₁₀(x)`.
+///
+/// Returns `-inf` for zero input; NaN propagates for negative input
+/// (a negative power ratio is a caller bug worth surfacing loudly).
+#[inline]
+pub fn lin_to_db(x: f64) -> f64 {
+    10.0 * x.log10()
+}
+
+/// Converts decibels to a linear power ratio: `10^(x/10)`.
+#[inline]
+pub fn db_to_lin(x: f64) -> f64 {
+    10f64.powf(x / 10.0)
+}
+
+/// Converts watts to dBm.
+#[inline]
+pub fn watts_to_dbm(w: f64) -> f64 {
+    lin_to_db(w) + 30.0
+}
+
+/// Converts dBm to watts.
+#[inline]
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    db_to_lin(dbm - 30.0)
+}
+
+/// Mean power (mean of `|x|²`) of a sample slice. Returns 0 for empty input.
+pub fn mean_power(samples: &[Iq]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64
+}
+
+/// Root-mean-square amplitude of a sample slice.
+pub fn rms(samples: &[Iq]) -> f64 {
+    mean_power(samples).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn complex_arithmetic_identities() {
+        let a = Iq::new(3.0, -4.0);
+        let b = Iq::new(-1.5, 2.0);
+        assert_eq!(a + Iq::ZERO, a);
+        assert_eq!(a * Iq::ONE, a);
+        assert_eq!(a - a, Iq::ZERO);
+        let prod = a * b;
+        // (3 - 4j)(-1.5 + 2j) = -4.5 + 6j + 6j - 8j² = 3.5 + 12j
+        assert!((prod.re - 3.5).abs() < EPS);
+        assert!((prod.im - 12.0).abs() < EPS);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Iq::new(0.7, -2.3);
+        let b = Iq::new(1.1, 0.4);
+        let q = (a * b) / b;
+        assert!((q.re - a.re).abs() < 1e-10);
+        assert!((q.im - a.im).abs() < 1e-10);
+    }
+
+    #[test]
+    fn magnitude_and_phase() {
+        let a = Iq::new(3.0, 4.0);
+        assert!((a.abs() - 5.0).abs() < EPS);
+        assert!((a.norm_sq() - 25.0).abs() < EPS);
+        let p = Iq::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((p.abs() - 2.0).abs() < EPS);
+        assert!((p.arg() - std::f64::consts::FRAC_PI_3).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_squares_to_norm() {
+        let a = Iq::new(-1.25, 0.5);
+        let n = a * a.conj();
+        assert!((n.re - a.norm_sq()).abs() < EPS);
+        assert!(n.im.abs() < EPS);
+    }
+
+    #[test]
+    fn db_conversions_round_trip() {
+        for &x in &[1e-9, 1e-3, 1.0, 42.0, 1e6] {
+            assert!((db_to_lin(lin_to_db(x)) - x).abs() / x < 1e-12);
+        }
+        assert!((lin_to_db(100.0) - 20.0).abs() < EPS);
+        assert!((watts_to_dbm(1.0) - 30.0).abs() < EPS);
+        assert!((dbm_to_watts(0.0) - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mean_power_of_unit_phasors_is_one() {
+        let v: Vec<Iq> = (0..1000)
+            .map(|i| Iq::phasor(i as f64 * 0.1))
+            .collect();
+        assert!((mean_power(&v) - 1.0).abs() < 1e-12);
+        assert!((rms(&v) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn sum_matches_fold() {
+        let v = [Iq::new(1.0, 2.0), Iq::new(-0.5, 0.25), Iq::new(3.0, -3.0)];
+        let s: Iq = v.iter().copied().sum();
+        assert!((s.re - 3.5).abs() < EPS);
+        assert!((s.im + 0.75).abs() < EPS);
+    }
+}

@@ -1,0 +1,296 @@
+//! Adaptive slicers: turning envelope levels into bits.
+//!
+//! A backscatter receiver never knows its absolute signal levels — they
+//! depend on distance, ambient power and modulation depth — so the decision
+//! threshold must be learned from the waveform itself. Two estimators are
+//! provided:
+//!
+//! * [`PeakTracker`] — leaky max/min followers; threshold at the midpoint.
+//!   Cheap (a comparator plus two RC networks in hardware), fast to acquire,
+//!   the model of what a real tag does.
+//! * [`TwoMeans`] — online 2-means clustering of levels; slightly better in
+//!   noise, the model of a reader-class device with a little more compute.
+//!
+//! Both expose the same `process → (bit, threshold)` shape so the PHY can
+//! swap them for the ablation study.
+
+use serde::{Deserialize, Serialize};
+
+/// Leaky peak-tracking slicer.
+///
+/// Max and min followers attack instantly and decay exponentially toward
+/// the current sample with rate `decay` per sample; the slice threshold is
+/// their midpoint. `decay` should be slow relative to the chip rate but
+/// fast relative to fading dynamics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PeakTracker {
+    max: f64,
+    min: f64,
+    decay: f64,
+    primed: bool,
+}
+
+impl PeakTracker {
+    /// Creates a tracker with the given per-sample decay (e.g. `1e-3`).
+    pub fn new(decay: f64) -> Self {
+        PeakTracker {
+            max: 0.0,
+            min: 0.0,
+            decay: decay.clamp(0.0, 1.0),
+            primed: false,
+        }
+    }
+
+    /// Current threshold estimate.
+    pub fn threshold(&self) -> f64 {
+        0.5 * (self.max + self.min)
+    }
+
+    /// Current estimated swing (max − min).
+    pub fn swing(&self) -> f64 {
+        (self.max - self.min).max(0.0)
+    }
+
+    /// Processes one envelope sample; returns the sliced bit.
+    pub fn process(&mut self, x: f64) -> bool {
+        if !self.primed {
+            self.max = x;
+            self.min = x;
+            self.primed = true;
+            return false;
+        }
+        if x > self.max {
+            self.max = x;
+        } else {
+            self.max -= self.decay * (self.max - x);
+        }
+        if x < self.min {
+            self.min = x;
+        } else {
+            self.min += self.decay * (x - self.min);
+        }
+        x > self.threshold()
+    }
+
+    /// Pre-loads the followers (e.g. from a known preamble swing).
+    pub fn prime(&mut self, min: f64, max: f64) {
+        self.min = min.min(max);
+        self.max = max.max(min);
+        self.primed = true;
+    }
+
+    /// Resets to the unprimed state.
+    pub fn reset(&mut self) {
+        self.primed = false;
+        self.max = 0.0;
+        self.min = 0.0;
+    }
+}
+
+/// Online two-means slicer.
+///
+/// Keeps two centroids; each sample updates its nearest centroid with
+/// learning rate `rate`. Threshold is the centroid midpoint. Centroids are
+/// initialised from the first two samples. To avoid a centroid freezing on
+/// an outlier (a spike captures `hi`, then no sample ever crosses the
+/// inflated threshold again), both centroids also leak slowly toward the
+/// running signal mean.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TwoMeans {
+    lo: f64,
+    hi: f64,
+    rate: f64,
+    leak: f64,
+    mean: f64,
+    seen: u32,
+}
+
+impl TwoMeans {
+    /// Creates a slicer with the given centroid learning rate (e.g. 0.05).
+    pub fn new(rate: f64) -> Self {
+        let rate = rate.clamp(f64::MIN_POSITIVE, 1.0);
+        TwoMeans {
+            lo: 0.0,
+            hi: 0.0,
+            rate,
+            leak: rate * 0.02,
+            mean: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// Current threshold estimate.
+    pub fn threshold(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Current centroids `(lo, hi)`.
+    pub fn centroids(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Processes one envelope sample; returns the sliced bit.
+    pub fn process(&mut self, x: f64) -> bool {
+        match self.seen {
+            0 => {
+                self.lo = x;
+                self.hi = x;
+                self.mean = x;
+                self.seen = 1;
+                false
+            }
+            1 => {
+                if x >= self.lo {
+                    self.hi = x;
+                } else {
+                    self.hi = self.lo;
+                    self.lo = x;
+                }
+                self.mean = 0.5 * (self.mean + x);
+                self.seen = 2;
+                x > self.threshold()
+            }
+            _ => {
+                self.mean += self.rate * 0.1 * (x - self.mean);
+                let bit = x > self.threshold();
+                if bit {
+                    self.hi += self.rate * (x - self.hi);
+                } else {
+                    self.lo += self.rate * (x - self.lo);
+                }
+                // Anti-freeze leak: outlier-captured centroids relax back
+                // toward the signal mean until real samples recapture them.
+                self.hi += self.leak * (self.mean - self.hi);
+                self.lo += self.leak * (self.mean - self.lo);
+                // Keep ordering even under noise bursts.
+                if self.lo > self.hi {
+                    std::mem::swap(&mut self.lo, &mut self.hi);
+                }
+                bit
+            }
+        }
+    }
+
+    /// Pre-loads the centroids.
+    pub fn prime(&mut self, lo: f64, hi: f64) {
+        self.lo = lo.min(hi);
+        self.hi = hi.max(lo);
+        self.seen = 2;
+    }
+
+    /// Resets to the uninitialised state.
+    pub fn reset(&mut self) {
+        self.seen = 0;
+        self.lo = 0.0;
+        self.hi = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_wave(n: usize, lo: f64, hi: f64, half_period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if (i / half_period) % 2 == 0 { hi } else { lo })
+            .collect()
+    }
+
+    #[test]
+    fn peak_tracker_slices_clean_square_wave() {
+        let xs = square_wave(4000, 1.0, 3.0, 10);
+        let mut t = PeakTracker::new(1e-3);
+        let mut correct = 0;
+        let mut total = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            let bit = t.process(x);
+            if i > 100 {
+                total += 1;
+                if bit == ((i / 10) % 2 == 0) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.99);
+        assert!((t.threshold() - 2.0).abs() < 0.2, "thr {}", t.threshold());
+    }
+
+    #[test]
+    fn peak_tracker_prime_sets_threshold() {
+        let mut t = PeakTracker::new(1e-3);
+        t.prime(1.0, 3.0);
+        assert!((t.threshold() - 2.0).abs() < 1e-12);
+        assert!(t.process(2.5));
+        assert!(!t.process(1.5));
+    }
+
+    #[test]
+    fn peak_tracker_adapts_after_level_shift() {
+        let mut t = PeakTracker::new(5e-3);
+        for &x in &square_wave(2000, 1.0, 3.0, 10) {
+            t.process(x);
+        }
+        // Whole waveform drops 10×.
+        for &x in &square_wave(5000, 0.1, 0.3, 10) {
+            t.process(x);
+        }
+        assert!((t.threshold() - 0.2).abs() < 0.05, "thr {}", t.threshold());
+    }
+
+    #[test]
+    fn two_means_slices_clean_square_wave() {
+        let xs = square_wave(2000, 0.5, 1.5, 8);
+        let mut t = TwoMeans::new(0.05);
+        let mut errors = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            let bit = t.process(x);
+            if i > 50 && bit != ((i / 8) % 2 == 0) {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 0);
+        let (lo, hi) = t.centroids();
+        assert!((lo - 0.5).abs() < 0.05 && (hi - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_means_noise_robustness_beats_midpoint_of_extremes() {
+        // With rare large spikes, peak tracking overshoots while two-means
+        // stays near the true midpoint.
+        let mut xs = square_wave(5000, 1.0, 2.0, 10);
+        for i in (0..xs.len()).step_by(500) {
+            xs[i] = 10.0; // spike
+        }
+        let mut pt = PeakTracker::new(1e-4);
+        let mut tm = TwoMeans::new(0.05);
+        for &x in &xs {
+            pt.process(x);
+            tm.process(x);
+        }
+        let true_mid = 1.5;
+        assert!((tm.threshold() - true_mid).abs() < 0.3, "tm {}", tm.threshold());
+        assert!((pt.threshold() - true_mid).abs() > (tm.threshold() - true_mid).abs());
+    }
+
+    #[test]
+    fn two_means_centroid_ordering_invariant() {
+        let mut t = TwoMeans::new(0.5);
+        // Adversarial order.
+        for &x in &[5.0, 1.0, 9.0, 0.0, 7.0, 2.0] {
+            t.process(x);
+            let (lo, hi) = t.centroids();
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let mut t = TwoMeans::new(0.1);
+        t.process(1.0);
+        t.process(2.0);
+        t.reset();
+        assert_eq!(t.centroids(), (0.0, 0.0));
+        t.process(7.0); // first sample re-initialises
+        assert_eq!(t.centroids(), (7.0, 7.0));
+    }
+}

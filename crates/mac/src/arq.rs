@@ -1,0 +1,223 @@
+//! Stop-and-wait packet ARQ — the half-duplex baseline.
+//!
+//! The protocol every pre-full-duplex backscatter link runs: send the whole
+//! frame, turn the link around, wait for an explicit ACK frame, retransmit
+//! everything on a missing/negative ACK. Both directions are *real*
+//! sample-level frames through `fdb_core::FdLink` (the reverse link swaps
+//! the devices' roles), so ACK loss, turnaround airtime and reverse-link
+//! errors all cost what they physically cost.
+
+use crate::report::TransferReport;
+use fdb_core::link::{FdLink, LinkConfig, RunOptions};
+use fdb_core::PhyError;
+use rand::Rng;
+
+/// Stop-and-wait configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ArqConfig {
+    /// Maximum data-frame transmissions before giving up.
+    pub max_attempts: u32,
+    /// ACK frame payload size in bytes (sequence number + verdict).
+    pub ack_payload_bytes: usize,
+    /// Turnaround gap between data frame end and ACK start, in samples
+    /// (device settling + scheduling).
+    pub turnaround_samples: u64,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            max_attempts: 8,
+            ack_payload_bytes: 2,
+            turnaround_samples: 400,
+        }
+    }
+}
+
+/// A stop-and-wait session over a pair of directional links.
+pub struct StopAndWait {
+    forward: FdLink,
+    reverse: FdLink,
+    cfg: ArqConfig,
+}
+
+impl StopAndWait {
+    /// Builds the session. The reverse link mirrors the forward geometry
+    /// with device roles (and their tag hardware) swapped.
+    pub fn new<R: Rng + ?Sized>(
+        link_cfg: LinkConfig,
+        cfg: ArqConfig,
+        rng: &mut R,
+    ) -> Result<Self, PhyError> {
+        let mut rev_cfg = link_cfg.clone();
+        rev_cfg.geometry = rev_cfg.geometry.swapped();
+        std::mem::swap(&mut rev_cfg.tag_a, &mut rev_cfg.tag_b);
+        Ok(StopAndWait {
+            forward: FdLink::new(link_cfg, rng)?,
+            reverse: FdLink::new(rev_cfg, rng)?,
+            cfg,
+        })
+    }
+
+    /// Transfers one payload, retransmitting until ACKed or attempts are
+    /// exhausted.
+    pub fn transfer<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<TransferReport, PhyError> {
+        let mut report = TransferReport {
+            payload_bytes: payload.len(),
+            ..Default::default()
+        };
+        let ack_payload = vec![0xA5u8; self.cfg.ack_payload_bytes.max(1)];
+        let mut delivered = false;
+        for _attempt in 0..self.cfg.max_attempts {
+            // --- data frame (half-duplex: B stays silent) -------------
+            let out = self
+                .forward
+                .run_frame(payload, &RunOptions::half_duplex(), rng)?;
+            report.frames_sent += 1;
+            report.channel_samples += out.airtime_samples as u64;
+            report.elapsed_samples += out.samples_run as u64 + self.cfg.turnaround_samples;
+            report.energy_a_j += out.energy.a_consumed_j;
+            report.energy_b_j += out.energy.b_consumed_j;
+            let frame_ok = out.fully_delivered();
+
+            // --- ACK frame (B → A), sent only when B decoded the frame;
+            // a B that failed to even lock sends nothing and A times out.
+            let ack_received = if out.b_locked && out.delivered.is_some() {
+                let ack = self
+                    .reverse
+                    .run_frame(&ack_payload, &RunOptions::half_duplex(), rng)?;
+                report.ack_frames_sent += 1;
+                report.channel_samples += ack.airtime_samples as u64;
+                report.elapsed_samples += ack.samples_run as u64 + self.cfg.turnaround_samples;
+                // Reverse-link energy: device B transmits, device A receives
+                // (roles swapped inside `reverse`).
+                report.energy_b_j += ack.energy.a_consumed_j;
+                report.energy_a_j += ack.energy.b_consumed_j;
+                frame_ok && ack.fully_delivered()
+            } else {
+                // ACK timeout: A waits one ACK-frame's worth of airtime.
+                report.elapsed_samples += self.ack_timeout_samples();
+                false
+            };
+
+            if ack_received {
+                delivered = true;
+                break;
+            }
+        }
+        report.delivered = delivered;
+        Ok(report)
+    }
+
+    fn ack_timeout_samples(&self) -> u64 {
+        // Preamble + header + one ACK block, in samples, plus margin.
+        let phy = &self.reverse.config().phy;
+        let bits = phy.preamble.len()
+            + fdb_core::frame::frame_bits_len(phy, self.cfg.ack_payload_bytes.max(1));
+        (bits * phy.samples_per_bit()) as u64 + 4 * phy.samples_per_bit() as u64
+    }
+
+    /// Access to the forward link (for inspection in experiments).
+    pub fn forward(&self) -> &FdLink {
+        &self.forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_ambient::AmbientConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn clean_cfg() -> LinkConfig {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.ambient = AmbientConfig::Cw;
+        cfg.field_noise_dbm = -160.0;
+        cfg
+    }
+
+    fn noisy_cfg(dist: f64) -> LinkConfig {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.geometry.device_dist_m = dist;
+        cfg
+    }
+
+    #[test]
+    fn clean_channel_single_attempt() {
+        let mut rng = ChaCha8Rng::seed_from_u64(200);
+        let mut arq = StopAndWait::new(clean_cfg(), ArqConfig::default(), &mut rng).unwrap();
+        let payload: Vec<u8> = (0..32u8).collect();
+        let r = arq.transfer(&payload, &mut rng).unwrap();
+        assert!(r.delivered);
+        assert_eq!(r.frames_sent, 1);
+        assert_eq!(r.ack_frames_sent, 1);
+        assert!(r.goodput_bps(20_000.0) > 0.0);
+    }
+
+    #[test]
+    fn hopeless_channel_exhausts_attempts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(201);
+        // 3 m: far past the cliff — nothing gets through.
+        let mut arq = StopAndWait::new(
+            noisy_cfg(3.0),
+            ArqConfig {
+                max_attempts: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let r = arq.transfer(&[1u8; 16], &mut rng).unwrap();
+        assert!(!r.delivered);
+        assert_eq!(r.frames_sent, 3);
+        assert_eq!(r.goodput_bps(20_000.0), 0.0);
+    }
+
+    #[test]
+    fn lossy_channel_eventually_delivers_with_retries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(202);
+        // 0.55 m: ~50 % frame loss — retries should succeed.
+        let mut arq = StopAndWait::new(
+            noisy_cfg(0.55),
+            ArqConfig {
+                max_attempts: 16,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let mut delivered = 0;
+        let mut total_frames = 0;
+        for i in 0..5 {
+            let payload = vec![i as u8; 48];
+            let r = arq.transfer(&payload, &mut rng).unwrap();
+            if r.delivered {
+                delivered += 1;
+            }
+            total_frames += r.frames_sent;
+        }
+        assert!(delivered >= 4, "only {delivered}/5 delivered");
+        assert!(total_frames > 5, "expected some retransmissions");
+    }
+
+    #[test]
+    fn elapsed_includes_turnarounds_and_acks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(203);
+        let mut arq = StopAndWait::new(
+            clean_cfg(),
+            ArqConfig {
+                turnaround_samples: 1000,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let r = arq.transfer(&[0u8; 16], &mut rng).unwrap();
+        assert!(r.elapsed_samples >= r.channel_samples + 2000);
+    }
+}

@@ -1,0 +1,233 @@
+//! Energy-neutral duty cycling: living off the harvest.
+//!
+//! A battery-free sensor far from the ambient source cannot run
+//! continuously; it banks harvested energy during sleep and spends a burst
+//! of it per transfer. This controller implements the standard
+//! charge-and-fire policy with hysteresis:
+//!
+//! * **Sleep** while stored energy is below the wake threshold; only the
+//!   sleep load drains (and harvesting income accrues).
+//! * **Fire** one transfer when the bank clears the threshold; the
+//!   transfer's measured energy is drawn from the bank.
+//! * The controller adapts its wake threshold to the measured per-transfer
+//!   cost (EWMA) plus a safety factor, so estimation errors don't brown
+//!   the tag out mid-frame.
+//!
+//! The long-run sustainable throughput is income-limited:
+//! `goodput → payload_bits · P_harvest / E_transfer` — experiment E13
+//! measures exactly that rollover against source distance.
+
+use serde::{Deserialize, Serialize};
+
+/// Duty-cycling policy configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DutyConfig {
+    /// Sleep-state load in watts (RTC + leakage).
+    pub sleep_load_w: f64,
+    /// Initial estimate of one transfer's energy cost (joules).
+    pub initial_cost_estimate_j: f64,
+    /// Safety factor on the cost estimate for the wake threshold (≥ 1).
+    pub safety_factor: f64,
+    /// EWMA smoothing for the measured cost (0–1].
+    pub cost_alpha: f64,
+    /// Storage capacity in joules (bank is clamped to it).
+    pub storage_j: f64,
+}
+
+impl Default for DutyConfig {
+    fn default() -> Self {
+        DutyConfig {
+            sleep_load_w: 50e-9,
+            initial_cost_estimate_j: 50e-6,
+            safety_factor: 1.5,
+            cost_alpha: 0.3,
+            storage_j: 200e-6,
+        }
+    }
+}
+
+/// Charge-and-fire duty-cycle controller.
+#[derive(Debug, Clone, Copy)]
+pub struct DutyCycleController {
+    cfg: DutyConfig,
+    stored_j: f64,
+    cost_estimate_j: f64,
+    /// Accumulated statistics.
+    slept_s: f64,
+    fired: u64,
+    browned_out: u64,
+}
+
+impl DutyCycleController {
+    /// Creates a controller with an empty bank.
+    pub fn new(cfg: DutyConfig) -> Self {
+        DutyCycleController {
+            stored_j: 0.0,
+            cost_estimate_j: cfg.initial_cost_estimate_j.max(1e-12),
+            cfg,
+            slept_s: 0.0,
+            fired: 0,
+            browned_out: 0,
+        }
+    }
+
+    /// Energy needed before the next transfer may fire.
+    pub fn wake_threshold_j(&self) -> f64 {
+        (self.cost_estimate_j * self.cfg.safety_factor).min(self.cfg.storage_j)
+    }
+
+    /// Current bank level.
+    pub fn stored_j(&self) -> f64 {
+        self.stored_j
+    }
+
+    /// Current per-transfer cost estimate.
+    pub fn cost_estimate_j(&self) -> f64 {
+        self.cost_estimate_j
+    }
+
+    /// Sleeps until the bank reaches the wake threshold at the given
+    /// harvesting income. Returns the sleep duration in seconds, or `None`
+    /// when the income cannot even cover the sleep load (the tag is dead
+    /// at this range).
+    pub fn sleep_until_ready(&mut self, income_w: f64) -> Option<f64> {
+        let net = income_w - self.cfg.sleep_load_w;
+        let deficit = self.wake_threshold_j() - self.stored_j;
+        if deficit <= 0.0 {
+            return Some(0.0);
+        }
+        if net <= 0.0 {
+            return None;
+        }
+        let t = deficit / net;
+        self.stored_j = (self.stored_j + net * t).min(self.cfg.storage_j);
+        self.slept_s += t;
+        Some(t)
+    }
+
+    /// Records one fired transfer with its measured energy cost and
+    /// duration (income continues to accrue during the transfer). Returns
+    /// `false` when the bank could not cover the cost (brown-out) — the
+    /// transfer is charged anyway (clamped at zero) and the controller
+    /// raises its estimate.
+    pub fn fire(&mut self, cost_j: f64, duration_s: f64, income_w: f64) -> bool {
+        self.fired += 1;
+        self.stored_j = (self.stored_j + income_w * duration_s).min(self.cfg.storage_j);
+        let ok = self.stored_j >= cost_j;
+        self.stored_j = (self.stored_j - cost_j).max(0.0);
+        self.cost_estimate_j += self.cfg.cost_alpha * (cost_j - self.cost_estimate_j);
+        if !ok {
+            self.browned_out += 1;
+        }
+        ok
+    }
+
+    /// Total time slept (seconds).
+    pub fn slept_s(&self) -> f64 {
+        self.slept_s
+    }
+
+    /// Transfers fired / brown-outs observed.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.fired, self.browned_out)
+    }
+
+    /// The analytic long-run duty cycle at a given income and transfer
+    /// power draw: `income / transfer_power`, capped at 1.
+    pub fn sustainable_duty(income_w: f64, transfer_power_w: f64) -> f64 {
+        if transfer_power_w <= 0.0 {
+            1.0
+        } else {
+            (income_w / transfer_power_w).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> DutyCycleController {
+        DutyCycleController::new(DutyConfig::default())
+    }
+
+    #[test]
+    fn sleeps_exactly_to_threshold() {
+        let mut c = ctl();
+        let income = 1e-6; // 1 µW
+        let t = c.sleep_until_ready(income).unwrap();
+        // threshold 75 µJ at net (1 µW − 50 nW) = 0.95 µW → ~78.9 s.
+        let expect = 75e-6 / 0.95e-6;
+        assert!((t - expect).abs() / expect < 1e-9, "slept {t}");
+        assert!((c.stored_j() - c.wake_threshold_j()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_when_income_below_sleep_load() {
+        let mut c = ctl();
+        assert!(c.sleep_until_ready(40e-9).is_none());
+        assert!(c.sleep_until_ready(50e-9).is_none());
+    }
+
+    #[test]
+    fn fire_draws_and_adapts_estimate() {
+        let mut c = ctl();
+        c.sleep_until_ready(1e-6).unwrap();
+        let before = c.stored_j();
+        assert!(c.fire(60e-6, 1.0, 1e-6));
+        assert!((c.stored_j() - (before + 1e-6 - 60e-6)).abs() < 1e-12);
+        // Estimate moved toward 60 µJ.
+        assert!(c.cost_estimate_j() > 50e-6 && c.cost_estimate_j() < 60e-6);
+    }
+
+    #[test]
+    fn brown_out_detected_and_estimate_raised() {
+        let mut c = ctl();
+        // Fire without charging: cost exceeds the (empty) bank.
+        assert!(!c.fire(100e-6, 0.5, 0.0));
+        assert_eq!(c.counts(), (1, 1));
+        assert_eq!(c.stored_j(), 0.0);
+        // Threshold rises so the next sleep charges enough.
+        assert!(c.wake_threshold_j() > 75e-6);
+    }
+
+    #[test]
+    fn bank_clamped_at_capacity() {
+        let mut c = ctl();
+        // Massive income for a long transfer.
+        c.fire(0.0, 1e6, 1e-3);
+        assert!(c.stored_j() <= DutyConfig::default().storage_j + 1e-18);
+    }
+
+    #[test]
+    fn sustainable_duty_formula() {
+        assert!((DutyCycleController::sustainable_duty(1e-6, 1e-4) - 0.01).abs() < 1e-12);
+        assert_eq!(DutyCycleController::sustainable_duty(1.0, 1e-6), 1.0);
+        assert_eq!(DutyCycleController::sustainable_duty(0.0, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn steady_state_duty_matches_formula() {
+        // Simulate many cycles; duty = transfer time / total time must
+        // approach income / transfer_power.
+        let mut c = ctl();
+        let income = 2e-6;
+        let transfer_power = 100e-6; // 50 µJ per 0.5 s transfer
+        let mut active = 0.0;
+        let mut total = 0.0;
+        for _ in 0..200 {
+            let slept = c.sleep_until_ready(income).unwrap();
+            total += slept;
+            let dur = 0.5;
+            c.fire(transfer_power * dur, dur, income);
+            active += dur;
+            total += dur;
+        }
+        let duty = active / total;
+        let expect = DutyCycleController::sustainable_duty(income, transfer_power);
+        assert!(
+            (duty - expect).abs() / expect < 0.1,
+            "duty {duty} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Early-abort ARQ — the protocol instantaneous feedback enables.
+//!
+//! With the in-band feedback channel, the transmitter learns about a
+//! corrupted block within one feedback bit (`m` data bits) instead of one
+//! frame + turnaround + ACK. Two savings compound:
+//!
+//! * **Early abort** — a frame that has already lost a block is dead
+//!   airtime; the transmitter cuts it short and retries immediately.
+//! * **No ACK frames** — a frame whose feedback stream stayed ACK through
+//!   its end *is* acknowledged; the reverse transmission and both
+//!   turnarounds disappear.
+//!
+//! The decision logic runs purely on what device A can actually observe
+//! (decoded feedback bits); actual delivery is scored from ground truth, so
+//! feedback-channel errors (false ACKs, false NACKs) show up as real
+//! protocol costs.
+
+use crate::report::TransferReport;
+use fdb_core::link::{FdLink, FrameOutcome, LinkConfig, RunOptions};
+use fdb_core::PhyError;
+use rand::Rng;
+
+/// Early-abort ARQ configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EarlyAbortConfig {
+    /// Maximum frame transmissions before giving up.
+    pub max_attempts: u32,
+    /// Gap between an abort/retry decision and the next attempt, samples.
+    pub retry_gap_samples: u64,
+}
+
+impl Default for EarlyAbortConfig {
+    fn default() -> Self {
+        EarlyAbortConfig {
+            max_attempts: 8,
+            retry_gap_samples: 400,
+        }
+    }
+}
+
+/// Early-abort ARQ session over one full-duplex link.
+pub struct EarlyAbortArq {
+    link: FdLink,
+    cfg: EarlyAbortConfig,
+}
+
+impl EarlyAbortArq {
+    /// Builds the session.
+    pub fn new<R: Rng + ?Sized>(
+        link_cfg: LinkConfig,
+        cfg: EarlyAbortConfig,
+        rng: &mut R,
+    ) -> Result<Self, PhyError> {
+        Ok(EarlyAbortArq {
+            link: FdLink::new(link_cfg, rng)?,
+            cfg,
+        })
+    }
+
+    /// What A believes about an attempt, from its own observables only.
+    fn a_believes_delivered(out: &FrameOutcome) -> bool {
+        // A requires: pilots verified (B locked and the feedback channel is
+        // alive), no abort fired, and the final decoded status bit is ACK.
+        out.pilots_verified
+            && out.aborted_at_sample.is_none()
+            && out.feedback.last().map(|f| f.bit).unwrap_or(false)
+    }
+
+    /// Transfers one payload with early abort + in-band ACK.
+    pub fn transfer<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<TransferReport, PhyError> {
+        let mut report = TransferReport {
+            payload_bytes: payload.len(),
+            ..Default::default()
+        };
+        let mut delivered = false;
+        for _ in 0..self.cfg.max_attempts {
+            let out = self
+                .link
+                .run_frame(payload, &RunOptions::fd_early_abort(), rng)?;
+            report.frames_sent += 1;
+            if out.aborted_at_sample.is_some() {
+                report.aborts += 1;
+            }
+            report.channel_samples += out.airtime_samples as u64;
+            report.elapsed_samples += out.samples_run as u64 + self.cfg.retry_gap_samples;
+            report.energy_a_j += out.energy.a_consumed_j;
+            report.energy_b_j += out.energy.b_consumed_j;
+
+            let believed = Self::a_believes_delivered(&out);
+            let actually = out.fully_delivered();
+            if believed {
+                // A stops here; ground truth decides whether this was a
+                // genuine delivery or a feedback false-ACK.
+                delivered = actually;
+                break;
+            }
+        }
+        report.delivered = delivered;
+        Ok(report)
+    }
+
+    /// Access to the underlying link.
+    pub fn link(&self) -> &FdLink {
+        &self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_ambient::AmbientConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn clean_cfg() -> LinkConfig {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.ambient = AmbientConfig::Cw;
+        cfg.field_noise_dbm = -160.0;
+        cfg
+    }
+
+    fn cfg_at(dist: f64) -> LinkConfig {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.geometry.device_dist_m = dist;
+        cfg
+    }
+
+    #[test]
+    fn clean_channel_no_abort_no_ack_frame() {
+        let mut rng = ChaCha8Rng::seed_from_u64(210);
+        let mut arq = EarlyAbortArq::new(clean_cfg(), EarlyAbortConfig::default(), &mut rng).unwrap();
+        let r = arq.transfer(&[7u8; 64], &mut rng).unwrap();
+        assert!(r.delivered);
+        assert_eq!(r.frames_sent, 1);
+        assert_eq!(r.aborts, 0);
+        assert_eq!(r.ack_frames_sent, 0);
+    }
+
+    #[test]
+    fn lossy_channel_aborts_and_retries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(211);
+        // 0.55 m with 48-byte frames: individual blocks fail regularly but
+        // whole frames still get through within a handful of retries.
+        let mut arq = EarlyAbortArq::new(
+            cfg_at(0.55),
+            EarlyAbortConfig {
+                max_attempts: 24,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let mut aborts = 0;
+        let mut delivered = 0;
+        for i in 0..6 {
+            let payload = vec![i as u8 ^ 0x5A; 48];
+            let r = arq.transfer(&payload, &mut rng).unwrap();
+            aborts += r.aborts;
+            if r.delivered {
+                delivered += 1;
+            }
+        }
+        assert!(aborts > 0, "early abort never fired on a lossy channel");
+        assert!(delivered >= 4, "only {delivered}/6 delivered");
+    }
+
+    #[test]
+    fn aborted_frames_cost_less_airtime() {
+        let mut rng = ChaCha8Rng::seed_from_u64(212);
+        let payload = vec![0x11u8; 128];
+        // Full airtime of this frame on a clean channel.
+        let mut clean = EarlyAbortArq::new(clean_cfg(), EarlyAbortConfig::default(), &mut rng).unwrap();
+        let full = clean.transfer(&payload, &mut rng).unwrap();
+        let full_airtime = full.channel_samples;
+
+        // On a lossy channel, frames that aborted must have spent less.
+        let mut lossy = EarlyAbortArq::new(
+            cfg_at(0.65),
+            EarlyAbortConfig {
+                max_attempts: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let mut saw_abort_saving = false;
+        for _ in 0..12 {
+            let r = lossy.transfer(&payload, &mut rng).unwrap();
+            if r.aborts > 0 && r.channel_samples < full_airtime {
+                saw_abort_saving = true;
+            }
+        }
+        assert!(saw_abort_saving, "aborts never saved airtime");
+    }
+
+    #[test]
+    fn hopeless_channel_gives_up() {
+        let mut rng = ChaCha8Rng::seed_from_u64(213);
+        let mut arq = EarlyAbortArq::new(
+            cfg_at(3.0),
+            EarlyAbortConfig {
+                max_attempts: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let r = arq.transfer(&[1u8; 32], &mut rng).unwrap();
+        assert!(!r.delivered);
+        assert_eq!(r.frames_sent, 4);
+    }
+}

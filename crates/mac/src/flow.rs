@@ -1,0 +1,260 @@
+//! Flow control: in-band backpressure vs overflow-and-retransmit.
+//!
+//! A battery-free receiver's buffer is tiny and its processing budget
+//! fluctuates with harvested energy. Without feedback, a sender discovers
+//! overflow only by losing blocks and retransmitting them a full round-trip
+//! later. With the full-duplex feedback channel the receiver streams a
+//! *busy* bit; the sender reacts within one feedback bit.
+//!
+//! Event-level model at block granularity: the sender streams fixed-size
+//! blocks; the receiver enqueues each block and drains at a (configurable)
+//! service rate. Mode differences:
+//!
+//! * `FdBackpressure` — receiver raises *busy* when the buffer crosses the
+//!   high watermark; the sender sees it `feedback_latency_blocks` later and
+//!   pauses until *clear* (lowered at the low watermark, same latency).
+//! * `OverflowRetransmit` — no in-flight signal; blocks arriving at a full
+//!   buffer are dropped, and the sender must re-send them in a later pass
+//!   (each pass costs the blocks sent plus a round-trip gap).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Flow-control strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowMode {
+    /// Full-duplex in-band backpressure.
+    FdBackpressure,
+    /// Half-duplex: drop on overflow, retransmit in later passes.
+    OverflowRetransmit,
+}
+
+/// Flow-control simulation parameters (block granularity).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Total blocks the sender must deliver.
+    pub total_blocks: u64,
+    /// Receiver buffer capacity in blocks.
+    pub buffer_blocks: u64,
+    /// Mean blocks the receiver drains per block-time (service ratio; < 1
+    /// means the sender is faster than the receiver).
+    pub drain_ratio: f64,
+    /// Jitter on the drain process: per block-time the receiver stalls with
+    /// this probability (energy dips, competing work).
+    pub stall_probability: f64,
+    /// Feedback latency in block-times (≈ m data bits / block bits).
+    pub feedback_latency_blocks: u64,
+    /// High watermark (busy asserted at/above), blocks.
+    pub high_watermark: u64,
+    /// Low watermark (busy cleared at/below), blocks.
+    pub low_watermark: u64,
+    /// Round-trip gap between retransmission passes, block-times.
+    pub retransmit_gap_blocks: u64,
+    /// Strategy.
+    pub mode: FlowMode,
+}
+
+impl FlowConfig {
+    /// A default under-provisioned receiver (drains at 70 % of line rate).
+    pub fn default_with(mode: FlowMode) -> Self {
+        FlowConfig {
+            total_blocks: 2_000,
+            buffer_blocks: 8,
+            drain_ratio: 0.7,
+            stall_probability: 0.05,
+            feedback_latency_blocks: 2,
+            high_watermark: 6,
+            low_watermark: 3,
+            retransmit_gap_blocks: 40,
+            mode,
+        }
+    }
+}
+
+/// Results of one flow-control run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Blocks delivered into the receiver's buffer (exactly once each).
+    pub delivered: u64,
+    /// Block transmissions that were dropped at a full buffer.
+    pub dropped: u64,
+    /// Total block transmissions (including retransmissions).
+    pub transmissions: u64,
+    /// Block-times the sender spent paused by backpressure.
+    pub paused_time: u64,
+    /// Total elapsed block-times until everything was delivered.
+    pub elapsed: u64,
+}
+
+impl FlowReport {
+    /// Effective goodput as a fraction of line rate.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.elapsed == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.elapsed as f64
+        }
+    }
+
+    /// Wasted transmissions per delivered block.
+    pub fn retransmit_overhead(&self) -> f64 {
+        if self.delivered == 0 {
+            return f64::INFINITY;
+        }
+        (self.transmissions as f64 - self.delivered as f64) / self.delivered as f64
+    }
+}
+
+/// Runs the flow-control model.
+pub fn run<R: Rng + ?Sized>(cfg: &FlowConfig, rng: &mut R) -> FlowReport {
+    let mut report = FlowReport::default();
+    let mut buffer: u64 = 0;
+    let mut drain_credit = 0.0;
+    let mut busy_asserted = false;
+    // The sender's delayed view of the busy bit: a tiny delay line.
+    let latency = cfg.feedback_latency_blocks as usize;
+    let mut busy_pipe = std::collections::VecDeque::from(vec![false; latency + 1]);
+    // Blocks that still need their *first* successful delivery, plus, for
+    // the overflow mode, the set dropped in the current pass.
+    let mut remaining = cfg.total_blocks;
+    let mut pass_backlog: u64 = 0;
+    let mut t: u64 = 0;
+    let hard_stop = cfg.total_blocks * 200 + 10_000;
+
+    while remaining > 0 && t < hard_stop {
+        t += 1;
+        // Receiver drains.
+        if rng.gen_range(0.0..1.0) >= cfg.stall_probability {
+            drain_credit += cfg.drain_ratio;
+            while drain_credit >= 1.0 && buffer > 0 {
+                buffer -= 1;
+                drain_credit -= 1.0;
+            }
+            drain_credit = drain_credit.min(4.0);
+        }
+        // Receiver updates busy.
+        if buffer >= cfg.high_watermark {
+            busy_asserted = true;
+        } else if buffer <= cfg.low_watermark {
+            busy_asserted = false;
+        }
+        busy_pipe.push_back(busy_asserted);
+        let sender_sees_busy = busy_pipe.pop_front().unwrap_or(false);
+
+        match cfg.mode {
+            FlowMode::FdBackpressure => {
+                if sender_sees_busy {
+                    report.paused_time += 1;
+                } else {
+                    report.transmissions += 1;
+                    if buffer < cfg.buffer_blocks {
+                        buffer += 1;
+                        report.delivered += 1;
+                        remaining -= 1;
+                    } else {
+                        // Busy signal was late; block lost, retry later.
+                        report.dropped += 1;
+                    }
+                }
+            }
+            FlowMode::OverflowRetransmit => {
+                // Sender streams blindly through the current pass.
+                if pass_backlog == 0 && remaining > 0 {
+                    // Start a pass over everything still missing.
+                    pass_backlog = remaining;
+                    t += cfg.retransmit_gap_blocks; // learn-and-turnaround
+                }
+                if pass_backlog > 0 {
+                    report.transmissions += 1;
+                    pass_backlog -= 1;
+                    if buffer < cfg.buffer_blocks {
+                        buffer += 1;
+                        report.delivered += 1;
+                        remaining -= 1;
+                    } else {
+                        report.dropped += 1;
+                    }
+                }
+            }
+        }
+    }
+    report.elapsed = t;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn everything_delivers_eventually() {
+        let mut rng = ChaCha8Rng::seed_from_u64(400);
+        for mode in [FlowMode::FdBackpressure, FlowMode::OverflowRetransmit] {
+            let cfg = FlowConfig::default_with(mode);
+            let r = run(&cfg, &mut rng);
+            assert_eq!(r.delivered, cfg.total_blocks, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn backpressure_drops_far_less() {
+        let mut rng = ChaCha8Rng::seed_from_u64(401);
+        let fd = run(&FlowConfig::default_with(FlowMode::FdBackpressure), &mut rng);
+        let hd = run(
+            &FlowConfig::default_with(FlowMode::OverflowRetransmit),
+            &mut rng,
+        );
+        assert!(
+            fd.retransmit_overhead() < hd.retransmit_overhead() / 2.0,
+            "FD overhead {} vs HD {}",
+            fd.retransmit_overhead(),
+            hd.retransmit_overhead()
+        );
+    }
+
+    #[test]
+    fn fast_receiver_needs_no_backpressure() {
+        let mut rng = ChaCha8Rng::seed_from_u64(402);
+        let mut cfg = FlowConfig::default_with(FlowMode::FdBackpressure);
+        cfg.drain_ratio = 1.5;
+        cfg.stall_probability = 0.0;
+        let r = run(&cfg, &mut rng);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.paused_time, 0, "paused although receiver keeps up");
+        assert!((r.goodput_fraction() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn higher_latency_causes_more_drops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(403);
+        let mut quick = FlowConfig::default_with(FlowMode::FdBackpressure);
+        quick.feedback_latency_blocks = 1;
+        let mut slow = quick;
+        slow.feedback_latency_blocks = 12;
+        // With high latency the busy bit arrives too late more often.
+        let r_quick = run(&quick, &mut rng);
+        let r_slow = run(&slow, &mut rng);
+        assert!(
+            r_slow.dropped >= r_quick.dropped,
+            "drops: slow {} vs quick {}",
+            r_slow.dropped,
+            r_quick.dropped
+        );
+    }
+
+    #[test]
+    fn goodput_bounded_by_drain_ratio() {
+        let mut rng = ChaCha8Rng::seed_from_u64(404);
+        let cfg = FlowConfig::default_with(FlowMode::FdBackpressure);
+        let r = run(&cfg, &mut rng);
+        // Steady-state delivery cannot exceed the receiver's drain rate
+        // (plus the initial buffer fill).
+        assert!(
+            r.goodput_fraction() < cfg.drain_ratio * (1.0 - cfg.stall_probability) + 0.1,
+            "goodput {}",
+            r.goodput_fraction()
+        );
+    }
+}

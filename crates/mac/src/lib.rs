@@ -1,0 +1,39 @@
+//! # fdb-mac — link layer over the full-duplex backscatter PHY
+//!
+//! The HotNets 2013 design's payoff lives here: what a link layer can do
+//! once the receiver can talk back *during* a frame.
+//!
+//! Two tiers of fidelity, each used where it is honest:
+//!
+//! * **PHY-backed protocols** ([`arq`], [`early_abort`]) run real frames
+//!   through `fdb_core::FdLink`, sample by sample. They are the ground
+//!   truth for goodput/energy comparisons (experiments E4, E5).
+//! * **Event-level models** ([`csma`], [`flow`]) simulate many nodes and
+//!   long horizons at bit granularity, with their key latency parameters
+//!   (pilot detection delay, feedback latency) taken from the PHY
+//!   configuration and validated against sample-level runs in the
+//!   integration tests (experiment E6 and the flow-control study).
+//!
+//! [`rate_adapt`] provides the AIMD-style controller the rate-adaptation
+//! experiment (E7) drives against PHY-backed frames, and [`selective`]
+//! extends early abort with resume-from-failed-block partial
+//! retransmission (the NACK's *timing* identifies the broken block).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arq;
+pub mod csma;
+pub mod duty;
+pub mod early_abort;
+pub mod flow;
+pub mod rate_adapt;
+pub mod report;
+pub mod selective;
+pub mod stream;
+
+pub use arq::StopAndWait;
+pub use early_abort::EarlyAbortArq;
+pub use report::TransferReport;
+pub use selective::ResumeArq;
+pub use stream::StreamSession;

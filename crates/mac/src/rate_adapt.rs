@@ -1,0 +1,178 @@
+//! In-frame feedback-driven rate adaptation.
+//!
+//! A backscatter link's usable bit rate falls steeply with device
+//! separation (the modulation swing shrinks as d^λ while detector noise is
+//! fixed). A fixed-rate deployment must pick its rate for the worst link.
+//! The full-duplex feedback channel lets the transmitter adapt *within a
+//! handful of frames*: NACK-heavy feedback drops the rate immediately
+//! (multiplicative decrease), a streak of clean frames raises it
+//! (additive increase).
+//!
+//! The controller is deliberately tiny — tags don't run Minstrel. Rates
+//! are expressed as `samples_per_chip` multipliers over the base PHY
+//! config, mirroring how a real tag would slow its chip clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Decision produced after each frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RateDecision {
+    /// Stay at the current rate.
+    Hold,
+    /// Move one step faster.
+    Up,
+    /// Move one step slower.
+    Down,
+}
+
+/// AIMD rate controller over a discrete rate ladder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateController {
+    /// Rate ladder: samples-per-chip values, fastest (smallest) first.
+    ladder: Vec<usize>,
+    /// Current index into the ladder.
+    idx: usize,
+    /// Clean frames required before stepping up.
+    up_streak_needed: u32,
+    streak: u32,
+}
+
+impl RateController {
+    /// Creates a controller over the given ladder, starting at the slowest
+    /// (most robust) rate. An empty ladder gets a single default entry.
+    pub fn new(mut ladder: Vec<usize>, up_streak_needed: u32) -> Self {
+        if ladder.is_empty() {
+            ladder.push(10);
+        }
+        ladder.sort_unstable();
+        let idx = ladder.len() - 1;
+        RateController {
+            ladder,
+            idx,
+            up_streak_needed: up_streak_needed.max(1),
+            streak: 0,
+        }
+    }
+
+    /// The default ladder: 5/10/20/40 samples per chip — 2×, 1×, ½×, ¼×
+    /// the base rate.
+    pub fn default_ladder() -> Self {
+        RateController::new(vec![5, 10, 20, 40], 3)
+    }
+
+    /// Current samples-per-chip.
+    pub fn current_sps(&self) -> usize {
+        self.ladder[self.idx]
+    }
+
+    /// Current position (0 = fastest).
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+
+    /// Number of rungs on the ladder.
+    pub fn ladder_len(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// Feeds one frame outcome: whether the frame delivered cleanly and
+    /// the fraction of feedback bits that were NACK.
+    pub fn on_frame(&mut self, delivered_clean: bool, nack_fraction: f64) -> RateDecision {
+        if !delivered_clean || nack_fraction > 0.2 {
+            self.streak = 0;
+            if self.idx + 1 < self.ladder.len() {
+                self.idx += 1;
+                return RateDecision::Down;
+            }
+            return RateDecision::Hold;
+        }
+        self.streak += 1;
+        if self.streak >= self.up_streak_needed && self.idx > 0 {
+            self.streak = 0;
+            self.idx -= 1;
+            return RateDecision::Up;
+        }
+        RateDecision::Hold
+    }
+
+    /// Resets to the slowest rate (link re-establishment).
+    pub fn reset(&mut self) {
+        self.idx = self.ladder.len() - 1;
+        self.streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_slowest() {
+        let c = RateController::default_ladder();
+        assert_eq!(c.current_sps(), 40);
+    }
+
+    #[test]
+    fn climbs_on_clean_streaks() {
+        let mut c = RateController::new(vec![5, 10, 20], 2);
+        assert_eq!(c.current_sps(), 20);
+        assert_eq!(c.on_frame(true, 0.0), RateDecision::Hold);
+        assert_eq!(c.on_frame(true, 0.0), RateDecision::Up);
+        assert_eq!(c.current_sps(), 10);
+        c.on_frame(true, 0.0);
+        assert_eq!(c.on_frame(true, 0.0), RateDecision::Up);
+        assert_eq!(c.current_sps(), 5);
+        // At the top, holds.
+        c.on_frame(true, 0.0);
+        assert_eq!(c.on_frame(true, 0.0), RateDecision::Hold);
+    }
+
+    #[test]
+    fn drops_immediately_on_failure() {
+        let mut c = RateController::new(vec![5, 10, 20], 2);
+        c.on_frame(true, 0.0);
+        c.on_frame(true, 0.0); // now at 10
+        assert_eq!(c.on_frame(false, 0.0), RateDecision::Down);
+        assert_eq!(c.current_sps(), 20);
+    }
+
+    #[test]
+    fn heavy_nack_counts_as_failure() {
+        let mut c = RateController::new(vec![5, 10], 1);
+        c.on_frame(true, 0.0); // → 5
+        assert_eq!(c.current_sps(), 5);
+        assert_eq!(c.on_frame(true, 0.5), RateDecision::Down);
+        assert_eq!(c.current_sps(), 10);
+    }
+
+    #[test]
+    fn failure_resets_streak() {
+        let mut c = RateController::new(vec![5, 10, 20], 3);
+        c.on_frame(true, 0.0);
+        c.on_frame(true, 0.0);
+        c.on_frame(false, 0.0); // bottom already → Hold, streak reset
+        assert_eq!(c.current_sps(), 20);
+        c.on_frame(true, 0.0);
+        c.on_frame(true, 0.0);
+        assert_eq!(c.on_frame(true, 0.0), RateDecision::Up);
+    }
+
+    #[test]
+    fn ladder_sorted_and_nonempty() {
+        let c = RateController::new(vec![40, 5, 20], 1);
+        assert_eq!(c.current_sps(), 40);
+        let c = RateController::new(vec![], 1);
+        assert_eq!(c.current_sps(), 10);
+        assert_eq!(c.ladder_len(), 1);
+    }
+
+    #[test]
+    fn reset_returns_to_slowest() {
+        let mut c = RateController::new(vec![5, 10, 20], 1);
+        c.on_frame(true, 0.0);
+        c.on_frame(true, 0.0);
+        assert_eq!(c.current_sps(), 5);
+        c.reset();
+        assert_eq!(c.current_sps(), 20);
+    }
+}

@@ -1,0 +1,125 @@
+//! Common result types for MAC-level transfers.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of transferring one payload through a retransmission protocol.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Whether the payload was eventually delivered intact.
+    pub delivered: bool,
+    /// Data-frame transmissions attempted (including the first).
+    pub frames_sent: u32,
+    /// Frames that were aborted mid-air by feedback.
+    pub aborts: u32,
+    /// ACK/control frames sent on the reverse channel (half-duplex only).
+    pub ack_frames_sent: u32,
+    /// Total channel occupancy in samples (all frames, both directions).
+    pub channel_samples: u64,
+    /// Simulated wall-clock samples including turnarounds.
+    pub elapsed_samples: u64,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// Energy consumed by the initiating device (J).
+    pub energy_a_j: f64,
+    /// Energy consumed by the responding device (J).
+    pub energy_b_j: f64,
+}
+
+impl TransferReport {
+    /// Goodput in bits per second at the given sample rate. Zero when the
+    /// transfer failed or took no time.
+    pub fn goodput_bps(&self, sample_rate_hz: f64) -> f64 {
+        if !self.delivered || self.elapsed_samples == 0 {
+            return 0.0;
+        }
+        let secs = self.elapsed_samples as f64 / sample_rate_hz;
+        (self.payload_bytes * 8) as f64 / secs
+    }
+
+    /// Total device energy per delivered payload bit (J/bit); infinite when
+    /// nothing was delivered.
+    pub fn energy_per_bit_j(&self) -> f64 {
+        if !self.delivered || self.payload_bytes == 0 {
+            return f64::INFINITY;
+        }
+        (self.energy_a_j + self.energy_b_j) / (self.payload_bytes * 8) as f64
+    }
+
+    /// Merges another transfer into an aggregate (for multi-payload runs).
+    pub fn accumulate(&mut self, other: &TransferReport) {
+        self.delivered &= other.delivered;
+        self.frames_sent += other.frames_sent;
+        self.aborts += other.aborts;
+        self.ack_frames_sent += other.ack_frames_sent;
+        self.channel_samples += other.channel_samples;
+        self.elapsed_samples += other.elapsed_samples;
+        self.payload_bytes += other.payload_bytes;
+        self.energy_a_j += other.energy_a_j;
+        self.energy_b_j += other.energy_b_j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_arithmetic() {
+        let r = TransferReport {
+            delivered: true,
+            payload_bytes: 125, // 1000 bits
+            elapsed_samples: 20_000,
+            ..Default::default()
+        };
+        // 20 000 samples at 20 kHz = 1 s → 1000 bps.
+        assert!((r.goodput_bps(20_000.0) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_transfer_zero_goodput_infinite_energy() {
+        let r = TransferReport {
+            delivered: false,
+            payload_bytes: 100,
+            elapsed_samples: 1000,
+            energy_a_j: 1e-6,
+            ..Default::default()
+        };
+        assert_eq!(r.goodput_bps(20_000.0), 0.0);
+        assert!(r.energy_per_bit_j().is_infinite());
+    }
+
+    #[test]
+    fn accumulate_sums_and_ands() {
+        let mut a = TransferReport {
+            delivered: true,
+            frames_sent: 2,
+            payload_bytes: 10,
+            elapsed_samples: 100,
+            ..Default::default()
+        };
+        let b = TransferReport {
+            delivered: false,
+            frames_sent: 3,
+            payload_bytes: 20,
+            elapsed_samples: 300,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert!(!a.delivered);
+        assert_eq!(a.frames_sent, 5);
+        assert_eq!(a.payload_bytes, 30);
+        assert_eq!(a.elapsed_samples, 400);
+    }
+
+    #[test]
+    fn energy_per_bit() {
+        let r = TransferReport {
+            delivered: true,
+            payload_bytes: 1,
+            energy_a_j: 4e-9,
+            energy_b_j: 4e-9,
+            ..Default::default()
+        };
+        assert!((r.energy_per_bit_j() - 1e-9).abs() < 1e-18);
+    }
+}

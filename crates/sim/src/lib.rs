@@ -1,0 +1,25 @@
+//! # fdb-sim — reproducible scenario running, sweeping and reporting
+//!
+//! The bridge between the sample-level PHY/MAC and the experiment harness:
+//!
+//! * [`metrics`] — aggregation types (BER counters with confidence
+//!   intervals, delivery/energy/airtime tallies).
+//! * [`runner`] — runs N frames of a scenario with a seeded RNG and
+//!   produces [`metrics::LinkMetrics`]; every run is reproducible
+//!   bit-for-bit from `(config, seed)`.
+//! * [`sweep`] — order-preserving parallel parameter sweeps on crossbeam
+//!   scoped threads (one seed per point, derived deterministically).
+//! * [`report`] — CSV and markdown emitters used by every experiment
+//!   binary, so EXPERIMENTS.md tables regenerate byte-identically.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use metrics::LinkMetrics;
+pub use runner::{measure_link, MeasureSpec};
+pub use sweep::parallel_sweep;

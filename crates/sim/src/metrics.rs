@@ -1,0 +1,128 @@
+//! Aggregated link metrics.
+
+use fdb_dsp::stats::BerCounter;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured over a batch of frames on one link configuration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkMetrics {
+    /// Frames attempted.
+    pub frames: u64,
+    /// Frames in which B achieved preamble lock.
+    pub locked: u64,
+    /// Frames in which the header parsed (payload attempt happened).
+    pub decoded: u64,
+    /// Frames delivered with every block intact.
+    pub fully_delivered: u64,
+    /// Forward-data bit errors (over frames that decoded).
+    pub data_ber: BerCounter,
+    /// Feedback bit errors (over frames with verified pilots).
+    pub feedback_ber: BerCounter,
+    /// Blocks delivered intact / total blocks received.
+    pub blocks_ok: u64,
+    /// Total blocks across decoded frames.
+    pub blocks_total: u64,
+    /// Frames whose feedback pilots verified at A.
+    pub pilots_ok: u64,
+    /// Sum of airtime samples.
+    pub airtime_samples: u64,
+    /// Sum of elapsed samples.
+    pub elapsed_samples: u64,
+    /// Energy consumed by A (J).
+    pub energy_a_j: f64,
+    /// Energy consumed by B (J).
+    pub energy_b_j: f64,
+    /// Energy harvested by B (J).
+    pub harvested_b_j: f64,
+}
+
+impl LinkMetrics {
+    /// Fraction of frames that locked.
+    pub fn lock_rate(&self) -> f64 {
+        ratio(self.locked, self.frames)
+    }
+
+    /// Fraction of frames fully delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        ratio(self.fully_delivered, self.frames)
+    }
+
+    /// Fraction of received blocks that verified.
+    pub fn block_success_rate(&self) -> f64 {
+        ratio(self.blocks_ok, self.blocks_total)
+    }
+
+    /// Per-block error probability (1 − success), counting frames that
+    /// never decoded as all-blocks-lost is the caller's choice; this is
+    /// over received blocks only.
+    pub fn block_error_rate(&self) -> f64 {
+        1.0 - self.block_success_rate()
+    }
+
+    /// Merges another batch.
+    pub fn merge(&mut self, other: &LinkMetrics) {
+        self.frames += other.frames;
+        self.locked += other.locked;
+        self.decoded += other.decoded;
+        self.fully_delivered += other.fully_delivered;
+        self.data_ber.merge(&other.data_ber);
+        self.feedback_ber.merge(&other.feedback_ber);
+        self.blocks_ok += other.blocks_ok;
+        self.blocks_total += other.blocks_total;
+        self.pilots_ok += other.pilots_ok;
+        self.airtime_samples += other.airtime_samples;
+        self.elapsed_samples += other.elapsed_samples;
+        self.energy_a_j += other.energy_a_j;
+        self.energy_b_j += other.energy_b_j;
+        self.harvested_b_j += other.harvested_b_j;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let m = LinkMetrics::default();
+        assert_eq!(m.lock_rate(), 0.0);
+        assert_eq!(m.delivery_rate(), 0.0);
+        assert_eq!(m.block_success_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = LinkMetrics {
+            frames: 10,
+            locked: 8,
+            fully_delivered: 5,
+            blocks_ok: 30,
+            blocks_total: 40,
+            energy_a_j: 1e-6,
+            ..Default::default()
+        };
+        let b = LinkMetrics {
+            frames: 10,
+            locked: 10,
+            fully_delivered: 9,
+            blocks_ok: 39,
+            blocks_total: 40,
+            energy_a_j: 2e-6,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.frames, 20);
+        assert_eq!(a.locked, 18);
+        assert!((a.delivery_rate() - 0.7).abs() < 1e-12);
+        assert!((a.block_success_rate() - 69.0 / 80.0).abs() < 1e-12);
+        assert!((a.energy_a_j - 3e-6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,170 @@
+//! CSV and markdown emitters for experiment results.
+//!
+//! Experiments emit both: CSV for plotting, markdown for EXPERIMENTS.md.
+//! Formatting is centralised here so every table in the repository looks
+//! the same and regenerates byte-identically.
+
+use std::fmt::Write as _;
+
+/// A simple column-oriented table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count; extra cells are
+    /// truncated, missing cells filled with "-").
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        while row.len() < self.headers.len() {
+            row.push("-".to_string());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (RFC-4180-ish: quotes only when needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of digits for tables.
+pub fn fmt_sig(x: f64, digits: usize) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let mag = x.abs().log10().floor() as i32;
+    if (-3..6).contains(&mag) {
+        let decimals = (digits as i32 - 1 - mag).max(0) as usize;
+        format!("{x:.decimals$}")
+    } else {
+        format!("{x:.prec$e}", prec = digits.saturating_sub(1))
+    }
+}
+
+/// Formats a probability/BER with its Wilson interval: `p [lo, hi]`.
+pub fn fmt_ber(counter: &fdb_dsp::stats::BerCounter) -> String {
+    let (lo, hi) = counter.wilson_interval(1.96);
+    format!(
+        "{} [{}, {}]",
+        fmt_sig(counter.ber(), 3),
+        fmt_sig(lo, 2),
+        fmt_sig(hi, 2)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["x,y".into(), "q\"z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n1,2\n"));
+        assert!(csv.contains("\"x,y\",\"q\"\"z\""));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(&["col1", "col2"]);
+        t.row(&["v1".into(), "v2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| col1 | col2 |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| v1 | v2 |"));
+    }
+
+    #[test]
+    fn row_padding_and_truncation() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1".into()]);
+        t.row(&["1".into(), "2".into(), "3".into(), "4".into()]);
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.contains("| 1 | - | - |"));
+        assert!(!md.contains('4'));
+    }
+
+    #[test]
+    fn fmt_sig_ranges() {
+        assert_eq!(fmt_sig(0.0, 3), "0");
+        // Rust's formatter rounds half-to-even: 1234.5 → "1234".
+        assert_eq!(fmt_sig(1234.5, 3), "1234".to_string());
+        assert_eq!(fmt_sig(0.00123, 3), "0.00123");
+        assert!(fmt_sig(1.5e-9, 3).contains('e'));
+        assert!(fmt_sig(f64::INFINITY, 3).contains("inf"));
+    }
+
+    #[test]
+    fn fmt_ber_includes_interval() {
+        let mut c = fdb_dsp::stats::BerCounter::new();
+        for i in 0..1000 {
+            c.record(true, i % 100 != 0);
+        }
+        let s = fmt_ber(&c);
+        assert!(s.contains("0.0100"), "{s}");
+        assert!(s.contains('['));
+    }
+}

@@ -1,0 +1,215 @@
+//! Seeded, reproducible measurement runs over one link configuration.
+
+use crate::metrics::LinkMetrics;
+use fdb_core::frame::bytes_to_bits;
+use fdb_core::link::{FdLink, FeedbackPolicy, LinkConfig, RunOptions};
+use fdb_core::PhyError;
+use fdb_dsp::prbs::{Prbs, PrbsOrder};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// What to measure and how hard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasureSpec {
+    /// Frames to run.
+    pub frames: u64,
+    /// Payload bytes per frame (PRBS-filled, different every frame).
+    pub payload_len: usize,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Whether B runs the feedback channel, and in which mode:
+    /// `None` = half-duplex; `Some(false)` = live ACK status;
+    /// `Some(true)` = known PRBS stream (enables feedback BER measurement).
+    pub feedback_probe: Option<bool>,
+}
+
+impl MeasureSpec {
+    /// A quick default: 50 frames of 64 bytes, live-status full duplex.
+    pub fn quick(seed: u64) -> Self {
+        MeasureSpec {
+            frames: 50,
+            payload_len: 64,
+            seed,
+            feedback_probe: Some(false),
+        }
+    }
+}
+
+/// Number of post-pilot feedback bits that fit in a frame of `bits` data
+/// bits with ratio `m` and `guard` bits of epoch offset.
+fn feedback_bits_in_frame(bits: usize, m: usize, guard: usize) -> usize {
+    let usable = bits.saturating_sub(guard);
+    (usable / m).saturating_sub(fdb_core::feedback::PILOTS.len())
+}
+
+/// Runs `spec.frames` frames over `cfg` and aggregates metrics.
+///
+/// Reproducible: identical `(cfg, spec)` produce identical metrics.
+pub fn measure_link(cfg: &LinkConfig, spec: &MeasureSpec) -> Result<LinkMetrics, PhyError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let mut link = FdLink::new(cfg.clone(), &mut rng)?;
+    let mut payload_gen = Prbs::new(PrbsOrder::Prbs23, spec.seed ^ 0xBAC0_5CA7 | 1);
+    let mut fb_gen = Prbs::new(PrbsOrder::Prbs15, spec.seed ^ 0xFEED | 1);
+    let mut metrics = LinkMetrics::default();
+
+    let frame_bits = cfg.phy.preamble.len()
+        + fdb_core::frame::frame_bits_len(&cfg.phy, spec.payload_len);
+    let fb_bits_per_frame = feedback_bits_in_frame(
+        frame_bits,
+        cfg.phy.feedback_ratio,
+        cfg.phy.feedback_guard_bits,
+    );
+
+    for _ in 0..spec.frames {
+        let payload = payload_gen.bytes(spec.payload_len.max(1));
+        let (opts, fb_expected): (RunOptions, Option<Vec<bool>>) = match spec.feedback_probe {
+            None => (RunOptions::half_duplex(), None),
+            Some(false) => (RunOptions::fd_monitor(), None),
+            Some(true) => {
+                let bits = fb_gen.bits(fb_bits_per_frame.max(1));
+                (
+                    RunOptions {
+                        feedback: FeedbackPolicy::Stream(bits.clone()),
+                        abort_on_nack: false,
+                    },
+                    Some(bits),
+                )
+            }
+        };
+        let out = link.run_frame(&payload, &opts, &mut rng)?;
+        metrics.frames += 1;
+        if out.b_locked {
+            metrics.locked += 1;
+        }
+        if out.pilots_verified {
+            metrics.pilots_ok += 1;
+        }
+        metrics.airtime_samples += out.airtime_samples as u64;
+        metrics.elapsed_samples += out.samples_run as u64;
+        metrics.energy_a_j += out.energy.a_consumed_j;
+        metrics.energy_b_j += out.energy.b_consumed_j;
+        metrics.harvested_b_j += out.energy.b_harvested_j;
+        if let Some(res) = &out.delivered {
+            metrics.decoded += 1;
+            metrics.blocks_total += res.blocks.len() as u64;
+            metrics.blocks_ok += res.blocks.iter().filter(|b| b.ok).count() as u64;
+            if out.fully_delivered() {
+                metrics.fully_delivered += 1;
+            }
+            metrics
+                .data_ber
+                .record_slice(&bytes_to_bits(&payload), &bytes_to_bits(&res.payload));
+        }
+        if let (Some(expected), true) = (&fb_expected, out.pilots_verified) {
+            let got: Vec<bool> = out.feedback.iter().map(|f| f.bit).collect();
+            let n = expected.len().min(got.len());
+            metrics
+                .feedback_ber
+                .record_slice(&expected[..n], &got[..n]);
+        }
+    }
+    Ok(metrics)
+}
+
+/// Derives a per-point seed from a master seed and a point index (splitmix).
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws `n` payload bytes from an RNG (utility for MAC experiments).
+pub fn random_payload<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_ambient::AmbientConfig;
+
+    fn clean_cfg() -> LinkConfig {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.ambient = AmbientConfig::Cw;
+        cfg.field_noise_dbm = -160.0;
+        cfg
+    }
+
+    #[test]
+    fn clean_link_measures_perfect() {
+        let spec = MeasureSpec {
+            frames: 5,
+            payload_len: 32,
+            seed: 9,
+            feedback_probe: Some(false),
+        };
+        let m = measure_link(&clean_cfg(), &spec).unwrap();
+        assert_eq!(m.frames, 5);
+        assert_eq!(m.fully_delivered, 5);
+        assert_eq!(m.data_ber.errors(), 0);
+        assert!(m.data_ber.bits() >= 5 * 32 * 8);
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let spec = MeasureSpec::quick(77);
+        let mut cfg = LinkConfig::default_fd();
+        cfg.geometry.device_dist_m = 0.55;
+        let spec = MeasureSpec { frames: 6, ..spec };
+        let a = measure_link(&cfg, &spec).unwrap();
+        let b = measure_link(&cfg, &spec).unwrap();
+        assert_eq!(a.data_ber.errors(), b.data_ber.errors());
+        assert_eq!(a.fully_delivered, b.fully_delivered);
+        assert_eq!(a.airtime_samples, b.airtime_samples);
+    }
+
+    #[test]
+    fn different_seeds_differ_on_noisy_link() {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.geometry.device_dist_m = 0.6;
+        let a = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 1, feedback_probe: Some(false) }).unwrap();
+        let b = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 2, feedback_probe: Some(false) }).unwrap();
+        assert_ne!(
+            (a.data_ber.errors(), a.blocks_ok),
+            (b.data_ber.errors(), b.blocks_ok)
+        );
+    }
+
+    #[test]
+    fn feedback_probe_measures_fb_ber() {
+        let spec = MeasureSpec {
+            frames: 4,
+            payload_len: 96,
+            seed: 3,
+            feedback_probe: Some(true),
+        };
+        let m = measure_link(&clean_cfg(), &spec).unwrap();
+        assert!(m.feedback_ber.bits() > 0, "no feedback bits measured");
+        assert_eq!(m.feedback_ber.errors(), 0, "clean link fb errors");
+    }
+
+    #[test]
+    fn half_duplex_probe_has_no_feedback() {
+        let spec = MeasureSpec {
+            frames: 2,
+            payload_len: 32,
+            seed: 4,
+            feedback_probe: None,
+        };
+        let m = measure_link(&clean_cfg(), &spec).unwrap();
+        assert_eq!(m.feedback_ber.bits(), 0);
+        assert_eq!(m.pilots_ok, 0);
+        assert_eq!(m.fully_delivered, 2);
+    }
+
+    #[test]
+    fn derive_seed_disperses() {
+        let s: Vec<u64> = (0..100).map(|i| derive_seed(42, i)).collect();
+        let unique: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(unique.len(), 100);
+    }
+}

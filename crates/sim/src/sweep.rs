@@ -1,0 +1,150 @@
+//! Order-preserving parallel parameter sweeps.
+//!
+//! Every experiment is a sweep: a list of parameter points, each measured
+//! independently with its own derived seed. Points are embarrassingly
+//! parallel, so they are fanned out over crossbeam scoped threads — one
+//! worker per CPU, chunked by index, results stitched back in input order
+//! so reports are deterministic regardless of thread scheduling.
+
+use parking_lot::Mutex;
+
+/// Runs `f` over every point, in parallel, preserving input order.
+///
+/// `f` must be deterministic per point (derive randomness from the point
+/// itself, e.g. via `runner::derive_seed`) so the sweep's output does not
+/// depend on scheduling.
+pub fn parallel_sweep<P, R, F>(points: &[P], threads: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads
+        .max(1)
+        .min(n)
+        .min(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    if threads == 1 {
+        return points.iter().map(&f).collect();
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&points[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("sweep point skipped"))
+        .collect()
+}
+
+/// Builds a linear sweep of `n` points over `[lo, hi]` inclusive.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![lo];
+    }
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Builds a logarithmic sweep of `n` points over `[lo, hi]` inclusive
+/// (both must be positive; invalid inputs produce an empty sweep).
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if lo <= 0.0 || hi <= 0.0 {
+        return Vec::new();
+    }
+    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let points: Vec<u64> = (0..64).collect();
+        let out = parallel_sweep(&points, 8, |&p| p * p);
+        let expect: Vec<u64> = points.iter().map(|p| p * p).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let points = vec![1, 2, 3];
+        assert_eq!(parallel_sweep(&points, 1, |&p| p + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let points: Vec<u32> = vec![];
+        assert!(parallel_sweep(&points, 4, |&p| p).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_points() {
+        let points = vec![10, 20];
+        assert_eq!(parallel_sweep(&points, 16, |&p| p / 10), vec![1, 2]);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(1.0, 3.0, 5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[4] - 3.0).abs() < 1e-12);
+        assert!((v[2] - 2.0).abs() < 1e-12);
+        assert_eq!(linspace(0.0, 1.0, 1), vec![0.0]);
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn logspace_ratios() {
+        let v = logspace(1.0, 100.0, 3);
+        assert!((v[0] - 1.0).abs() < 1e-9);
+        assert!((v[1] - 10.0).abs() < 1e-9);
+        assert!((v[2] - 100.0).abs() < 1e-9);
+        assert!(logspace(-1.0, 10.0, 3).is_empty());
+    }
+
+    #[test]
+    fn heavy_function_parallel_correctness() {
+        // A function with real work to shake out races.
+        let points: Vec<u64> = (0..32).collect();
+        let out = parallel_sweep(&points, 8, |&p| {
+            let mut acc = p;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        });
+        let serial: Vec<u64> = points
+            .iter()
+            .map(|&p| {
+                let mut acc = p;
+                for _ in 0..10_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            })
+            .collect();
+        assert_eq!(out, serial);
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: one full-duplex frame, narrated.
+//!
+//! Builds the default scenario (TV tower 1 km away, two passive devices
+//! half a metre apart), sends one frame from device A to device B while B
+//! streams live ACK/NACK feedback in-band, and prints everything that
+//! happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fd_backscatter::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = LinkConfig::default_fd();
+    println!("== scenario ==");
+    println!(
+        "ambient source : {:?} at {} dBm, {} m / {} m from the devices",
+        cfg.ambient,
+        cfg.geometry.source_power_dbm,
+        cfg.geometry.source_dist_a_m,
+        cfg.geometry.source_dist_b_m
+    );
+    println!(
+        "devices        : {} m apart, rho_data = {}, rho_feedback = {}",
+        cfg.geometry.device_dist_m, cfg.tag_a.rho, cfg.tag_b.rho
+    );
+    println!(
+        "PHY            : {} bps data ({:?}), {} bps feedback (m = {})",
+        cfg.phy.data_rate_bps(),
+        cfg.phy.line_code,
+        cfg.phy.feedback_rate_bps(),
+        cfg.phy.feedback_ratio
+    );
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2013);
+    let mut link = FdLink::new(cfg.clone(), &mut rng).expect("valid config");
+
+    let payload = b"full-duplex backscatter: the receiver talks back mid-frame".to_vec();
+    println!("\n== sending {} bytes, full duplex ==", payload.len());
+    let out = link
+        .run_frame(&payload, &RunOptions::fd_monitor(), &mut rng)
+        .expect("frame run");
+
+    println!("B locked           : {}", out.b_locked);
+    println!("pilots verified    : {}", out.pilots_verified);
+    println!(
+        "delivered          : {} ({}/{} blocks ok)",
+        out.fully_delivered(),
+        out.blocks_ok(),
+        out.blocks_total()
+    );
+    if let Some(res) = &out.delivered {
+        println!(
+            "payload readback   : {:?}",
+            String::from_utf8_lossy(&res.payload)
+        );
+    }
+    println!(
+        "airtime            : {} samples ({:.1} ms)",
+        out.airtime_samples,
+        out.airtime_samples as f64 / cfg.phy.sample_rate_hz * 1e3
+    );
+    println!("feedback timeline  : (sample, bit, margin)");
+    for f in out.feedback.iter().take(8) {
+        println!(
+            "   t={:>6}  {}  margin {:.3e}",
+            f.sample,
+            if f.bit { "ACK " } else { "NACK" },
+            f.margin
+        );
+    }
+    if out.feedback.len() > 8 {
+        println!("   … {} more", out.feedback.len() - 8);
+    }
+    println!(
+        "energy             : A spent {:.2} µJ, B spent {:.2} µJ, B harvested {:.3} µJ",
+        out.energy.a_consumed_j * 1e6,
+        out.energy.b_consumed_j * 1e6,
+        out.energy.b_harvested_j * 1e6
+    );
+}

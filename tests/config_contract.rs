@@ -1,0 +1,77 @@
+//! Configuration serde contract: the scenario CLI's JSON schema must stay
+//! stable — every configuration type round-trips through JSON, and the
+//! shipped example configs parse and validate.
+
+use fd_backscatter::prelude::*;
+use fd_backscatter::sim::MeasureSpec;
+
+#[test]
+fn link_config_json_round_trips() {
+    let cfg = LinkConfig::default_fd();
+    let json = serde_json::to_string_pretty(&cfg).expect("serialise");
+    let back: LinkConfig = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back.geometry.device_dist_m, cfg.geometry.device_dist_m);
+    assert_eq!(back.phy.feedback_ratio, cfg.phy.feedback_ratio);
+    assert_eq!(back.phy.line_code, cfg.phy.line_code);
+    assert_eq!(back.tag_a.rho, cfg.tag_a.rho);
+    assert!(back.phy.validate().is_ok());
+}
+
+#[test]
+fn measure_spec_json_round_trips() {
+    let spec = MeasureSpec {
+        frames: 12,
+        payload_len: 96,
+        seed: 42,
+        feedback_probe: Some(true),
+    };
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: MeasureSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.frames, 12);
+    assert_eq!(back.payload_len, 96);
+    assert_eq!(back.feedback_probe, Some(true));
+}
+
+#[test]
+fn shipped_example_configs_parse_and_run() {
+    #[derive(serde::Deserialize)]
+    struct Scenario {
+        link: LinkConfig,
+        spec: MeasureSpec,
+    }
+    for name in ["default_link.json", "marginal_link.json", "near_tower.json"] {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("configs")
+            .join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let scenario: Scenario =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} invalid: {e}"));
+        scenario
+            .link
+            .phy
+            .validate()
+            .unwrap_or_else(|e| panic!("{name} PHY invalid: {e}"));
+        // Tiny run to prove the config is actually usable.
+        let spec = MeasureSpec {
+            frames: 1,
+            ..scenario.spec
+        };
+        let m = measure_link(&scenario.link, &spec)
+            .unwrap_or_else(|e| panic!("{name} failed to run: {e}"));
+        assert_eq!(m.frames, 1);
+    }
+}
+
+#[test]
+fn rejected_configs_surface_errors() {
+    let mut cfg = LinkConfig::default_fd();
+    cfg.phy.feedback_ratio = 3; // odd: invalid
+    let spec = MeasureSpec {
+        frames: 1,
+        payload_len: 8,
+        seed: 1,
+        feedback_probe: None,
+    };
+    assert!(measure_link(&cfg, &spec).is_err());
+}

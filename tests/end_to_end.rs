@@ -1,0 +1,135 @@
+//! Cross-crate end-to-end integration tests: the full stack, realistic
+//! ambient source, both duplex modes, energy accounting.
+
+use fd_backscatter::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn realistic_cfg(dist: f64) -> LinkConfig {
+    let mut cfg = LinkConfig::default_fd();
+    cfg.geometry.device_dist_m = dist;
+    cfg
+}
+
+#[test]
+fn strong_link_delivers_both_modes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut link = FdLink::new(realistic_cfg(0.3), &mut rng).unwrap();
+    let payload: Vec<u8> = (0..80u8).collect();
+    for opts in [RunOptions::half_duplex(), RunOptions::fd_monitor()] {
+        let out = link.run_frame(&payload, &opts, &mut rng).unwrap();
+        assert!(out.fully_delivered(), "mode {opts:?} failed");
+        assert_eq!(out.delivered.unwrap().payload, payload);
+    }
+}
+
+#[test]
+fn full_duplex_feedback_is_all_ack_on_clean_frames() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut link = FdLink::new(realistic_cfg(0.3), &mut rng).unwrap();
+    let out = link
+        .run_frame(&[0x42; 64], &RunOptions::fd_monitor(), &mut rng)
+        .unwrap();
+    assert!(out.pilots_verified);
+    assert!(out.feedback.len() >= 3, "too few feedback bits");
+    assert!(out.feedback.iter().all(|f| f.bit));
+}
+
+#[test]
+fn abort_fires_well_before_frame_end_on_dead_link() {
+    // At 1.5 m the link is far past its envelope: B cannot lock, so no
+    // pilots appear, and with abort-on-nack A must cut the frame short...
+    // except missing pilots produce *no* feedback at all — A completes the
+    // frame. With a *corrupting* (but locking) link, A aborts early.
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut link = FdLink::new(realistic_cfg(0.62), &mut rng).unwrap();
+    let payload = vec![0x7Eu8; 192];
+    let full_airtime: u64 = 34_800; // 192 B frame at the default PHY geometry
+    let mut best_abort_airtime = u64::MAX;
+    let mut saw_early_abort = false;
+    for _ in 0..10 {
+        let out = link
+            .run_frame(&payload, &RunOptions::fd_early_abort(), &mut rng)
+            .unwrap();
+        if let Some(abort_at) = out.aborted_at_sample {
+            // Every abort truncates the frame, and the session ends with it.
+            assert!(
+                (out.airtime_samples as u64) < full_airtime,
+                "abort saved nothing"
+            );
+            assert!(abort_at < out.samples_run);
+            assert!(
+                out.samples_run as u64 <= out.airtime_samples as u64 + 40,
+                "aborted session idled: run {} vs airtime {}",
+                out.samples_run,
+                out.airtime_samples
+            );
+            best_abort_airtime = best_abort_airtime.min(out.airtime_samples as u64);
+            saw_early_abort = true;
+        }
+    }
+    assert!(saw_early_abort, "no abort in 10 lossy frames");
+    // At least one abort must fire early (a first-blocks failure).
+    assert!(
+        best_abort_airtime < full_airtime / 2,
+        "earliest abort at {best_abort_airtime} samples"
+    );
+}
+
+#[test]
+fn energy_conservation_and_ledgers() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    // Close to the tower so harvesting is active.
+    let mut cfg = realistic_cfg(0.3);
+    cfg.geometry.source_dist_a_m = 100.0;
+    cfg.geometry.source_dist_b_m = 100.0;
+    let mut link = FdLink::new(cfg, &mut rng).unwrap();
+    let out = link
+        .run_frame(&[1u8; 32], &RunOptions::fd_monitor(), &mut rng)
+        .unwrap();
+    // Consumption scales with airtime and the configured loads.
+    let dt = 1.0 / 20_000.0;
+    let max_load = (0.2e-6 + 0.5e-6) * (out.samples_run as f64 * dt) + 1e-6;
+    assert!(out.energy.a_consumed_j > 0.0 && out.energy.a_consumed_j < max_load);
+    assert!(out.energy.b_consumed_j > 0.0 && out.energy.b_consumed_j < max_load);
+    // At −7 dBm incident, B harvests micro-joules over half a second.
+    assert!(
+        out.energy.b_harvested_j > 1e-8,
+        "harvested {:.3e} J",
+        out.energy.b_harvested_j
+    );
+}
+
+#[test]
+fn measure_link_aggregates_consistently() {
+    let spec = MeasureSpec {
+        frames: 4,
+        payload_len: 48,
+        seed: 5,
+        feedback_probe: Some(false),
+    };
+    let m = measure_link(&realistic_cfg(0.3), &spec).unwrap();
+    assert_eq!(m.frames, 4);
+    assert_eq!(m.locked, 4);
+    assert_eq!(m.fully_delivered, 4);
+    assert_eq!(m.blocks_total, 4 * 3); // 48 bytes = 3 blocks
+    assert_eq!(m.data_ber.errors(), 0);
+    assert_eq!(m.data_ber.bits(), 4 * 48 * 8);
+}
+
+#[test]
+fn stop_and_wait_and_early_abort_agree_on_clean_channel() {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let cfg = realistic_cfg(0.25);
+    let mut sw = StopAndWait::new(cfg.clone(), ArqConfig::default(), &mut rng).unwrap();
+    let mut ea = EarlyAbortArq::new(cfg, EarlyAbortConfig::default(), &mut rng).unwrap();
+    let payload = vec![9u8; 64];
+    let r1 = sw.transfer(&payload, &mut rng).unwrap();
+    let r2 = ea.transfer(&payload, &mut rng).unwrap();
+    assert!(r1.delivered && r2.delivered);
+    assert_eq!(r1.frames_sent, 1);
+    assert_eq!(r2.frames_sent, 1);
+    // EA must be strictly cheaper in elapsed time: no ACK frame, no
+    // second turnaround.
+    assert!(r2.elapsed_samples < r1.elapsed_samples);
+}

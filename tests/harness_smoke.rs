@@ -1,0 +1,34 @@
+//! Whole-harness smoke test: every experiment runs end-to-end in quick
+//! mode and produces a non-empty table.
+//!
+//! Release-only: the suite exercises hundreds of PHY frames and would
+//! dominate a debug `cargo test --workspace` for no extra coverage.
+
+#![cfg(not(debug_assertions))]
+
+use fdb_bench::experiments;
+use fdb_bench::Effort;
+
+#[test]
+fn every_experiment_runs_quick() {
+    // Redirect CSVs away from the working tree.
+    std::env::set_var("FDB_RESULTS_DIR", std::env::temp_dir().join("fdb-smoke"));
+    for id in experiments::all_ids() {
+        let results = experiments::run(id, Effort::Quick)
+            .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+        assert!(!results.is_empty(), "{id} produced nothing");
+        for r in results {
+            assert!(!r.table.is_empty(), "{id}/{} table empty", r.id);
+            let md = r.table.to_markdown();
+            assert!(md.lines().count() >= 3, "{id}/{} table too small", r.id);
+            let csv = r.table.to_csv();
+            assert!(csv.lines().count() == md.lines().count() - 1);
+        }
+    }
+    std::env::remove_var("FDB_RESULTS_DIR");
+}
+
+#[test]
+fn unknown_experiment_is_none() {
+    assert!(experiments::run("e999", Effort::Quick).is_none());
+}

@@ -1,0 +1,117 @@
+//! Property-based tests over the PHY's structural invariants.
+
+use fd_backscatter::phy::config::PhyConfig;
+use fd_backscatter::phy::frame::{encode_frame, FrameParser, ParseEvent};
+use fd_backscatter::phy::rx::{DataReceiver, RxState};
+use fd_backscatter::phy::tx::DataTransmitter;
+use fd_backscatter::dsp::line_code::LineCode;
+use proptest::prelude::*;
+
+fn render_ideal(cfg: &PhyConfig, payload: &[u8], idle: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut tx = DataTransmitter::new(cfg, payload).unwrap();
+    let mut wave = vec![lo; idle];
+    while let Some(state) = tx.next_state() {
+        wave.push(if state { hi } else { lo });
+    }
+    wave.extend(vec![lo; cfg.samples_per_bit() * 2]);
+    wave
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload, any idle offset, any sane level pair: the ideal
+    /// waveform decodes to exactly the transmitted payload.
+    #[test]
+    fn ideal_waveform_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 1..120),
+        idle in 0usize..200,
+        lo in 0.05f64..0.5,
+        depth in 0.05f64..2.0,
+    ) {
+        let cfg = PhyConfig::default_fd();
+        let wave = render_ideal(&cfg, &payload, idle, lo, lo + depth * lo);
+        let mut rx = DataReceiver::new(cfg);
+        for &v in &wave {
+            rx.push_sample(v);
+        }
+        prop_assert_eq!(rx.state(), RxState::Done);
+        let r = rx.take_result().unwrap();
+        prop_assert_eq!(r.payload, payload);
+        prop_assert!(r.blocks.iter().all(|b| b.ok));
+    }
+
+    /// Frame encoding round-trips at the bit level for every payload and
+    /// block size.
+    #[test]
+    fn frame_bits_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..400),
+        block_len in 1usize..64,
+        scramble in any::<bool>(),
+    ) {
+        let mut cfg = PhyConfig::default_fd();
+        cfg.block_len_bytes = block_len;
+        cfg.scramble = scramble;
+        let bits = encode_frame(&cfg, &payload).unwrap();
+        let mut parser = FrameParser::new(cfg);
+        let mut done = None;
+        for b in bits {
+            if let Some(ParseEvent::Done { payload, blocks }) = parser.push_bit(b) {
+                done = Some((payload, blocks));
+            }
+        }
+        let (got, blocks) = done.expect("frame never completed");
+        prop_assert_eq!(got, payload);
+        prop_assert!(blocks.iter().all(|b| b.ok));
+    }
+
+    /// A single corrupted bit in the body flips exactly one block's CRC
+    /// verdict and never corrupts neighbouring blocks' payload bytes.
+    #[test]
+    fn single_bit_error_is_localised(
+        seed_byte in any::<u8>(),
+        flip_block in 0usize..4,
+        flip_bit in 0usize..(17 * 8),
+    ) {
+        let cfg = PhyConfig::default_fd(); // 16-byte blocks
+        let payload: Vec<u8> = (0..64).map(|i| (i as u8).wrapping_add(seed_byte)).collect();
+        let mut bits = encode_frame(&cfg, &payload).unwrap();
+        let pos = fd_backscatter::phy::frame::HEADER_BITS + flip_block * 17 * 8 + flip_bit;
+        bits[pos] = !bits[pos];
+        let mut parser = FrameParser::new(cfg);
+        let mut done = None;
+        for b in bits {
+            if let Some(ParseEvent::Done { payload, blocks }) = parser.push_bit(b) {
+                done = Some((payload, blocks));
+            }
+        }
+        let (got, blocks) = done.expect("frame never completed");
+        for (i, status) in blocks.iter().enumerate() {
+            prop_assert_eq!(status.ok, i != flip_block, "block {} verdict", i);
+            if i != flip_block {
+                prop_assert_eq!(
+                    &got[i * 16..(i + 1) * 16],
+                    &payload[i * 16..(i + 1) * 16],
+                    "neighbour block {} corrupted", i
+                );
+            }
+        }
+    }
+
+    /// Line-code chip schedules always have the length the config promises
+    /// and decode back to the frame bits.
+    #[test]
+    fn chip_schedule_geometry(
+        payload in proptest::collection::vec(any::<u8>(), 0..60),
+        code_idx in 0usize..4,
+    ) {
+        let codes = [LineCode::Manchester, LineCode::Fm0, LineCode::Miller, LineCode::Nrz];
+        let mut cfg = PhyConfig::default_fd();
+        cfg.line_code = codes[code_idx];
+        let tx = DataTransmitter::new(&cfg, &payload).unwrap();
+        let expected_bits = cfg.preamble.len()
+            + fd_backscatter::phy::frame::frame_bits_len(&cfg, payload.len());
+        prop_assert_eq!(tx.total_chips(), expected_bits * cfg.chips_per_bit());
+        prop_assert_eq!(tx.total_samples(), tx.total_chips() * cfg.samples_per_chip);
+    }
+}

@@ -1,0 +1,181 @@
+//! Theory-vs-simulation validators: the closed-form models in
+//! `fdb-analysis` must predict what the sample-level stack measures.
+//! Agreement here is the repository's main defence against silent
+//! simulation bugs (and against silently wrong models).
+
+use fd_backscatter::analysis::ber::{relative_swing, LinkNoiseModel};
+use fd_backscatter::prelude::*;
+use fd_backscatter::channel::budget::BackscatterBudget;
+use fd_backscatter::channel::pathloss::PathLoss;
+
+fn noise_model(cfg: &LinkConfig) -> LinkNoiseModel {
+    let k = match cfg.ambient {
+        AmbientConfig::TvWideband { k_factor } => k_factor,
+        _ => panic!("test expects the wideband TV source"),
+    };
+    LinkNoiseModel {
+        k_factor: k,
+        samples_per_chip: cfg.phy.samples_per_chip,
+        detector_noise_rel: 0.0,
+    }
+}
+
+fn fb_swing(cfg: &LinkConfig) -> f64 {
+    let g = &cfg.geometry;
+    relative_swing(
+        g.pathloss_device.amplitude_gain(g.device_dist_m),
+        cfg.tag_b.rho,
+        cfg.tag_b.rho_residual,
+        g.pathloss_source.gain(g.source_dist_b_m),
+        g.pathloss_source.gain(g.source_dist_a_m),
+    )
+}
+
+#[test]
+fn feedback_ber_matches_integrator_model() {
+    // Weak-feedback operating point where errors are measurable: the
+    // integrate-and-dump model is essentially exact here (the feedback
+    // path has no ISI and SIC removes the only systematic).
+    let mut cfg = LinkConfig::default_fd();
+    cfg.geometry.device_dist_m = 0.7;
+    cfg.tag_b.rho = 0.03;
+    cfg.phy.feedback_ratio = 8;
+    let spec = MeasureSpec {
+        frames: 24,
+        payload_len: 192,
+        seed: 0x7EED,
+        feedback_probe: Some(true),
+    };
+    let measured = measure_link(&cfg, &spec).unwrap();
+    let half_samples = (cfg.phy.feedback_ratio / 2) * cfg.phy.samples_per_bit();
+    let predicted = noise_model(&cfg).feedback_ber(fb_swing(&cfg), half_samples);
+    let ber = measured.feedback_ber.ber();
+    assert!(
+        ber > 0.0,
+        "operating point too strong to validate ({} bits)",
+        measured.feedback_ber.bits()
+    );
+    // Within a factor of two — generous but meaningful at BER ~ 0.05–0.15.
+    assert!(
+        ber / predicted < 2.0 && predicted / ber < 2.0,
+        "measured {ber} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn data_ber_tracks_model_shape_with_distance() {
+    // The chip-comparison model ignores ISI and timing jitter, so it is
+    // systematically optimistic — but the *ratio* between two distances
+    // must match the model's ratio direction and rough magnitude.
+    let measure = |d: f64| {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.geometry.device_dist_m = d;
+        let m = measure_link(
+            &cfg,
+            &MeasureSpec {
+                frames: 12,
+                payload_len: 96,
+                seed: 0xD157,
+                feedback_probe: None,
+            },
+        )
+        .unwrap();
+        let g = &cfg.geometry;
+        let swing = relative_swing(
+            g.pathloss_device.amplitude_gain(d),
+            cfg.tag_a.rho,
+            cfg.tag_a.rho_residual,
+            g.pathloss_source.gain(g.source_dist_a_m),
+            g.pathloss_source.gain(g.source_dist_b_m),
+        );
+        (m.data_ber.ber(), noise_model(&cfg).manchester_ber(swing))
+    };
+    let (ber_near, pred_near) = measure(0.6);
+    let (ber_far, pred_far) = measure(0.9);
+    assert!(ber_far > ber_near, "BER must grow with distance");
+    assert!(pred_far > pred_near);
+    // Model must be optimistic (it ignores ISI/jitter), not pessimistic,
+    // and within ~20× at both points.
+    for (ber, pred) in [(ber_near, pred_near), (ber_far, pred_far)] {
+        assert!(ber >= pred * 0.5, "model pessimistic: {ber} vs {pred}");
+        assert!(ber <= pred * 20.0, "model wildly off: {ber} vs {pred}");
+    }
+}
+
+#[test]
+fn link_budget_matches_measured_envelope() {
+    // The budget arithmetic and the sample-level fields must agree on the
+    // incident power at a device.
+    use fd_backscatter::channel::budget::DirectBudget;
+    let cfg = LinkConfig::default_fd();
+    let budget = DirectBudget {
+        tx_dbm: cfg.geometry.source_power_dbm,
+        pathloss: cfg.geometry.pathloss_source,
+        distance_m: cfg.geometry.source_dist_b_m,
+    };
+    let expected_w = budget.rx_watts();
+
+    // Run a short frame and compare B's harvest-side input: mean envelope
+    // ≈ incident power (unit-mean source, pass fraction ≈ 1 while idle).
+    let spec = MeasureSpec {
+        frames: 2,
+        payload_len: 16,
+        seed: 0xB0D6,
+        feedback_probe: None,
+    };
+    let m = measure_link(&cfg, &spec).unwrap();
+    // Harvested energy is zero below sensitivity (the default tower is
+    // 1 km away), so check the budget against the harvester threshold
+    // instead: it must be below sensitivity here.
+    assert!(m.harvested_b_j == 0.0);
+    assert!(expected_w < 1e-5, "budget says {expected_w} W incident");
+
+    // Closer in, harvesting turns on and the measured average power into
+    // the harvester approaches the budget prediction.
+    let mut near = cfg.clone();
+    near.geometry.source_dist_a_m = 100.0;
+    near.geometry.source_dist_b_m = 100.0;
+    let m = measure_link(&near, &spec).unwrap();
+    let near_budget = DirectBudget {
+        distance_m: 100.0,
+        ..budget
+    };
+    let secs = m.elapsed_samples as f64 / near.phy.sample_rate_hz;
+    let harvested_w = m.harvested_b_j / secs;
+    // η = 0.4 at saturation; pass fraction ~1; allow a broad band because
+    // the efficiency curve bends near this operating point.
+    let bound_hi = near_budget.rx_watts() * 0.45;
+    let bound_lo = near_budget.rx_watts() * 0.1;
+    assert!(
+        harvested_w > bound_lo && harvested_w < bound_hi,
+        "harvested {harvested_w:.3e} W vs incident {:.3e} W",
+        near_budget.rx_watts()
+    );
+}
+
+#[test]
+fn backscatter_budget_reflects_swing_model() {
+    // relative_swing and BackscatterBudget::relative_swing are two routes
+    // to the same quantity; they must agree.
+    let cfg = LinkConfig::default_fd();
+    let g = &cfg.geometry;
+    let b = BackscatterBudget {
+        src_dbm: g.source_power_dbm,
+        src_tag: (g.pathloss_source, g.source_dist_a_m),
+        tag_rx: (g.pathloss_device, g.device_dist_m),
+        rho: cfg.tag_a.rho,
+    };
+    let direct_rx = g.source_power_dbm - PathLoss::tv_band().loss_db(g.source_dist_b_m);
+    let via_budget = b.relative_swing(direct_rx);
+    let via_model = relative_swing(
+        g.pathloss_device.amplitude_gain(g.device_dist_m),
+        cfg.tag_a.rho,
+        0.0, // the budget form has no residual term
+        g.pathloss_source.gain(g.source_dist_a_m),
+        g.pathloss_source.gain(g.source_dist_b_m),
+    );
+    assert!(
+        (via_budget / via_model - 1.0).abs() < 1e-9,
+        "{via_budget} vs {via_model}"
+    );
+}

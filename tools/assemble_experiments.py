@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md from the experiment runner's output.
+
+Usage: python3 tools/assemble_experiments.py experiments_full.md > EXPERIMENTS.md
+
+Parses the `## <ID> — <title>` sections emitted by
+`cargo run -p fdb-bench --bin experiments -- all` and interleaves them with
+the per-experiment commentary below, so the document regenerates from a
+fresh run in one step.
+"""
+
+import re
+import sys
+
+PREAMBLE = """# EXPERIMENTS — regenerated evaluation results
+
+Every table below was produced by
+
+```bash
+cargo run --release -p fdb-bench --bin experiments -- all
+```
+
+(seeded, deterministic; CSVs in `results/`). The experiment definitions and
+their mapping to modules are in DESIGN.md §3; the paper-text mismatch and
+all hardware substitutions are documented at the top of DESIGN.md.
+
+**Reading guide.** The original HotNets 2013 paper is a workshop design
+piece with a small evaluation; we reproduce the *shape* of each claim —
+who wins, by roughly what factor, where crossovers fall — on a simulated
+substrate, not absolute testbed numbers. BER cells show the point estimate
+with a 95 % Wilson interval. "Theory" columns are the closed-form models
+from `fdb-analysis`, computed from the same configuration.
+
+## Summary of claims vs outcomes
+
+| Paper-level claim | Experiment | Outcome |
+|---|---|---|
+| Full-duplex feedback costs the forward link ~nothing (with SIC) | E1/E1B/E3 | **Holds.** FD and HD BER are statistically indistinguishable at every distance; without SIC the forward link collapses once ρ_B ≳ 0.2 |
+| Feedback BER is set by the integration length (rate asymmetry works) | E2 | **Holds.** Measured BER tracks the `Q(s√(kN)/√2)` integrator model within ~1.3× over two orders of magnitude; m ≥ 64 shows zero errors (sample-limited upper CI) |
+| Instantaneous NACK → early abort beats packet ARQ, growing with loss | E4/E5 | **Holds.** Goodput advantage 1.06× (clean) → ~7–28× (lossy); energy per delivered bit advantage 1.04→4.4×, and early abort keeps delivering where stop-and-wait has effectively stopped |
+| Feedback enables collision detection for backscatter | E6 | **Holds.** FD-CD wastes ≤ ~5 % of busy time vs ~100 % for ALOHA under load; goodput stays ~2× ALOHA at 32 contenders |
+| In-frame feedback enables rate adaptation | E7 | **Holds.** Steady-state adaptive goodput is 0.75–1.28× the best *oracle-chosen* fixed rate at every distance |
+| Works on ambient sources (TV); quality depends on the source | E8 | **Holds.** CW ≥ wideband TV ≫ narrowband TV ≫ bursty OFDM (unusable) |
+| Cheap tag clocks suffice | E9 | **Holds with the DLL.** Manchester + mid-bit DLL delivers at 8000 ppm; FM0 without a DLL dies by ~100 ppm |
+| Battery-free operation feasible near broadcast infrastructure | E10/E13 | **Holds with ranges.** Harvesting sustains the tag to ~400–600 m from a 60 dBm tower; duty cycle and goodput roll off with income exactly as the model predicts |
+
+---
+"""
+
+COMMENTARY = {
+    "e1": """
+**Commentary.** The headline claim: turning the feedback channel on costs
+the forward link nothing measurable — the FD and HD columns agree within
+their confidence intervals at every distance, including deep into the
+failure regime. The theory column (chip-comparison model, which ignores
+detector-RC ISI and timing jitter) is systematically ~3–4× optimistic but
+tracks the shape of the cliff; the gap is the expected ISI/jitter excess.
+Delivery dies between 0.5 m and 0.7 m at 1 kbps — consistent with the
+2013-era prototypes' reported ~0.76 m.
+""",
+    "e1b": """
+**Commentary.** Under Rician fading (K = 8, mobility) the cliff softens
+into a shoulder: fade dips corrupt occasional blocks well inside the static
+range (delivery < 1 from ~0.4 m) while lucky fades occasionally deliver
+past the static wall. The FD ≈ HD equivalence survives fading, which is
+the point of the experiment.
+""",
+    "e2": """
+**Commentary.** The integrator model `Q(s·√(k·N_half)/√2)` predicts the
+measured feedback BER within ~1.5× across three orders of magnitude —
+strong evidence the rate-asymmetry mechanism (and the Gamma bandwidth
+substitution behind it) is implemented faithfully. Two honest deviations:
+(i) at m = 4 the pilot bits themselves err often, so the pilot-verify rate
+collapses and surviving frames are a biased sample; (ii) at m ≥ 64 no
+errors were observed — the measurement is sample-limited there (upper CI
+~5·10⁻³ vs theory 3·10⁻⁵). The usable-m threshold at this weak operating
+point (ρ_B = 0.03) is m ≈ 16–32.
+""",
+    "e2b": """
+**Commentary.** Same shape 0.15 m further out: every point shifts up, the
+usable-m threshold moves right (m ≈ 32–64) — integration length buys back
+what distance takes away, at proportional cost in feedback rate.
+""",
+    "e3": """
+**Commentary.** The ablation isolates *known-state* self-interference
+cancellation. With SIC on, the forward link is flat in ρ_B up to 0.5
+(data BER ≤ 10⁻⁴ at this strong operating point). With SIC off, the
+receiver's own antenna toggles amplitude-modulate its detector and the
+forward link collapses once ρ_B ≳ 0.2 — delivery 0 by ρ_B = 0.35. The
+transmitter-side feedback decode degrades only mildly without SIC
+(≈2–3 % BER) because the Manchester data is DC-balanced: the analog-domain
+cancellation the paper's design actually relies on (see A1).
+""",
+    "e4": """
+**Commentary.** PHY-backed protocol comparison. At negligible loss the FD
+protocol wins ~1.06× by deleting the ACK frame and its two turnarounds. As
+block loss grows the advantage compounds — early abort stops paying for
+doomed airtime and never waits for timed-out ACKs — reaching ~28× at
+p_block ≈ 0.23, where early abort still completes every transfer while
+stop-and-wait completes one in five. The analytic advantage model is
+conservative (it charges early abort a full post-frame verdict wait the
+implementation short-circuits, and it models neither ACK loss nor attempt
+exhaustion) but reproduces the trend. Note stop-and-wait's frame count
+exploding (333 frames for 24 transfers) where early abort stays modest
+(89).
+""",
+    "e5": """
+**Commentary.** Same runs, energy ledgers. Early abort's energy advantage
+grows from 1.04× (clean: only the ACK savings) through 1.7× at p ≈ 0.1 to
+4.4× at 0.6 m — and the delivery columns understate the gap, since early
+abort delivers 100 % of transfers at 0.55 m where stop-and-wait manages
+29 %. The shape matches the paper's energy argument: energy burned on
+doomed airtime (and on reverse ACK frames) is the dominant waste.
+""",
+    "e6": """
+**Commentary.** Event-level multi-access model (its overlap ⇒ no-lock
+assumption validated sample-level in `tests/collision_assumption.rs`).
+ALOHA's waste fraction saturates at 1.0 — under load, essentially all
+busy time is collisions — while FD-CD keeps waste ≤ ~5 % by cutting every
+collision at the pilot window. Goodput ordering matches the renewal-model
+columns; at 32 nodes FD-CD carries ~2× ALOHA's traffic on the same
+channel.
+""",
+    "e7": """
+**Commentary.** Steady-state (post-convergence) adaptive goodput sits at
+0.75–1.28× the best fixed rate *chosen by an oracle per distance* — the
+controller, fed only by in-frame feedback, roughly matches a genie that
+knows the distance, across a 10× span of optimal rates. It exceeds 1.0 at
+0.85 m where no single ladder rung is optimal (it time-shares adjacent
+rungs); its worst point (0.75× at 0.55 m) is AIMD's usual caution tax.
+""",
+    "e8": """
+**Commentary.** The excitation's envelope statistics are the noise floor.
+CW (dedicated carrier) is error-free; wideband TV (k = 300, the realistic
+ATSC case) costs ~10⁻⁴ BER; narrowband TV (k = 60) breaks acquisition half
+the time; bursty OFDM never locks — its OFF gaps (hundreds of bits long)
+starve the receiver mid-preamble, though its bursts harvest *more* energy
+than steady sources (peaks clear the harvester's sensitivity floor). This
+is the quantified version of the paper's "ride a TV tower, not Wi-Fi".
+""",
+    "e9": """
+**Commentary.** The mid-bit timing DLL (possible because Manchester
+guarantees a transition every bit) holds delivery at 1.0 through 8000 ppm
+— far beyond any RC oscillator. FM0 without a DLL shows the textbook
+drift cliff: fine at 0 ppm (modulo its own threshold-sensitivity, which
+already costs delivery), degraded at 100 ppm, dead at 250+ where
+accumulated drift exceeds half a chip mid-frame. (The 8000 ppm FM0 row
+shows BER 0 over 0 bits: no frame even decoded a header.)
+""",
+    "e10": """
+**Commentary.** Measured harvest matches the closed-form curve within a
+few percent at every distance (300 vs 313 µW at 50 m). The harvester's
+sensitivity floor (−20 dBm) sets a hard wall between 400 m and 800 m from
+a 60 dBm tower; inside it, a 1 µW load can duty-cycle sustainably
+(100 % → 29 % → 0). Rayleigh outage gives the fading-world version of the
+same boundary. Delivery rate is flat across the sweep — data reception is
+scale-invariant, only *energy* depends on the tower distance.
+""",
+    "e11": """
+**Commentary.** Block-level flow-control model. In-band backpressure
+(one-feedback-bit latency) keeps drops at effectively zero with
+sub-0.1 % retransmission overhead; the blind sender drops thousands of
+blocks and pays `1/drain − 1` retransmission overhead, exactly the queueing
+prediction. Both achieve the same drain-limited goodput — the difference
+is the wasted transmissions, which for a battery-free sender is the energy
+story of E5 again.
+""",
+    "e12": """
+**Commentary.** Two full-duplex pairs on the shared sample-level network.
+Co-located pairs (0.5 m apart — cross-distances comparable to intra-pair)
+destroy each other completely; by 2 m delivery is mostly restored and by
+8 m the pairs are independent. Staggered starts outperform synchronised
+ones in the transition region (synchronised preambles are the worst case
+for acquisition, and the frame format carries no link addressing — a
+documented limitation). Lock rates stay ~1.0 throughout: receivers *lock*
+(often onto the wrong/composite waveform) but CRCs fail — interference
+here corrupts payloads rather than preventing acquisition.
+""",
+    "e13": """
+**Commentary.** The charge-and-fire controller (PHY-backed transfer costs,
+closed-form harvest income) shows the three regimes: airtime-limited near
+the tower (duty ≈ 0.99, goodput ≈ link rate ~510 bps), income-limited in
+the middle (486 → 37 bps from 150 m to 400 m, tracking the ~75× income
+drop through the efficiency knee), and dead past the sensitivity radius at
+600 m. No brown-outs across the sweep: the adaptive cost estimate with a
+1.5× safety factor keeps the bank solvent.
+""",
+    "a1": """
+**Commentary.** The DC-balance ablation, run both with and without digital
+SIC. With perfect known-state SIC the transmitter's feedback decode is
+clean under *every* code — digital cancellation is exact regardless of
+balance. With SIC off (the analog-only situation the 2013 design actually
+describes), the feedback BER orders precisely by the codes' imbalance:
+Manchester 2 % < FM0 5 % ≪ Miller 19 % < NRZ 38 % — DC balance *is* the
+analog self-interference cancellation. Forward-data columns also show why
+Manchester is the default: its self-referencing chip comparison beats the
+absolute-threshold codes by ~30× in BER at this operating point.
+""",
+    "a2": """
+**Commentary.** Block-size tradeoff under early abort at 0.5 m: small
+blocks pay CRC-trailer overhead (20 % at 4 bytes), huge blocks lose whole
+frames to single bit errors and blunt the NACK's localisation. The broad
+optimum sits at 16–32 bytes (~620–650 bps) with ~1.4–1.7× goodput over
+either extreme; 16 bytes is the default.
+""",
+    "a4": """
+**Commentary.** The FEC-vs-ARQ crossover. Hamming(7,4) + depth-7
+interleaving costs 1.75× airtime, so at short range plain CRC blocks win
+(0.6×); at 0.5 m the curves cross; past 0.55 m coded blocks keep verifying
+where the uncoded link has effectively died — ~50× goodput with full
+delivery at 0.6–0.65 m (vs 12–19 % uncoded). For a deployment this argues
+for coupling the FEC switch to the rate-adaptation controller (both
+respond to the same distance signal).
+""",
+    "a3": """
+**Commentary.** The extension the analysis model called for: with
+full-frame retransmission, early abort's advantage decays on long frames
+(both protocols pay E[attempts]·frame); resume-from-failed-block changes
+the asymptotics by retransmitting only the unvouched tail. On 10-block
+frames it matches plain early abort at low loss, pulls ahead (~1.4×) at
+moderate loss and reaches ~17× once per-frame failure is near-certain
+(0.55 m), where it is the only protocol still delivering every transfer
+(1.00 vs 0.50 and 0.19).
+""",
+}
+
+EPILOGUE = """
+---
+
+## Reproducibility notes
+
+* Every run derives from fixed master seeds via splitmix; rerunning
+  `experiments -- all` reproduces every table byte-for-byte
+  (`tests/determinism.rs` additionally pins `measure_link` and the sweep
+  machinery).
+* `--quick` runs the same experiments at ~1/8 statistical weight for smoke
+  testing.
+* The theory columns are *predictions*, not fits: they are computed from
+  the configuration before the simulation runs, and the agreement bands
+  quoted above are enforced by `tests/theory_vs_sim.rs`.
+"""
+
+
+def main(path: str) -> None:
+    text = open(path).read()
+    # Split into sections on '## '.
+    sections = re.split(r"^## ", text, flags=re.M)
+    out = [PREAMBLE]
+    for sec in sections:
+        if not sec.strip():
+            continue
+        header, _, body = sec.partition("\n")
+        ident = header.split(" ")[0].strip().lower()
+        body = re.sub(r"\[csv written to [^\]]*\]\n?", "", body)
+        out.append(f"## {header}\n{body.rstrip()}\n")
+        if ident in COMMENTARY:
+            out.append(COMMENTARY[ident].strip() + "\n")
+        out.append("")
+    out.append(EPILOGUE)
+    sys.stdout.write("\n".join(out))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "experiments_full.md")
