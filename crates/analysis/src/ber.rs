@@ -101,7 +101,7 @@ pub fn frame_success_prob(p_block: f64, n_blocks: u32) -> f64 {
 pub fn repetition_ber(p: f64, n: u64) -> f64 {
     let k = n / 2 + 1;
     binomial_tail(n, k, p.clamp(0.0, 1.0))
-        + if n % 2 == 0 {
+        + if n.is_multiple_of(2) {
             // Half the ties fail.
             0.5 * (binomial_tail(n, n / 2, p) - binomial_tail(n, n / 2 + 1, p))
         } else {

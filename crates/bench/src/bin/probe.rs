@@ -1,22 +1,174 @@
-//! Link operating-envelope probe.
+//! Frame-trace probe.
 //!
-//! Prints a fast summary of the default link across device separations:
-//! lock rate, delivery, block success and feedback health. Useful when
-//! calibrating new scenarios or sanity-checking a configuration change.
+//! Replays **one seeded frame** over the default link and prints the
+//! per-stage diagnostic trace as JSON lines — one [`TraceEvent`] per line,
+//! followed by a final `summary` object. This is the fastest way to see
+//! *where* inside the PHY pipeline a frame dies: tx chip emission, channel
+//! envelopes, SIC correction, receiver lock/chips/bits/block CRCs and the
+//! feedback pilot/bit decode all appear as separate stages.
 //!
 //! ```text
-//! cargo run --release -p fdb-bench --bin probe [frames-per-point]
+//! cargo run --release -p fdb-bench --bin probe -- \
+//!     [--seed N] [--dist METERS] [--payload-len BYTES] [--mode fd|hd] \
+//!     [--stage tx|channel|sic|rx|feedback]
 //! ```
+//!
+//! The legacy operating-envelope sweep is still available:
+//!
+//! ```text
+//! cargo run --release -p fdb-bench --bin probe -- --sweep [frames-per-point]
+//! ```
+//!
+//! The trace replay needs the `trace` feature, which is on by default for
+//! this crate; a `--no-default-features` build keeps only `--sweep`.
 
 use fdb_core::link::{FdLink, LinkConfig, RunOptions};
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct Args {
+    seed: u64,
+    dist: f64,
+    payload_len: usize,
+    full_duplex: bool,
+    /// Restrict JSONL output to one stage (tx/channel/sic/rx/feedback).
+    stage: Option<String>,
+    /// `Some(frames)` = run the legacy distance sweep instead.
+    sweep: Option<u32>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: probe [--seed N] [--dist METERS] [--payload-len BYTES] \
+         [--mode fd|hd] [--stage NAME] | --sweep [frames]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 7,
+        dist: 0.3,
+        payload_len: 64,
+        full_duplex: true,
+        stage: None,
+        sweep: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        });
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--dist" => args.dist = value("--dist").parse().unwrap_or_else(|_| usage()),
+            "--payload-len" => {
+                args.payload_len = value("--payload-len").parse().unwrap_or_else(|_| usage())
+            }
+            "--mode" => match value("--mode").as_str() {
+                "fd" => args.full_duplex = true,
+                "hd" => args.full_duplex = false,
+                _ => usage(),
+            },
+            "--stage" => args.stage = Some(value("--stage")),
+            "--sweep" => {
+                args.sweep = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or(20))
+            }
+            "--help" | "-h" => usage(),
+            // Bare number: legacy `probe N` sweep invocation.
+            n if n.parse::<u32>().is_ok() => args.sweep = Some(n.parse().unwrap()),
+            _ => usage(),
+        }
+    }
+    args
+}
 
 fn main() {
-    let frames: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let args = parse_args();
+    if let Some(frames) = args.sweep {
+        sweep(frames);
+        return;
+    }
+    #[cfg(feature = "trace")]
+    trace_frame(&args);
+    #[cfg(not(feature = "trace"))]
+    {
+        eprintln!(
+            "probe was built without the `trace` feature; rebuild with default \
+             features (or use --sweep)"
+        );
+        std::process::exit(2);
+    }
+}
+
+#[cfg(feature = "trace")]
+fn trace_frame(args: &Args) {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Summary {
+        seed: u64,
+        dist_m: f64,
+        payload_len: usize,
+        mode: String,
+        b_locked: bool,
+        rx_sync_peak: f64,
+        fully_delivered: bool,
+        blocks_ok: usize,
+        blocks_total: usize,
+        pilots_verified: bool,
+        feedback_bits: usize,
+        aborted_at_sample: Option<usize>,
+        samples_run: usize,
+        trace_events: usize,
+        trace_dropped: usize,
+    }
+
+    let mut cfg = LinkConfig::default_fd();
+    cfg.geometry.device_dist_m = args.dist;
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let mut link = FdLink::new(cfg, &mut rng).expect("valid default config");
+    let payload: Vec<u8> = (0..args.payload_len).map(|i| (i % 251) as u8).collect();
+    let opts = if args.full_duplex {
+        RunOptions::fd_monitor()
+    } else {
+        RunOptions::half_duplex()
+    };
+    let out = link.run_frame(&payload, &opts, &mut rng).expect("frame");
+
+    for ev in out.trace.events() {
+        if let Some(stage) = &args.stage {
+            if ev.stage() != stage {
+                continue;
+            }
+        }
+        println!("{}", serde_json::to_string(ev).expect("event serializes"));
+    }
+    let summary = Summary {
+        seed: args.seed,
+        dist_m: args.dist,
+        payload_len: args.payload_len,
+        mode: if args.full_duplex { "fd" } else { "hd" }.into(),
+        b_locked: out.b_locked,
+        rx_sync_peak: out.rx_sync_peak,
+        fully_delivered: out.fully_delivered(),
+        blocks_ok: out.blocks_ok(),
+        blocks_total: out.blocks_total(),
+        pilots_verified: out.pilots_verified,
+        feedback_bits: out.feedback.len(),
+        aborted_at_sample: out.aborted_at_sample,
+        samples_run: out.samples_run,
+        trace_events: out.trace.len(),
+        trace_dropped: out.trace.dropped(),
+    };
+    println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+}
+
+/// Legacy operating-envelope sweep: lock/delivery/block/feedback summary
+/// across device separations.
+fn sweep(frames: u32) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
     println!("frames per point: {frames}");
     println!("distance | locked | delivered | blocks_ok | fb_nack_bits");
     for dist in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0] {

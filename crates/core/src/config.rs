@@ -70,12 +70,14 @@ impl PhyConfig {
             payload_fec: false,
             sic: SicMode::KnownState,
             feedback_guard_bits: 4,
-            sync_threshold: 0.62,
+            sync_threshold: 0.67,
         }
     }
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), PhyError> {
+        // NaN must fail too, hence the negated comparison on a partial ord.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(self.sample_rate_hz > 0.0) {
             return Err(PhyError::InvalidConfig {
                 field: "sample_rate_hz",
@@ -88,7 +90,7 @@ impl PhyConfig {
                 reason: "need ≥ 4 samples per chip for synchronisation".into(),
             });
         }
-        if self.feedback_ratio < 2 || self.feedback_ratio % 2 != 0 {
+        if self.feedback_ratio < 2 || !self.feedback_ratio.is_multiple_of(2) {
             return Err(PhyError::InvalidConfig {
                 field: "feedback_ratio",
                 reason: "must be even and ≥ 2".into(),

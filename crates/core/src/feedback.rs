@@ -140,6 +140,10 @@ pub struct FeedbackDecoder {
     pilot_bits_ok: bool,
     pilot_ok: bool,
     decided: usize,
+    /// Half-bit integrals dumped so far (diagnostics).
+    halves_seen: usize,
+    /// Most recent half-bit integral (diagnostics).
+    last_half: f64,
 }
 
 impl FeedbackDecoder {
@@ -154,6 +158,8 @@ impl FeedbackDecoder {
             pilot_bits_ok: true,
             pilot_ok: false,
             decided: 0,
+            halves_seen: 0,
+            last_half: 0.0,
         }
     }
 
@@ -168,10 +174,37 @@ impl FeedbackDecoder {
         self.decided
     }
 
+    /// Number of half-bit integrals dumped so far.
+    pub fn halves_seen(&self) -> usize {
+        self.halves_seen
+    }
+
+    /// The most recent half-bit integral (mean corrected envelope).
+    pub fn last_half(&self) -> f64 {
+        self.last_half
+    }
+
+    /// Per-pilot decision margins accumulated so far.
+    pub fn pilot_margins(&self) -> &[f64] {
+        &self.pilot_margins
+    }
+
+    /// Pilot bits consumed so far (`0..=PILOTS.len()`).
+    pub fn pilots_consumed(&self) -> usize {
+        self.pilot_idx
+    }
+
+    /// Learned channel polarity (`true` ⇒ reflecting raises the envelope).
+    pub fn polarity_positive(&self) -> bool {
+        self.polarity_positive
+    }
+
     /// Feeds one (self-interference-corrected) envelope sample. Emits a
     /// decision when a data feedback bit completes.
     pub fn push(&mut self, envelope: f64) -> Option<FeedbackDecision> {
         let half = self.integrator.process(envelope)?;
+        self.halves_seen += 1;
+        self.last_half = half;
         match self.first_half.take() {
             None => {
                 self.first_half = Some(half);
@@ -230,6 +263,8 @@ impl FeedbackDecoder {
         self.pilot_bits_ok = true;
         self.pilot_ok = false;
         self.decided = 0;
+        self.halves_seen = 0;
+        self.last_half = 0.0;
     }
 }
 
@@ -357,6 +392,62 @@ mod tests {
         let m1 = run(0.05);
         let m2 = run(0.10);
         assert!((m2 / m1 - 2.0).abs() < 0.05, "margins {m1} {m2}");
+    }
+
+    #[test]
+    fn silent_far_end_fails_pilot_verification() {
+        // A dead link / colliding far end leaves the envelope flat: every
+        // pilot margin is 0, so `max > 0` fails and the channel must NOT
+        // verify — this is the property the collision-detection MAC trusts.
+        let mut dec = FeedbackDecoder::new(16);
+        for _ in 0..(PILOTS.len() * 2 * 16 + 64) {
+            dec.push(1.0);
+        }
+        assert_eq!(dec.pilots_consumed(), PILOTS.len());
+        assert!(!dec.pilots_verified(), "flat envelope must not verify");
+    }
+
+    #[test]
+    fn polarity_flip_mid_pilots_fails_verification() {
+        // The decoder learns polarity from pilot 0; if the channel phase
+        // flips afterwards (e.g. fading walks through a null), later pilot
+        // bits decode inverted and the bit check must reject the stream.
+        // (A *consistently* inverted channel is fine — see the negative-
+        // polarity loopback test — only inconsistency is a failure.)
+        let half = 16;
+        let mut enc = FeedbackEncoder::new(half);
+        let mut dec = FeedbackDecoder::new(half);
+        let total = PILOTS.len() * 2 * half;
+        for t in 0..total {
+            let state = enc.tick();
+            // Positive swing during pilot 0, negative from pilot 1 on.
+            let swing = if t < 2 * half { 0.2 } else { -0.2 };
+            dec.push(1.0 + if state { swing } else { 0.0 });
+        }
+        assert_eq!(dec.pilots_consumed(), PILOTS.len());
+        assert!(!dec.pilots_verified(), "mid-stream polarity flip must not verify");
+    }
+
+    #[test]
+    fn pilot_stream_truncated_mid_bit_fails_verification() {
+        // The far end dies after ~3.5 pilot bits: the remaining pilots see
+        // a flat envelope, their margins collapse to ~0, and the margin-
+        // consistency test (min ≥ MARGIN_RATIO·max) must reject the stream.
+        let half = 16;
+        let mut enc = FeedbackEncoder::new(half);
+        let mut dec = FeedbackDecoder::new(half);
+        let alive = (3 * 2 + 1) * half; // 3.5 pilot bits worth of samples
+        for t in 0..(PILOTS.len() * 2 * half) {
+            let state = enc.tick();
+            let env = if t < alive {
+                1.0 + if state { 0.2 } else { 0.0 }
+            } else {
+                1.0 // far end stopped toggling
+            };
+            dec.push(env);
+        }
+        assert_eq!(dec.pilots_consumed(), PILOTS.len());
+        assert!(!dec.pilots_verified(), "truncated pilot stream must not verify");
     }
 
     #[test]

@@ -36,7 +36,14 @@
 //! | [`sic`] | known-state self-interference cancellation |
 //! | [`link`] | the sample-synchronous two-device full-duplex link |
 //! | [`network`] | K coexisting links with first-order mutual scattering |
+//! | [`trace`] | frame-level per-stage diagnostics (captured under the `trace` feature) |
 //! | [`error`] | error types |
+//!
+//! ## Feature flags
+//!
+//! * `trace` — [`link::FdLink::run_frame`] records a [`trace::FrameTrace`]
+//!   of per-stage events onto each [`link::FrameOutcome`]. Off by default;
+//!   when disabled the hot loop contains no tracing code at all.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -50,6 +57,7 @@ pub mod multilink;
 pub mod network;
 pub mod rx;
 pub mod sic;
+pub mod trace;
 pub mod tx;
 
 pub use config::{PhyConfig, SicMode};

@@ -30,6 +30,8 @@ use crate::error::PhyError;
 use crate::feedback::{FeedbackDecoder, FeedbackEncoder};
 use crate::rx::{DataReceiver, RxResult, RxState};
 use crate::sic::SelfInterferenceCanceller;
+#[cfg(feature = "trace")]
+use crate::trace::{FrameTrace, TraceEvent};
 use crate::tx::DataTransmitter;
 use fdb_ambient::{Ambient, AmbientConfig};
 use fdb_channel::awgn::Awgn;
@@ -231,6 +233,11 @@ pub struct FrameOutcome {
     pub partial_blocks: Vec<crate::frame::BlockStatus>,
     /// Net whole-sample timing corrections B's DLL applied (diagnostics).
     pub rx_timing_corrections: i64,
+    /// Highest preamble correlation B observed (even when it never locked).
+    pub rx_sync_peak: f64,
+    /// Per-stage diagnostic event trace of the frame (`trace` feature).
+    #[cfg(feature = "trace")]
+    pub trace: FrameTrace,
 }
 
 impl FrameOutcome {
@@ -382,6 +389,16 @@ impl FdLink {
         let mut aborted_at = None;
         let fade_every = self.cfg.fading_advance_bits * spb;
 
+        #[cfg(feature = "trace")]
+        let mut trace = FrameTrace::default();
+        // Change-detection cursors for the polled receiver-side probes.
+        #[cfg(feature = "trace")]
+        let (mut tr_chips, mut tr_bits, mut tr_blocks, mut tr_halves, mut tr_pilots) =
+            (0usize, 0usize, 0usize, 0usize, 0usize);
+        #[cfg(feature = "trace")]
+        let mut tr_pilots_checked = false;
+
+        let mut samples_run = max_samples;
         for t in 0..max_samples {
             // --- fading evolution -------------------------------------
             if fade_every > 0 && t % fade_every == 0 && t > 0 {
@@ -435,8 +452,37 @@ impl FdLink {
             self.tag_a.charge_awake(dt, t >= a_epoch);
             self.tag_b.charge_awake(dt, true);
 
+            // --- per-chip trace snapshot -------------------------------
+            #[cfg(feature = "trace")]
+            let chip_boundary = t % phy.samples_per_chip == 0;
+            #[cfg(feature = "trace")]
+            if chip_boundary {
+                trace.record(TraceEvent::TxChip {
+                    sample: t,
+                    chip: t / phy.samples_per_chip,
+                    state: a_state,
+                });
+                trace.record(TraceEvent::Channel {
+                    sample: t,
+                    source_power_w: x * x,
+                    env_a,
+                    env_b,
+                });
+            }
+
             // --- B: data reception on its own clock --------------------
-            let corrected = match sic_b.correct(env_b, b_state) {
+            let sic_b_out = sic_b.correct(env_b, b_state);
+            #[cfg(feature = "trace")]
+            if chip_boundary || sic_b_out.is_none() {
+                trace.record(TraceEvent::Sic {
+                    sample: t,
+                    device: 'B',
+                    own_state: b_state,
+                    input: env_b,
+                    output: sic_b_out,
+                });
+            }
+            let corrected = match sic_b_out {
                 Some(v) => {
                     b_hold = v;
                     v
@@ -451,12 +497,87 @@ impl FdLink {
             if !b_was_locked && rx.state() != RxState::Acquiring {
                 b_was_locked = true;
                 b_epoch = Some(t + phy.feedback_guard_bits * spb);
+                #[cfg(feature = "trace")]
+                {
+                    let (score, _) = rx.sync_lock_info().unwrap_or((0.0, 0));
+                    trace.record(TraceEvent::RxLock {
+                        sample: t,
+                        score,
+                        peak_seen: rx.sync_peak_seen(),
+                    });
+                }
+            }
+            #[cfg(feature = "trace")]
+            {
+                if rx.chips_seen() != tr_chips {
+                    tr_chips = rx.chips_seen();
+                    trace.record(TraceEvent::RxChip {
+                        sample: t,
+                        energy: rx.last_chip_energy(),
+                        threshold: rx.slicer_threshold(),
+                    });
+                }
+                if rx.bits_decoded() != tr_bits {
+                    tr_bits = rx.bits_decoded();
+                    if let Some(bit) = rx.last_bit() {
+                        trace.record(TraceEvent::RxBit { sample: t, index: tr_bits - 1, bit });
+                    }
+                }
+                let blocks = rx.blocks();
+                if blocks.len() != tr_blocks {
+                    for (i, b) in blocks.iter().enumerate().skip(tr_blocks) {
+                        trace.record(TraceEvent::RxBlock { sample: t, index: i, ok: b.ok });
+                    }
+                    tr_blocks = blocks.len();
+                }
             }
 
             // --- A: feedback reception ---------------------------------
             if t >= a_epoch && !matches!(opts.feedback, FeedbackPolicy::Silent) {
-                if let Some(corrected) = sic_a.correct(env_a, a_state) {
-                    if let Some(decision) = fb_dec.push(corrected) {
+                let sic_a_out = sic_a.correct(env_a, a_state);
+                #[cfg(feature = "trace")]
+                if chip_boundary || sic_a_out.is_none() {
+                    trace.record(TraceEvent::Sic {
+                        sample: t,
+                        device: 'A',
+                        own_state: a_state,
+                        input: env_a,
+                        output: sic_a_out,
+                    });
+                }
+                if let Some(corrected) = sic_a_out {
+                    let decision = fb_dec.push(corrected);
+                    #[cfg(feature = "trace")]
+                    {
+                        if fb_dec.halves_seen() != tr_halves {
+                            tr_halves = fb_dec.halves_seen();
+                            trace.record(TraceEvent::FbHalf { sample: t, integral: fb_dec.last_half() });
+                        }
+                        if fb_dec.pilots_consumed() != tr_pilots {
+                            tr_pilots = fb_dec.pilots_consumed();
+                            if let Some(&margin) = fb_dec.pilot_margins().last() {
+                                trace.record(TraceEvent::FbPilot {
+                                    sample: t,
+                                    index: tr_pilots - 1,
+                                    margin,
+                                });
+                            }
+                            if tr_pilots == crate::feedback::PILOTS.len() && !tr_pilots_checked {
+                                tr_pilots_checked = true;
+                                trace.record(TraceEvent::FbPilotsChecked {
+                                    sample: t,
+                                    verified: fb_dec.pilots_verified(),
+                                });
+                            }
+                        }
+                    }
+                    if let Some(decision) = decision {
+                        #[cfg(feature = "trace")]
+                        trace.record(TraceEvent::FbBit {
+                            sample: t,
+                            bit: decision.bit,
+                            margin: decision.margin,
+                        });
                         feedback_events.push(FeedbackEvent {
                             sample: t,
                             bit: decision.bit,
@@ -469,6 +590,8 @@ impl FdLink {
                         {
                             tx.abort();
                             aborted_at = Some(t);
+                            #[cfg(feature = "trace")]
+                            trace.record(TraceEvent::Abort { sample: t });
                         }
                     }
                 }
@@ -480,16 +603,8 @@ impl FdLink {
             // An aborted frame is over the moment the antenna drops: A has
             // already decided to retransmit, so it stops listening.
             if aborted_at.is_some() && tx.is_done() {
-                return Ok(self.finish(
-                    t + 1,
-                    tx,
-                    rx,
-                    feedback_events,
-                    fb_dec.pilots_verified(),
-                    aborted_at,
-                    b_was_locked,
-                    (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
-                ));
+                samples_run = t + 1;
+                break;
             }
             // A verdict bit covers the whole frame only if its status was
             // sampled (at its start boundary, one feedback-bit duration
@@ -506,20 +621,13 @@ impl FdLink {
                 && (rx.state() == RxState::Done || rx.state() == RxState::Failed)
                 && verdict_in
             {
-                return Ok(self.finish(
-                    t + 1,
-                    tx,
-                    rx,
-                    feedback_events,
-                    fb_dec.pilots_verified(),
-                    aborted_at,
-                    b_was_locked,
-                    (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
-                ));
+                samples_run = t + 1;
+                break;
             }
         }
-        Ok(self.finish(
-            max_samples,
+        #[allow(unused_mut)]
+        let mut outcome = self.finish(
+            samples_run,
             tx,
             rx,
             feedback_events,
@@ -527,7 +635,12 @@ impl FdLink {
             aborted_at,
             b_was_locked,
             (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
-        ))
+        );
+        #[cfg(feature = "trace")]
+        {
+            outcome.trace = trace;
+        }
+        Ok(outcome)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -543,6 +656,7 @@ impl FdLink {
         baselines: (f64, f64, f64, f64),
     ) -> FrameOutcome {
         let nack = rx.nack();
+        let rx_sync_peak = rx.sync_peak_seen();
         let (partial_payload, partial_blocks) = {
             let (p, b) = rx.partial();
             (p.to_vec(), b.to_vec())
@@ -565,6 +679,9 @@ impl FdLink {
                 b_harvested_j: self.tag_b.harvester().harvested_total_j() - baselines.3,
             },
             nack,
+            rx_sync_peak,
+            #[cfg(feature = "trace")]
+            trace: FrameTrace::new(1),
         }
     }
 }

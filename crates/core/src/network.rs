@@ -197,8 +197,8 @@ impl BackscatterNetwork {
         // Direct fields and reflection coefficients.
         let mut direct = Vec::with_capacity(self.n);
         let mut gamma = Vec::with_capacity(self.n);
-        for i in 0..self.n {
-            self.tags[i].set_antenna(states[i]);
+        for (i, &state) in states.iter().enumerate().take(self.n) {
+            self.tags[i].set_antenna(state);
             direct.push(self.hops_source[i].coeff() * x);
             gamma.push(self.tags[i].reflected(Iq::ONE));
         }

@@ -80,6 +80,12 @@ pub struct DataReceiver {
     bits_decoded: usize,
     result: Option<RxResult>,
     timing_corrections: i64,
+    // Diagnostics probes (cheap scalar stores; read by the trace layer).
+    sync_peak: f64,
+    sync_lock: Option<(f64, usize)>,
+    chips_seen: usize,
+    last_chip_energy: f64,
+    last_bit: Option<bool>,
 }
 
 impl DataReceiver {
@@ -110,6 +116,11 @@ impl DataReceiver {
             bits_decoded: 0,
             result: None,
             timing_corrections: 0,
+            sync_peak: 0.0,
+            sync_lock: None,
+            chips_seen: 0,
+            last_chip_energy: 0.0,
+            last_bit: None,
             state: RxState::Acquiring,
             cfg,
         }
@@ -134,6 +145,38 @@ impl DataReceiver {
     /// Whole-sample timing adjustments applied by the DLL (signed sum).
     pub fn timing_corrections(&self) -> i64 {
         self.timing_corrections
+    }
+
+    /// Highest preamble correlation observed so far, whether or not it
+    /// cleared the lock threshold — the key diagnostic for marginal or
+    /// collided acquisitions.
+    pub fn sync_peak_seen(&self) -> f64 {
+        self.sync_peak
+    }
+
+    /// `(score, lag)` of the successful preamble lock, if any.
+    pub fn sync_lock_info(&self) -> Option<(f64, usize)> {
+        self.sync_lock
+    }
+
+    /// Data chips integrated since lock.
+    pub fn chips_seen(&self) -> usize {
+        self.chips_seen
+    }
+
+    /// Mean envelope of the most recently completed chip.
+    pub fn last_chip_energy(&self) -> f64 {
+        self.last_chip_energy
+    }
+
+    /// Live decision threshold of the adaptive slicer.
+    pub fn slicer_threshold(&self) -> f64 {
+        self.slicer.threshold()
+    }
+
+    /// Most recently decoded data bit.
+    pub fn last_bit(&self) -> Option<bool> {
+        self.last_bit
     }
 
     /// Consumes the result once the frame is done.
@@ -165,7 +208,10 @@ impl DataReceiver {
     fn acquire(&mut self, env: f64) {
         self.history.push_evict(env);
         let smoothed = self.sync_smoother.process(env);
-        if let SyncEvent::Locked { lag, .. } = self.searcher.process(smoothed) {
+        let event = self.searcher.process(smoothed);
+        self.sync_peak = self.sync_peak.max(self.searcher.last_score());
+        if let SyncEvent::Locked { lag, score } = event {
+            self.sync_lock = Some((score, lag));
             self.locked_at = Some(self.samples_seen);
             self.state = RxState::Receiving;
             // Prime the slicer from the preamble's min/max levels.
@@ -206,6 +252,8 @@ impl DataReceiver {
         self.chip_samples = 0;
         self.chip_target = self.next_chip_target();
         self.slicer.process(energy);
+        self.chips_seen += 1;
+        self.last_chip_energy = energy;
         self.chip_energies.push(energy);
         if self.chip_energies.len() < self.cfg.chips_per_bit() {
             return;
@@ -219,6 +267,7 @@ impl DataReceiver {
         self.update_timing();
         self.bit_samples.clear();
         self.bits_decoded += 1;
+        self.last_bit = Some(bit);
         if let Some(event) = self.parser.push_bit(bit) {
             match event {
                 ParseEvent::HeaderInvalid => {
@@ -277,9 +326,9 @@ impl DataReceiver {
         let hi = (centre + w).min(n - 1);
         let mut best_t = centre;
         let mut best_metric = -1.0;
-        for t in lo..=hi {
-            let mean_a = prefix[t] / t as f64;
-            let mean_b = (total - prefix[t]) / (n - t) as f64;
+        for (t, &p) in prefix.iter().enumerate().take(hi + 1).skip(lo) {
+            let mean_a = p / t as f64;
+            let mean_b = (total - p) / (n - t) as f64;
             let metric = (mean_a - mean_b).abs();
             if metric > best_metric {
                 best_metric = metric;

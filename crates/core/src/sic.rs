@@ -85,10 +85,20 @@ impl SelfInterferenceCanceller {
         }
     }
 
-    /// Resets transition tracking (new frame).
+    /// Resets transition tracking (new frame), treating the *current*
+    /// antenna state as settled. The state is deliberately preserved: a
+    /// frame that starts while the antenna is already reflecting must not
+    /// register a spurious toggle (and blank its opening samples) just
+    /// because the canceller was reset.
     pub fn reset(&mut self) {
         self.since_toggle = usize::MAX / 2;
-        self.last_state = false;
+    }
+
+    /// Resets transition tracking with an explicit settled initial state,
+    /// for callers that know the antenna state the next frame opens in.
+    pub fn reset_to(&mut self, state: bool) {
+        self.since_toggle = usize::MAX / 2;
+        self.last_state = state;
     }
 }
 
@@ -158,6 +168,37 @@ mod tests {
         let mut s = SelfInterferenceCanceller::new(SicMode::KnownState, 0.3, 0.0).with_blanking(5);
         s.correct(1.0, true); // toggle → blank
         s.reset();
-        assert!(s.correct(1.0, false).is_some());
+        // Reset treats the current state as settled, so the blanking window
+        // opened by the toggle above does not leak into the next frame.
+        assert!(s.correct(0.7, true).is_some());
+    }
+
+    #[test]
+    fn reset_preserves_settled_reflect_state() {
+        // Regression: reset() used to force last_state = false, so a frame
+        // starting while the antenna was (correctly) still reflecting
+        // registered a phantom toggle and blanked its opening samples.
+        let mut s = SelfInterferenceCanceller::new(SicMode::KnownState, 0.3, 0.0).with_blanking(3);
+        for _ in 0..10 {
+            s.correct(0.7, true); // settle in the reflect state
+        }
+        s.reset();
+        assert!(
+            s.correct(0.7, true).is_some(),
+            "reset must not fabricate a toggle when the next frame opens in the settled reflect state"
+        );
+    }
+
+    #[test]
+    fn reset_to_seeds_explicit_initial_state() {
+        let mut s = SelfInterferenceCanceller::new(SicMode::KnownState, 0.3, 0.0).with_blanking(3);
+        for _ in 0..10 {
+            s.correct(1.0, false);
+        }
+        s.reset_to(true);
+        // First sample already reflecting: settled, not a toggle.
+        assert!(s.correct(0.7, true).is_some());
+        // And an actual toggle afterwards still blanks.
+        assert!(s.correct(1.0, false).is_none());
     }
 }

@@ -1,0 +1,275 @@
+//! Frame-level diagnostics: structured per-stage event capture.
+//!
+//! When the `trace` cargo feature is enabled, [`crate::link::FdLink::run_frame`]
+//! records a [`TraceEvent`] stream into a bounded [`FrameTrace`] ring buffer
+//! carried on the [`crate::link::FrameOutcome`]. The stream covers every
+//! stage of the PHY pipeline:
+//!
+//! * **tx** — chip emission ([`TraceEvent::TxChip`]);
+//! * **channel** — instantaneous source power and both detector envelopes
+//!   ([`TraceEvent::Channel`]);
+//! * **sic** — self-interference correction input/output, including
+//!   blanked samples ([`TraceEvent::Sic`]);
+//! * **rx** — acquisition lock with correlation score, per-chip energies
+//!   against the live slicer threshold, decoded bits, and per-block CRC
+//!   verdicts ([`TraceEvent::RxLock`], [`TraceEvent::RxChip`],
+//!   [`TraceEvent::RxBit`], [`TraceEvent::RxBlock`]);
+//! * **feedback** — integrate-and-dump half-bit integrals, per-pilot
+//!   margins, the pilot verification verdict, and decoded status bits
+//!   ([`TraceEvent::FbHalf`], [`TraceEvent::FbPilot`],
+//!   [`TraceEvent::FbPilotsChecked`], [`TraceEvent::FbBit`]);
+//! * **mac reflex** — the abort decision ([`TraceEvent::Abort`]).
+//!
+//! Sample-rate stages (tx/channel/sic/rx-chip) are decimated to chip
+//! boundaries so a whole frame fits in the default ring capacity; decision
+//! events are recorded unconditionally. When the ring overflows, the
+//! *oldest* events are evicted and counted, so the tail of a frame — where
+//! failures usually manifest — is always retained.
+//!
+//! With the feature disabled this module still compiles (it has no
+//! feature-gated items itself) but nothing constructs a `FrameTrace`, and
+//! `run_frame` contains no tracing code at all — zero hot-path cost.
+
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Default ring capacity in events: comfortably holds a chip-decimated
+/// 256-byte frame with full feedback activity.
+pub const DEFAULT_TRACE_CAPACITY: usize = 32_768;
+
+/// One structured event from a single pipeline stage.
+///
+/// `sample` is always the link-clock sample index at which the event was
+/// recorded (device-clock resampling happens downstream of the fields
+/// observed here).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEvent {
+    /// Transmitter A emitted a chip: its antenna state for this chip.
+    TxChip {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Chip index since frame start.
+        chip: usize,
+        /// `true` = reflect.
+        state: bool,
+    },
+    /// Channel/ambient snapshot at the detectors.
+    Channel {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Instantaneous ambient power at the source (watts).
+        source_power_w: f64,
+        /// Detected envelope at device A (post detector RC).
+        env_a: f64,
+        /// Detected envelope at device B.
+        env_b: f64,
+    },
+    /// One self-interference correction.
+    Sic {
+        /// Link-clock sample index.
+        sample: usize,
+        /// `'A'` (feedback path) or `'B'` (data path).
+        device: char,
+        /// Device's own antenna state at this sample.
+        own_state: bool,
+        /// Detected envelope before correction.
+        input: f64,
+        /// Corrected envelope, or `None` when transition-blanked.
+        output: Option<f64>,
+    },
+    /// B's receiver achieved preamble lock.
+    RxLock {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Peak normalised correlation at lock.
+        score: f64,
+        /// Highest correlation observed during the whole hunt (equals
+        /// `score` at lock; keeps climbing history for missed locks).
+        peak_seen: f64,
+    },
+    /// B integrated one data chip.
+    RxChip {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Mean envelope over the chip.
+        energy: f64,
+        /// Live slicer threshold the chip was compared against.
+        threshold: f64,
+    },
+    /// B decoded one data bit.
+    RxBit {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Bit index since lock.
+        index: usize,
+        /// Decoded value.
+        bit: bool,
+    },
+    /// B completed one payload block.
+    RxBlock {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Block index within the frame.
+        index: usize,
+        /// CRC verdict.
+        ok: bool,
+    },
+    /// A's feedback integrator dumped one half-bit integral.
+    FbHalf {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Mean corrected envelope over the half-bit.
+        integral: f64,
+    },
+    /// A consumed one feedback pilot bit.
+    FbPilot {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Pilot index (0-based).
+        index: usize,
+        /// `|E_first − E_second|` for this pilot.
+        margin: f64,
+    },
+    /// A finished checking the pilot sequence.
+    FbPilotsChecked {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Whether the feedback channel was verified alive.
+        verified: bool,
+    },
+    /// A decoded one post-pilot feedback bit.
+    FbBit {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Decoded status bit.
+        bit: bool,
+        /// Decision margin.
+        margin: f64,
+    },
+    /// A aborted the frame on verified NACK.
+    Abort {
+        /// Link-clock sample index.
+        sample: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Coarse stage label, for filtering: `"tx"`, `"channel"`, `"sic"`,
+    /// `"rx"`, `"feedback"` or `"mac"`.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            TraceEvent::TxChip { .. } => "tx",
+            TraceEvent::Channel { .. } => "channel",
+            TraceEvent::Sic { .. } => "sic",
+            TraceEvent::RxLock { .. }
+            | TraceEvent::RxChip { .. }
+            | TraceEvent::RxBit { .. }
+            | TraceEvent::RxBlock { .. } => "rx",
+            TraceEvent::FbHalf { .. }
+            | TraceEvent::FbPilot { .. }
+            | TraceEvent::FbPilotsChecked { .. }
+            | TraceEvent::FbBit { .. } => "feedback",
+            TraceEvent::Abort { .. } => "mac",
+        }
+    }
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s for one frame.
+#[derive(Debug, Clone)]
+pub struct FrameTrace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl Default for FrameTrace {
+    fn default() -> Self {
+        FrameTrace::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl FrameTrace {
+    /// Creates an empty trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FrameTrace {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Events belonging to one coarse stage (see [`TraceEvent::stage`]).
+    pub fn stage_events<'a>(&'a self, stage: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events().filter(move |e| e.stage() == stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut t = FrameTrace::new(3);
+        for i in 0..5 {
+            t.record(TraceEvent::Abort { sample: i });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        // Oldest evicted: samples 2, 3, 4 remain.
+        let first = t.events().next().unwrap();
+        assert_eq!(*first, TraceEvent::Abort { sample: 2 });
+    }
+
+    #[test]
+    fn stage_labels_partition_events() {
+        let mut t = FrameTrace::new(16);
+        t.record(TraceEvent::TxChip { sample: 0, chip: 0, state: true });
+        t.record(TraceEvent::RxChip { sample: 1, energy: 0.5, threshold: 0.4 });
+        t.record(TraceEvent::FbBit { sample: 2, bit: true, margin: 0.1 });
+        assert_eq!(t.stage_events("tx").count(), 1);
+        assert_eq!(t.stage_events("rx").count(), 1);
+        assert_eq!(t.stage_events("feedback").count(), 1);
+        assert_eq!(t.stage_events("channel").count(), 0);
+    }
+
+    #[test]
+    fn events_serialize_to_tagged_objects() {
+        use serde::Serialize;
+        let ev = TraceEvent::RxBlock { sample: 7, index: 1, ok: false };
+        let v = ev.to_value();
+        let obj = v.as_object().expect("tagged object");
+        assert_eq!(obj.len(), 1);
+        assert_eq!(obj[0].0, "RxBlock");
+    }
+}

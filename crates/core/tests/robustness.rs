@@ -27,7 +27,7 @@ proptest! {
             prop_assert!(result.payload.len() <= MAX_PAYLOAD);
             prop_assert_eq!(
                 result.blocks.len(),
-                result.payload.len().div_ceil(16).max(0)
+                result.payload.len().div_ceil(16)
             );
         }
     }

@@ -68,6 +68,7 @@ pub struct PreambleSearcher {
     best: f64,
     rising: bool,
     since_best: usize,
+    last_score: f64,
 }
 
 impl PreambleSearcher {
@@ -83,12 +84,20 @@ impl PreambleSearcher {
             best: 0.0,
             rising: false,
             since_best: 0,
+            last_score: 0.0,
         }
     }
 
     /// Length of the template in samples.
     pub fn template_len(&self) -> usize {
         self.template.len()
+    }
+
+    /// Correlation score of the most recent sample (0 until the window
+    /// fills). Diagnostics: lets callers observe sub-threshold peaks that
+    /// never produce a lock.
+    pub fn last_score(&self) -> f64 {
+        self.last_score
     }
 
     /// Pushes one envelope sample.
@@ -99,6 +108,7 @@ impl PreambleSearcher {
         }
         let buf: Vec<f64> = self.window.iter().collect();
         let score = ncc(&buf, &self.template);
+        self.last_score = score;
         if self.rising {
             if score > self.best {
                 self.best = score;

@@ -245,8 +245,8 @@ mod tests {
         let il = Interleaver::new(rows);
         let clean = vec![false; len];
         let mut tx = il.interleave(&clean);
-        for pos in 20..24 {
-            tx[pos] = true; // burst of 4 channel errors
+        for slot in tx.iter_mut().take(24).skip(20) {
+            *slot = true; // burst of 4 channel errors
         }
         let rx = il.deinterleave(&tx);
         let err_pos: Vec<usize> = rx.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();

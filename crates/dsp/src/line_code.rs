@@ -274,14 +274,14 @@ mod tests {
 
     #[test]
     fn nrz_cumulative_imbalance_unbounded() {
-        let chips = LineCode::Nrz.encode(&vec![true; 64]);
+        let chips = LineCode::Nrz.encode(&[true; 64]);
         let acc: i64 = chips.iter().map(|&c| if c { 1i64 } else { -1 }).sum();
         assert_eq!(acc, 64);
     }
 
     #[test]
     fn nrz_all_ones_is_unbalanced() {
-        let chips = LineCode::Nrz.encode(&vec![true; 32]);
+        let chips = LineCode::Nrz.encode(&[true; 32]);
         assert_eq!(reflect_fraction(&chips), 1.0);
         assert!(!LineCode::Nrz.is_dc_balanced_short_horizon());
     }

@@ -59,7 +59,7 @@ impl MovingAverage {
             self.sum += x;
         }
         self.updates += 1;
-        if self.updates % REFRESH == 0 {
+        if self.updates.is_multiple_of(REFRESH) {
             self.sum = self.window.iter().sum();
         }
         self.sum / self.window.len() as f64

@@ -192,7 +192,7 @@ mod tests {
 
     fn square_wave(n: usize, lo: f64, hi: f64, half_period: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| if (i / half_period) % 2 == 0 { hi } else { lo })
+            .map(|i| if (i / half_period).is_multiple_of(2) { hi } else { lo })
             .collect()
     }
 

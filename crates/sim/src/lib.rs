@@ -7,8 +7,9 @@
 //! * [`runner`] — runs N frames of a scenario with a seeded RNG and
 //!   produces [`metrics::LinkMetrics`]; every run is reproducible
 //!   bit-for-bit from `(config, seed)`.
-//! * [`sweep`] — order-preserving parallel parameter sweeps on crossbeam
-//!   scoped threads (one seed per point, derived deterministically).
+//! * [`sweep`] — order-preserving parallel parameter sweeps on
+//!   `std::thread::scope` workers (one seed per point, derived
+//!   deterministically).
 //! * [`report`] — CSV and markdown emitters used by every experiment
 //!   binary, so EXPERIMENTS.md tables regenerate byte-identically.
 
@@ -21,5 +22,7 @@ pub mod runner;
 pub mod sweep;
 
 pub use metrics::LinkMetrics;
+#[cfg(feature = "trace")]
+pub use runner::measure_link_traced;
 pub use runner::{measure_link, MeasureSpec};
 pub use sweep::parallel_sweep;

@@ -2,7 +2,9 @@
 
 use crate::metrics::LinkMetrics;
 use fdb_core::frame::bytes_to_bits;
-use fdb_core::link::{FdLink, FeedbackPolicy, LinkConfig, RunOptions};
+use fdb_core::link::{FdLink, FeedbackPolicy, FrameOutcome, LinkConfig, RunOptions};
+#[cfg(feature = "trace")]
+use fdb_core::trace::FrameTrace;
 use fdb_core::PhyError;
 use fdb_dsp::prbs::{Prbs, PrbsOrder};
 use rand::Rng;
@@ -44,14 +46,61 @@ fn feedback_bits_in_frame(bits: usize, m: usize, guard: usize) -> usize {
     (usable / m).saturating_sub(fdb_core::feedback::PILOTS.len())
 }
 
+/// XOR salt separating the payload PRBS stream from the master seed.
+const PAYLOAD_SALT: u64 = 0xBAC0_5CA7;
+/// XOR salt separating the feedback-probe PRBS stream from the master seed.
+const FEEDBACK_SALT: u64 = 0xFEED;
+
+/// Derives a non-zero PRBS register seed from the master seed and a salt.
+///
+/// The previous expression `seed ^ SALT | 1` parsed as
+/// `(seed ^ SALT) | 1` (`^` binds tighter than `|`), which forced bit 0 of
+/// the derived seed. Adjacent master seeds differing only in bit 0 (e.g. 2
+/// and 3) therefore produced *identical* PRBS streams. A PRBS register only
+/// needs to be non-zero, so guard with `max(1)` instead of clobbering a bit.
+fn prbs_seed(master: u64, salt: u64) -> u64 {
+    (master ^ salt).max(1)
+}
+
 /// Runs `spec.frames` frames over `cfg` and aggregates metrics.
 ///
 /// Reproducible: identical `(cfg, spec)` produce identical metrics.
 pub fn measure_link(cfg: &LinkConfig, spec: &MeasureSpec) -> Result<LinkMetrics, PhyError> {
+    measure_link_with(cfg, spec, |_, _| {})
+}
+
+/// Like [`measure_link`], but also returns the [`FrameTrace`] of the first
+/// frame that failed to deliver fully (or `None` if every frame delivered).
+/// The natural debugging entry point when a sweep shows losses: rerun the
+/// point with this and inspect the per-stage events of the failing frame.
+#[cfg(feature = "trace")]
+pub fn measure_link_traced(
+    cfg: &LinkConfig,
+    spec: &MeasureSpec,
+) -> Result<(LinkMetrics, Option<FrameTrace>), PhyError> {
+    let mut first_failure: Option<FrameTrace> = None;
+    let metrics = measure_link_with(cfg, spec, |_, out| {
+        if first_failure.is_none() && !out.fully_delivered() {
+            first_failure = Some(out.trace.clone());
+        }
+    })?;
+    Ok((metrics, first_failure))
+}
+
+/// Shared driver behind [`measure_link`]: runs the frames and invokes
+/// `observe(frame_index, outcome)` on each outcome before aggregation.
+fn measure_link_with<F>(
+    cfg: &LinkConfig,
+    spec: &MeasureSpec,
+    mut observe: F,
+) -> Result<LinkMetrics, PhyError>
+where
+    F: FnMut(u64, &FrameOutcome),
+{
     let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
     let mut link = FdLink::new(cfg.clone(), &mut rng)?;
-    let mut payload_gen = Prbs::new(PrbsOrder::Prbs23, spec.seed ^ 0xBAC0_5CA7 | 1);
-    let mut fb_gen = Prbs::new(PrbsOrder::Prbs15, spec.seed ^ 0xFEED | 1);
+    let mut payload_gen = Prbs::new(PrbsOrder::Prbs23, prbs_seed(spec.seed, PAYLOAD_SALT));
+    let mut fb_gen = Prbs::new(PrbsOrder::Prbs15, prbs_seed(spec.seed, FEEDBACK_SALT));
     let mut metrics = LinkMetrics::default();
 
     let frame_bits = cfg.phy.preamble.len()
@@ -62,7 +111,7 @@ pub fn measure_link(cfg: &LinkConfig, spec: &MeasureSpec) -> Result<LinkMetrics,
         cfg.phy.feedback_guard_bits,
     );
 
-    for _ in 0..spec.frames {
+    for frame_idx in 0..spec.frames {
         let payload = payload_gen.bytes(spec.payload_len.max(1));
         let (opts, fb_expected): (RunOptions, Option<Vec<bool>>) = match spec.feedback_probe {
             None => (RunOptions::half_duplex(), None),
@@ -79,6 +128,7 @@ pub fn measure_link(cfg: &LinkConfig, spec: &MeasureSpec) -> Result<LinkMetrics,
             }
         };
         let out = link.run_frame(&payload, &opts, &mut rng)?;
+        observe(frame_idx, &out);
         metrics.frames += 1;
         if out.b_locked {
             metrics.locked += 1;
@@ -204,6 +254,27 @@ mod tests {
         assert_eq!(m.feedback_ber.bits(), 0);
         assert_eq!(m.pilots_ok, 0);
         assert_eq!(m.fully_delivered, 2);
+    }
+
+    #[test]
+    fn adjacent_master_seeds_yield_distinct_prbs_streams() {
+        // Regression: master seeds 2 and 3 differ only in bit 0, which the
+        // old `seed ^ SALT | 1` derivation forced to 1 — both masters fed
+        // identical PRBS registers and every "independent" run replayed the
+        // same payloads and feedback probes.
+        let mut a = Prbs::new(PrbsOrder::Prbs23, prbs_seed(2, PAYLOAD_SALT));
+        let mut b = Prbs::new(PrbsOrder::Prbs23, prbs_seed(3, PAYLOAD_SALT));
+        assert_ne!(a.bytes(64), b.bytes(64), "payload streams collide");
+        let mut a = Prbs::new(PrbsOrder::Prbs15, prbs_seed(2, FEEDBACK_SALT));
+        let mut b = Prbs::new(PrbsOrder::Prbs15, prbs_seed(3, FEEDBACK_SALT));
+        assert_ne!(a.bits(64), b.bits(64), "feedback streams collide");
+    }
+
+    #[test]
+    fn prbs_seed_never_zero() {
+        // master == salt would zero the register and stall the PRBS.
+        assert_eq!(prbs_seed(PAYLOAD_SALT, PAYLOAD_SALT), 1);
+        assert_eq!(prbs_seed(FEEDBACK_SALT, FEEDBACK_SALT), 1);
     }
 
     #[test]

@@ -2,11 +2,10 @@
 //!
 //! Every experiment is a sweep: a list of parameter points, each measured
 //! independently with its own derived seed. Points are embarrassingly
-//! parallel, so they are fanned out over crossbeam scoped threads — one
-//! worker per CPU, chunked by index, results stitched back in input order
-//! so reports are deterministic regardless of thread scheduling.
-
-use parking_lot::Mutex;
+//! parallel, so they are fanned out over `std::thread::scope` workers.
+//! Each worker owns a contiguous chunk of the input and the matching
+//! chunk of the output, so results land in their slots without any shared
+//! lock and come back in input order regardless of thread scheduling.
 
 /// Runs `f` over every point, in parallel, preserving input order.
 ///
@@ -30,23 +29,19 @@ where
     if threads == 1 {
         return points.iter().map(&f).collect();
     }
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in points.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (p, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(p));
                 }
-                let r = f(&points[i]);
-                results.lock()[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("sweep point skipped"))
         .collect()

@@ -63,6 +63,10 @@ pub use fdb_sim as sim;
 /// Closed-form performance models and theory-vs-simulation validators.
 pub use fdb_analysis as analysis;
 
+/// Trace-layer helpers for tests and debugging (`trace` feature only).
+#[cfg(feature = "trace")]
+pub mod testing;
+
 /// The types most programs need.
 pub mod prelude {
     pub use fdb_ambient::AmbientConfig;

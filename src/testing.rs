@@ -1,0 +1,38 @@
+//! Helpers for exercising the frame-trace diagnostics layer in tests and
+//! ad-hoc debugging (available with the `trace` feature).
+//!
+//! The typical loop while root-causing a failure:
+//!
+//! 1. [`run_seeded_frame`] reproduces one frame deterministically;
+//! 2. [`trace_jsonl`] turns its trace into grep-able JSON lines;
+//! 3. narrow by stage with [`FrameTrace::stage_events`] and compare a
+//!    failing seed against a passing one.
+
+use fdb_core::link::{FdLink, FrameOutcome, LinkConfig, RunOptions};
+use fdb_core::trace::FrameTrace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runs one deterministic frame over `cfg` and returns its outcome (which
+/// carries the [`FrameTrace`]). The payload is a fixed `i % 251` ramp so a
+/// given `(cfg, seed, payload_len)` triple always replays identically —
+/// the same contract the `probe` CLI uses.
+pub fn run_seeded_frame(
+    cfg: LinkConfig,
+    seed: u64,
+    payload_len: usize,
+    opts: &RunOptions,
+) -> FrameOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut link = FdLink::new(cfg, &mut rng).expect("valid link config");
+    let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+    link.run_frame(&payload, opts, &mut rng).expect("frame runs")
+}
+
+/// Serialises every trace event to one JSON line (the probe CLI format).
+pub fn trace_jsonl(trace: &FrameTrace) -> Vec<String> {
+    trace
+        .events()
+        .map(|ev| serde_json::to_string(ev).expect("trace event serializes"))
+        .collect()
+}

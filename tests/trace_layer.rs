@@ -1,0 +1,84 @@
+//! Integration tests for the frame-trace diagnostics layer.
+//!
+//! Run with `cargo test --features trace`; the whole file compiles away
+//! otherwise.
+#![cfg(feature = "trace")]
+
+use fd_backscatter::prelude::*;
+use fd_backscatter::testing::{run_seeded_frame, trace_jsonl};
+
+fn quiet_cfg() -> LinkConfig {
+    let mut cfg = LinkConfig::default_fd();
+    cfg.ambient = fd_backscatter::ambient::AmbientConfig::Cw;
+    cfg.field_noise_dbm = -160.0;
+    cfg
+}
+
+#[test]
+fn fd_frame_trace_covers_every_stage() {
+    let out = run_seeded_frame(quiet_cfg(), 11, 64, &RunOptions::fd_monitor());
+    assert!(out.fully_delivered(), "clean FD frame must deliver");
+    for stage in ["tx", "channel", "sic", "rx", "feedback"] {
+        assert!(
+            out.trace.stage_events(stage).next().is_some(),
+            "no `{stage}` events in a full-duplex frame trace"
+        );
+    }
+    assert!(!out.trace.is_empty());
+}
+
+#[test]
+fn half_duplex_trace_has_no_feedback_events() {
+    let out = run_seeded_frame(quiet_cfg(), 12, 32, &RunOptions::half_duplex());
+    assert!(out.fully_delivered());
+    assert_eq!(
+        out.trace.stage_events("feedback").count(),
+        0,
+        "half-duplex frames must not record feedback-decode events"
+    );
+    assert!(out.trace.stage_events("rx").next().is_some());
+}
+
+#[test]
+fn trace_is_deterministic_for_a_seed() {
+    let a = run_seeded_frame(quiet_cfg(), 13, 48, &RunOptions::fd_monitor());
+    let b = run_seeded_frame(quiet_cfg(), 13, 48, &RunOptions::fd_monitor());
+    let ea: Vec<_> = a.trace.events().collect();
+    let eb: Vec<_> = b.trace.events().collect();
+    assert_eq!(ea, eb, "same seed must replay an identical trace");
+}
+
+#[test]
+fn trace_serialises_to_jsonl_and_tags_stages() {
+    let out = run_seeded_frame(quiet_cfg(), 14, 32, &RunOptions::fd_monitor());
+    let lines = trace_jsonl(&out.trace);
+    assert_eq!(lines.len(), out.trace.len());
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("trace line is not valid JSON ({e:?}): {line}"));
+        drop(v);
+        assert!(line.contains("\"sample\""), "no sample field: {line}");
+    }
+}
+
+#[test]
+fn traced_runner_captures_first_failing_frame() {
+    // At a marginal distance some frames fail; the traced runner must hand
+    // back the trace of the first one that did.
+    let mut cfg = LinkConfig::default_fd();
+    cfg.geometry.device_dist_m = 0.8; // far: reliably lossy
+    let spec = MeasureSpec {
+        frames: 6,
+        payload_len: 64,
+        seed: 5,
+        feedback_probe: Some(false),
+    };
+    let (metrics, trace) = fd_backscatter::sim::measure_link_traced(&cfg, &spec).unwrap();
+    assert_eq!(metrics.frames, 6);
+    if metrics.fully_delivered < metrics.frames {
+        let trace = trace.expect("a failing frame must carry its trace");
+        assert!(!trace.is_empty(), "captured trace is empty");
+    } else {
+        assert!(trace.is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace's
+//! benches use. Runs each benchmark for a fixed wall-clock budget and
+//! prints `name  <mean time>  (<throughput>)` lines — no statistics,
+//! plots, or baseline comparisons, but the same source compiles and the
+//! numbers are usable for coarse regression checks.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), None, 20, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Mean seconds per iteration, filled by `iter`.
+    mean_s: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one batch takes ≥ ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        self.iters_per_sample = batch;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64() / batch as f64;
+            best = best.min(dt);
+        }
+        self.mean_s = best;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_per_sample: 0,
+        samples,
+        mean_s: f64::NAN,
+    };
+    f(&mut b);
+    let time = format_time(b.mean_s);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.mean_s > 0.0 => {
+            format!("  {:.3} Melem/s", n as f64 / b.mean_s / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if b.mean_s > 0.0 => {
+            format!("  {:.3} MiB/s", n as f64 / b.mean_s / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} {time}{rate}   ({} iters/sample)", b.iters_per_sample);
+}
+
+fn format_time(s: f64) -> String {
+    if !s.is_finite() {
+        "      n/a".to_string()
+    } else if s >= 1.0 {
+        format!("{s:>8.3} s")
+    } else if s >= 1e-3 {
+        format!("{:>7.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:>7.3} µs", s * 1e6)
+    } else {
+        format!("{:>7.3} ns", s * 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(4)).sample_size(2);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.0).contains('s'));
+        assert!(format_time(2e-3).contains("ms"));
+        assert!(format_time(2e-6).contains("µs"));
+        assert!(format_time(2e-9).contains("ns"));
+    }
+}

@@ -1,0 +1,354 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented with a hand-rolled token walk (no `syn`/`quote` — the build
+//! environment is offline). Supported shapes, which cover every derived
+//! type in this workspace:
+//!
+//! * structs with named fields (including empty `{}` and unit structs);
+//! * enums whose variants are unit or struct-like (named fields), using
+//!   serde's externally-tagged representation;
+//! * the `#[serde(default)]` field attribute.
+//!
+//! Tuple structs, tuple variants, and generic types are rejected with a
+//! compile-time panic naming the offender.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    /// Named fields (empty for unit structs).
+    Struct(Vec<Field>),
+    /// (variant name, None = unit | Some(fields) = struct variant).
+    Enum(Vec<(String, Option<Vec<Field>>)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// True when an attribute group body is `serde(...)` containing `default`.
+fn attr_is_serde_default(body: &[TokenTree]) -> bool {
+    match body {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; reports whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            has_default |= attr_is_serde_default(&body);
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (i, has_default)
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_fields(stream: TokenStream, owner: &str) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, has_default) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde derive: unexpected token `{other}` in fields of {owner}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde derive: {owner} has unsupported (tuple?) fields"),
+        }
+        // Skip the type: everything until a top-level (angle-depth 0) comma.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run off the end, fine)
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream, owner: &str) -> Vec<(String, Option<Vec<Field>>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _) = skip_attrs(&tokens, i);
+        i = ni;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                panic!("serde derive: unexpected token `{other}` in variants of {owner}")
+            }
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream(), owner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple variant {owner}::{name} is not supported")
+            }
+            _ => None,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let (ni, _) = skip_attrs(&tokens, i);
+                i = ni;
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // pub, crate, etc.
+            }
+            Some(TokenTree::Group(_)) => i += 1, // pub(crate) group
+            Some(other) => panic!("serde derive: unexpected token `{other}`"),
+            None => panic!("serde derive: no struct/enum found"),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde derive: missing type name"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type {name} is not supported");
+    }
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_fields(g.stream(), &name))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Vec::new()),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple struct {name} is not supported")
+            }
+            _ => panic!("serde derive: malformed struct {name}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            _ => panic!("serde derive: malformed enum {name}"),
+        }
+    };
+    Item { name, shape }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                entries.push_str(&format!(
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),",
+                    f = f.name
+                ));
+            }
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )),
+                    Some(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut entries = String::new();
+                        for f in &binds {
+                            entries.push_str(&format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})),"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(::std::vec![{entries}]))]),",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Field initializers for a named-field constructor read from object `obj`,
+/// with `ctx` naming the surrounding type/variant in error messages.
+fn field_inits(fields: &[Field], ctx: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.has_default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("::serde::Deserialize::from_missing(\"{ctx}.{f}\")?", f = f.name)
+        };
+        out.push_str(&format!(
+            "{f}: match ::serde::__get(obj, \"{f}\") {{\n\
+             Some(x) => ::serde::Deserialize::from_value(x).map_err(|e| \
+             ::serde::DeError(::std::format!(\"{ctx}.{f}: {{}}\", e)))?,\n\
+             None => {missing},\n\
+             }},",
+            f = f.name
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits = field_inits(fields, name);
+            format!(
+                "let obj = match v {{\n\
+                 ::serde::Value::Object(m) => m.as_slice(),\n\
+                 other => return Err(::serde::DeError::expected(\"object ({name})\", other)),\n\
+                 }};\n\
+                 #[allow(unused_variables)] let obj = obj;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),")),
+                    Some(fields) => {
+                        let inits = field_inits(fields, &format!("{name}::{v}"));
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let obj = match inner {{\n\
+                             ::serde::Value::Object(m) => m.as_slice(),\n\
+                             other => return Err(::serde::DeError::expected(\
+                             \"object ({name}::{v})\", other)),\n\
+                             }};\n\
+                             #[allow(unused_variables)] let obj = obj;\n\
+                             Ok({name}::{v} {{ {inits} }})\n\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", other))),\n\
+                 }},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = &m[0];\n\
+                 #[allow(unused_variables)] let inner = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 other => Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", other))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::expected(\
+                 \"string or single-key object ({name})\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
