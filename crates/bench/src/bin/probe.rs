@@ -19,10 +19,23 @@
 //! cargo run --release -p fdb-bench --bin probe -- --sweep [frames-per-point]
 //! ```
 //!
+//! `--sync-report` replays a batch of frames and emits one JSON line per
+//! frame with the two-stage acquisition counters (candidate locks,
+//! rejections, peak correlation) plus a closing summary — the CI smoke
+//! check for lock discrimination. It works with or without the `trace`
+//! feature and accepts a bundled scenario file:
+//!
+//! ```text
+//! cargo run --release -p fdb-bench --bin probe -- \
+//!     --sync-report [--config configs/default_link.json] [--frames N] [--seed N]
+//! ```
+//!
 //! The trace replay needs the `trace` feature, which is on by default for
-//! this crate; a `--no-default-features` build keeps only `--sweep`.
+//! this crate; a `--no-default-features` build keeps `--sweep` and
+//! `--sync-report`.
 
 use fdb_core::link::{FdLink, LinkConfig, RunOptions};
+use fdb_sim::MeasureSpec;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -35,12 +48,19 @@ struct Args {
     stage: Option<String>,
     /// `Some(frames)` = run the legacy distance sweep instead.
     sweep: Option<u32>,
+    /// Emit per-frame sync attempt/rejection JSONL instead of a trace.
+    sync_report: bool,
+    /// Bundled scenario file (`{link, spec}` JSON) for `--sync-report`.
+    config: Option<String>,
+    /// Frame-count override for `--sync-report`.
+    frames: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: probe [--seed N] [--dist METERS] [--payload-len BYTES] \
-         [--mode fd|hd] [--stage NAME] | --sweep [frames]"
+         [--mode fd|hd] [--stage NAME] | --sweep [frames] | \
+         --sync-report [--config PATH] [--frames N] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -53,6 +73,9 @@ fn parse_args() -> Args {
         full_duplex: true,
         stage: None,
         sweep: None,
+        sync_report: false,
+        config: None,
+        frames: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,6 +98,11 @@ fn parse_args() -> Args {
             "--sweep" => {
                 args.sweep = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or(20))
             }
+            "--sync-report" => args.sync_report = true,
+            "--config" => args.config = Some(value("--config")),
+            "--frames" => {
+                args.frames = Some(value("--frames").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             // Bare number: legacy `probe N` sweep invocation.
             n if n.parse::<u32>().is_ok() => args.sweep = Some(n.parse().unwrap()),
@@ -86,6 +114,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.sync_report {
+        sync_report(&args);
+        return;
+    }
     if let Some(frames) = args.sweep {
         sweep(frames);
         return;
@@ -161,6 +193,103 @@ fn trace_frame(args: &Args) {
         samples_run: out.samples_run,
         trace_events: out.trace.len(),
         trace_dropped: out.trace.dropped(),
+    };
+    println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+}
+
+/// Per-frame two-stage acquisition report: one JSON line per frame with
+/// the sync attempt/rejection counters, then a `summary` line. Needs no
+/// trace feature — everything comes off the [`fdb_core::link::FrameOutcome`].
+fn sync_report(args: &Args) {
+    use serde::Serialize;
+
+    #[derive(serde::Deserialize)]
+    struct Scenario {
+        link: LinkConfig,
+        spec: MeasureSpec,
+    }
+
+    #[derive(Serialize)]
+    struct FrameLine {
+        frame: u64,
+        locked: bool,
+        fully_delivered: bool,
+        sync_attempts: usize,
+        sync_rejections: usize,
+        sync_peak: f64,
+        nack: bool,
+    }
+
+    #[derive(Serialize)]
+    struct SummaryLine {
+        summary: bool,
+        config: String,
+        seed: u64,
+        frames: u64,
+        locked: u64,
+        fully_delivered: u64,
+        sync_attempts: u64,
+        sync_rejections: u64,
+    }
+
+    let (cfg, mut frames, config_name) = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let scenario: Scenario = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("{path} invalid: {e}");
+                std::process::exit(2);
+            });
+            (scenario.link, scenario.spec.frames, path.clone())
+        }
+        None => {
+            let mut cfg = LinkConfig::default_fd();
+            cfg.geometry.device_dist_m = args.dist;
+            (cfg, 20, "default".to_string())
+        }
+    };
+    if let Some(n) = args.frames {
+        frames = n;
+    }
+    cfg.phy.validate().unwrap_or_else(|e| {
+        eprintln!("invalid PHY config: {e}");
+        std::process::exit(2);
+    });
+
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let mut link = FdLink::new(cfg, &mut rng).expect("validated config");
+    let payload: Vec<u8> = (0..args.payload_len).map(|i| (i % 251) as u8).collect();
+    let (mut locked, mut delivered, mut attempts, mut rejections) = (0u64, 0u64, 0u64, 0u64);
+    for frame in 0..frames {
+        let out = link
+            .run_frame(&payload, &RunOptions::fd_monitor(), &mut rng)
+            .expect("frame");
+        locked += u64::from(out.b_locked);
+        delivered += u64::from(out.fully_delivered());
+        attempts += out.sync_attempts as u64;
+        rejections += out.sync_rejections as u64;
+        let line = FrameLine {
+            frame,
+            locked: out.b_locked,
+            fully_delivered: out.fully_delivered(),
+            sync_attempts: out.sync_attempts,
+            sync_rejections: out.sync_rejections,
+            sync_peak: out.rx_sync_peak,
+            nack: out.nack,
+        };
+        println!("{}", serde_json::to_string(&line).expect("frame line serializes"));
+    }
+    let summary = SummaryLine {
+        summary: true,
+        config: config_name,
+        seed: args.seed,
+        frames,
+        locked,
+        fully_delivered: delivered,
+        sync_attempts: attempts,
+        sync_rejections: rejections,
     };
     println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
 }

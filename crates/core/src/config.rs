@@ -19,6 +19,77 @@ pub enum SicMode {
     KnownState,
 }
 
+/// Two-stage acquisition policy: how a candidate correlation peak becomes
+/// a committed lock, and what happens when verification fails.
+///
+/// Stage 1 runs inside the correlator ([`fdb_dsp::correlate::PreambleSearcher`]):
+/// a candidate peak must be *sharp* — its correlation at least
+/// `min_sharpness` times the largest off-peak correlation in the tracked
+/// trajectory. Stage 2 runs in the receiver after the candidate is
+/// declared: the preamble chips are re-decoded from the replayed sample
+/// history and compared against the known pattern, and the frame header
+/// must pass its CRC. Any failure *re-arms* the searcher and returns the
+/// receiver to acquisition (up to `max_rearms` times per frame) instead of
+/// abandoning the remaining samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncPolicy {
+    /// Stage-1 peak-to-sidelobe gate; values ≤ 1.0 disable it.
+    #[serde(default = "SyncPolicy::default_min_sharpness")]
+    pub min_sharpness: f64,
+    /// Stage-2 preamble re-decode toggle.
+    #[serde(default = "SyncPolicy::default_verify_preamble")]
+    pub verify_preamble: bool,
+    /// Chip mismatches tolerated by the stage-2 preamble re-decode before
+    /// the lock is rejected (out of `preamble.len() × chips_per_bit`).
+    #[serde(default = "SyncPolicy::default_max_preamble_chip_errors")]
+    pub max_preamble_chip_errors: usize,
+    /// Lock rejections (either stage, including header-CRC failures)
+    /// tolerated per frame before the receiver gives up in
+    /// [`crate::rx::RxState::Failed`].
+    #[serde(default = "SyncPolicy::default_max_rearms")]
+    pub max_rearms: usize,
+}
+
+impl SyncPolicy {
+    fn default_min_sharpness() -> f64 {
+        1.25
+    }
+
+    fn default_verify_preamble() -> bool {
+        true
+    }
+
+    fn default_max_preamble_chip_errors() -> usize {
+        4
+    }
+
+    fn default_max_rearms() -> usize {
+        6
+    }
+
+    /// The single-stage legacy behaviour: every threshold crossing is a
+    /// committed lock and the first bad header kills the frame.
+    pub fn trusting() -> Self {
+        SyncPolicy {
+            min_sharpness: 0.0,
+            verify_preamble: false,
+            max_preamble_chip_errors: usize::MAX,
+            max_rearms: 0,
+        }
+    }
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy {
+            min_sharpness: Self::default_min_sharpness(),
+            verify_preamble: Self::default_verify_preamble(),
+            max_preamble_chip_errors: Self::default_max_preamble_chip_errors(),
+            max_rearms: Self::default_max_rearms(),
+        }
+    }
+}
+
 /// Full-duplex PHY parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhyConfig {
@@ -50,6 +121,10 @@ pub struct PhyConfig {
     pub feedback_guard_bits: usize,
     /// Preamble correlation threshold for acquisition, `(0, 1)`.
     pub sync_threshold: f64,
+    /// Two-stage lock verification and re-arm policy. Older configs
+    /// without the field get the verified default.
+    #[serde(default)]
+    pub sync: SyncPolicy,
 }
 
 impl PhyConfig {
@@ -70,7 +145,12 @@ impl PhyConfig {
             payload_fec: false,
             sic: SicMode::KnownState,
             feedback_guard_bits: 4,
-            sync_threshold: 0.67,
+            // With two-stage verification the scalar threshold only needs
+            // to admit candidates (the shape gate and preamble re-decode do
+            // the discrimination), so it sits at the sensitive end of the
+            // marginal-link band instead of on the tuned 0.67 cliff.
+            sync_threshold: 0.62,
+            sync: SyncPolicy::default(),
         }
     }
 
@@ -112,6 +192,12 @@ impl PhyConfig {
             return Err(PhyError::InvalidConfig {
                 field: "sync_threshold",
                 reason: "must be in (0, 1)".into(),
+            });
+        }
+        if !self.sync.min_sharpness.is_finite() || self.sync.min_sharpness < 0.0 {
+            return Err(PhyError::InvalidConfig {
+                field: "sync.min_sharpness",
+                reason: "must be finite and non-negative".into(),
             });
         }
         Ok(())
@@ -203,6 +289,37 @@ mod tests {
     fn rejects_short_preamble() {
         let mut c = PhyConfig::default_fd();
         c.preamble = vec![true, false];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_sync_policy_is_two_stage() {
+        let c = PhyConfig::default_fd();
+        assert!(c.sync.min_sharpness > 1.0, "shape gate off by default");
+        assert!(c.sync.verify_preamble);
+        assert!(c.sync.max_rearms > 0, "re-arm disabled by default");
+    }
+
+    #[test]
+    fn trusting_policy_disables_both_stages() {
+        let p = SyncPolicy::trusting();
+        assert!(p.min_sharpness <= 1.0);
+        assert!(!p.verify_preamble);
+        assert_eq!(p.max_rearms, 0);
+        let mut c = PhyConfig::default_fd();
+        c.sync = p;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_min_sharpness() {
+        let mut c = PhyConfig::default_fd();
+        c.sync.min_sharpness = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(PhyError::InvalidConfig { field: "sync.min_sharpness", .. })
+        ));
+        c.sync.min_sharpness = -1.0;
         assert!(c.validate().is_err());
     }
 

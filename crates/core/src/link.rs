@@ -209,8 +209,17 @@ pub struct FeedbackEvent {
 pub struct FrameOutcome {
     /// B's reception result (None if B never locked or header failed).
     pub delivered: Option<RxResult>,
-    /// Whether B achieved preamble lock.
+    /// Whether B held a committed (verified) preamble lock when the frame
+    /// ended. Candidate locks rejected by two-stage verification do not
+    /// count; a lock thrown back by a header-CRC re-arm only counts if B
+    /// re-locked afterwards.
     pub b_locked: bool,
+    /// Candidate locks B's searcher declared during the frame (committed
+    /// and rejected).
+    pub sync_attempts: usize,
+    /// Candidate locks rejected by two-stage verification (peak shape,
+    /// flat history, preamble re-decode, or header CRC).
+    pub sync_rejections: usize,
     /// Feedback bits decoded at A, in order.
     pub feedback: Vec<FeedbackEvent>,
     /// Whether A's decoder verified the feedback pilots.
@@ -396,6 +405,8 @@ impl FdLink {
         let (mut tr_chips, mut tr_bits, mut tr_blocks, mut tr_halves, mut tr_pilots) =
             (0usize, 0usize, 0usize, 0usize, 0usize);
         #[cfg(feature = "trace")]
+        let mut tr_rejects = 0usize;
+        #[cfg(feature = "trace")]
         let mut tr_pilots_checked = false;
 
         let mut samples_run = max_samples;
@@ -494,6 +505,25 @@ impl FdLink {
             for &v in &b_resampled {
                 rx.push_sample(v);
             }
+            // A header-CRC rejection throws a committed lock back to
+            // acquisition; the feedback epoch must die with it (status bits
+            // toggled against a false lock are pure interference) and the
+            // encoder must restart its pilots for the next lock.
+            if b_was_locked && rx.state() == RxState::Acquiring {
+                b_was_locked = false;
+                b_epoch = None;
+                fb_enc = FeedbackEncoder::new(half_fb);
+                if let FeedbackPolicy::Stream(bits) = &opts.feedback {
+                    for &b in bits {
+                        fb_enc.push_bit(b);
+                    }
+                }
+                #[cfg(feature = "trace")]
+                trace.record(TraceEvent::RxRearm {
+                    sample: t,
+                    attempts: rx.sync_attempts(),
+                });
+            }
             if !b_was_locked && rx.state() != RxState::Acquiring {
                 b_was_locked = true;
                 b_epoch = Some(t + phy.feedback_guard_bits * spb);
@@ -509,6 +539,18 @@ impl FdLink {
             }
             #[cfg(feature = "trace")]
             {
+                let rejections = rx.rejections();
+                if rejections.len() != tr_rejects {
+                    for r in rejections.iter().skip(tr_rejects) {
+                        trace.record(TraceEvent::RxSyncReject {
+                            sample: t,
+                            score: r.score,
+                            sharpness: r.sharpness,
+                            reason: r.reason.as_str(),
+                        });
+                    }
+                    tr_rejects = rejections.len();
+                }
                 if rx.chips_seen() != tr_chips {
                     tr_chips = rx.chips_seen();
                     trace.record(TraceEvent::RxChip {
@@ -657,6 +699,8 @@ impl FdLink {
     ) -> FrameOutcome {
         let nack = rx.nack();
         let rx_sync_peak = rx.sync_peak_seen();
+        let sync_attempts = rx.sync_attempts();
+        let sync_rejections = rx.sync_rejections();
         let (partial_payload, partial_blocks) = {
             let (p, b) = rx.partial();
             (p.to_vec(), b.to_vec())
@@ -667,6 +711,8 @@ impl FdLink {
             rx_timing_corrections: rx.timing_corrections(),
             delivered: rx.take_result(),
             b_locked,
+            sync_attempts,
+            sync_rejections,
             feedback,
             pilots_verified,
             aborted_at_sample,

@@ -38,8 +38,48 @@ pub enum RxState {
     Receiving,
     /// Frame fully parsed.
     Done,
-    /// Header unrecoverable — the frame is lost.
+    /// The re-acquisition budget is exhausted — the receiver gave up on
+    /// this sample stream.
     Failed,
+}
+
+/// Why a candidate lock was rejected by two-stage verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncRejectReason {
+    /// Stage 1: the correlation peak was broad or multi-modal.
+    PeakShape,
+    /// Stage 2: the sample history behind the peak had no modulation at
+    /// all (a flat span can never carry the preamble, and would leave the
+    /// slicer unprimed).
+    FlatHistory,
+    /// Stage 2: the re-decoded preamble chips disagreed with the known
+    /// pattern beyond the configured tolerance.
+    PreambleMismatch,
+    /// Stage 2: the frame header failed its CRC after Hamming correction.
+    HeaderCrc,
+}
+
+impl SyncRejectReason {
+    /// Stable lower-case label (trace/JSONL surfaces).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SyncRejectReason::PeakShape => "peak_shape",
+            SyncRejectReason::FlatHistory => "flat_history",
+            SyncRejectReason::PreambleMismatch => "preamble_mismatch",
+            SyncRejectReason::HeaderCrc => "header_crc",
+        }
+    }
+}
+
+/// One rejected lock candidate (diagnostics; surfaced per frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncRejection {
+    /// Peak correlation of the candidate.
+    pub score: f64,
+    /// Peak-to-sidelobe ratio of the candidate trajectory.
+    pub sharpness: f64,
+    /// Which verification stage failed.
+    pub reason: SyncRejectReason,
 }
 
 /// Final result of a reception.
@@ -86,6 +126,16 @@ pub struct DataReceiver {
     chips_seen: usize,
     last_chip_energy: f64,
     last_bit: Option<bool>,
+    // Two-stage acquisition bookkeeping.
+    /// Expected preamble chip pattern, for the stage-2 re-decode.
+    preamble_chip_pattern: Vec<bool>,
+    /// Candidate locks declared by the searcher (accepted + rejected).
+    sync_attempts: usize,
+    /// Rejected candidates, in order (bounded by `sync.max_rearms + 1`).
+    rejections: Vec<SyncRejection>,
+    /// Latched after a header-CRC rejection until the next verified lock:
+    /// keeps the NACK line honest while the receiver re-acquires.
+    nack_latch: bool,
 }
 
 impl DataReceiver {
@@ -98,8 +148,17 @@ impl DataReceiver {
         );
         let smooth_len = (cfg.samples_per_chip / 2).max(1);
         let hist_cap = template.len() + smooth_len + 8;
+        // Stage-1 gate: exclude one chip either side of the peak from the
+        // sidelobe estimate — the correlation main lobe of a chip-coded
+        // template is about one chip wide.
+        let searcher = PreambleSearcher::new(template, cfg.sync_threshold)
+            .with_shape_gate(cfg.sync.min_sharpness, cfg.samples_per_chip);
         DataReceiver {
-            searcher: PreambleSearcher::new(template, cfg.sync_threshold),
+            searcher,
+            preamble_chip_pattern: preamble_chips,
+            sync_attempts: 0,
+            rejections: Vec::new(),
+            nack_latch: false,
             sync_smoother: MovingAverage::new(smooth_len),
             history: RingBuf::new(hist_cap),
             slicer: PeakTracker::new(0.05),
@@ -131,10 +190,28 @@ impl DataReceiver {
         self.state
     }
 
-    /// `true` while any completed block has failed its CRC, or the header
-    /// was unrecoverable — the instantaneous NACK signal.
+    /// `true` while any completed block has failed its CRC, the receiver
+    /// gave up, or a header-CRC rejection is pending re-acquisition — the
+    /// instantaneous NACK signal.
     pub fn nack(&self) -> bool {
-        self.state == RxState::Failed || !self.parser.all_blocks_ok()
+        self.state == RxState::Failed || self.nack_latch || !self.parser.all_blocks_ok()
+    }
+
+    /// Candidate locks the searcher declared this frame (accepted and
+    /// rejected).
+    pub fn sync_attempts(&self) -> usize {
+        self.sync_attempts
+    }
+
+    /// Candidate locks rejected by two-stage verification (either stage,
+    /// including header-CRC failures).
+    pub fn sync_rejections(&self) -> usize {
+        self.rejections.len()
+    }
+
+    /// The rejected candidates, in order.
+    pub fn rejections(&self) -> &[SyncRejection] {
+        &self.rejections
     }
 
     /// Data bits decoded so far.
@@ -210,33 +287,149 @@ impl DataReceiver {
         let smoothed = self.sync_smoother.process(env);
         let event = self.searcher.process(smoothed);
         self.sync_peak = self.sync_peak.max(self.searcher.last_score());
-        if let SyncEvent::Locked { lag, score } = event {
-            self.sync_lock = Some((score, lag));
-            self.locked_at = Some(self.samples_seen);
-            self.state = RxState::Receiving;
-            // Prime the slicer from the preamble's min/max levels.
-            let mut lo = f64::MAX;
-            let mut hi = f64::MIN;
-            for v in self.history.iter() {
-                lo = lo.min(v);
-                hi = hi.max(v);
+        match event {
+            SyncEvent::Searching => {}
+            SyncEvent::Rejected { score, sharpness } => {
+                // Stage 1 (peak shape) failed inside the searcher; it has
+                // already re-armed itself.
+                self.sync_attempts += 1;
+                self.reject_lock(SyncRejection {
+                    score,
+                    sharpness,
+                    reason: SyncRejectReason::PeakShape,
+                });
             }
-            if hi > lo {
-                self.slicer.prime(lo, hi);
-            }
-            // The smoother delays the correlation peak by its group delay,
-            // and `lag` further samples passed before the peak was declared;
-            // all of those raw samples belong to the payload — replay them.
-            let group_delay = (self.sync_smoother.window_len() - 1) / 2;
-            let behind = lag + group_delay;
-            let n = self.history.len();
-            let replay: Vec<f64> = (n.saturating_sub(behind)..n)
-                .filter_map(|i| self.history.get(i))
-                .collect();
-            for v in replay {
-                self.receive(v);
+            SyncEvent::Locked { lag, score, sharpness } => {
+                self.sync_attempts += 1;
+                match self.verify_candidate(lag) {
+                    Some(reason) => {
+                        self.searcher.rearm();
+                        self.reject_lock(SyncRejection { score, sharpness, reason });
+                    }
+                    None => self.commit_lock(lag, score),
+                }
             }
         }
+    }
+
+    /// Number of raw history samples between the true correlation peak and
+    /// "now": the smoother's group delay plus the declaration lag.
+    fn samples_behind_peak(&self, lag: usize) -> usize {
+        lag + (self.sync_smoother.window_len() - 1) / 2
+    }
+
+    /// Stage-2 verification of a candidate lock: re-decode the preamble
+    /// chips from the raw sample history ending at the peak and compare
+    /// them against the known pattern. Returns the failure reason, or
+    /// `None` when the candidate is good.
+    fn verify_candidate(&self, lag: usize) -> Option<SyncRejectReason> {
+        // The history must carry modulation — a flat span can never hold
+        // the preamble, and committing on it would leave the slicer at its
+        // stale default.
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for v in self.history.iter() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi <= lo {
+            return Some(SyncRejectReason::FlatHistory);
+        }
+        if !self.cfg.sync.verify_preamble {
+            return None;
+        }
+        let sps = self.cfg.samples_per_chip;
+        let n_chips = self.preamble_chip_pattern.len();
+        let behind = self.samples_behind_peak(lag);
+        let span = n_chips * sps;
+        let n = self.history.len();
+        let Some(start) = n.checked_sub(behind + span) else {
+            // Not enough raw history to re-decode (lock declared before
+            // one full preamble of samples arrived): nothing to verify.
+            return None;
+        };
+        // Integrate each chip and slice at the midpoint of the chip-mean
+        // range (chip means are far less noise-sensitive than raw samples).
+        let mut means = Vec::with_capacity(n_chips);
+        for c in 0..n_chips {
+            let mut acc = 0.0;
+            for i in 0..sps {
+                acc += self.history.get(start + c * sps + i).unwrap_or(0.0);
+            }
+            means.push(acc / sps as f64);
+        }
+        let m_lo = means.iter().cloned().fold(f64::MAX, f64::min);
+        let m_hi = means.iter().cloned().fold(f64::MIN, f64::max);
+        let mid = 0.5 * (m_lo + m_hi);
+        let mismatches = means
+            .iter()
+            .zip(&self.preamble_chip_pattern)
+            .filter(|&(&m, &c)| (m > mid) != c)
+            .count();
+        if mismatches > self.cfg.sync.max_preamble_chip_errors {
+            return Some(SyncRejectReason::PreambleMismatch);
+        }
+        None
+    }
+
+    /// Commits a verified candidate: primes the slicer, enters
+    /// `Receiving`, and replays the raw samples that arrived behind the
+    /// peak (they belong to the payload).
+    fn commit_lock(&mut self, lag: usize, score: f64) {
+        self.sync_lock = Some((score, lag));
+        self.locked_at = Some(self.samples_seen);
+        self.nack_latch = false;
+        self.state = RxState::Receiving;
+        // Prime the slicer from the preamble's min/max levels (the flat
+        // case was rejected in verification, so hi > lo here).
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for v in self.history.iter() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi > lo {
+            self.slicer.prime(lo, hi);
+        }
+        // The smoother delays the correlation peak by its group delay,
+        // and `lag` further samples passed before the peak was declared;
+        // all of those raw samples belong to the payload — replay them.
+        let behind = self.samples_behind_peak(lag);
+        let n = self.history.len();
+        let replay: Vec<f64> = (n.saturating_sub(behind)..n)
+            .filter_map(|i| self.history.get(i))
+            .collect();
+        for v in replay {
+            self.receive(v);
+        }
+    }
+
+    /// Records a rejection and either re-arms the pipeline for another
+    /// acquisition attempt or, once the budget is spent, gives up.
+    fn reject_lock(&mut self, rejection: SyncRejection) {
+        self.rejections.push(rejection);
+        if self.rejections.len() > self.cfg.sync.max_rearms {
+            self.state = RxState::Failed;
+        } else {
+            self.rearm();
+        }
+    }
+
+    /// Returns the receiver to a clean `Acquiring` state (searcher and the
+    /// whole post-lock pipeline), keeping only the cumulative diagnostics.
+    fn rearm(&mut self) {
+        self.state = RxState::Acquiring;
+        self.sync_lock = None;
+        self.locked_at = None;
+        self.parser = FrameParser::new(self.cfg.clone());
+        self.soft = SoftDecoder::new(self.cfg.line_code);
+        self.slicer = PeakTracker::new(0.05);
+        self.chip_acc = 0.0;
+        self.chip_samples = 0;
+        self.chip_target = self.cfg.samples_per_chip;
+        self.chip_energies.clear();
+        self.bit_samples.clear();
+        self.timing_debt = 0.0;
     }
 
     fn receive(&mut self, env: f64) {
@@ -271,7 +464,19 @@ impl DataReceiver {
         if let Some(event) = self.parser.push_bit(bit) {
             match event {
                 ParseEvent::HeaderInvalid => {
-                    self.state = RxState::Failed;
+                    // Stage 2, final check: a committed lock whose header
+                    // fails CRC was a false lock (collision, noise burst).
+                    // Latch NACK and go hunt for the real preamble — the
+                    // remaining samples may still carry it.
+                    let (score, _) = self.sync_lock.unwrap_or((0.0, 0));
+                    let sharpness = self.searcher.last_sharpness();
+                    self.nack_latch = true;
+                    self.searcher.rearm();
+                    self.reject_lock(SyncRejection {
+                        score,
+                        sharpness,
+                        reason: SyncRejectReason::HeaderCrc,
+                    });
                 }
                 ParseEvent::Done { payload, blocks } => {
                     self.state = RxState::Done;
@@ -475,8 +680,10 @@ mod tests {
     }
 
     #[test]
-    fn failed_header_reports_failed_state() {
-        let cfg = cfg();
+    fn failed_header_reports_failed_state_when_rearm_disabled() {
+        // The legacy single-stage policy: first bad header is terminal.
+        let mut cfg = cfg();
+        cfg.sync = crate::config::SyncPolicy::trusting();
         let payload = vec![1u8; 8];
         let mut wave = render(&cfg, &payload, 40, 0.3, 1.0);
         // Obliterate the header region (after the preamble).
@@ -494,6 +701,85 @@ mod tests {
         }
         assert_eq!(rx.state(), RxState::Failed);
         assert!(rx.nack());
+    }
+
+    #[test]
+    fn bad_header_rearms_and_decodes_following_frame() {
+        // A corrupted-header frame is a false lock; with re-arm enabled the
+        // receiver must recover and decode the clean frame right behind it.
+        let cfg = cfg();
+        let junk = vec![0xAAu8; 8];
+        let mut wave = render(&cfg, &junk, 40, 0.3, 1.0);
+        let pre = 40 + cfg.preamble.len() * cfg.samples_per_bit();
+        for v in wave
+            .iter_mut()
+            .skip(pre)
+            .take(crate::frame::HEADER_BITS * cfg.samples_per_bit())
+        {
+            *v = 0.65;
+        }
+        let payload: Vec<u8> = (0..32u8).collect();
+        let clean = render(&cfg, &payload, 60, 0.3, 1.0);
+        wave.extend_from_slice(&clean);
+        let mut rx = DataReceiver::new(cfg);
+        let mut nack_during = false;
+        for &v in &wave {
+            rx.push_sample(v);
+            if rx.state() == RxState::Acquiring && rx.nack() {
+                nack_during = true;
+            }
+        }
+        assert_eq!(rx.state(), RxState::Done, "re-arm failed to recover");
+        assert!(rx.sync_rejections() >= 1, "no rejection was recorded");
+        assert!(nack_during, "NACK latch must hold while re-acquiring");
+        let r = rx.take_result().unwrap();
+        assert_eq!(r.payload, payload);
+        assert!(!rx.nack(), "NACK latch must clear on the verified lock");
+    }
+
+    #[test]
+    fn noise_burst_then_clean_frame_decodes() {
+        // Deterministic wideband burst (LCG), then silence, then a clean
+        // frame: whatever the burst provokes — candidate locks, stage-1/2
+        // rejections, or nothing — the frame behind it must decode.
+        let cfg = cfg();
+        let mut wave = Vec::new();
+        let mut lcg: u64 = 0x2545F491_4F6CDD1D;
+        for _ in 0..2_000 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((lcg >> 33) as f64) / ((1u64 << 31) as f64);
+            wave.push(0.2 + 0.8 * u);
+        }
+        wave.extend(vec![0.3; 200]);
+        let payload: Vec<u8> = (0..24u8).map(|i| i.wrapping_mul(13)).collect();
+        wave.extend_from_slice(&render(&cfg, &payload, 0, 0.3, 1.0));
+        let mut rx = DataReceiver::new(cfg);
+        for &v in &wave {
+            rx.push_sample(v);
+        }
+        assert_eq!(rx.state(), RxState::Done, "burst forfeited the frame");
+        assert_eq!(rx.take_result().unwrap().payload, payload);
+    }
+
+    #[test]
+    fn flat_history_candidate_is_rejected() {
+        // A candidate whose primed history carries no modulation must be
+        // rejected, never committed with a stale slicer.
+        let cfg = cfg();
+        let mut rx = DataReceiver::new(cfg);
+        for _ in 0..500 {
+            rx.history.push_evict(0.7);
+        }
+        assert_eq!(rx.verify_candidate(0), Some(SyncRejectReason::FlatHistory));
+        // And through the public path: reject_lock must re-arm, not fail.
+        rx.sync_attempts += 1;
+        rx.reject_lock(SyncRejection {
+            score: 0.9,
+            sharpness: 1.0,
+            reason: SyncRejectReason::FlatHistory,
+        });
+        assert_eq!(rx.state(), RxState::Acquiring);
+        assert_eq!(rx.sync_rejections(), 1);
     }
 
     #[test]

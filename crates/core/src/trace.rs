@@ -10,9 +10,11 @@
 //!   ([`TraceEvent::Channel`]);
 //! * **sic** — self-interference correction input/output, including
 //!   blanked samples ([`TraceEvent::Sic`]);
-//! * **rx** — acquisition lock with correlation score, per-chip energies
+//! * **rx** — acquisition lock with correlation score, rejected lock
+//!   candidates and re-arms from two-stage verification, per-chip energies
 //!   against the live slicer threshold, decoded bits, and per-block CRC
-//!   verdicts ([`TraceEvent::RxLock`], [`TraceEvent::RxChip`],
+//!   verdicts ([`TraceEvent::RxLock`], [`TraceEvent::RxSyncReject`],
+//!   [`TraceEvent::RxRearm`], [`TraceEvent::RxChip`],
 //!   [`TraceEvent::RxBit`], [`TraceEvent::RxBlock`]);
 //! * **feedback** — integrate-and-dump half-bit integrals, per-pilot
 //!   margins, the pilot verification verdict, and decoded status bits
@@ -86,6 +88,26 @@ pub enum TraceEvent {
         /// Highest correlation observed during the whole hunt (equals
         /// `score` at lock; keeps climbing history for missed locks).
         peak_seen: f64,
+    },
+    /// B's receiver rejected a candidate lock (two-stage verification).
+    RxSyncReject {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Peak correlation of the rejected candidate.
+        score: f64,
+        /// Peak-to-sidelobe ratio of the candidate trajectory.
+        sharpness: f64,
+        /// Which stage failed: `"peak_shape"`, `"flat_history"`,
+        /// `"preamble_mismatch"` or `"header_crc"`.
+        reason: &'static str,
+    },
+    /// B's receiver re-armed and returned to acquisition after a
+    /// rejected lock.
+    RxRearm {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Candidate locks attempted so far this frame.
+        attempts: usize,
     },
     /// B integrated one data chip.
     RxChip {
@@ -162,6 +184,8 @@ impl TraceEvent {
             TraceEvent::Channel { .. } => "channel",
             TraceEvent::Sic { .. } => "sic",
             TraceEvent::RxLock { .. }
+            | TraceEvent::RxSyncReject { .. }
+            | TraceEvent::RxRearm { .. }
             | TraceEvent::RxChip { .. }
             | TraceEvent::RxBit { .. }
             | TraceEvent::RxBlock { .. } => "rx",

@@ -50,6 +50,20 @@ pub enum SyncEvent {
         lag: usize,
         /// Peak normalised correlation value.
         score: f64,
+        /// Peak-to-sidelobe ratio of the correlation trajectory (see
+        /// [`PreambleSearcher::with_shape_gate`]); `f64::INFINITY` when
+        /// there was no off-peak history to compare against.
+        sharpness: f64,
+    },
+    /// A candidate peak cleared the threshold but failed the peak-shape
+    /// gate — broad or multi-modal trajectories are what overlapping
+    /// transmitters produce, so the searcher discards the peak and re-arms
+    /// itself rather than reporting a false lock.
+    Rejected {
+        /// Peak correlation of the discarded candidate.
+        score: f64,
+        /// Its (failing) peak-to-sidelobe ratio.
+        sharpness: f64,
     },
 }
 
@@ -69,6 +83,17 @@ pub struct PreambleSearcher {
     rising: bool,
     since_best: usize,
     last_score: f64,
+    /// Correlation trajectory over the last `template.len()` samples, used
+    /// to judge peak shape at declaration time.
+    scores: RingBuf<f64>,
+    /// Minimum peak-to-sidelobe ratio a candidate must reach; values
+    /// ≤ 1.0 disable the gate (a ratio of 1.0 is unreachable only by the
+    /// peak sample itself).
+    min_sharpness: f64,
+    /// Half-width (in samples) of the main-lobe region excluded from the
+    /// sidelobe estimate.
+    peak_guard: usize,
+    last_sharpness: f64,
 }
 
 impl PreambleSearcher {
@@ -77,6 +102,8 @@ impl PreambleSearcher {
     /// distinct values; a flat template never locks.
     pub fn new(template: Vec<f64>, threshold: f64) -> Self {
         let window = RingBuf::new(template.len().max(1));
+        let scores = RingBuf::new(template.len().max(4));
+        let peak_guard = (template.len() / 8).max(2);
         PreambleSearcher {
             template,
             window,
@@ -85,7 +112,27 @@ impl PreambleSearcher {
             rising: false,
             since_best: 0,
             last_score: 0.0,
+            scores,
+            min_sharpness: 0.0,
+            peak_guard,
+            last_sharpness: f64::INFINITY,
         }
+    }
+
+    /// Enables the peak-*shape* discriminator: a candidate peak is accepted
+    /// only when its correlation is at least `min_sharpness` times the
+    /// largest |correlation| observed more than `peak_guard` samples away
+    /// from the peak (within the last template-length of trajectory).
+    ///
+    /// A lone preamble produces one sharp main lobe — away from it the
+    /// correlation collapses to the template's (deliberately low)
+    /// autocorrelation sidelobes. Overlapping transmitters produce broad,
+    /// multi-modal trajectories whose off-peak level stays comparable to
+    /// the peak, so their ratio hugs 1. Values ≤ 1.0 disable the gate.
+    pub fn with_shape_gate(mut self, min_sharpness: f64, peak_guard: usize) -> Self {
+        self.min_sharpness = min_sharpness;
+        self.peak_guard = peak_guard.max(1);
+        self
     }
 
     /// Length of the template in samples.
@@ -100,6 +147,37 @@ impl PreambleSearcher {
         self.last_score
     }
 
+    /// Peak-to-sidelobe ratio of the most recently declared candidate
+    /// (locked *or* rejected); `f64::INFINITY` before any declaration.
+    pub fn last_sharpness(&self) -> f64 {
+        self.last_sharpness
+    }
+
+    /// Peak-to-sidelobe ratio of the current trajectory: `best` over the
+    /// largest |score| recorded more than `peak_guard` samples before the
+    /// peak. The few post-peak samples (≤ the declaration lag) always fall
+    /// inside the guard.
+    fn sharpness_at_peak(&self) -> f64 {
+        let n = self.scores.len();
+        // Index of the peak inside the score ring (newest entry is n-1 and
+        // trails the peak by `since_best` samples).
+        let Some(peak_idx) = (n - 1).checked_sub(self.since_best) else {
+            return f64::INFINITY;
+        };
+        let mut sidelobe = 0.0f64;
+        let mut seen = false;
+        for (i, s) in self.scores.iter().enumerate() {
+            if peak_idx.abs_diff(i) > self.peak_guard {
+                sidelobe = sidelobe.max(s.abs());
+                seen = true;
+            }
+        }
+        if !seen || sidelobe <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.best / sidelobe
+    }
+
     /// Pushes one envelope sample.
     pub fn process(&mut self, x: f64) -> SyncEvent {
         self.window.push_evict(x);
@@ -109,6 +187,7 @@ impl PreambleSearcher {
         let buf: Vec<f64> = self.window.iter().collect();
         let score = ncc(&buf, &self.template);
         self.last_score = score;
+        self.scores.push_evict(score);
         if self.rising {
             if score > self.best {
                 self.best = score;
@@ -119,12 +198,23 @@ impl PreambleSearcher {
                 // Declare the peak once the correlation has fallen for a few
                 // samples (guards against plateau jitter).
                 if self.since_best >= 2 || score < self.threshold {
-                    let ev = SyncEvent::Locked {
-                        lag: self.since_best,
-                        score: self.best,
-                    };
-                    self.reset();
-                    ev
+                    let sharpness = self.sharpness_at_peak();
+                    self.last_sharpness = sharpness;
+                    let best = self.best;
+                    if sharpness < self.min_sharpness {
+                        // Broad/multi-modal peak: discard it and skip past
+                        // the junk region entirely.
+                        self.rearm();
+                        SyncEvent::Rejected { score: best, sharpness }
+                    } else {
+                        let ev = SyncEvent::Locked {
+                            lag: self.since_best,
+                            score: best,
+                            sharpness,
+                        };
+                        self.reset();
+                        ev
+                    }
                 } else {
                     SyncEvent::Searching
                 }
@@ -147,10 +237,24 @@ impl PreambleSearcher {
         // Window intentionally kept: a new frame may follow immediately.
     }
 
-    /// Clears everything including the sample window.
-    pub fn hard_reset(&mut self) {
+    /// Re-arms the searcher after a lock was taken (or rejected by a
+    /// downstream verifier): clears the peak-tracking state *and* the
+    /// sample window, so the decaying tail of the discarded peak cannot
+    /// immediately re-trigger a lock on the same energy. The window must
+    /// refill (one template length) before the next declaration — during a
+    /// back-to-back frame that refill happens over the new preamble itself,
+    /// so nothing is lost.
+    pub fn rearm(&mut self) {
         self.reset();
         self.window.clear();
+        self.scores.clear();
+        self.last_score = 0.0;
+    }
+
+    /// Clears everything including the sample window.
+    pub fn hard_reset(&mut self) {
+        self.rearm();
+        self.last_sharpness = f64::INFINITY;
     }
 }
 
@@ -212,7 +316,7 @@ mod tests {
 
         let mut locked_at = None;
         for (i, &x) in stream.iter().enumerate() {
-            if let SyncEvent::Locked { lag, score } = s.process(x) {
+            if let SyncEvent::Locked { lag, score, .. } = s.process(x) {
                 assert!(score > 0.9, "weak lock {score}");
                 locked_at = Some(i - lag);
                 break;
@@ -238,6 +342,131 @@ mod tests {
             if let SyncEvent::Locked { score, .. } = s.process(x) {
                 // Occasional weak random locks would indicate a broken threshold.
                 panic!("false lock at score {score}");
+            }
+        }
+    }
+
+    /// A sharp-autocorrelation chip pattern with its envelope rendering.
+    fn test_stream(template: &[f64], idle: usize) -> Vec<f64> {
+        let mut stream: Vec<f64> = vec![0.5; idle];
+        stream.extend(template.iter().map(|x| 0.5 + 0.2 * x));
+        stream
+    }
+
+    #[test]
+    fn searcher_relocks_after_rearm() {
+        // Two preambles in one stream: the searcher must lock on both once
+        // re-armed between them.
+        let chips = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+        let template = chips_to_template(&chips, 4);
+        let mut s = PreambleSearcher::new(template.clone(), 0.7);
+        let mut stream = test_stream(&template, 30);
+        stream.extend(vec![0.5; 60]);
+        stream.extend(test_stream(&template, 0));
+        stream.extend(vec![0.5; 20]);
+
+        let mut locks = Vec::new();
+        for (i, &x) in stream.iter().enumerate() {
+            if let SyncEvent::Locked { lag, score, .. } = s.process(x) {
+                locks.push((i - lag, score));
+                s.rearm();
+            }
+        }
+        assert_eq!(locks.len(), 2, "locks: {locks:?}");
+        let first = 30 + template.len() - 1;
+        let second = first + 60 + template.len();
+        assert!((locks[0].0 as i64 - first as i64).abs() <= 1, "{locks:?}");
+        assert!((locks[1].0 as i64 - second as i64).abs() <= 1, "{locks:?}");
+        assert!(locks.iter().all(|&(_, sc)| sc > 0.9));
+    }
+
+    #[test]
+    fn rearm_clears_peak_tail() {
+        // Without rearm, the decaying tail of a declared peak stays above
+        // threshold and immediately re-triggers a bogus second lock; after
+        // rearm() the window must refill before any new declaration.
+        let chips = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+        let template = chips_to_template(&chips, 4);
+        let mut s = PreambleSearcher::new(template.clone(), 0.7);
+        let mut stream = test_stream(&template, 30);
+        stream.extend(vec![0.5; 10]);
+        let mut it = stream.iter();
+        for &x in it.by_ref() {
+            if matches!(s.process(x), SyncEvent::Locked { .. }) {
+                break;
+            }
+        }
+        s.rearm();
+        for &x in it {
+            assert_eq!(
+                s.process(x),
+                SyncEvent::Searching,
+                "spurious re-lock on the peak tail"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_gate_passes_sharp_peak() {
+        let chips = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+        let template = chips_to_template(&chips, 4);
+        let mut s =
+            PreambleSearcher::new(template.clone(), 0.7).with_shape_gate(1.2, 8);
+        let mut stream = test_stream(&template, 60);
+        stream.extend(vec![0.5; 20]);
+        let mut locked = false;
+        for &x in &stream {
+            match s.process(x) {
+                SyncEvent::Locked { sharpness, .. } => {
+                    assert!(sharpness > 1.2, "sharp peak scored {sharpness}");
+                    locked = true;
+                }
+                SyncEvent::Rejected { sharpness, .. } => {
+                    panic!("sharp peak rejected at sharpness {sharpness}")
+                }
+                SyncEvent::Searching => {}
+            }
+        }
+        assert!(locked, "gate swallowed a clean preamble");
+    }
+
+    #[test]
+    fn shape_gate_rejects_broad_peak() {
+        // A slow raised-cosine bump loosely resembling the template's DC
+        // profile: its correlation trajectory is broad (stays near its
+        // maximum for many samples), which is the collision signature.
+        let chips = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+        let template = chips_to_template(&chips, 4);
+        let n = template.len();
+        // Overlap two copies of the preamble offset by a third of its
+        // length — the multi-modal "equal-power collision" shape.
+        let mut stream = vec![0.5f64; 40];
+        let offset = n / 3;
+        for i in 0..n + offset {
+            let a = if i < n { template[i] } else { 0.0 };
+            let b = if i >= offset { template[i - offset] } else { 0.0 };
+            stream.push(0.5 + 0.1 * a + 0.1 * b);
+        }
+        stream.extend(vec![0.5; 40]);
+
+        // Gate off: the blend must produce at least one candidate (that is
+        // the false-lock failure mode this test encodes).
+        let mut plain = PreambleSearcher::new(template.clone(), 0.55);
+        let mut candidates = 0;
+        for &x in &stream {
+            if matches!(plain.process(x), SyncEvent::Locked { .. }) {
+                candidates += 1;
+                plain.rearm();
+            }
+        }
+        assert!(candidates > 0, "collision blend never crossed threshold");
+
+        // Gate on: every candidate from the blend must be rejected.
+        let mut gated =
+            PreambleSearcher::new(template, 0.55).with_shape_gate(1.2, 8);
+        for &x in &stream {
+            if let SyncEvent::Locked { sharpness, score, .. } = gated.process(x) {
+                panic!("collision blend locked: score {score} sharpness {sharpness}");
             }
         }
     }

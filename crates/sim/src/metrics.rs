@@ -24,6 +24,14 @@ pub struct LinkMetrics {
     pub blocks_total: u64,
     /// Frames whose feedback pilots verified at A.
     pub pilots_ok: u64,
+    /// Candidate preamble locks declared across all frames (committed and
+    /// rejected by two-stage verification). Absent in older recordings.
+    #[serde(default)]
+    pub sync_attempts: u64,
+    /// Candidate locks rejected by two-stage verification (peak shape,
+    /// flat history, preamble re-decode, header CRC).
+    #[serde(default)]
+    pub sync_rejections: u64,
     /// Sum of airtime samples.
     pub airtime_samples: u64,
     /// Sum of elapsed samples.
@@ -70,6 +78,8 @@ impl LinkMetrics {
         self.blocks_ok += other.blocks_ok;
         self.blocks_total += other.blocks_total;
         self.pilots_ok += other.pilots_ok;
+        self.sync_attempts += other.sync_attempts;
+        self.sync_rejections += other.sync_rejections;
         self.airtime_samples += other.airtime_samples;
         self.elapsed_samples += other.elapsed_samples;
         self.energy_a_j += other.energy_a_j;

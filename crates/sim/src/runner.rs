@@ -136,6 +136,8 @@ where
         if out.pilots_verified {
             metrics.pilots_ok += 1;
         }
+        metrics.sync_attempts += out.sync_attempts as u64;
+        metrics.sync_rejections += out.sync_rejections as u64;
         metrics.airtime_samples += out.airtime_samples as u64;
         metrics.elapsed_samples += out.samples_run as u64;
         metrics.energy_a_j += out.energy.a_consumed_j;

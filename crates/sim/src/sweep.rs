@@ -2,10 +2,16 @@
 //!
 //! Every experiment is a sweep: a list of parameter points, each measured
 //! independently with its own derived seed. Points are embarrassingly
-//! parallel, so they are fanned out over `std::thread::scope` workers.
-//! Each worker owns a contiguous chunk of the input and the matching
-//! chunk of the output, so results land in their slots without any shared
-//! lock and come back in input order regardless of thread scheduling.
+//! parallel, so they are fanned out over `std::thread::scope` workers
+//! pulling from a shared atomic work index. Dynamic stealing matters
+//! because sweep points are far from uniform cost (a point that locks
+//! late or re-arms repeatedly simulates many more samples than a clean
+//! one): static chunking would leave every other worker idle behind the
+//! unlucky chunk. Workers tag each result with its input index and the
+//! results are re-assembled in input order afterwards, so the output is
+//! independent of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `f` over every point, in parallel, preserving input order.
 ///
@@ -29,22 +35,33 @@ where
     if threads == 1 {
         return points.iter().map(&f).collect();
     }
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in points.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (p, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(p));
-                }
-            });
-        }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(&points[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("sweep point skipped"))
-        .collect()
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Builds a linear sweep of `n` points over `[lo, hi]` inclusive.
@@ -97,6 +114,37 @@ mod tests {
     fn more_threads_than_points() {
         let points = vec![10, 20];
         assert_eq!(parallel_sweep(&points, 16, |&p| p / 10), vec![1, 2]);
+    }
+
+    #[test]
+    fn skewed_costs_are_stolen_not_chunked() {
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if cores < 2 {
+            return; // stealing is unobservable on one core
+        }
+        // Point 0 is orders of magnitude more expensive than the rest.
+        let points: Vec<usize> = (0..8).collect();
+        let out = parallel_sweep(&points, 2, |&p| {
+            let iters: u64 = if p == 0 { 20_000_000 } else { 1 };
+            let mut acc = p as u64;
+            for _ in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (std::thread::current().id(), p)
+        });
+        // Input order preserved regardless of scheduling.
+        for (i, &(_, p)) in out.iter().enumerate() {
+            assert_eq!(i, p);
+        }
+        // Static chunking would trap 4 of the 8 points behind the slow
+        // one; with work-stealing the other worker drains them while the
+        // slow worker is pinned.
+        let slow_tid = out[0].0;
+        let handled_by_slow = out.iter().filter(|&&(tid, _)| tid == slow_tid).count();
+        assert!(
+            handled_by_slow <= 2,
+            "slow worker handled {handled_by_slow} of 8 points — chunking, not stealing"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ fn receiver_locks(interferer_offset: usize, seed: u64) -> bool {
         let envs = net.step(&[s0, s1, false], &mut rng);
         rx.push_sample(envs[2]);
     }
-    rx.state() != RxState::Acquiring
+    // "Locked" now means a committed (verified) lock survived to the end of
+    // the stream: `Failed` is the re-arm budget running out on rejected
+    // candidates, which is the receiver correctly refusing the collision.
+    rx.state() == RxState::Done || rx.state() == RxState::Receiving
 }
 
 #[test]

@@ -64,6 +64,33 @@ fn shipped_example_configs_parse_and_run() {
 }
 
 #[test]
+fn configs_without_sync_field_get_two_stage_defaults() {
+    // Backward compatibility: PhyConfig JSON written before the `sync`
+    // policy existed must deserialize to the verified two-stage default,
+    // not a disabled one. The shipped example configs are exactly such
+    // files — none of them carries a `sync` key.
+    #[derive(serde::Deserialize)]
+    struct Scenario {
+        link: LinkConfig,
+    }
+    for name in ["default_link.json", "marginal_link.json", "near_tower.json"] {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("configs")
+            .join(name);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.contains("\"sync\""),
+            "{name} now carries a sync key — this test needs a pre-sync fixture"
+        );
+        let scenario: Scenario = serde_json::from_str(&text).unwrap();
+        let sync = scenario.link.phy.sync;
+        assert_eq!(sync, fd_backscatter::phy::config::SyncPolicy::default(), "{name}");
+        assert!(sync.verify_preamble, "{name}");
+        assert!(sync.max_rearms > 0, "{name}");
+    }
+}
+
+#[test]
 fn rejected_configs_surface_errors() {
     let mut cfg = LinkConfig::default_fd();
     cfg.phy.feedback_ratio = 3; // odd: invalid
