@@ -1,17 +1,42 @@
 //! Frame-trace probe.
 //!
-//! Replays **one seeded frame** over the default link and prints the
-//! per-stage diagnostic trace as JSON lines — one [`TraceEvent`] per line,
-//! followed by a final `summary` object. This is the fastest way to see
-//! *where* inside the PHY pipeline a frame dies: tx chip emission, channel
-//! envelopes, SIC correction, receiver lock/chips/bits/block CRCs and the
-//! feedback pilot/bit decode all appear as separate stages.
+//! Default mode replays **one seeded frame** over the default link and
+//! prints the per-stage diagnostic trace as JSON lines — one
+//! [`fdb_core::trace::TraceEvent`] per line, followed by a final `summary`
+//! object. This is the fastest way to see *where* inside the PHY pipeline
+//! a frame dies: tx chip emission, channel envelopes, SIC correction,
+//! receiver lock/chips/bits/block CRCs and the feedback pilot/bit decode
+//! all appear as separate stages. With `--trace-out PATH` the events
+//! stream to a JSONL file (with frame markers) instead of stdout.
 //!
 //! ```text
 //! cargo run --release -p fdb-bench --bin probe -- \
 //!     [--seed N] [--dist METERS] [--payload-len BYTES] [--mode fd|hd] \
-//!     [--stage tx|channel|sic|rx|feedback]
+//!     [--stage tx|channel|sic|rx|feedback] [--trace-out PATH]
 //! ```
+//!
+//! Reports replay a batch of frames and emit one JSON line per frame plus
+//! a closing summary:
+//!
+//! * `--report sync` — two-stage acquisition counters per frame (candidate
+//!   locks, rejections, peak correlation). Works without the `trace`
+//!   feature; the CI smoke check for lock discrimination.
+//! * `--report link` — aggregate `LinkMetrics` for the batch; with
+//!   `--trace-out PATH` every frame's events stream to a JSONL file
+//!   through a `JsonlFileSink` while the run stays at constant resident
+//!   memory (needs the `trace` feature).
+//!
+//! ```text
+//! cargo run --release -p fdb-bench --bin probe -- \
+//!     --report sync|link [--config configs/default_link.json] \
+//!     [--frames N] [--seed N] [--trace-out PATH]
+//! ```
+//!
+//! `--sync-report` is the backward-compatible alias for `--report sync`.
+//!
+//! `--validate-trace PATH` parses a trace JSONL file line-by-line
+//! (`serde_json`-backed), exits non-zero on the first malformed line, and
+//! prints a summary — the CI check that streamed traces stay readable.
 //!
 //! The legacy operating-envelope sweep is still available:
 //!
@@ -19,28 +44,25 @@
 //! cargo run --release -p fdb-bench --bin probe -- --sweep [frames-per-point]
 //! ```
 //!
-//! `--sync-report` replays a batch of frames and emits one JSON line per
-//! frame with the two-stage acquisition counters (candidate locks,
-//! rejections, peak correlation) plus a closing summary — the CI smoke
-//! check for lock discrimination. It works with or without the `trace`
-//! feature and accepts a bundled scenario file:
-//!
-//! ```text
-//! cargo run --release -p fdb-bench --bin probe -- \
-//!     --sync-report [--config configs/default_link.json] [--frames N] [--seed N]
-//! ```
-//!
-//! The trace replay needs the `trace` feature, which is on by default for
-//! this crate; a `--no-default-features` build keeps `--sweep` and
-//! `--sync-report`.
+//! The single-frame trace replay needs the `trace` feature, which is on by
+//! default for this crate; a `--no-default-features` build keeps
+//! `--sweep`, `--report sync` and `--validate-trace`.
 
 use fdb_core::link::{FdLink, LinkConfig, RunOptions};
+use fdb_core::trace::parse_trace_line;
 use fdb_sim::MeasureSpec;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+#[derive(PartialEq)]
+enum Report {
+    Sync,
+    Link,
+}
+
 struct Args {
     seed: u64,
+    seed_given: bool,
     dist: f64,
     payload_len: usize,
     full_duplex: bool,
@@ -48,19 +70,28 @@ struct Args {
     stage: Option<String>,
     /// `Some(frames)` = run the legacy distance sweep instead.
     sweep: Option<u32>,
-    /// Emit per-frame sync attempt/rejection JSONL instead of a trace.
-    sync_report: bool,
-    /// Bundled scenario file (`{link, spec}` JSON) for `--sync-report`.
+    /// Batch report mode (`--report sync|link`; `--sync-report` aliases
+    /// `--report sync`).
+    report: Option<Report>,
+    /// Bundled scenario file (`{link, spec}` JSON) for report modes.
     config: Option<String>,
-    /// Frame-count override for `--sync-report`.
+    /// Frame-count override for report modes.
     frames: Option<u64>,
+    /// Stream trace events to this JSONL file instead of stdout.
+    trace_out: Option<String>,
+    /// Validate a trace JSONL file line-by-line and exit.
+    validate_trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: probe [--seed N] [--dist METERS] [--payload-len BYTES] \
-         [--mode fd|hd] [--stage NAME] | --sweep [frames] | \
-         --sync-report [--config PATH] [--frames N] [--seed N]"
+         [--mode fd|hd] [--stage NAME] [--trace-out PATH]\n\
+         \x20      probe --report sync|link [--config PATH] [--frames N] \
+         [--seed N] [--trace-out PATH]\n\
+         \x20      probe --validate-trace PATH\n\
+         \x20      probe --sweep [frames]\n\
+         (--sync-report is the legacy alias for --report sync)"
     );
     std::process::exit(2);
 }
@@ -68,14 +99,17 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         seed: 7,
+        seed_given: false,
         dist: 0.3,
         payload_len: 64,
         full_duplex: true,
         stage: None,
         sweep: None,
-        sync_report: false,
+        report: None,
         config: None,
         frames: None,
+        trace_out: None,
+        validate_trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,7 +118,10 @@ fn parse_args() -> Args {
             usage()
         });
         match flag.as_str() {
-            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| usage());
+                args.seed_given = true;
+            }
             "--dist" => args.dist = value("--dist").parse().unwrap_or_else(|_| usage()),
             "--payload-len" => {
                 args.payload_len = value("--payload-len").parse().unwrap_or_else(|_| usage())
@@ -98,11 +135,21 @@ fn parse_args() -> Args {
             "--sweep" => {
                 args.sweep = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or(20))
             }
-            "--sync-report" => args.sync_report = true,
+            "--report" => match value("--report").as_str() {
+                "sync" => args.report = Some(Report::Sync),
+                "link" => args.report = Some(Report::Link),
+                other => {
+                    eprintln!("unknown report '{other}' (expected sync|link)");
+                    usage()
+                }
+            },
+            "--sync-report" => args.report = Some(Report::Sync),
             "--config" => args.config = Some(value("--config")),
             "--frames" => {
                 args.frames = Some(value("--frames").parse().unwrap_or_else(|_| usage()))
             }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--validate-trace" => args.validate_trace = Some(value("--validate-trace")),
             "--help" | "-h" => usage(),
             // Bare number: legacy `probe N` sweep invocation.
             n if n.parse::<u32>().is_ok() => args.sweep = Some(n.parse().unwrap()),
@@ -114,9 +161,20 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    if args.sync_report {
-        sync_report(&args);
+    if let Some(path) = &args.validate_trace {
+        validate_trace(path);
         return;
+    }
+    match args.report {
+        Some(Report::Sync) => {
+            sync_report(&args);
+            return;
+        }
+        Some(Report::Link) => {
+            link_report(&args);
+            return;
+        }
+        None => {}
     }
     if let Some(frames) = args.sweep {
         sweep(frames);
@@ -128,14 +186,62 @@ fn main() {
     {
         eprintln!(
             "probe was built without the `trace` feature; rebuild with default \
-             features (or use --sweep)"
+             features (or use --sweep / --report / --validate-trace)"
         );
         std::process::exit(2);
     }
 }
 
+/// Loads `{link, spec}` from `--config` (or the built-in default scenario)
+/// and applies the CLI overrides shared by the report modes.
+fn load_scenario(args: &Args, default_frames: u64) -> (LinkConfig, MeasureSpec) {
+    #[derive(serde::Deserialize)]
+    struct Scenario {
+        link: LinkConfig,
+        spec: MeasureSpec,
+    }
+
+    let (cfg, mut spec) = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let scenario: Scenario = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("{path} invalid: {e}");
+                std::process::exit(2);
+            });
+            (scenario.link, scenario.spec)
+        }
+        None => {
+            let mut cfg = LinkConfig::default_fd();
+            cfg.geometry.device_dist_m = args.dist;
+            let spec = MeasureSpec {
+                frames: default_frames,
+                payload_len: args.payload_len,
+                seed: args.seed,
+                feedback_probe: Some(false),
+                trace: Default::default(),
+            };
+            (cfg, spec)
+        }
+    };
+    if let Some(n) = args.frames {
+        spec.frames = n;
+    }
+    if args.seed_given {
+        spec.seed = args.seed;
+    }
+    cfg.phy.validate().unwrap_or_else(|e| {
+        eprintln!("invalid PHY config: {e}");
+        std::process::exit(2);
+    });
+    (cfg, spec)
+}
+
 #[cfg(feature = "trace")]
 fn trace_frame(args: &Args) {
+    use fdb_core::trace::{JsonlFileSink, TraceSink};
     use serde::Serialize;
 
     #[derive(Serialize)]
@@ -159,6 +265,7 @@ fn trace_frame(args: &Args) {
 
     let mut cfg = LinkConfig::default_fd();
     cfg.geometry.device_dist_m = args.dist;
+    let frame_cap = cfg.phy.trace_ring_capacity();
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
     let mut link = FdLink::new(cfg, &mut rng).expect("valid default config");
     let payload: Vec<u8> = (0..args.payload_len).map(|i| (i % 251) as u8).collect();
@@ -167,16 +274,44 @@ fn trace_frame(args: &Args) {
     } else {
         RunOptions::half_duplex()
     };
-    let out = link.run_frame(&payload, &opts, &mut rng).expect("frame");
 
-    for ev in out.trace.events() {
-        if let Some(stage) = &args.stage {
-            if ev.stage() != stage {
-                continue;
+    let (out, trace_events, trace_dropped) = match &args.trace_out {
+        Some(path) => {
+            if args.stage.is_some() {
+                eprintln!("--stage filters stdout output only; ignored with --trace-out");
             }
+            let mut sink = JsonlFileSink::create(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot create {path}: {e}");
+                    std::process::exit(2);
+                })
+                .with_frame_cap(frame_cap);
+            sink.begin_frame(0);
+            let out = link
+                .run_frame_into(&payload, &opts, &mut rng, &mut sink)
+                .expect("frame");
+            sink.end_frame();
+            let summary = sink.finish().unwrap_or_else(|e| {
+                eprintln!("trace sink failed: {e}");
+                std::process::exit(1);
+            });
+            (out, summary.events as usize, summary.dropped as usize)
         }
-        println!("{}", serde_json::to_string(ev).expect("event serializes"));
-    }
+        None => {
+            let out = link.run_frame(&payload, &opts, &mut rng).expect("frame");
+            for ev in out.trace.events() {
+                if let Some(stage) = &args.stage {
+                    if ev.stage() != stage {
+                        continue;
+                    }
+                }
+                println!("{}", serde_json::to_string(ev).expect("event serializes"));
+            }
+            let (n, d) = (out.trace.len(), out.trace.dropped());
+            (out, n, d)
+        }
+    };
+
     let summary = Summary {
         seed: args.seed,
         dist_m: args.dist,
@@ -191,8 +326,8 @@ fn trace_frame(args: &Args) {
         feedback_bits: out.feedback.len(),
         aborted_at_sample: out.aborted_at_sample,
         samples_run: out.samples_run,
-        trace_events: out.trace.len(),
-        trace_dropped: out.trace.dropped(),
+        trace_events,
+        trace_dropped,
     };
     println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
 }
@@ -202,12 +337,6 @@ fn trace_frame(args: &Args) {
 /// trace feature — everything comes off the [`fdb_core::link::FrameOutcome`].
 fn sync_report(args: &Args) {
     use serde::Serialize;
-
-    #[derive(serde::Deserialize)]
-    struct Scenario {
-        link: LinkConfig,
-        spec: MeasureSpec,
-    }
 
     #[derive(Serialize)]
     struct FrameLine {
@@ -232,33 +361,11 @@ fn sync_report(args: &Args) {
         sync_rejections: u64,
     }
 
-    let (cfg, mut frames, config_name) = match &args.config {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(2);
-            });
-            let scenario: Scenario = serde_json::from_str(&text).unwrap_or_else(|e| {
-                eprintln!("{path} invalid: {e}");
-                std::process::exit(2);
-            });
-            (scenario.link, scenario.spec.frames, path.clone())
-        }
-        None => {
-            let mut cfg = LinkConfig::default_fd();
-            cfg.geometry.device_dist_m = args.dist;
-            (cfg, 20, "default".to_string())
-        }
-    };
-    if let Some(n) = args.frames {
-        frames = n;
-    }
-    cfg.phy.validate().unwrap_or_else(|e| {
-        eprintln!("invalid PHY config: {e}");
-        std::process::exit(2);
-    });
+    let (cfg, spec) = load_scenario(args, 20);
+    let config_name = args.config.clone().unwrap_or_else(|| "default".into());
+    let frames = spec.frames;
 
-    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
     let mut link = FdLink::new(cfg, &mut rng).expect("validated config");
     let payload: Vec<u8> = (0..args.payload_len).map(|i| (i % 251) as u8).collect();
     let (mut locked, mut delivered, mut attempts, mut rejections) = (0u64, 0u64, 0u64, 0u64);
@@ -284,7 +391,7 @@ fn sync_report(args: &Args) {
     let summary = SummaryLine {
         summary: true,
         config: config_name,
-        seed: args.seed,
+        seed: spec.seed,
         frames,
         locked,
         fully_delivered: delivered,
@@ -292,6 +399,61 @@ fn sync_report(args: &Args) {
         sync_rejections: rejections,
     };
     println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+}
+
+/// Aggregate-metrics report over a batch of frames; with `--trace-out`,
+/// every frame's diagnostic events stream to a JSONL file while the run
+/// itself stays at constant resident memory.
+fn link_report(args: &Args) {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct SummaryLine {
+        summary: bool,
+        config: String,
+        metrics: fdb_sim::LinkMetrics,
+        trace_out: Option<String>,
+    }
+
+    let (cfg, mut spec) = load_scenario(args, 20);
+    if let Some(path) = &args.trace_out {
+        spec = spec.with_trace(fdb_core::trace::TraceSinkSpec::jsonl(path.clone()));
+    }
+    let metrics = fdb_sim::measure_link(&cfg, &spec).unwrap_or_else(|e| {
+        eprintln!("measurement failed: {e}");
+        std::process::exit(1);
+    });
+    let summary = SummaryLine {
+        summary: true,
+        config: args.config.clone().unwrap_or_else(|| "default".into()),
+        metrics,
+        trace_out: args.trace_out.clone(),
+    };
+    println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+}
+
+/// Parses a trace JSONL file line-by-line, exiting non-zero with the
+/// offending line number on the first parse failure.
+fn validate_trace(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let (mut events, mut frames) = (0u64, 0u64);
+    for (i, line) in text.lines().enumerate() {
+        match parse_trace_line(line) {
+            Ok(fdb_core::trace::TraceLine::Event(_)) => events += 1,
+            Ok(fdb_core::trace::TraceLine::FrameEnd { .. }) => frames += 1,
+            Ok(fdb_core::trace::TraceLine::FrameStart { .. }) => {}
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", i + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "{{\"validated\":\"{path}\",\"frames\":{frames},\"events\":{events}}}"
+    );
 }
 
 /// Legacy operating-envelope sweep: lock/delivery/block/feedback summary

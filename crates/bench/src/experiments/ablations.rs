@@ -46,6 +46,7 @@ pub fn line_codes(effort: Effort) -> Vec<ExperimentResult> {
             payload_len: 96,
             seed,
             feedback_probe: Some(true),
+            trace: Default::default(),
         };
         let with_sic = measure_link(&cfg, &spec).expect("A1 sic-on run");
         let mut no_sic_cfg = cfg.clone();

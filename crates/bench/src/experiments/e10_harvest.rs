@@ -33,6 +33,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                 payload_len: 64,
                 seed: derive_seed(0xE10, d as u64),
                 feedback_probe: Some(false),
+                trace: Default::default(),
             },
         )
         .expect("E10 run");

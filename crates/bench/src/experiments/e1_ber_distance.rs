@@ -73,6 +73,7 @@ fn run_variant(effort: Effort, fading: bool) -> Vec<ExperimentResult> {
                 payload_len: payload,
                 seed,
                 feedback_probe: Some(false),
+                trace: Default::default(),
             },
         )
         .expect("E1 fd run");
@@ -83,6 +84,7 @@ fn run_variant(effort: Effort, fading: bool) -> Vec<ExperimentResult> {
                 payload_len: payload,
                 seed: seed ^ 1,
                 feedback_probe: None,
+                trace: Default::default(),
             },
         )
         .expect("E1 hd run");

@@ -60,6 +60,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                     payload_len: 192,
                     seed: derive_seed(0xE2, m as u64 + (dist * 100.0) as u64),
                     feedback_probe: Some(true),
+                    trace: Default::default(),
                 },
             )
             .expect("E2 run");

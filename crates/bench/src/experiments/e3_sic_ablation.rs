@@ -31,6 +31,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
             payload_len: 96,
             seed,
             feedback_probe: Some(true),
+            trace: Default::default(),
         };
         let on = measure_link(&on_cfg, &spec).expect("E3 on");
         let off = measure_link(&off_cfg, &spec).expect("E3 off");

@@ -90,6 +90,7 @@ pub fn measure_point(
             payload_len,
             seed: seed ^ 0xCA11,
             feedback_probe: Some(false),
+            trace: Default::default(),
         },
     )
     .expect("E4 calibration");

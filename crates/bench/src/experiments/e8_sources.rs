@@ -39,6 +39,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                 payload_len: 64,
                 seed: derive_seed(0xE8, name.len() as u64),
                 feedback_probe: Some(true),
+                trace: Default::default(),
             },
         )
         .expect("E8 run");

@@ -35,6 +35,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                     payload_len: 96,
                     seed: derive_seed(0xE9, ppm as u64),
                     feedback_probe: Some(false),
+                    trace: Default::default(),
                 },
             )
             .expect("E9 run")

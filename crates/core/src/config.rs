@@ -125,6 +125,12 @@ pub struct PhyConfig {
     /// without the field get the verified default.
     #[serde(default)]
     pub sync: SyncPolicy,
+    /// Per-frame trace ring capacity in events (`trace` feature); `None`
+    /// — including configs written before the field existed — resolves to
+    /// [`crate::trace::DEFAULT_TRACE_CAPACITY`] via
+    /// [`trace_ring_capacity`](PhyConfig::trace_ring_capacity).
+    #[serde(default)]
+    pub trace_capacity: Option<usize>,
 }
 
 impl PhyConfig {
@@ -151,7 +157,15 @@ impl PhyConfig {
             // marginal-link band instead of on the tuned 0.67 cliff.
             sync_threshold: 0.62,
             sync: SyncPolicy::default(),
+            trace_capacity: None,
         }
+    }
+
+    /// Effective per-frame trace ring capacity: the configured
+    /// `trace_capacity`, or [`crate::trace::DEFAULT_TRACE_CAPACITY`].
+    pub fn trace_ring_capacity(&self) -> usize {
+        self.trace_capacity
+            .unwrap_or(crate::trace::DEFAULT_TRACE_CAPACITY)
     }
 
     /// Validates the configuration.
@@ -198,6 +212,12 @@ impl PhyConfig {
             return Err(PhyError::InvalidConfig {
                 field: "sync.min_sharpness",
                 reason: "must be finite and non-negative".into(),
+            });
+        }
+        if self.trace_capacity == Some(0) {
+            return Err(PhyError::InvalidConfig {
+                field: "trace_capacity",
+                reason: "must be ≥ 1 (omit the field for the default)".into(),
             });
         }
         Ok(())
@@ -321,6 +341,21 @@ mod tests {
         ));
         c.sync.min_sharpness = -1.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn trace_capacity_defaults_and_validates() {
+        let mut c = PhyConfig::default_fd();
+        assert_eq!(c.trace_capacity, None);
+        assert_eq!(c.trace_ring_capacity(), crate::trace::DEFAULT_TRACE_CAPACITY);
+        c.trace_capacity = Some(128);
+        assert_eq!(c.trace_ring_capacity(), 128);
+        assert!(c.validate().is_ok());
+        c.trace_capacity = Some(0);
+        assert!(matches!(
+            c.validate(),
+            Err(PhyError::InvalidConfig { field: "trace_capacity", .. })
+        ));
     }
 
     #[test]

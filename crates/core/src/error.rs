@@ -24,6 +24,13 @@ pub enum PhyError {
         /// Maximum representable.
         max: usize,
     },
+    /// A trace sink could not be built or failed while writing (bad path,
+    /// full disk, or a sink requested in a build without the `trace`
+    /// feature).
+    TraceSink {
+        /// Human-readable cause.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PhyError {
@@ -36,6 +43,7 @@ impl fmt::Display for PhyError {
             PhyError::PayloadTooLarge { got, max } => {
                 write!(f, "payload of {got} bytes exceeds maximum {max}")
             }
+            PhyError::TraceSink { reason } => write!(f, "trace sink: {reason}"),
         }
     }
 }

@@ -31,7 +31,7 @@ use crate::feedback::{FeedbackDecoder, FeedbackEncoder};
 use crate::rx::{DataReceiver, RxResult, RxState};
 use crate::sic::SelfInterferenceCanceller;
 #[cfg(feature = "trace")]
-use crate::trace::{FrameTrace, TraceEvent};
+use crate::trace::{FrameTrace, RingSink, TraceEvent, TraceSink};
 use crate::tx::DataTransmitter;
 use fdb_ambient::{Ambient, AmbientConfig};
 use fdb_channel::awgn::Awgn;
@@ -328,11 +328,50 @@ impl FdLink {
     }
 
     /// Runs one frame through the link.
+    ///
+    /// With the `trace` feature on, the frame's diagnostic events land in a
+    /// fresh bounded [`RingSink`] (capacity from
+    /// `PhyConfig::trace_ring_capacity`) attached as `FrameOutcome::trace`.
+    /// Use [`run_frame_into`](FdLink::run_frame_into) to stream the events
+    /// elsewhere instead.
     pub fn run_frame<R: Rng + ?Sized>(
         &mut self,
         payload: &[u8],
         opts: &RunOptions,
         rng: &mut R,
+    ) -> Result<FrameOutcome, PhyError> {
+        #[cfg(feature = "trace")]
+        {
+            let mut ring = RingSink::new(self.cfg.phy.trace_ring_capacity());
+            let mut outcome = self.run_frame_inner(payload, opts, rng, &mut ring)?;
+            outcome.trace = ring.into_trace();
+            Ok(outcome)
+        }
+        #[cfg(not(feature = "trace"))]
+        self.run_frame_inner(payload, opts, rng)
+    }
+
+    /// Runs one frame, emitting its diagnostic events into `sink` instead
+    /// of the outcome's in-memory ring (`FrameOutcome::trace` stays an
+    /// empty placeholder). The caller owns frame bracketing: call
+    /// `sink.begin_frame` / `sink.end_frame` around this.
+    #[cfg(feature = "trace")]
+    pub fn run_frame_into<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        sink: &mut dyn TraceSink,
+    ) -> Result<FrameOutcome, PhyError> {
+        self.run_frame_inner(payload, opts, rng, sink)
+    }
+
+    fn run_frame_inner<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        #[cfg(feature = "trace")] sink: &mut dyn TraceSink,
     ) -> Result<FrameOutcome, PhyError> {
         let phy = self.cfg.phy.clone();
         let dt = phy.sample_period_s();
@@ -398,8 +437,6 @@ impl FdLink {
         let mut aborted_at = None;
         let fade_every = self.cfg.fading_advance_bits * spb;
 
-        #[cfg(feature = "trace")]
-        let mut trace = FrameTrace::default();
         // Change-detection cursors for the polled receiver-side probes.
         #[cfg(feature = "trace")]
         let (mut tr_chips, mut tr_bits, mut tr_blocks, mut tr_halves, mut tr_pilots) =
@@ -468,12 +505,12 @@ impl FdLink {
             let chip_boundary = t % phy.samples_per_chip == 0;
             #[cfg(feature = "trace")]
             if chip_boundary {
-                trace.record(TraceEvent::TxChip {
+                sink.record(TraceEvent::TxChip {
                     sample: t,
                     chip: t / phy.samples_per_chip,
                     state: a_state,
                 });
-                trace.record(TraceEvent::Channel {
+                sink.record(TraceEvent::Channel {
                     sample: t,
                     source_power_w: x * x,
                     env_a,
@@ -485,7 +522,7 @@ impl FdLink {
             let sic_b_out = sic_b.correct(env_b, b_state);
             #[cfg(feature = "trace")]
             if chip_boundary || sic_b_out.is_none() {
-                trace.record(TraceEvent::Sic {
+                sink.record(TraceEvent::Sic {
                     sample: t,
                     device: 'B',
                     own_state: b_state,
@@ -519,7 +556,7 @@ impl FdLink {
                     }
                 }
                 #[cfg(feature = "trace")]
-                trace.record(TraceEvent::RxRearm {
+                sink.record(TraceEvent::RxRearm {
                     sample: t,
                     attempts: rx.sync_attempts(),
                 });
@@ -530,7 +567,7 @@ impl FdLink {
                 #[cfg(feature = "trace")]
                 {
                     let (score, _) = rx.sync_lock_info().unwrap_or((0.0, 0));
-                    trace.record(TraceEvent::RxLock {
+                    sink.record(TraceEvent::RxLock {
                         sample: t,
                         score,
                         peak_seen: rx.sync_peak_seen(),
@@ -542,18 +579,18 @@ impl FdLink {
                 let rejections = rx.rejections();
                 if rejections.len() != tr_rejects {
                     for r in rejections.iter().skip(tr_rejects) {
-                        trace.record(TraceEvent::RxSyncReject {
+                        sink.record(TraceEvent::RxSyncReject {
                             sample: t,
                             score: r.score,
                             sharpness: r.sharpness,
-                            reason: r.reason.as_str(),
+                            reason: r.reason.as_str().to_owned(),
                         });
                     }
                     tr_rejects = rejections.len();
                 }
                 if rx.chips_seen() != tr_chips {
                     tr_chips = rx.chips_seen();
-                    trace.record(TraceEvent::RxChip {
+                    sink.record(TraceEvent::RxChip {
                         sample: t,
                         energy: rx.last_chip_energy(),
                         threshold: rx.slicer_threshold(),
@@ -562,13 +599,13 @@ impl FdLink {
                 if rx.bits_decoded() != tr_bits {
                     tr_bits = rx.bits_decoded();
                     if let Some(bit) = rx.last_bit() {
-                        trace.record(TraceEvent::RxBit { sample: t, index: tr_bits - 1, bit });
+                        sink.record(TraceEvent::RxBit { sample: t, index: tr_bits - 1, bit });
                     }
                 }
                 let blocks = rx.blocks();
                 if blocks.len() != tr_blocks {
                     for (i, b) in blocks.iter().enumerate().skip(tr_blocks) {
-                        trace.record(TraceEvent::RxBlock { sample: t, index: i, ok: b.ok });
+                        sink.record(TraceEvent::RxBlock { sample: t, index: i, ok: b.ok });
                     }
                     tr_blocks = blocks.len();
                 }
@@ -579,7 +616,7 @@ impl FdLink {
                 let sic_a_out = sic_a.correct(env_a, a_state);
                 #[cfg(feature = "trace")]
                 if chip_boundary || sic_a_out.is_none() {
-                    trace.record(TraceEvent::Sic {
+                    sink.record(TraceEvent::Sic {
                         sample: t,
                         device: 'A',
                         own_state: a_state,
@@ -593,12 +630,12 @@ impl FdLink {
                     {
                         if fb_dec.halves_seen() != tr_halves {
                             tr_halves = fb_dec.halves_seen();
-                            trace.record(TraceEvent::FbHalf { sample: t, integral: fb_dec.last_half() });
+                            sink.record(TraceEvent::FbHalf { sample: t, integral: fb_dec.last_half() });
                         }
                         if fb_dec.pilots_consumed() != tr_pilots {
                             tr_pilots = fb_dec.pilots_consumed();
                             if let Some(&margin) = fb_dec.pilot_margins().last() {
-                                trace.record(TraceEvent::FbPilot {
+                                sink.record(TraceEvent::FbPilot {
                                     sample: t,
                                     index: tr_pilots - 1,
                                     margin,
@@ -606,7 +643,7 @@ impl FdLink {
                             }
                             if tr_pilots == crate::feedback::PILOTS.len() && !tr_pilots_checked {
                                 tr_pilots_checked = true;
-                                trace.record(TraceEvent::FbPilotsChecked {
+                                sink.record(TraceEvent::FbPilotsChecked {
                                     sample: t,
                                     verified: fb_dec.pilots_verified(),
                                 });
@@ -615,7 +652,7 @@ impl FdLink {
                     }
                     if let Some(decision) = decision {
                         #[cfg(feature = "trace")]
-                        trace.record(TraceEvent::FbBit {
+                        sink.record(TraceEvent::FbBit {
                             sample: t,
                             bit: decision.bit,
                             margin: decision.margin,
@@ -633,7 +670,7 @@ impl FdLink {
                             tx.abort();
                             aborted_at = Some(t);
                             #[cfg(feature = "trace")]
-                            trace.record(TraceEvent::Abort { sample: t });
+                            sink.record(TraceEvent::Abort { sample: t });
                         }
                     }
                 }
@@ -667,8 +704,7 @@ impl FdLink {
                 break;
             }
         }
-        #[allow(unused_mut)]
-        let mut outcome = self.finish(
+        Ok(self.finish(
             samples_run,
             tx,
             rx,
@@ -677,12 +713,7 @@ impl FdLink {
             aborted_at,
             b_was_locked,
             (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
-        );
-        #[cfg(feature = "trace")]
-        {
-            outcome.trace = trace;
-        }
-        Ok(outcome)
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]

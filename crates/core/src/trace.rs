@@ -1,9 +1,9 @@
-//! Frame-level diagnostics: structured per-stage event capture.
+//! Frame-level diagnostics: structured per-stage event capture through
+//! pluggable **trace sinks**.
 //!
 //! When the `trace` cargo feature is enabled, [`crate::link::FdLink::run_frame`]
-//! records a [`TraceEvent`] stream into a bounded [`FrameTrace`] ring buffer
-//! carried on the [`crate::link::FrameOutcome`]. The stream covers every
-//! stage of the PHY pipeline:
+//! emits a [`TraceEvent`] stream through a [`TraceSink`]. The stream covers
+//! every stage of the PHY pipeline:
 //!
 //! * **tx** — chip emission ([`TraceEvent::TxChip`]);
 //! * **channel** — instantaneous source power and both detector envelopes
@@ -24,16 +24,39 @@
 //!
 //! Sample-rate stages (tx/channel/sic/rx-chip) are decimated to chip
 //! boundaries so a whole frame fits in the default ring capacity; decision
-//! events are recorded unconditionally. When the ring overflows, the
-//! *oldest* events are evicted and counted, so the tail of a frame — where
-//! failures usually manifest — is always retained.
+//! events are recorded unconditionally.
+//!
+//! ## Choosing a sink backend
+//!
+//! * [`RingSink`] — the default inside `run_frame`: a bounded in-memory
+//!   ring ([`FrameTrace`]) carried on `FrameOutcome::trace`. When it
+//!   overflows, the *oldest* events are evicted and counted, so the tail
+//!   of a frame — where failures usually manifest — is always retained.
+//!   Pick it to inspect one frame interactively (tests, the probe CLI's
+//!   single-frame mode).
+//! * [`JsonlFileSink`] — streams events to a JSON-lines file, staging at
+//!   most one frame in memory and flushing on every frame boundary, with
+//!   byte/event counters and optional size-based rotation. Pick it for
+//!   long calibration sweeps where an in-memory ring would either grow
+//!   without bound or silently evict everything but the last frame.
+//! * [`CollectSink`] — unbounded in-memory `Vec`. Pick it only in tests
+//!   that assert on the full event stream of a short run.
+//! * [`NullSink`] — counts and discards. Pick it when only the
+//!   `events_recorded` tally matters.
+//!
+//! Sink selection is serialisable through [`TraceSinkSpec`] (carried on
+//! `fdb_sim::MeasureSpec`), so a scenario JSON can request streaming
+//! capture without code changes.
 //!
 //! With the feature disabled this module still compiles (it has no
-//! feature-gated items itself) but nothing constructs a `FrameTrace`, and
+//! feature-gated items itself) but nothing constructs a sink, and
 //! `run_frame` contains no tracing code at all — zero hot-path cost.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 /// Default ring capacity in events: comfortably holds a chip-decimated
 /// 256-byte frame with full feedback activity.
@@ -44,7 +67,7 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 32_768;
 /// `sample` is always the link-clock sample index at which the event was
 /// recorded (device-clock resampling happens downstream of the fields
 /// observed here).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// Transmitter A emitted a chip: its antenna state for this chip.
     TxChip {
@@ -99,7 +122,7 @@ pub enum TraceEvent {
         sharpness: f64,
         /// Which stage failed: `"peak_shape"`, `"flat_history"`,
         /// `"preamble_mismatch"` or `"header_crc"`.
-        reason: &'static str,
+        reason: String,
     },
     /// B's receiver re-armed and returned to acquisition after a
     /// rejected lock.
@@ -258,6 +281,568 @@ impl FrameTrace {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The sink abstraction
+// ---------------------------------------------------------------------------
+
+/// Consumer of the per-frame [`TraceEvent`] stream.
+///
+/// `FdLink::run_frame_into` calls only [`record`](TraceSink::record); the
+/// *driver* that knows frame indices (the `fdb_sim` runner, the probe CLI)
+/// brackets each frame with [`begin_frame`](TraceSink::begin_frame) /
+/// [`end_frame`](TraceSink::end_frame) so streaming backends can label
+/// frames and flush on frame boundaries. A sink that is never bracketed
+/// still works: [`JsonlFileSink`] opens an auto-numbered frame on the
+/// first unbracketed `record`.
+///
+/// Sinks are deliberately infallible on the hot path: a backend failure
+/// (e.g. a full disk) flips the sink into a dead state that counts every
+/// subsequent event as dropped, and is surfaced afterwards through
+/// [`io_error`](TraceSink::io_error).
+pub trait TraceSink {
+    /// Marks the start of frame `frame` (driver-assigned index).
+    fn begin_frame(&mut self, frame: u64) {
+        let _ = frame;
+    }
+
+    /// Consumes one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Marks the end of the current frame; streaming sinks flush here.
+    fn end_frame(&mut self) {}
+
+    /// Events accepted (recorded minus those refused after a backend
+    /// failure; includes events later evicted by a bounded backend).
+    fn events_recorded(&self) -> u64;
+
+    /// Events lost: ring eviction, per-frame caps, or write failures.
+    fn events_dropped(&self) -> u64;
+
+    /// First unrecoverable backend error, if any. The sink drops all
+    /// events after it.
+    fn io_error(&self) -> Option<String> {
+        None
+    }
+}
+
+/// [`TraceSink`] over a bounded [`FrameTrace`] ring — today's in-memory
+/// capture, preserving oldest-first eviction and overflow counting.
+#[derive(Debug)]
+pub struct RingSink {
+    trace: FrameTrace,
+    recorded: u64,
+}
+
+impl RingSink {
+    /// Ring sink holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            trace: FrameTrace::new(capacity),
+            recorded: 0,
+        }
+    }
+
+    /// The ring so far.
+    pub fn trace(&self) -> &FrameTrace {
+        &self.trace
+    }
+
+    /// Consumes the sink, handing the ring to the caller (how
+    /// `run_frame` attaches it to `FrameOutcome::trace`).
+    pub fn into_trace(self) -> FrameTrace {
+        self.trace
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.recorded += 1;
+        self.trace.record(event);
+    }
+
+    fn events_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.trace.dropped() as u64
+    }
+}
+
+/// Counts and discards every event.
+#[derive(Debug, Default)]
+pub struct NullSink {
+    recorded: u64,
+}
+
+impl NullSink {
+    /// A fresh discarding sink.
+    pub fn new() -> Self {
+        NullSink::default()
+    }
+}
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: TraceEvent) {
+        self.recorded += 1;
+    }
+
+    fn events_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    fn events_dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Unbounded in-memory sink for tests that assert on the full stream.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    events: Vec<TraceEvent>,
+    frames: u64,
+    frame_open: bool,
+}
+
+impl CollectSink {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// Everything recorded so far, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the collected events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Completed (`begin`/`end`-bracketed) frames seen.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn begin_frame(&mut self, _frame: u64) {
+        self.frame_open = true;
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    fn end_frame(&mut self) {
+        if self.frame_open {
+            self.frames += 1;
+            self.frame_open = false;
+        }
+    }
+
+    fn events_recorded(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    fn events_dropped(&self) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL streaming sink
+// ---------------------------------------------------------------------------
+
+/// Closing statistics of a [`JsonlFileSink`] (see
+/// [`finish`](JsonlFileSink::finish)).
+#[derive(Debug, Clone, Serialize)]
+pub struct JsonlSinkSummary {
+    /// Every file written, in chronological order (rotated-out files
+    /// first, the live path last).
+    pub files: Vec<String>,
+    /// Frames completed.
+    pub frames: u64,
+    /// Events written.
+    pub events: u64,
+    /// Events dropped (per-frame cap or write failure).
+    pub dropped: u64,
+    /// Total bytes written across all files.
+    pub bytes: u64,
+}
+
+/// Streams [`TraceEvent`]s to a JSON-lines file.
+///
+/// Each frame appears as a `{"frame_start":N}` line, the frame's event
+/// lines (one externally-tagged [`TraceEvent`] object per line), and a
+/// `{"frame_end":N,"events":K,"dropped":D}` line. At most one frame is
+/// staged in memory — bounded by the per-frame event cap — and the staged
+/// bytes are written and flushed on every frame boundary, so resident
+/// memory stays constant over arbitrarily long sweeps. Rotation (when
+/// enabled) also happens only on frame boundaries, so a frame is never
+/// split across files.
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+    /// Lines of the currently open frame, written out at `end_frame`.
+    staged: String,
+    staged_events: u64,
+    frame: Option<u64>,
+    next_auto_frame: u64,
+    frame_dropped: u64,
+    frame_cap: usize,
+    rotate_bytes: Option<u64>,
+    /// Rotated-out files, chronological.
+    rotated: Vec<PathBuf>,
+    bytes_current: u64,
+    bytes_total: u64,
+    frames: u64,
+    events: u64,
+    dropped: u64,
+    peak_staged_bytes: usize,
+    error: Option<String>,
+}
+
+impl JsonlFileSink {
+    /// Creates (truncates) `path` and returns a sink streaming to it,
+    /// with the default per-frame cap ([`DEFAULT_TRACE_CAPACITY`]) and no
+    /// rotation.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let writer = BufWriter::new(File::create(&path)?);
+        Ok(JsonlFileSink {
+            path,
+            writer: Some(writer),
+            staged: String::new(),
+            staged_events: 0,
+            frame: None,
+            next_auto_frame: 0,
+            frame_dropped: 0,
+            frame_cap: DEFAULT_TRACE_CAPACITY,
+            rotate_bytes: None,
+            rotated: Vec::new(),
+            bytes_current: 0,
+            bytes_total: 0,
+            frames: 0,
+            events: 0,
+            dropped: 0,
+            peak_staged_bytes: 0,
+            error: None,
+        })
+    }
+
+    /// Caps the events retained per frame (mirrors the ring bound; the
+    /// overflow is counted as dropped). Zero is clamped to 1.
+    pub fn with_frame_cap(mut self, cap: usize) -> Self {
+        self.frame_cap = cap.max(1);
+        self
+    }
+
+    /// Starts a new file once the current one exceeds `bytes` (checked on
+    /// frame boundaries): the live path is renamed to `<path>.1`,
+    /// `<path>.2`, … and writing continues at `path`.
+    pub fn with_rotate_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.rotate_bytes = bytes;
+        self
+    }
+
+    /// Largest number of bytes ever staged in memory for one frame — the
+    /// resident-memory high-water mark of the sink.
+    pub fn peak_staged_bytes(&self) -> usize {
+        self.peak_staged_bytes
+    }
+
+    /// Every file written so far, chronological (rotated first, live
+    /// path last).
+    pub fn files(&self) -> Vec<PathBuf> {
+        let mut files = self.rotated.clone();
+        files.push(self.path.clone());
+        files
+    }
+
+    fn fail(&mut self, e: &std::io::Error) {
+        if self.error.is_none() {
+            self.error = Some(format!("{}: {e}", self.path.display()));
+        }
+        self.writer = None;
+        // The staged frame never reached the file: recount it as dropped.
+        self.dropped += self.staged_events;
+        self.events -= self.staged_events;
+        self.staged.clear();
+        self.staged_events = 0;
+    }
+
+    fn stage_line(&mut self, line: &str) {
+        self.staged.push_str(line);
+        self.staged.push('\n');
+        self.peak_staged_bytes = self.peak_staged_bytes.max(self.staged.len());
+    }
+
+    fn rotate(&mut self) {
+        let rotated_to = PathBuf::from(format!(
+            "{}.{}",
+            self.path.display(),
+            self.rotated.len() + 1
+        ));
+        // Close (flushing) before the rename.
+        self.writer = None;
+        if let Err(e) = std::fs::rename(&self.path, &rotated_to) {
+            self.fail(&e);
+            return;
+        }
+        match File::create(&self.path) {
+            Ok(f) => {
+                self.rotated.push(rotated_to);
+                self.bytes_current = 0;
+                self.writer = Some(BufWriter::new(f));
+            }
+            Err(e) => self.fail(&e),
+        }
+    }
+
+    /// Flushes any open frame and closes the sink, returning the final
+    /// statistics (or the first backend error).
+    pub fn finish(mut self) -> std::io::Result<JsonlSinkSummary> {
+        self.end_frame();
+        if let Some(mut w) = self.writer.take() {
+            if let Err(e) = w.flush() {
+                self.fail(&e);
+            }
+        }
+        match self.error {
+            Some(reason) => Err(std::io::Error::other(reason)),
+            None => Ok(JsonlSinkSummary {
+                files: self
+                    .files()
+                    .iter()
+                    .map(|p| p.display().to_string())
+                    .collect(),
+                frames: self.frames,
+                events: self.events,
+                dropped: self.dropped,
+                bytes: self.bytes_total,
+            }),
+        }
+    }
+}
+
+impl TraceSink for JsonlFileSink {
+    fn begin_frame(&mut self, frame: u64) {
+        if self.frame.is_some() {
+            self.end_frame();
+        }
+        if self.error.is_some() {
+            return;
+        }
+        self.frame = Some(frame);
+        self.frame_dropped = 0;
+        self.stage_line(&format!("{{\"frame_start\":{frame}}}"));
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            self.dropped += 1;
+            return;
+        }
+        if self.frame.is_none() {
+            self.begin_frame(self.next_auto_frame);
+        }
+        if self.staged_events >= self.frame_cap as u64 {
+            self.dropped += 1;
+            self.frame_dropped += 1;
+            return;
+        }
+        match serde_json::to_string(&event) {
+            Ok(line) => {
+                self.stage_line(&line);
+                self.staged_events += 1;
+                self.events += 1;
+            }
+            Err(_) => {
+                self.dropped += 1;
+                self.frame_dropped += 1;
+            }
+        }
+    }
+
+    fn end_frame(&mut self) {
+        let Some(frame) = self.frame.take() else {
+            return;
+        };
+        self.next_auto_frame = frame + 1;
+        self.stage_line(&format!(
+            "{{\"frame_end\":{frame},\"events\":{},\"dropped\":{}}}",
+            self.staged_events, self.frame_dropped
+        ));
+        let Some(w) = self.writer.as_mut() else {
+            self.staged.clear();
+            self.staged_events = 0;
+            return;
+        };
+        let res = w.write_all(self.staged.as_bytes()).and_then(|_| w.flush());
+        if let Err(e) = res {
+            self.fail(&e);
+            return;
+        }
+        self.bytes_current += self.staged.len() as u64;
+        self.bytes_total += self.staged.len() as u64;
+        self.staged.clear();
+        self.staged_events = 0;
+        self.frame_dropped = 0;
+        self.frames += 1;
+        if let Some(limit) = self.rotate_bytes {
+            if self.bytes_current >= limit {
+                self.rotate();
+            }
+        }
+    }
+
+    fn events_recorded(&self) -> u64 {
+        self.events
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn io_error(&self) -> Option<String> {
+        self.error.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialisable sink selection
+// ---------------------------------------------------------------------------
+
+/// Declarative sink selection, serialisable into scenario JSON (carried
+/// on `fdb_sim::MeasureSpec`; built per run by the measurement driver).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum TraceSinkSpec {
+    /// No tracing (the default).
+    #[default]
+    Null,
+    /// Bounded in-memory ring over the whole run; `None` capacity uses
+    /// the PHY's configured per-frame ring capacity.
+    Ring {
+        /// Maximum events retained (oldest evicted).
+        capacity: Option<usize>,
+    },
+    /// Unbounded in-memory collection (tests only).
+    Collect,
+    /// Streaming JSONL file capture.
+    Jsonl {
+        /// Output path.
+        path: String,
+        /// Rotate the file once it exceeds this many bytes.
+        rotate_bytes: Option<u64>,
+        /// Per-frame event cap; `None` uses the PHY's configured ring
+        /// capacity.
+        frame_cap: Option<usize>,
+    },
+}
+
+impl TraceSinkSpec {
+    /// Convenience constructor for a non-rotating JSONL capture.
+    pub fn jsonl(path: impl Into<String>) -> Self {
+        TraceSinkSpec::Jsonl {
+            path: path.into(),
+            rotate_bytes: None,
+            frame_cap: None,
+        }
+    }
+
+    /// `true` for [`TraceSinkSpec::Null`] — no sink should be attached.
+    pub fn is_null(&self) -> bool {
+        matches!(self, TraceSinkSpec::Null)
+    }
+
+    /// Builds the described sink. `default_capacity` fills the
+    /// unspecified ring capacity / per-frame cap (drivers pass the PHY's
+    /// configured trace ring capacity).
+    pub fn build(&self, default_capacity: usize) -> std::io::Result<Box<dyn TraceSink>> {
+        Ok(match self {
+            TraceSinkSpec::Null => Box::new(NullSink::new()),
+            TraceSinkSpec::Ring { capacity } => {
+                Box::new(RingSink::new(capacity.unwrap_or(default_capacity)))
+            }
+            TraceSinkSpec::Collect => Box::new(CollectSink::new()),
+            TraceSinkSpec::Jsonl {
+                path,
+                rotate_bytes,
+                frame_cap,
+            } => Box::new(
+                JsonlFileSink::create(path)?
+                    .with_frame_cap(frame_cap.unwrap_or(default_capacity))
+                    .with_rotate_bytes(*rotate_bytes),
+            ),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parsing / validation
+// ---------------------------------------------------------------------------
+
+/// One parsed line of a [`JsonlFileSink`] file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceLine {
+    /// `{"frame_start":N}`
+    FrameStart {
+        /// Frame index.
+        frame: u64,
+    },
+    /// `{"frame_end":N,"events":K,"dropped":D}`
+    FrameEnd {
+        /// Frame index.
+        frame: u64,
+        /// Events written for the frame.
+        events: u64,
+        /// Events dropped for the frame.
+        dropped: u64,
+    },
+    /// A [`TraceEvent`] line.
+    Event(TraceEvent),
+}
+
+/// Parses one line of a trace JSONL file (frame marker or event),
+/// rejecting anything else with a descriptive message. This is the
+/// line-by-line validator behind the probe CLI's `--validate-trace`.
+pub fn parse_trace_line(line: &str) -> Result<TraceLine, String> {
+    #[derive(Deserialize)]
+    struct StartLine {
+        frame_start: u64,
+    }
+    #[derive(Deserialize)]
+    struct EndLine {
+        frame_end: u64,
+        events: u64,
+        dropped: u64,
+    }
+    // Frame markers have a unique leading key; try them first so event
+    // parsing only sees candidate event objects.
+    if line.contains("\"frame_start\"") {
+        if let Ok(s) = serde_json::from_str::<StartLine>(line) {
+            return Ok(TraceLine::FrameStart {
+                frame: s.frame_start,
+            });
+        }
+    }
+    if line.contains("\"frame_end\"") {
+        if let Ok(e) = serde_json::from_str::<EndLine>(line) {
+            return Ok(TraceLine::FrameEnd {
+                frame: e.frame_end,
+                events: e.events,
+                dropped: e.dropped,
+            });
+        }
+    }
+    serde_json::from_str::<TraceEvent>(line)
+        .map(TraceLine::Event)
+        .map_err(|e| format!("not a trace event or frame marker ({e}): {line}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +880,298 @@ mod tests {
         let obj = v.as_object().expect("tagged object");
         assert_eq!(obj.len(), 1);
         assert_eq!(obj[0].0, "RxBlock");
+    }
+
+    /// One instance of every variant, with awkward float values.
+    fn one_of_each() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TxChip { sample: 0, chip: 3, state: true },
+            TraceEvent::Channel {
+                sample: 1,
+                source_power_w: 1.25e-7,
+                env_a: 0.1,
+                env_b: 3.0000000000000004,
+            },
+            TraceEvent::Sic {
+                sample: 2,
+                device: 'B',
+                own_state: false,
+                input: 0.5,
+                output: Some(0.25),
+            },
+            TraceEvent::Sic {
+                sample: 3,
+                device: 'A',
+                own_state: true,
+                input: 0.5,
+                output: None,
+            },
+            TraceEvent::RxLock { sample: 4, score: 0.71, peak_seen: 0.73 },
+            TraceEvent::RxSyncReject {
+                sample: 5,
+                score: 0.64,
+                sharpness: 1.01,
+                reason: "peak_shape".into(),
+            },
+            TraceEvent::RxRearm { sample: 6, attempts: 2 },
+            TraceEvent::RxChip { sample: 7, energy: 0.33, threshold: 0.3 },
+            TraceEvent::RxBit { sample: 8, index: 11, bit: false },
+            TraceEvent::RxBlock { sample: 9, index: 0, ok: true },
+            TraceEvent::FbHalf { sample: 10, integral: -0.002 },
+            TraceEvent::FbPilot { sample: 11, index: 4, margin: 0.07 },
+            TraceEvent::FbPilotsChecked { sample: 12, verified: true },
+            TraceEvent::FbBit { sample: 13, bit: true, margin: 0.125 },
+            TraceEvent::Abort { sample: 14 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        for ev in one_of_each() {
+            let line = serde_json::to_string(&ev).expect("serializes");
+            let back: TraceEvent = serde_json::from_str(&line)
+                .unwrap_or_else(|e| panic!("{line} failed to parse back: {e}"));
+            assert_eq!(back, ev, "round-trip changed {line}");
+            // And through the line validator.
+            assert_eq!(parse_trace_line(&line), Ok(TraceLine::Event(ev)));
+        }
+    }
+
+    #[test]
+    fn ring_sink_counts_recorded_and_dropped() {
+        let mut sink = RingSink::new(3);
+        for i in 0..5 {
+            sink.record(TraceEvent::Abort { sample: i });
+        }
+        assert_eq!(sink.events_recorded(), 5);
+        assert_eq!(sink.events_dropped(), 2);
+        let trace = sink.into_trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.dropped(), 2);
+    }
+
+    #[test]
+    fn null_and_collect_sinks_count() {
+        let mut null = NullSink::new();
+        let mut collect = CollectSink::new();
+        for i in 0..4 {
+            collect.begin_frame(i);
+            null.record(TraceEvent::Abort { sample: i as usize });
+            collect.record(TraceEvent::Abort { sample: i as usize });
+            collect.end_frame();
+        }
+        assert_eq!(null.events_recorded(), 4);
+        assert_eq!(null.events_dropped(), 0);
+        assert_eq!(collect.events_recorded(), 4);
+        assert_eq!(collect.frames(), 4);
+        assert_eq!(collect.events().len(), 4);
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fdb_trace_{}_{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn jsonl_sink_writes_framed_parseable_lines() {
+        let path = temp_path("framed");
+        let mut sink = JsonlFileSink::create(&path).unwrap();
+        sink.begin_frame(0);
+        sink.record(TraceEvent::TxChip { sample: 0, chip: 0, state: true });
+        sink.record(TraceEvent::Abort { sample: 9 });
+        sink.end_frame();
+        sink.begin_frame(1);
+        sink.record(TraceEvent::RxRearm { sample: 3, attempts: 1 });
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.frames, 2, "finish closes the open frame");
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.dropped, 0);
+        assert_eq!(summary.files, vec![path.display().to_string()]);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<TraceLine> = text
+            .lines()
+            .map(|l| parse_trace_line(l).expect("valid line"))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                TraceLine::FrameStart { frame: 0 },
+                TraceLine::Event(TraceEvent::TxChip { sample: 0, chip: 0, state: true }),
+                TraceLine::Event(TraceEvent::Abort { sample: 9 }),
+                TraceLine::FrameEnd { frame: 0, events: 2, dropped: 0 },
+                TraceLine::FrameStart { frame: 1 },
+                TraceLine::Event(TraceEvent::RxRearm { sample: 3, attempts: 1 }),
+                TraceLine::FrameEnd { frame: 1, events: 1, dropped: 0 },
+            ]
+        );
+        assert_eq!(summary.bytes, text.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_caps_events_per_frame_and_counts_drops() {
+        let path = temp_path("cap");
+        let mut sink = JsonlFileSink::create(&path).unwrap().with_frame_cap(2);
+        sink.begin_frame(0);
+        for i in 0..5 {
+            sink.record(TraceEvent::Abort { sample: i });
+        }
+        sink.end_frame();
+        assert_eq!(sink.events_recorded(), 2);
+        assert_eq!(sink.events_dropped(), 3);
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.dropped, 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().last().unwrap().contains("\"dropped\":3"),
+            "frame_end must report the drop count: {text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_auto_opens_frames_for_unbracketed_records() {
+        let path = temp_path("auto");
+        let mut sink = JsonlFileSink::create(&path).unwrap();
+        sink.record(TraceEvent::Abort { sample: 1 });
+        sink.end_frame();
+        sink.record(TraceEvent::Abort { sample: 2 });
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.frames, 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("{\"frame_start\":0}"));
+        assert!(text.contains("{\"frame_start\":1}"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_rotates_on_frame_boundaries() {
+        let path = temp_path("rotate");
+        let mut sink = JsonlFileSink::create(&path)
+            .unwrap()
+            .with_rotate_bytes(Some(1)); // rotate after every frame
+        for f in 0..3 {
+            sink.begin_frame(f);
+            sink.record(TraceEvent::Abort { sample: f as usize });
+            sink.end_frame();
+        }
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.frames, 3);
+        assert_eq!(summary.files.len(), 4, "3 rotated chunks + live file");
+        // Chronological concatenation holds all frames in order, and the
+        // final live file is empty (rotation happened after frame 2).
+        let mut frames = Vec::new();
+        for file in &summary.files {
+            let text = std::fs::read_to_string(file).unwrap();
+            for line in text.lines() {
+                if let TraceLine::FrameStart { frame } = parse_trace_line(line).unwrap() {
+                    frames.push(frame);
+                }
+            }
+            std::fs::remove_file(file).ok();
+        }
+        assert_eq!(frames, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn jsonl_sink_memory_stays_bounded_by_frame_cap() {
+        let path = temp_path("bounded");
+        let mut sink = JsonlFileSink::create(&path).unwrap().with_frame_cap(4);
+        for f in 0..200u64 {
+            sink.begin_frame(f);
+            for i in 0..50 {
+                sink.record(TraceEvent::RxChip {
+                    sample: i,
+                    energy: 0.123456789,
+                    threshold: 0.1,
+                });
+            }
+            sink.end_frame();
+        }
+        // 4 retained events + 2 markers per frame, never more.
+        let line = serde_json::to_string(&TraceEvent::RxChip {
+            sample: 49,
+            energy: 0.123456789,
+            threshold: 0.1,
+        })
+        .unwrap();
+        let generous_frame_bytes = (line.len() + 64) * (4 + 2);
+        assert!(
+            sink.peak_staged_bytes() <= generous_frame_bytes,
+            "peak staged {} exceeds one frame's bound {}",
+            sink.peak_staged_bytes(),
+            generous_frame_bytes
+        );
+        assert_eq!(sink.events_recorded(), 200 * 4);
+        assert_eq!(sink.events_dropped(), 200 * 46);
+        sink.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_failure_counts_subsequent_events_as_dropped() {
+        let dir = std::env::temp_dir().join(format!(
+            "fdb_trace_dir_{}_failure",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let mut sink = JsonlFileSink::create(&path).unwrap();
+        sink.begin_frame(0);
+        sink.record(TraceEvent::Abort { sample: 0 });
+        // Make the write fail by replacing the open path's parent… not
+        // portable; instead simulate by dropping the writer through a
+        // rotation onto an unwritable target.
+        std::fs::remove_dir_all(&dir).unwrap();
+        sink.end_frame(); // write fails: file's directory is gone on flush…
+        // Depending on the platform the flush may still succeed (the fd
+        // stays valid); the contract we can assert portably is that a
+        // sink with an error drops instead of panicking.
+        if sink.io_error().is_some() {
+            sink.record(TraceEvent::Abort { sample: 1 });
+            assert_eq!(sink.events_recorded(), 0);
+            assert!(sink.events_dropped() >= 1);
+            assert!(sink.finish().is_err());
+        } else {
+            sink.finish().ok();
+        }
+    }
+
+    #[test]
+    fn sink_spec_round_trips_and_builds() {
+        let specs = [
+            TraceSinkSpec::Null,
+            TraceSinkSpec::Ring { capacity: Some(7) },
+            TraceSinkSpec::Ring { capacity: None },
+            TraceSinkSpec::Collect,
+            TraceSinkSpec::Jsonl {
+                path: temp_path("spec").display().to_string(),
+                rotate_bytes: Some(1024),
+                frame_cap: None,
+            },
+        ];
+        for spec in &specs {
+            let json = serde_json::to_string(spec).unwrap();
+            let back: TraceSinkSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, spec, "{json}");
+            let mut sink = spec.build(16).unwrap();
+            sink.record(TraceEvent::Abort { sample: 0 });
+            assert!(sink.events_recorded() <= 1);
+        }
+        assert!(TraceSinkSpec::Null.is_null());
+        assert!(!TraceSinkSpec::Collect.is_null());
+        std::fs::remove_file(temp_path("spec")).ok();
+    }
+
+    #[test]
+    fn parse_trace_line_rejects_garbage() {
+        assert!(parse_trace_line("not json").is_err());
+        assert!(parse_trace_line("{\"Unknown\":{}}").is_err());
+        assert!(parse_trace_line("{\"frame_start\":\"x\"}").is_err());
+        assert_eq!(
+            parse_trace_line("{\"frame_end\":3,\"events\":10,\"dropped\":1}"),
+            Ok(TraceLine::FrameEnd { frame: 3, events: 10, dropped: 1 })
+        );
     }
 }

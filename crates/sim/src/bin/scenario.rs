@@ -32,6 +32,7 @@ impl Scenario {
                 payload_len: 64,
                 seed: 1,
                 feedback_probe: Some(false),
+                trace: Default::default(),
             },
         }
     }

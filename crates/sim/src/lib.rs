@@ -22,7 +22,12 @@ pub mod runner;
 pub mod sweep;
 
 pub use metrics::LinkMetrics;
+#[allow(deprecated)]
 #[cfg(feature = "trace")]
 pub use runner::measure_link_traced;
+#[cfg(feature = "trace")]
+pub use runner::measure_link_with_sink;
 pub use runner::{measure_link, MeasureSpec};
 pub use sweep::parallel_sweep;
+#[cfg(feature = "trace")]
+pub use sweep::parallel_sweep_traced;

@@ -32,6 +32,14 @@ pub struct LinkMetrics {
     /// flat history, preamble re-decode, header CRC).
     #[serde(default)]
     pub sync_rejections: u64,
+    /// Diagnostic events accepted by the run's trace sink (0 without a
+    /// sink). Absent in older recordings.
+    #[serde(default)]
+    pub trace_events: u64,
+    /// Diagnostic events the trace sink lost to ring eviction, per-frame
+    /// caps, or write failures.
+    #[serde(default)]
+    pub trace_dropped: u64,
     /// Sum of airtime samples.
     pub airtime_samples: u64,
     /// Sum of elapsed samples.
@@ -80,6 +88,8 @@ impl LinkMetrics {
         self.pilots_ok += other.pilots_ok;
         self.sync_attempts += other.sync_attempts;
         self.sync_rejections += other.sync_rejections;
+        self.trace_events += other.trace_events;
+        self.trace_dropped += other.trace_dropped;
         self.airtime_samples += other.airtime_samples;
         self.elapsed_samples += other.elapsed_samples;
         self.energy_a_j += other.energy_a_j;

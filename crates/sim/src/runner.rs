@@ -4,7 +4,8 @@ use crate::metrics::LinkMetrics;
 use fdb_core::frame::bytes_to_bits;
 use fdb_core::link::{FdLink, FeedbackPolicy, FrameOutcome, LinkConfig, RunOptions};
 #[cfg(feature = "trace")]
-use fdb_core::trace::FrameTrace;
+use fdb_core::trace::{FrameTrace, TraceSink};
+use fdb_core::trace::TraceSinkSpec;
 use fdb_core::PhyError;
 use fdb_dsp::prbs::{Prbs, PrbsOrder};
 use rand::Rng;
@@ -25,17 +26,42 @@ pub struct MeasureSpec {
     /// `None` = half-duplex; `Some(false)` = live ACK status;
     /// `Some(true)` = known PRBS stream (enables feedback BER measurement).
     pub feedback_probe: Option<bool>,
+    /// Where per-frame diagnostic events go ([`TraceSinkSpec::Null`] =
+    /// no capture). Non-null sinks need the `trace` feature; requesting
+    /// one in a build without it is a [`PhyError::TraceSink`] error.
+    /// Older spec JSON without the field gets `Null`.
+    #[serde(default)]
+    pub trace: TraceSinkSpec,
+}
+
+impl Default for MeasureSpec {
+    /// 50 frames of 64 bytes, live-status full duplex, no tracing.
+    fn default() -> Self {
+        MeasureSpec {
+            frames: 50,
+            payload_len: 64,
+            seed: 0,
+            feedback_probe: Some(false),
+            trace: TraceSinkSpec::Null,
+        }
+    }
 }
 
 impl MeasureSpec {
     /// A quick default: 50 frames of 64 bytes, live-status full duplex.
     pub fn quick(seed: u64) -> Self {
         MeasureSpec {
-            frames: 50,
-            payload_len: 64,
             seed,
-            feedback_probe: Some(false),
+            ..MeasureSpec::default()
         }
+    }
+
+    /// Builder-style trace attachment: the returned spec routes every
+    /// frame's diagnostic events into the described sink when run through
+    /// [`measure_link`].
+    pub fn with_trace(mut self, sink: TraceSinkSpec) -> Self {
+        self.trace = sink;
+        self
     }
 }
 
@@ -64,16 +90,60 @@ fn prbs_seed(master: u64, salt: u64) -> u64 {
 
 /// Runs `spec.frames` frames over `cfg` and aggregates metrics.
 ///
-/// Reproducible: identical `(cfg, spec)` produce identical metrics.
+/// Reproducible: identical `(cfg, spec)` produce identical metrics. When
+/// `spec.trace` names a sink (see [`MeasureSpec::with_trace`]), every
+/// frame's diagnostic events stream into it and the sink's
+/// recorded/dropped totals land on `LinkMetrics::trace_events` /
+/// `LinkMetrics::trace_dropped`; this path needs the `trace` feature.
 pub fn measure_link(cfg: &LinkConfig, spec: &MeasureSpec) -> Result<LinkMetrics, PhyError> {
-    measure_link_with(cfg, spec, |_, _| {})
+    if spec.trace.is_null() {
+        return measure_link_with(cfg, spec, |_, _| {});
+    }
+    #[cfg(feature = "trace")]
+    {
+        let mut sink = spec
+            .trace
+            .build(cfg.phy.trace_ring_capacity())
+            .map_err(|e| PhyError::TraceSink {
+                reason: e.to_string(),
+            })?;
+        measure_link_with_sink(cfg, spec, sink.as_mut())
+    }
+    #[cfg(not(feature = "trace"))]
+    Err(PhyError::TraceSink {
+        reason: "spec requests a trace sink but this build lacks the `trace` feature".into(),
+    })
+}
+
+/// Runs a measurement batch streaming every frame's events into a
+/// caller-owned sink (frames bracketed with `begin_frame`/`end_frame`).
+/// Prefer [`MeasureSpec::with_trace`] + [`measure_link`] unless you need
+/// to keep the sink — e.g. to call `JsonlFileSink::finish` for the file
+/// summary afterwards.
+#[cfg(feature = "trace")]
+pub fn measure_link_with_sink(
+    cfg: &LinkConfig,
+    spec: &MeasureSpec,
+    sink: &mut dyn TraceSink,
+) -> Result<LinkMetrics, PhyError> {
+    let (e0, d0) = (sink.events_recorded(), sink.events_dropped());
+    let mut metrics = measure_link_inner(cfg, spec, |_, _| {}, Some(&mut *sink))?;
+    metrics.trace_events = sink.events_recorded() - e0;
+    metrics.trace_dropped = sink.events_dropped() - d0;
+    match sink.io_error() {
+        Some(reason) => Err(PhyError::TraceSink { reason }),
+        None => Ok(metrics),
+    }
 }
 
 /// Like [`measure_link`], but also returns the [`FrameTrace`] of the first
 /// frame that failed to deliver fully (or `None` if every frame delivered).
-/// The natural debugging entry point when a sweep shows losses: rerun the
-/// point with this and inspect the per-stage events of the failing frame.
 #[cfg(feature = "trace")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use MeasureSpec::with_trace + measure_link (or measure_link_with_sink); \
+            for a failing frame's ring, re-run the frame with FdLink::run_frame"
+)]
 pub fn measure_link_traced(
     cfg: &LinkConfig,
     spec: &MeasureSpec,
@@ -92,7 +162,25 @@ pub fn measure_link_traced(
 fn measure_link_with<F>(
     cfg: &LinkConfig,
     spec: &MeasureSpec,
+    observe: F,
+) -> Result<LinkMetrics, PhyError>
+where
+    F: FnMut(u64, &FrameOutcome),
+{
+    #[cfg(feature = "trace")]
+    return measure_link_inner(cfg, spec, observe, None);
+    #[cfg(not(feature = "trace"))]
+    measure_link_inner(cfg, spec, observe)
+}
+
+/// The measurement loop. With the `trace` feature and a sink present,
+/// each frame runs through `FdLink::run_frame_into` bracketed by the
+/// sink's frame markers; otherwise through plain `run_frame`.
+fn measure_link_inner<F>(
+    cfg: &LinkConfig,
+    spec: &MeasureSpec,
     mut observe: F,
+    #[cfg(feature = "trace")] mut sink: Option<&mut dyn TraceSink>,
 ) -> Result<LinkMetrics, PhyError>
 where
     F: FnMut(u64, &FrameOutcome),
@@ -127,6 +215,17 @@ where
                 )
             }
         };
+        #[cfg(feature = "trace")]
+        let out = match sink.as_deref_mut() {
+            Some(s) => {
+                s.begin_frame(frame_idx);
+                let out = link.run_frame_into(&payload, &opts, &mut rng, s)?;
+                s.end_frame();
+                out
+            }
+            None => link.run_frame(&payload, &opts, &mut rng)?,
+        };
+        #[cfg(not(feature = "trace"))]
         let out = link.run_frame(&payload, &opts, &mut rng)?;
         observe(frame_idx, &out);
         metrics.frames += 1;
@@ -198,6 +297,7 @@ mod tests {
             payload_len: 32,
             seed: 9,
             feedback_probe: Some(false),
+            trace: Default::default(),
         };
         let m = measure_link(&clean_cfg(), &spec).unwrap();
         assert_eq!(m.frames, 5);
@@ -223,8 +323,8 @@ mod tests {
     fn different_seeds_differ_on_noisy_link() {
         let mut cfg = LinkConfig::default_fd();
         cfg.geometry.device_dist_m = 0.6;
-        let a = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 1, feedback_probe: Some(false) }).unwrap();
-        let b = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 2, feedback_probe: Some(false) }).unwrap();
+        let a = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 1, feedback_probe: Some(false), trace: Default::default() }).unwrap();
+        let b = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 2, feedback_probe: Some(false), trace: Default::default() }).unwrap();
         assert_ne!(
             (a.data_ber.errors(), a.blocks_ok),
             (b.data_ber.errors(), b.blocks_ok)
@@ -238,6 +338,7 @@ mod tests {
             payload_len: 96,
             seed: 3,
             feedback_probe: Some(true),
+            trace: Default::default(),
         };
         let m = measure_link(&clean_cfg(), &spec).unwrap();
         assert!(m.feedback_ber.bits() > 0, "no feedback bits measured");
@@ -251,11 +352,63 @@ mod tests {
             payload_len: 32,
             seed: 4,
             feedback_probe: None,
+            trace: Default::default(),
         };
         let m = measure_link(&clean_cfg(), &spec).unwrap();
         assert_eq!(m.feedback_ber.bits(), 0);
         assert_eq!(m.pilots_ok, 0);
         assert_eq!(m.fully_delivered, 2);
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn trace_spec_without_feature_errors() {
+        let spec = MeasureSpec::quick(1).with_trace(TraceSinkSpec::Collect);
+        assert!(matches!(
+            measure_link(&clean_cfg(), &spec),
+            Err(PhyError::TraceSink { .. })
+        ));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn sink_spec_populates_trace_counters() {
+        let spec = MeasureSpec {
+            frames: 2,
+            payload_len: 16,
+            seed: 5,
+            feedback_probe: Some(false),
+            trace: TraceSinkSpec::Collect,
+        };
+        let m = measure_link(&clean_cfg(), &spec).unwrap();
+        assert_eq!(m.frames, 2);
+        assert!(m.trace_events > 0, "no events reached the sink");
+        assert_eq!(m.trace_dropped, 0);
+        // The null spec leaves the counters at zero.
+        let m = measure_link(&clean_cfg(), &MeasureSpec { trace: TraceSinkSpec::Null, ..spec }).unwrap();
+        assert_eq!(m.trace_events, 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn with_trace_builder_does_not_perturb_metrics() {
+        let base = MeasureSpec {
+            frames: 3,
+            payload_len: 32,
+            seed: 11,
+            feedback_probe: Some(false),
+            trace: Default::default(),
+        };
+        let plain = measure_link(&clean_cfg(), &base).unwrap();
+        let traced = measure_link(
+            &clean_cfg(),
+            &base.clone().with_trace(TraceSinkSpec::Ring { capacity: Some(64) }),
+        )
+        .unwrap();
+        assert_eq!(plain.fully_delivered, traced.fully_delivered);
+        assert_eq!(plain.airtime_samples, traced.airtime_samples);
+        assert_eq!(plain.data_ber.errors(), traced.data_ber.errors());
+        assert!(traced.trace_events > 0);
     }
 
     #[test]

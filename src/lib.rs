@@ -76,6 +76,7 @@ pub mod prelude {
     pub use fdb_core::link::{
         FdLink, FeedbackPolicy, FrameOutcome, LinkConfig, LinkGeometry, RunOptions,
     };
+    pub use fdb_core::trace::TraceSinkSpec;
     pub use fdb_device::{TagConfig, TagHardware};
     pub use fdb_mac::arq::{ArqConfig, StopAndWait};
     pub use fdb_mac::early_abort::{EarlyAbortArq, EarlyAbortConfig};

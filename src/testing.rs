@@ -9,7 +9,7 @@
 //!    failing seed against a passing one.
 
 use fdb_core::link::{FdLink, FrameOutcome, LinkConfig, RunOptions};
-use fdb_core::trace::FrameTrace;
+use fdb_core::trace::{FrameTrace, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -27,6 +27,27 @@ pub fn run_seeded_frame(
     let mut link = FdLink::new(cfg, &mut rng).expect("valid link config");
     let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
     link.run_frame(&payload, opts, &mut rng).expect("frame runs")
+}
+
+/// Like [`run_seeded_frame`], but streams the frame's events into a
+/// caller-supplied [`TraceSink`] (bracketed as frame 0) instead of the
+/// outcome's in-memory ring.
+pub fn run_seeded_frame_into(
+    cfg: LinkConfig,
+    seed: u64,
+    payload_len: usize,
+    opts: &RunOptions,
+    sink: &mut dyn TraceSink,
+) -> FrameOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut link = FdLink::new(cfg, &mut rng).expect("valid link config");
+    let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+    sink.begin_frame(0);
+    let out = link
+        .run_frame_into(&payload, opts, &mut rng, sink)
+        .expect("frame runs");
+    sink.end_frame();
+    out
 }
 
 /// Serialises every trace event to one JSON line (the probe CLI format).

@@ -24,6 +24,7 @@ fn measure_spec_json_round_trips() {
         payload_len: 96,
         seed: 42,
         feedback_probe: Some(true),
+        trace: Default::default(),
     };
     let json = serde_json::to_string(&spec).unwrap();
     let back: MeasureSpec = serde_json::from_str(&json).unwrap();
@@ -91,6 +92,65 @@ fn configs_without_sync_field_get_two_stage_defaults() {
 }
 
 #[test]
+fn configs_without_trace_fields_get_defaults() {
+    // Backward compatibility: PhyConfig JSON written before `trace_capacity`
+    // existed must resolve to the built-in ring capacity, and MeasureSpec
+    // JSON without a `trace` key must select the null sink. The shipped
+    // example configs are exactly such files.
+    #[derive(serde::Deserialize)]
+    struct Scenario {
+        link: LinkConfig,
+        spec: MeasureSpec,
+    }
+    for name in ["default_link.json", "marginal_link.json", "near_tower.json"] {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("configs")
+            .join(name);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.contains("\"trace") ,
+            "{name} now carries a trace key — this test needs a pre-trace fixture"
+        );
+        let scenario: Scenario = serde_json::from_str(&text).unwrap();
+        assert_eq!(scenario.link.phy.trace_capacity, None, "{name}");
+        assert_eq!(
+            scenario.link.phy.trace_ring_capacity(),
+            fd_backscatter::phy::trace::DEFAULT_TRACE_CAPACITY,
+            "{name}"
+        );
+        assert!(scenario.spec.trace.is_null(), "{name}");
+    }
+}
+
+#[test]
+fn trace_capacity_round_trips_and_validates() {
+    let mut cfg = LinkConfig::default_fd();
+    cfg.phy.trace_capacity = Some(512);
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: LinkConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.phy.trace_capacity, Some(512));
+    assert_eq!(back.phy.trace_ring_capacity(), 512);
+    assert!(back.phy.validate().is_ok());
+    cfg.phy.trace_capacity = Some(0);
+    assert!(cfg.phy.validate().is_err(), "zero ring capacity must be rejected");
+}
+
+#[test]
+fn measure_spec_trace_sink_round_trips() {
+    use fd_backscatter::prelude::TraceSinkSpec;
+    let spec = MeasureSpec {
+        frames: 3,
+        payload_len: 16,
+        seed: 9,
+        feedback_probe: Some(false),
+        trace: TraceSinkSpec::jsonl("/tmp/t.jsonl"),
+    };
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: MeasureSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.trace, spec.trace);
+}
+
+#[test]
 fn rejected_configs_surface_errors() {
     let mut cfg = LinkConfig::default_fd();
     cfg.phy.feedback_ratio = 3; // odd: invalid
@@ -99,6 +159,7 @@ fn rejected_configs_surface_errors() {
         payload_len: 8,
         seed: 1,
         feedback_probe: None,
+        trace: Default::default(),
     };
     assert!(measure_link(&cfg, &spec).is_err());
 }

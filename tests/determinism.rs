@@ -12,6 +12,7 @@ fn point(dist_milli: u64) -> (u64, u64, u64) {
         payload_len: 48,
         seed: derive_seed(0xDE7E, dist_milli),
         feedback_probe: Some(false),
+        trace: Default::default(),
     };
     let m = measure_link(&cfg, &spec).unwrap();
     (m.data_ber.errors(), m.blocks_ok, m.airtime_samples)
@@ -43,6 +44,7 @@ fn distinct_seeds_distinct_outcomes_on_lossy_link() {
                 payload_len: 64,
                 seed,
                 feedback_probe: Some(false),
+                trace: Default::default(),
             },
         )
         .unwrap();

@@ -107,6 +107,7 @@ fn measure_link_aggregates_consistently() {
         payload_len: 48,
         seed: 5,
         feedback_probe: Some(false),
+        trace: Default::default(),
     };
     let m = measure_link(&realistic_cfg(0.3), &spec).unwrap();
     assert_eq!(m.frames, 4);

@@ -45,6 +45,7 @@ fn feedback_ber_matches_integrator_model() {
         payload_len: 192,
         seed: 0x7EED,
         feedback_probe: Some(true),
+        trace: Default::default(),
     };
     let measured = measure_link(&cfg, &spec).unwrap();
     let half_samples = (cfg.phy.feedback_ratio / 2) * cfg.phy.samples_per_bit();
@@ -77,6 +78,7 @@ fn data_ber_tracks_model_shape_with_distance() {
                 payload_len: 96,
                 seed: 0xD157,
                 feedback_probe: None,
+                trace: Default::default(),
             },
         )
         .unwrap();
@@ -122,6 +124,7 @@ fn link_budget_matches_measured_envelope() {
         payload_len: 16,
         seed: 0xB0D6,
         feedback_probe: None,
+        trace: Default::default(),
     };
     let m = measure_link(&cfg, &spec).unwrap();
     // Harvested energy is zero below sensitivity (the default tower is

@@ -62,6 +62,7 @@ fn trace_serialises_to_jsonl_and_tags_stages() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn traced_runner_captures_first_failing_frame() {
     // At a marginal distance some frames fail; the traced runner must hand
     // back the trace of the first one that did.
@@ -72,6 +73,7 @@ fn traced_runner_captures_first_failing_frame() {
         payload_len: 64,
         seed: 5,
         feedback_probe: Some(false),
+        trace: Default::default(),
     };
     let (metrics, trace) = fd_backscatter::sim::measure_link_traced(&cfg, &spec).unwrap();
     assert_eq!(metrics.frames, 6);
