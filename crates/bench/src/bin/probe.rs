@@ -34,6 +34,18 @@
 //!
 //! `--sync-report` is the backward-compatible alias for `--report sync`.
 //!
+//! `--faults PATH` attaches a scripted [`fdb_sim::faults::FaultPlan`]
+//! (JSON, see `configs/faults/`) to any mode: report runs inject the plan
+//! through `MeasureSpec::with_faults`; the single-frame trace replay and
+//! `--report sync` inject each frame's schedule directly. Fault
+//! activations land in the metrics/summary output.
+//!
+//! `--fault-matrix CFG1,CFG2,...` sweeps every listed scenario config
+//! against the built-in per-class fault plans
+//! ([`fdb_bench::fault_matrix::class_plans`]), printing one JSON line per
+//! grid cell and exiting non-zero if any cell violates a conformance
+//! invariant — the CI smoke check for the fault layer.
+//!
 //! `--validate-trace PATH` parses a trace JSONL file line-by-line
 //! (`serde_json`-backed), exits non-zero on the first malformed line, and
 //! prints a summary — the CI check that streamed traces stay readable.
@@ -50,6 +62,7 @@
 
 use fdb_core::link::{FdLink, LinkConfig, RunOptions};
 use fdb_core::trace::parse_trace_line;
+use fdb_sim::faults::FaultPlan;
 use fdb_sim::MeasureSpec;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -81,14 +94,19 @@ struct Args {
     trace_out: Option<String>,
     /// Validate a trace JSONL file line-by-line and exit.
     validate_trace: Option<String>,
+    /// Scripted fault plan (JSON file) injected into the run.
+    faults: Option<String>,
+    /// Comma-separated scenario configs for the conformance matrix.
+    fault_matrix: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: probe [--seed N] [--dist METERS] [--payload-len BYTES] \
-         [--mode fd|hd] [--stage NAME] [--trace-out PATH]\n\
+         [--mode fd|hd] [--stage NAME] [--trace-out PATH] [--faults PATH]\n\
          \x20      probe --report sync|link [--config PATH] [--frames N] \
-         [--seed N] [--trace-out PATH]\n\
+         [--seed N] [--trace-out PATH] [--faults PATH]\n\
+         \x20      probe --fault-matrix CFG1,CFG2,... [--frames N] [--seed N]\n\
          \x20      probe --validate-trace PATH\n\
          \x20      probe --sweep [frames]\n\
          (--sync-report is the legacy alias for --report sync)"
@@ -110,6 +128,8 @@ fn parse_args() -> Args {
         frames: None,
         trace_out: None,
         validate_trace: None,
+        faults: None,
+        fault_matrix: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -150,6 +170,8 @@ fn parse_args() -> Args {
             }
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--validate-trace" => args.validate_trace = Some(value("--validate-trace")),
+            "--faults" => args.faults = Some(value("--faults")),
+            "--fault-matrix" => args.fault_matrix = Some(value("--fault-matrix")),
             "--help" | "-h" => usage(),
             // Bare number: legacy `probe N` sweep invocation.
             n if n.parse::<u32>().is_ok() => args.sweep = Some(n.parse().unwrap()),
@@ -163,6 +185,10 @@ fn main() {
     let args = parse_args();
     if let Some(path) = &args.validate_trace {
         validate_trace(path);
+        return;
+    }
+    if let Some(configs) = &args.fault_matrix {
+        fault_matrix(&args, configs);
         return;
     }
     match args.report {
@@ -190,6 +216,23 @@ fn main() {
         );
         std::process::exit(2);
     }
+}
+
+/// Loads and validates a [`FaultPlan`] JSON file, exiting on failure.
+fn load_fault_plan(path: &str) -> FaultPlan {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let plan: FaultPlan = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path} invalid: {e}");
+        std::process::exit(2);
+    });
+    plan.validate().unwrap_or_else(|e| {
+        eprintln!("{path} invalid: {e}");
+        std::process::exit(2);
+    });
+    plan
 }
 
 /// Loads `{link, spec}` from `--config` (or the built-in default scenario)
@@ -222,6 +265,7 @@ fn load_scenario(args: &Args, default_frames: u64) -> (LinkConfig, MeasureSpec) 
                 seed: args.seed,
                 feedback_probe: Some(false),
                 trace: Default::default(),
+                faults: None,
             };
             (cfg, spec)
         }
@@ -232,11 +276,71 @@ fn load_scenario(args: &Args, default_frames: u64) -> (LinkConfig, MeasureSpec) 
     if args.seed_given {
         spec.seed = args.seed;
     }
+    if let Some(path) = &args.faults {
+        spec = spec.with_faults(load_fault_plan(path));
+    }
     cfg.phy.validate().unwrap_or_else(|e| {
         eprintln!("invalid PHY config: {e}");
         std::process::exit(2);
     });
     (cfg, spec)
+}
+
+/// The conformance matrix (`--fault-matrix`): every listed scenario
+/// config crossed with the built-in per-class plans (plus the `--faults`
+/// plan when given). One JSON line per grid cell; exits non-zero when any
+/// cell reports an invariant violation.
+fn fault_matrix(args: &Args, configs: &str) {
+    let mut scenarios = Vec::new();
+    for path in configs.split(',').filter(|s| !s.is_empty()) {
+        let one = Args {
+            seed: args.seed,
+            seed_given: args.seed_given,
+            dist: args.dist,
+            payload_len: args.payload_len,
+            full_duplex: args.full_duplex,
+            stage: None,
+            sweep: None,
+            report: None,
+            config: Some(path.to_string()),
+            // Matrix cells default to a short batch; --frames overrides.
+            frames: Some(args.frames.unwrap_or(4)),
+            trace_out: None,
+            validate_trace: None,
+            faults: None,
+            fault_matrix: None,
+        };
+        let (cfg, spec) = load_scenario(&one, 4);
+        scenarios.push((path.to_string(), cfg, spec));
+    }
+    if scenarios.is_empty() {
+        eprintln!("--fault-matrix needs at least one config path");
+        usage();
+    }
+    let mut plans: Vec<(String, fdb_sim::faults::FaultPlan)> =
+        fdb_bench::fault_matrix::class_plans(args.seed)
+            .into_iter()
+            .map(|(label, plan)| (label.to_string(), plan))
+            .collect();
+    if let Some(path) = &args.faults {
+        plans.push((path.clone(), load_fault_plan(path)));
+    }
+    let cells = fdb_bench::fault_matrix::run_matrix(&scenarios, &plans).unwrap_or_else(|e| {
+        eprintln!("matrix run failed: {e}");
+        std::process::exit(1);
+    });
+    let mut violations = 0usize;
+    for cell in &cells {
+        violations += cell.violations.len();
+        println!("{}", serde_json::to_string(cell).expect("cell serializes"));
+    }
+    println!(
+        "{{\"summary\":true,\"cells\":{},\"violations\":{violations}}}",
+        cells.len()
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
 }
 
 #[cfg(feature = "trace")]
@@ -274,6 +378,9 @@ fn trace_frame(args: &Args) {
     } else {
         RunOptions::half_duplex()
     };
+    // Single-frame replay: frame 0 of the plan's schedule applies.
+    let plan = args.faults.as_deref().map(load_fault_plan);
+    let mut frame_faults = plan.as_ref().and_then(|p| p.frame_faults(0));
 
     let (out, trace_events, trace_dropped) = match &args.trace_out {
         Some(path) => {
@@ -288,7 +395,7 @@ fn trace_frame(args: &Args) {
                 .with_frame_cap(frame_cap);
             sink.begin_frame(0);
             let out = link
-                .run_frame_into(&payload, &opts, &mut rng, &mut sink)
+                .run_frame_faulted_into(&payload, &opts, &mut rng, frame_faults.as_mut(), &mut sink)
                 .expect("frame");
             sink.end_frame();
             let summary = sink.finish().unwrap_or_else(|e| {
@@ -298,7 +405,9 @@ fn trace_frame(args: &Args) {
             (out, summary.events as usize, summary.dropped as usize)
         }
         None => {
-            let out = link.run_frame(&payload, &opts, &mut rng).expect("frame");
+            let out = link
+                .run_frame_faulted(&payload, &opts, &mut rng, frame_faults.as_mut())
+                .expect("frame");
             for ev in out.trace.events() {
                 if let Some(stage) = &args.stage {
                     if ev.stage() != stage {
@@ -370,8 +479,17 @@ fn sync_report(args: &Args) {
     let payload: Vec<u8> = (0..args.payload_len).map(|i| (i % 251) as u8).collect();
     let (mut locked, mut delivered, mut attempts, mut rejections) = (0u64, 0u64, 0u64, 0u64);
     for frame in 0..frames {
+        let mut frame_faults = spec
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.frame_faults(frame));
         let out = link
-            .run_frame(&payload, &RunOptions::fd_monitor(), &mut rng)
+            .run_frame_faulted(
+                &payload,
+                &RunOptions::fd_monitor(),
+                &mut rng,
+                frame_faults.as_mut(),
+            )
             .expect("frame");
         locked += u64::from(out.b_locked);
         delivered += u64::from(out.fully_delivered());

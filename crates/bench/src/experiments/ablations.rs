@@ -47,6 +47,7 @@ pub fn line_codes(effort: Effort) -> Vec<ExperimentResult> {
             seed,
             feedback_probe: Some(true),
             trace: Default::default(),
+            faults: None,
         };
         let with_sic = measure_link(&cfg, &spec).expect("A1 sic-on run");
         let mut no_sic_cfg = cfg.clone();

@@ -34,6 +34,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                 seed: derive_seed(0xE10, d as u64),
                 feedback_probe: Some(false),
                 trace: Default::default(),
+                faults: None,
             },
         )
         .expect("E10 run");

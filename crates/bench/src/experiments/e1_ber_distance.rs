@@ -74,6 +74,7 @@ fn run_variant(effort: Effort, fading: bool) -> Vec<ExperimentResult> {
                 seed,
                 feedback_probe: Some(false),
                 trace: Default::default(),
+                faults: None,
             },
         )
         .expect("E1 fd run");
@@ -85,6 +86,7 @@ fn run_variant(effort: Effort, fading: bool) -> Vec<ExperimentResult> {
                 seed: seed ^ 1,
                 feedback_probe: None,
                 trace: Default::default(),
+                faults: None,
             },
         )
         .expect("E1 hd run");

@@ -61,6 +61,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                     seed: derive_seed(0xE2, m as u64 + (dist * 100.0) as u64),
                     feedback_probe: Some(true),
                     trace: Default::default(),
+                    faults: None,
                 },
             )
             .expect("E2 run");

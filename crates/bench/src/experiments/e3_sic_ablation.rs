@@ -32,6 +32,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
             seed,
             feedback_probe: Some(true),
             trace: Default::default(),
+            faults: None,
         };
         let on = measure_link(&on_cfg, &spec).expect("E3 on");
         let off = measure_link(&off_cfg, &spec).expect("E3 off");

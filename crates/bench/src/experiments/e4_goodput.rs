@@ -91,6 +91,7 @@ pub fn measure_point(
             seed: seed ^ 0xCA11,
             feedback_probe: Some(false),
             trace: Default::default(),
+            faults: None,
         },
     )
     .expect("E4 calibration");

@@ -40,6 +40,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                 seed: derive_seed(0xE8, name.len() as u64),
                 feedback_probe: Some(true),
                 trace: Default::default(),
+                faults: None,
             },
         )
         .expect("E8 run");

@@ -36,6 +36,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                     seed: derive_seed(0xE9, ppm as u64),
                     feedback_probe: Some(false),
                     trace: Default::default(),
+                    faults: None,
                 },
             )
             .expect("E9 run")

@@ -23,12 +23,14 @@
 pub mod awgn;
 pub mod budget;
 pub mod fading;
+pub mod impairment;
 pub mod link;
 pub mod multipath;
 pub mod pathloss;
 
 pub use awgn::Awgn;
 pub use fading::{BlockFader, Fading};
+pub use impairment::{FaultActivations, FaultEffects, FaultKind, FaultTarget, FrameFaults};
 pub use link::Hop;
 pub use pathloss::PathLoss;
 

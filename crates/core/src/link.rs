@@ -36,6 +36,7 @@ use crate::tx::DataTransmitter;
 use fdb_ambient::{Ambient, AmbientConfig};
 use fdb_channel::awgn::Awgn;
 use fdb_channel::fading::Fading;
+use fdb_channel::impairment::{FaultActivations, FaultEffects, FrameFaults};
 use fdb_channel::link::Hop;
 use fdb_channel::pathloss::PathLoss;
 use fdb_device::{TagConfig, TagHardware};
@@ -244,6 +245,10 @@ pub struct FrameOutcome {
     pub rx_timing_corrections: i64,
     /// Highest preamble correlation B observed (even when it never locked).
     pub rx_sync_peak: f64,
+    /// Scripted faults whose windows actually opened during this frame
+    /// (all zero unless the frame ran with an injection schedule — see
+    /// [`FdLink::run_frame_faulted`]).
+    pub fault_activations: FaultActivations,
     /// Per-stage diagnostic event trace of the frame (`trace` feature).
     #[cfg(feature = "trace")]
     pub trace: FrameTrace,
@@ -340,15 +345,33 @@ impl FdLink {
         opts: &RunOptions,
         rng: &mut R,
     ) -> Result<FrameOutcome, PhyError> {
+        self.run_frame_faulted(payload, opts, rng, None)
+    }
+
+    /// Runs one frame with a scripted impairment schedule injected into
+    /// the channel path (`None` = clean frame; [`FdLink::run_frame`] is
+    /// exactly this with `None`).
+    ///
+    /// Faults draw randomness only from the [`FrameFaults`] engine's own
+    /// deterministic generator, never from `rng`, so the main stream's
+    /// draws are identical with and without injection; the schedule's
+    /// activation tally lands on `FrameOutcome::fault_activations`.
+    pub fn run_frame_faulted<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        faults: Option<&mut FrameFaults>,
+    ) -> Result<FrameOutcome, PhyError> {
         #[cfg(feature = "trace")]
         {
             let mut ring = RingSink::new(self.cfg.phy.trace_ring_capacity());
-            let mut outcome = self.run_frame_inner(payload, opts, rng, &mut ring)?;
+            let mut outcome = self.run_frame_inner(payload, opts, rng, faults, &mut ring)?;
             outcome.trace = ring.into_trace();
             Ok(outcome)
         }
         #[cfg(not(feature = "trace"))]
-        self.run_frame_inner(payload, opts, rng)
+        self.run_frame_inner(payload, opts, rng, faults)
     }
 
     /// Runs one frame, emitting its diagnostic events into `sink` instead
@@ -363,7 +386,21 @@ impl FdLink {
         rng: &mut R,
         sink: &mut dyn TraceSink,
     ) -> Result<FrameOutcome, PhyError> {
-        self.run_frame_inner(payload, opts, rng, sink)
+        self.run_frame_inner(payload, opts, rng, None, sink)
+    }
+
+    /// [`FdLink::run_frame_faulted`] streaming into a caller-owned sink
+    /// (the faulted counterpart of [`FdLink::run_frame_into`]).
+    #[cfg(feature = "trace")]
+    pub fn run_frame_faulted_into<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        faults: Option<&mut FrameFaults>,
+        sink: &mut dyn TraceSink,
+    ) -> Result<FrameOutcome, PhyError> {
+        self.run_frame_inner(payload, opts, rng, faults, sink)
     }
 
     fn run_frame_inner<R: Rng + ?Sized>(
@@ -371,6 +408,7 @@ impl FdLink {
         payload: &[u8],
         opts: &RunOptions,
         rng: &mut R,
+        mut faults: Option<&mut FrameFaults>,
         #[cfg(feature = "trace")] sink: &mut dyn TraceSink,
     ) -> Result<FrameOutcome, PhyError> {
         let phy = self.cfg.phy.clone();
@@ -406,8 +444,12 @@ impl FdLink {
         )
         .with_blanking(2);
         let mut b_hold = 0.0f64;
-        // B consumes the envelope on its own clock.
-        let mut b_clock_rs = Resampler::from_ppm(self.tag_b.clock_mut().current_ppm());
+        // B consumes the envelope on its own clock. A clock-drift fault
+        // adds a frame-local ppm offset on top of the oscillator's state
+        // without touching the oscillator itself.
+        let b_base_ppm = self.tag_b.clock_mut().current_ppm();
+        let mut b_clock_rs = Resampler::from_ppm(b_base_ppm);
+        let mut b_fault_ppm = 0.0f64;
         let mut b_resampled: Vec<f64> = Vec::with_capacity(2);
 
         let preamble_samples = phy.preamble.len() * spb;
@@ -455,6 +497,27 @@ impl FdLink {
                 self.hop_ab.advance_block(rng);
             }
 
+            // --- scripted fault injection ------------------------------
+            let fx = match faults.as_deref_mut() {
+                Some(f) => {
+                    let fx = f.effects_at(t);
+                    #[cfg(feature = "trace")]
+                    for (kind, active) in f.take_transitions() {
+                        sink.record(TraceEvent::Fault {
+                            sample: t,
+                            kind: kind.to_owned(),
+                            active,
+                        });
+                    }
+                    if fx.ppm_offset != b_fault_ppm {
+                        b_fault_ppm = fx.ppm_offset;
+                        b_clock_rs.set_ppm(b_base_ppm + b_fault_ppm);
+                    }
+                    fx
+                }
+                None => FaultEffects::NEUTRAL,
+            };
+
             // --- antenna schedules ------------------------------------
             let a_state = tx.next_state().unwrap_or(false) && self.tag_a.is_alive();
             self.tag_a.set_antenna(a_state);
@@ -480,7 +543,7 @@ impl FdLink {
             self.tag_b.set_antenna(b_state);
 
             // --- field assembly ---------------------------------------
-            let x = self.source_amp * self.source.next_power(rng).sqrt();
+            let x = self.source_amp * fx.source_scale * self.source.next_power(rng).sqrt();
             let h_sa = self.hop_sa.coeff();
             let h_sb = self.hop_sb.coeff();
             let h_ab = self.hop_ab.coeff();
@@ -488,15 +551,20 @@ impl FdLink {
             let e_b0 = h_sb * x;
             let g_a = self.tag_a.reflected(Iq::ONE); // complex reflection coeff
             let g_b = self.tag_b.reflected(Iq::ONE);
-            // First order + one second-order bounce each way.
-            let e_a = e_a0 + h_ab * g_b * (e_b0 + h_ab * g_a * e_a0);
-            let e_b = e_b0 + h_ab * g_a * (e_a0 + h_ab * g_b * e_b0);
+            // First order + one second-order bounce each way, plus any
+            // fault-injected interferer / burst-noise field.
+            let e_a = e_a0 + h_ab * g_b * (e_b0 + h_ab * g_a * e_a0) + fx.field_a;
+            let e_b = e_b0 + h_ab * g_a * (e_a0 + h_ab * g_b * e_b0) + fx.field_b;
             let e_a = self.noise.corrupt(e_a, rng);
             let e_b = self.noise.corrupt(e_b, rng);
 
             // --- devices ----------------------------------------------
+            // A dropout fault zeroes the ADC reading; the detector RC
+            // state behind it keeps evolving with the field.
             let env_a = self.tag_a.step_receive(e_a, dt, rng);
             let env_b = self.tag_b.step_receive(e_b, dt, rng);
+            let env_a = if fx.drop_a { 0.0 } else { env_a };
+            let env_b = if fx.drop_b { 0.0 } else { env_b };
             self.tag_a.charge_awake(dt, t >= a_epoch);
             self.tag_b.charge_awake(dt, true);
 
@@ -519,7 +587,13 @@ impl FdLink {
             }
 
             // --- B: data reception on its own clock --------------------
-            let sic_b_out = sic_b.correct(env_b, b_state);
+            // A SIC-gain fault mis-scales the canceller's output while the
+            // device's own antenna reflects — the signature of a stale
+            // pass-fraction estimate (the clean-state samples need no
+            // correction, so they are untouched).
+            let sic_b_out = sic_b
+                .correct(env_b, b_state)
+                .map(|v| if b_state { v * fx.sic_gain_b } else { v });
             #[cfg(feature = "trace")]
             if chip_boundary || sic_b_out.is_none() {
                 sink.record(TraceEvent::Sic {
@@ -613,7 +687,9 @@ impl FdLink {
 
             // --- A: feedback reception ---------------------------------
             if t >= a_epoch && !matches!(opts.feedback, FeedbackPolicy::Silent) {
-                let sic_a_out = sic_a.correct(env_a, a_state);
+                let sic_a_out = sic_a
+                    .correct(env_a, a_state)
+                    .map(|v| if a_state { v * fx.sic_gain_a } else { v });
                 #[cfg(feature = "trace")]
                 if chip_boundary || sic_a_out.is_none() {
                     sink.record(TraceEvent::Sic {
@@ -704,6 +780,9 @@ impl FdLink {
                 break;
             }
         }
+        let fault_activations = faults
+            .map(|f| f.activations())
+            .unwrap_or_default();
         Ok(self.finish(
             samples_run,
             tx,
@@ -712,6 +791,7 @@ impl FdLink {
             fb_dec.pilots_verified(),
             aborted_at,
             b_was_locked,
+            fault_activations,
             (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
         ))
     }
@@ -726,6 +806,7 @@ impl FdLink {
         pilots_verified: bool,
         aborted_at_sample: Option<usize>,
         b_locked: bool,
+        fault_activations: FaultActivations,
         baselines: (f64, f64, f64, f64),
     ) -> FrameOutcome {
         let nack = rx.nack();
@@ -757,6 +838,7 @@ impl FdLink {
             },
             nack,
             rx_sync_peak,
+            fault_activations,
             #[cfg(feature = "trace")]
             trace: FrameTrace::new(1),
         }

@@ -20,7 +20,10 @@
 //!   margins, the pilot verification verdict, and decoded status bits
 //!   ([`TraceEvent::FbHalf`], [`TraceEvent::FbPilot`],
 //!   [`TraceEvent::FbPilotsChecked`], [`TraceEvent::FbBit`]);
-//! * **mac reflex** — the abort decision ([`TraceEvent::Abort`]).
+//! * **mac reflex** — the abort decision ([`TraceEvent::Abort`]);
+//! * **fault injection** — scripted impairment windows opening and
+//!   closing ([`TraceEvent::Fault`], emitted only when a fault plan is
+//!   attached to the run).
 //!
 //! Sample-rate stages (tx/channel/sic/rx-chip) are decimated to chip
 //! boundaries so a whole frame fits in the default ring capacity; decision
@@ -196,11 +199,24 @@ pub enum TraceEvent {
         /// Link-clock sample index.
         sample: usize,
     },
+    /// A scripted fault window opened (`active = true`) or closed
+    /// (`active = false`) — see `fdb_channel::impairment`.
+    Fault {
+        /// Link-clock sample index.
+        sample: usize,
+        /// Fault class label (`"noise_burst"`, `"dropout"`,
+        /// `"clock_drift"`, `"sic_gain"`, `"ambient_fade"`,
+        /// `"interferer"`).
+        kind: String,
+        /// `true` at the rising edge of the window, `false` at the
+        /// falling edge.
+        active: bool,
+    },
 }
 
 impl TraceEvent {
     /// Coarse stage label, for filtering: `"tx"`, `"channel"`, `"sic"`,
-    /// `"rx"`, `"feedback"` or `"mac"`.
+    /// `"rx"`, `"feedback"`, `"mac"` or `"fault"`.
     pub fn stage(&self) -> &'static str {
         match self {
             TraceEvent::TxChip { .. } => "tx",
@@ -217,6 +233,7 @@ impl TraceEvent {
             | TraceEvent::FbPilotsChecked { .. }
             | TraceEvent::FbBit { .. } => "feedback",
             TraceEvent::Abort { .. } => "mac",
+            TraceEvent::Fault { .. } => "fault",
         }
     }
 }
@@ -922,6 +939,16 @@ mod tests {
             TraceEvent::FbPilotsChecked { sample: 12, verified: true },
             TraceEvent::FbBit { sample: 13, bit: true, margin: 0.125 },
             TraceEvent::Abort { sample: 14 },
+            TraceEvent::Fault {
+                sample: 15,
+                kind: "noise_burst".into(),
+                active: true,
+            },
+            TraceEvent::Fault {
+                sample: 16,
+                kind: "clock_drift".into(),
+                active: false,
+            },
         ]
     }
 

@@ -51,6 +51,21 @@ impl Resampler {
         1.0 / self.step
     }
 
+    /// Changes the rate ratio mid-stream, preserving the fractional output
+    /// phase and interpolation history — the model of an oscillator whose
+    /// rate *drifts* while running. Invalid ratios are ignored.
+    pub fn set_ratio(&mut self, ratio: f64) {
+        if ratio.is_finite() && ratio > 0.0 {
+            self.step = 1.0 / ratio;
+        }
+    }
+
+    /// [`set_ratio`](Resampler::set_ratio) expressed as a clock error in
+    /// parts-per-million (see [`from_ppm`](Resampler::from_ppm)).
+    pub fn set_ppm(&mut self, ppm: f64) {
+        self.set_ratio(1.0 + ppm * 1e-6);
+    }
+
     /// Pushes one input sample; appends any due output samples to `out`.
     pub fn push(&mut self, x: f64, out: &mut Vec<f64>) {
         if !self.have_prev {
@@ -166,6 +181,40 @@ mod tests {
         assert_eq!(r.ratio(), 1.0);
         let r = Resampler::new(-2.0);
         assert_eq!(r.ratio(), 1.0);
+    }
+
+    #[test]
+    fn set_ratio_preserves_phase_and_history() {
+        // Feeding a ramp while stepping the ratio must stay continuous:
+        // linear interpolation of a linear signal is exact regardless of
+        // when the rate changes.
+        let mut r = Resampler::new(1.0);
+        let mut out = Vec::new();
+        for i in 0..200 {
+            if i == 100 {
+                r.set_ppm(50_000.0); // 5% fast from here on
+            }
+            r.push(i as f64, &mut out);
+        }
+        assert!(out.len() > 200, "fast clock must emit extra samples");
+        for w in out.windows(2) {
+            let d = w[1] - w[0];
+            assert!(
+                d > 0.0 && d <= 1.0 + 1e-9,
+                "discontinuity after rate change: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn set_ratio_rejects_invalid() {
+        let mut r = Resampler::new(1.25);
+        r.set_ratio(f64::NAN);
+        r.set_ratio(0.0);
+        r.set_ratio(-1.0);
+        assert_eq!(r.ratio(), 1.25);
     }
 
     #[test]

@@ -33,6 +33,7 @@ impl Scenario {
                 seed: 1,
                 feedback_probe: Some(false),
                 trace: Default::default(),
+                faults: None,
             },
         }
     }

@@ -7,6 +7,9 @@
 //! * [`runner`] — runs N frames of a scenario with a seeded RNG and
 //!   produces [`metrics::LinkMetrics`]; every run is reproducible
 //!   bit-for-bit from `(config, seed)`.
+//! * [`faults`] — scripted impairment plans ([`faults::FaultPlan`])
+//!   injected into a run at deterministic frame/sample offsets, plus the
+//!   invariant checks the fault-conformance harness asserts.
 //! * [`sweep`] — order-preserving parallel parameter sweeps on
 //!   `std::thread::scope` workers (one seed per point, derived
 //!   deterministically).
@@ -16,18 +19,20 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod faults;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use faults::{check_frame_invariants, check_link_invariants, FaultPlan, FaultSpec};
 pub use metrics::LinkMetrics;
 #[allow(deprecated)]
 #[cfg(feature = "trace")]
 pub use runner::measure_link_traced;
 #[cfg(feature = "trace")]
 pub use runner::measure_link_with_sink;
-pub use runner::{measure_link, MeasureSpec};
+pub use runner::{measure_link, measure_link_observed, MeasureSpec};
 pub use sweep::parallel_sweep;
 #[cfg(feature = "trace")]
 pub use sweep::parallel_sweep_traced;

@@ -1,5 +1,6 @@
 //! Aggregated link metrics.
 
+use fdb_channel::impairment::FaultActivations;
 use fdb_dsp::stats::BerCounter;
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +41,10 @@ pub struct LinkMetrics {
     /// caps, or write failures.
     #[serde(default)]
     pub trace_dropped: u64,
+    /// Per-class scripted fault activations across the run (all zero for
+    /// clean runs). Absent in older recordings.
+    #[serde(default)]
+    pub faults: FaultActivations,
     /// Sum of airtime samples.
     pub airtime_samples: u64,
     /// Sum of elapsed samples.
@@ -90,6 +95,7 @@ impl LinkMetrics {
         self.sync_rejections += other.sync_rejections;
         self.trace_events += other.trace_events;
         self.trace_dropped += other.trace_dropped;
+        self.faults.merge(&other.faults);
         self.airtime_samples += other.airtime_samples;
         self.elapsed_samples += other.elapsed_samples;
         self.energy_a_j += other.energy_a_j;

@@ -1,5 +1,6 @@
 //! Seeded, reproducible measurement runs over one link configuration.
 
+use crate::faults::FaultPlan;
 use crate::metrics::LinkMetrics;
 use fdb_core::frame::bytes_to_bits;
 use fdb_core::link::{FdLink, FeedbackPolicy, FrameOutcome, LinkConfig, RunOptions};
@@ -32,6 +33,11 @@ pub struct MeasureSpec {
     /// Older spec JSON without the field gets `Null`.
     #[serde(default)]
     pub trace: TraceSinkSpec,
+    /// Scripted impairment schedule injected into the run (`None` = clean
+    /// run; see [`FaultPlan`]). Older spec JSON without the field gets
+    /// `None`.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for MeasureSpec {
@@ -43,6 +49,7 @@ impl Default for MeasureSpec {
             seed: 0,
             feedback_probe: Some(false),
             trace: TraceSinkSpec::Null,
+            faults: None,
         }
     }
 }
@@ -61,6 +68,15 @@ impl MeasureSpec {
     /// [`measure_link`].
     pub fn with_trace(mut self, sink: TraceSinkSpec) -> Self {
         self.trace = sink;
+        self
+    }
+
+    /// Builder-style fault attachment: the returned spec injects the
+    /// plan's scripted impairments when run through [`measure_link`]
+    /// (mirrors [`with_trace`](MeasureSpec::with_trace)). The plan is
+    /// validated at run time.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -157,6 +173,24 @@ pub fn measure_link_traced(
     Ok((metrics, first_failure))
 }
 
+/// [`measure_link`] with a per-frame observer: `observe(frame_index,
+/// outcome)` runs on every raw [`FrameOutcome`] before aggregation. The
+/// conformance harness uses this to assert frame-level invariants that
+/// the aggregate metrics can't express (re-arm budgets, ledger
+/// consistency, cross-frame isolation). Trace sinks are not attached on
+/// this path — combine with [`MeasureSpec::with_faults`] freely, but use
+/// [`measure_link`] for `spec.trace`.
+pub fn measure_link_observed<F>(
+    cfg: &LinkConfig,
+    spec: &MeasureSpec,
+    observe: F,
+) -> Result<LinkMetrics, PhyError>
+where
+    F: FnMut(u64, &FrameOutcome),
+{
+    measure_link_with(cfg, spec, observe)
+}
+
 /// Shared driver behind [`measure_link`]: runs the frames and invokes
 /// `observe(frame_index, outcome)` on each outcome before aggregation.
 fn measure_link_with<F>(
@@ -185,6 +219,12 @@ fn measure_link_inner<F>(
 where
     F: FnMut(u64, &FrameOutcome),
 {
+    if let Some(plan) = &spec.faults {
+        plan.validate().map_err(|reason| PhyError::InvalidConfig {
+            field: "faults",
+            reason,
+        })?;
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
     let mut link = FdLink::new(cfg.clone(), &mut rng)?;
     let mut payload_gen = Prbs::new(PrbsOrder::Prbs23, prbs_seed(spec.seed, PAYLOAD_SALT));
@@ -215,19 +255,30 @@ where
                 )
             }
         };
+        let mut frame_faults = spec
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.frame_faults(frame_idx));
         #[cfg(feature = "trace")]
         let out = match sink.as_deref_mut() {
             Some(s) => {
                 s.begin_frame(frame_idx);
-                let out = link.run_frame_into(&payload, &opts, &mut rng, s)?;
+                let out = link.run_frame_faulted_into(
+                    &payload,
+                    &opts,
+                    &mut rng,
+                    frame_faults.as_mut(),
+                    s,
+                )?;
                 s.end_frame();
                 out
             }
-            None => link.run_frame(&payload, &opts, &mut rng)?,
+            None => link.run_frame_faulted(&payload, &opts, &mut rng, frame_faults.as_mut())?,
         };
         #[cfg(not(feature = "trace"))]
-        let out = link.run_frame(&payload, &opts, &mut rng)?;
+        let out = link.run_frame_faulted(&payload, &opts, &mut rng, frame_faults.as_mut())?;
         observe(frame_idx, &out);
+        metrics.faults.merge(&out.fault_activations);
         metrics.frames += 1;
         if out.b_locked {
             metrics.locked += 1;
@@ -298,6 +349,7 @@ mod tests {
             seed: 9,
             feedback_probe: Some(false),
             trace: Default::default(),
+            faults: None,
         };
         let m = measure_link(&clean_cfg(), &spec).unwrap();
         assert_eq!(m.frames, 5);
@@ -323,8 +375,8 @@ mod tests {
     fn different_seeds_differ_on_noisy_link() {
         let mut cfg = LinkConfig::default_fd();
         cfg.geometry.device_dist_m = 0.6;
-        let a = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 1, feedback_probe: Some(false), trace: Default::default() }).unwrap();
-        let b = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 2, feedback_probe: Some(false), trace: Default::default() }).unwrap();
+        let a = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 1, feedback_probe: Some(false), trace: Default::default(), faults: None }).unwrap();
+        let b = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 2, feedback_probe: Some(false), trace: Default::default(), faults: None }).unwrap();
         assert_ne!(
             (a.data_ber.errors(), a.blocks_ok),
             (b.data_ber.errors(), b.blocks_ok)
@@ -339,6 +391,7 @@ mod tests {
             seed: 3,
             feedback_probe: Some(true),
             trace: Default::default(),
+            faults: None,
         };
         let m = measure_link(&clean_cfg(), &spec).unwrap();
         assert!(m.feedback_ber.bits() > 0, "no feedback bits measured");
@@ -353,6 +406,7 @@ mod tests {
             seed: 4,
             feedback_probe: None,
             trace: Default::default(),
+            faults: None,
         };
         let m = measure_link(&clean_cfg(), &spec).unwrap();
         assert_eq!(m.feedback_ber.bits(), 0);
@@ -379,6 +433,7 @@ mod tests {
             seed: 5,
             feedback_probe: Some(false),
             trace: TraceSinkSpec::Collect,
+            faults: None,
         };
         let m = measure_link(&clean_cfg(), &spec).unwrap();
         assert_eq!(m.frames, 2);
@@ -398,6 +453,7 @@ mod tests {
             seed: 11,
             feedback_probe: Some(false),
             trace: Default::default(),
+            faults: None,
         };
         let plain = measure_link(&clean_cfg(), &base).unwrap();
         let traced = measure_link(

@@ -25,6 +25,7 @@ fn measure_spec_json_round_trips() {
         seed: 42,
         feedback_probe: Some(true),
         trace: Default::default(),
+        faults: None,
     };
     let json = serde_json::to_string(&spec).unwrap();
     let back: MeasureSpec = serde_json::from_str(&json).unwrap();
@@ -144,10 +145,103 @@ fn measure_spec_trace_sink_round_trips() {
         seed: 9,
         feedback_probe: Some(false),
         trace: TraceSinkSpec::jsonl("/tmp/t.jsonl"),
+        faults: None,
     };
     let json = serde_json::to_string(&spec).unwrap();
     let back: MeasureSpec = serde_json::from_str(&json).unwrap();
     assert_eq!(back.trace, spec.trace);
+}
+
+#[test]
+fn configs_without_faults_field_get_clean_runs() {
+    // Backward compatibility: MeasureSpec JSON written before the fault
+    // layer existed must deserialize to a clean (fault-free) run. The
+    // shipped example configs are exactly such files.
+    #[derive(serde::Deserialize)]
+    struct Scenario {
+        spec: MeasureSpec,
+    }
+    for name in ["default_link.json", "marginal_link.json", "near_tower.json"] {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("configs")
+            .join(name);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.contains("\"faults\""),
+            "{name} now carries a faults key — this test needs a pre-faults fixture"
+        );
+        let scenario: Scenario = serde_json::from_str(&text).unwrap();
+        assert_eq!(scenario.spec.faults, None, "{name}");
+    }
+}
+
+#[test]
+fn fault_plan_optional_fields_round_trip() {
+    use fd_backscatter::sim::faults::{FaultKind, FaultPlan, FaultTarget};
+
+    // Terse form: seed, start_sample, and per-kind targets all omitted.
+    let terse = r#"{"faults":[
+        {"frame":2,"duration_samples":300,"kind":{"Dropout":{}}},
+        {"frame":0,"duration_samples":50,
+         "kind":{"NoiseBurst":{"power_dbm":-80.0}}}
+    ]}"#;
+    let plan: FaultPlan = serde_json::from_str(terse).expect("terse plan parses");
+    assert_eq!(plan.seed, 0);
+    assert_eq!(plan.faults[0].start_sample, 0);
+    assert_eq!(
+        plan.faults[0].kind,
+        FaultKind::Dropout {
+            target: FaultTarget::Both
+        }
+    );
+    assert_eq!(
+        plan.faults[1].kind,
+        FaultKind::NoiseBurst {
+            power_dbm: -80.0,
+            target: FaultTarget::Both
+        }
+    );
+    plan.validate().expect("terse plan valid");
+
+    // Full round-trip: serialise, parse back, equal value.
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: FaultPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, plan);
+
+    // A spec with a plan attached round-trips too, and the empty plan is
+    // distinct from no plan at all.
+    let spec = MeasureSpec::quick(3).with_faults(plan.clone());
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: MeasureSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.faults, Some(plan));
+    let empty = MeasureSpec::quick(3).with_faults(FaultPlan::empty());
+    let back: MeasureSpec =
+        serde_json::from_str(&serde_json::to_string(&empty).unwrap()).unwrap();
+    assert_eq!(back.faults, Some(FaultPlan::empty()));
+    assert!(back.faults.unwrap().is_empty());
+}
+
+#[test]
+fn measure_spec_quick_matches_default_and_runs() {
+    // MeasureSpec::quick(seed) is Default with the seed substituted —
+    // the one-liner every test and experiment leans on.
+    let quick = MeasureSpec::quick(42);
+    let dflt = MeasureSpec::default();
+    assert_eq!(quick.seed, 42);
+    assert_eq!(quick.frames, dflt.frames);
+    assert_eq!(quick.payload_len, dflt.payload_len);
+    assert_eq!(quick.feedback_probe, dflt.feedback_probe);
+    assert!(quick.trace.is_null());
+    assert_eq!(quick.faults, None);
+
+    let spec = MeasureSpec {
+        frames: 2,
+        payload_len: 16,
+        ..MeasureSpec::quick(42)
+    };
+    let m = measure_link(&LinkConfig::default_fd(), &spec).expect("quick spec runs");
+    assert_eq!(m.frames, 2);
+    assert_eq!(m.faults.total(), 0, "clean run must report zero activations");
 }
 
 #[test]
@@ -160,6 +254,7 @@ fn rejected_configs_surface_errors() {
         seed: 1,
         feedback_probe: None,
         trace: Default::default(),
+        faults: None,
     };
     assert!(measure_link(&cfg, &spec).is_err());
 }

@@ -13,6 +13,7 @@ fn point(dist_milli: u64) -> (u64, u64, u64) {
         seed: derive_seed(0xDE7E, dist_milli),
         feedback_probe: Some(false),
         trace: Default::default(),
+        faults: None,
     };
     let m = measure_link(&cfg, &spec).unwrap();
     (m.data_ber.errors(), m.blocks_ok, m.airtime_samples)
@@ -45,6 +46,7 @@ fn distinct_seeds_distinct_outcomes_on_lossy_link() {
                 seed,
                 feedback_probe: Some(false),
                 trace: Default::default(),
+                faults: None,
             },
         )
         .unwrap();

@@ -108,6 +108,7 @@ fn measure_link_aggregates_consistently() {
         seed: 5,
         feedback_probe: Some(false),
         trace: Default::default(),
+        faults: None,
     };
     let m = measure_link(&realistic_cfg(0.3), &spec).unwrap();
     assert_eq!(m.frames, 4);

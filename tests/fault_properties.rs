@@ -1,0 +1,132 @@
+//! Property-based conformance of the fault-injection layer: arbitrary
+//! bounded-energy fault plans against the shipped default_link scenario
+//! must never panic, never blow the receiver's re-arm budget, and always
+//! leave the metrics ledger consistent. This is the fuzzing arm of
+//! `tests/fault_conformance.rs` — the directed grid covers the corners
+//! we thought of; this covers the ones we didn't.
+
+use fd_backscatter::prelude::*;
+use fd_backscatter::sim::faults::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
+use fd_backscatter::sim::{check_frame_invariants, check_link_invariants, measure_link_observed};
+use proptest::prelude::*;
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Scenario {
+    link: LinkConfig,
+    spec: MeasureSpec,
+}
+
+const FRAMES: u64 = 4;
+/// 16-byte payloads run ~3 880 samples per frame at the default rate, so
+/// windows are drawn a little past the frame end to also exercise
+/// truncation at the boundary.
+const FRAME_SAMPLES: usize = 3_880;
+
+fn default_scenario() -> (LinkConfig, MeasureSpec) {
+    let path = format!("{}/configs/default_link.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("default_link.json readable");
+    let sc: Scenario = serde_json::from_str(&text).expect("default_link.json parses");
+    let mut spec = sc.spec;
+    spec.frames = FRAMES;
+    spec.payload_len = 16;
+    (sc.link, spec)
+}
+
+fn arb_target() -> impl Strategy<Value = FaultTarget> {
+    prop_oneof![
+        Just(FaultTarget::A),
+        Just(FaultTarget::B),
+        Just(FaultTarget::Both),
+    ]
+}
+
+/// Every fault class with bounded energy: powers capped at -40 dBm
+/// (strong enough to destroy frames, far below the validation ceiling),
+/// drift within ±20 000 ppm, SIC error within ±20 dB.
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        (-120.0f64..-40.0, arb_target())
+            .prop_map(|(power_dbm, target)| FaultKind::NoiseBurst { power_dbm, target }),
+        arb_target().prop_map(|target| FaultKind::Dropout { target }),
+        (-20_000.0f64..20_000.0).prop_map(|ppm| FaultKind::ClockDrift { ppm }),
+        (-20.0f64..20.0, arb_target())
+            .prop_map(|(gain_db, target)| FaultKind::SicGain { gain_db, target }),
+        (0.0f64..40.0).prop_map(|depth_db| FaultKind::AmbientFade { depth_db }),
+        (-120.0f64..-40.0, 2usize..200).prop_map(|(power_dbm, period_samples)| {
+            FaultKind::Interferer {
+                power_dbm,
+                period_samples,
+            }
+        }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    (
+        0..FRAMES,
+        0..FRAME_SAMPLES + 500,
+        1..FRAME_SAMPLES + 500,
+        arb_kind(),
+    )
+        .prop_map(|(frame, start_sample, duration_samples, kind)| FaultSpec {
+            frame,
+            start_sample,
+            duration_samples,
+            kind,
+        })
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), proptest::collection::vec(arb_spec(), 0..4))
+        .prop_map(|(seed, faults)| FaultPlan { seed, faults })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any bounded-energy plan: the run completes (no panic, no error),
+    /// every frame respects the re-arm budget and the frame-level
+    /// ledger, and the aggregate metrics stay consistent.
+    #[test]
+    fn arbitrary_plans_never_break_conformance(plan in arb_plan()) {
+        let (cfg, spec) = default_scenario();
+        prop_assert!(plan.validate().is_ok(), "generated plan must be valid");
+        let scheduled = !plan.is_empty();
+        let spec = spec.with_faults(plan);
+
+        let mut frame_violations = Vec::new();
+        let max_rearms = cfg.phy.sync.max_rearms;
+        let mut max_rejections = 0usize;
+        let metrics = measure_link_observed(&cfg, &spec, |frame, out| {
+            if let Err(v) = check_frame_invariants(out, &cfg.phy) {
+                frame_violations.push(format!("frame {frame}: {v}"));
+            }
+            max_rejections = max_rejections.max(out.sync_rejections);
+        }).expect("faulted run completes");
+
+        prop_assert!(frame_violations.is_empty(), "{:?}", frame_violations);
+        prop_assert!(
+            max_rejections <= max_rearms + 1,
+            "re-arm budget blown: {} rejections, budget {}",
+            max_rejections,
+            max_rearms
+        );
+        if let Err(v) = check_link_invariants(&metrics) {
+            prop_assert!(false, "aggregate: {v}");
+        }
+        prop_assert_eq!(metrics.frames, FRAMES);
+        if !scheduled {
+            prop_assert_eq!(metrics.faults.total(), 0);
+        }
+    }
+
+    /// Serde round-trip for arbitrary plans: JSON out, JSON in, equal
+    /// value — the contract the bundled corpus and the CLI lean on.
+    #[test]
+    fn arbitrary_plans_round_trip_through_json(plan in arb_plan()) {
+        let json = serde_json::to_string(&plan).expect("plan serialises");
+        let back: FaultPlan = serde_json::from_str(&json).expect("plan parses back");
+        prop_assert_eq!(plan, back);
+    }
+}

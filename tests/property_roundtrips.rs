@@ -18,7 +18,7 @@ fn render_ideal(cfg: &PhyConfig, payload: &[u8], idle: usize, lo: f64, hi: f64) 
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Any payload, any idle offset, any sane level pair: the ideal
     /// waveform decodes to exactly the transmitted payload.

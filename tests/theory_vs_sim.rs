@@ -46,6 +46,7 @@ fn feedback_ber_matches_integrator_model() {
         seed: 0x7EED,
         feedback_probe: Some(true),
         trace: Default::default(),
+        faults: None,
     };
     let measured = measure_link(&cfg, &spec).unwrap();
     let half_samples = (cfg.phy.feedback_ratio / 2) * cfg.phy.samples_per_bit();
@@ -79,6 +80,7 @@ fn data_ber_tracks_model_shape_with_distance() {
                 seed: 0xD157,
                 feedback_probe: None,
                 trace: Default::default(),
+                faults: None,
             },
         )
         .unwrap();
@@ -125,6 +127,7 @@ fn link_budget_matches_measured_envelope() {
         seed: 0xB0D6,
         feedback_probe: None,
         trace: Default::default(),
+        faults: None,
     };
     let m = measure_link(&cfg, &spec).unwrap();
     // Harvested energy is zero below sensitivity (the default tower is

@@ -74,6 +74,7 @@ fn traced_runner_captures_first_failing_frame() {
         seed: 5,
         feedback_probe: Some(false),
         trace: Default::default(),
+        faults: None,
     };
     let (metrics, trace) = fd_backscatter::sim::measure_link_traced(&cfg, &spec).unwrap();
     assert_eq!(metrics.frames, 6);

@@ -43,6 +43,7 @@ fn ten_thousand_frame_sweep_streams_all_frames_in_order_with_bounded_memory() {
             seed: derive_seed(99, p),
             feedback_probe: None,
             trace: Default::default(),
+            faults: None,
         };
         let metrics = measure_link_with_sink(&cfg, &spec, sink).expect("point measures");
         (metrics, sink.peak_staged_bytes())
@@ -112,6 +113,7 @@ fn deprecated_traced_wrapper_matches_builder_path_byte_for_byte() {
         seed: 21,
         feedback_probe: Some(false),
         trace: Default::default(),
+        faults: None,
     };
     let new_path = measure_link(&cfg, &spec).unwrap();
     let (old_path, _trace) = fd_backscatter::sim::measure_link_traced(&cfg, &spec).unwrap();
@@ -139,6 +141,92 @@ fn deprecated_traced_wrapper_matches_builder_path_byte_for_byte() {
     assert_eq!(traced.sync_attempts, new_path.sync_attempts);
 }
 
+/// Negative path: a frame that both overflows the per-frame event cap
+/// *and* crosses the rotation threshold at the same `end_frame`. The cap
+/// must drop (not buffer) the excess, the frame_end marker must confess
+/// the drop count, and the rotation must land the completed frame in a
+/// rotated-out file while the next frame starts the fresh live file —
+/// with no event lost or double-counted across the seam.
+#[test]
+fn event_cap_and_rotation_coincide_on_one_frame_boundary() {
+    use fd_backscatter::phy::trace::{JsonlFileSink, TraceEvent, TraceSink};
+
+    let path = std::env::temp_dir().join(format!(
+        "fdb_trace_sinks_caprot_{}.jsonl",
+        std::process::id()
+    ));
+    // rotate_bytes=1: every completed frame exceeds the limit, so every
+    // frame boundary is also a rotation boundary.
+    let mut sink = JsonlFileSink::create(&path)
+        .unwrap()
+        .with_frame_cap(4)
+        .with_rotate_bytes(Some(1));
+
+    let fault_event = |sample: usize| TraceEvent::Fault {
+        sample,
+        kind: "noise_burst".into(),
+        active: sample.is_multiple_of(2),
+    };
+
+    // Frame 0: 10 events against a cap of 4 — 6 dropped at the cap, then
+    // the flush of the surviving lines trips the rotation.
+    sink.begin_frame(0);
+    for i in 0..10 {
+        sink.record(fault_event(i));
+    }
+    sink.end_frame();
+    assert_eq!(sink.events_recorded(), 4, "cap must admit exactly 4 events");
+    assert_eq!(sink.events_dropped(), 6, "cap must drop the excess");
+    assert!(sink.io_error().is_none());
+
+    // Frame 1 must land in the fresh post-rotation live file, untainted
+    // by frame 0's drop accounting.
+    sink.begin_frame(1);
+    sink.record(fault_event(100));
+    sink.end_frame();
+
+    let summary = sink.finish().unwrap();
+    assert_eq!(summary.frames, 2);
+    assert_eq!(summary.events, 5);
+    assert_eq!(summary.dropped, 6);
+    // Both frames rotated out (rotate_bytes=1), live file left empty.
+    assert_eq!(summary.files.len(), 3, "files: {:?}", summary.files);
+
+    // The rotated files carry one frame each, markers intact.
+    let expect = [(0u64, 4u64, 6u64), (1, 1, 0)];
+    for ((frame_want, events_want, _), file) in expect.iter().zip(&summary.files) {
+        let text = std::fs::read_to_string(file).unwrap();
+        let mut events_seen = 0u64;
+        let mut closed = false;
+        for (i, line) in text.lines().enumerate() {
+            match parse_trace_line(line).unwrap_or_else(|e| panic!("{file}:{}: {e}", i + 1)) {
+                TraceLine::FrameStart { frame } => assert_eq!(frame, *frame_want),
+                TraceLine::Event(_) => events_seen += 1,
+                TraceLine::FrameEnd { frame, events, .. } => {
+                    assert_eq!(frame, *frame_want);
+                    assert_eq!(events, events_seen, "frame_end event count lies");
+                    closed = true;
+                }
+            }
+        }
+        assert!(closed, "{file}: frame never closed");
+        assert_eq!(events_seen, *events_want, "{file}");
+    }
+    let live = std::fs::read_to_string(&summary.files[2]).unwrap();
+    assert!(live.is_empty(), "live file must be empty after final rotation");
+
+    // The frame-0 marker must confess its drops verbatim in the JSON.
+    let frame0 = std::fs::read_to_string(&summary.files[0]).unwrap();
+    assert!(
+        frame0.lines().last().unwrap().contains("\"dropped\":6"),
+        "frame_end must record the drop count: {frame0}"
+    );
+
+    for file in &summary.files {
+        std::fs::remove_file(file).ok();
+    }
+}
+
 #[test]
 fn jsonl_spec_through_measure_link_round_trips_every_event() {
     let path = std::env::temp_dir().join(format!(
@@ -153,6 +241,7 @@ fn jsonl_spec_through_measure_link_round_trips_every_event() {
         seed: 4,
         feedback_probe: Some(false),
         trace: TraceSinkSpec::jsonl(path.display().to_string()),
+        faults: None,
     };
     let metrics = measure_link(&cfg, &spec).unwrap();
     assert!(metrics.trace_events > 0);
