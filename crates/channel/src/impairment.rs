@@ -399,6 +399,31 @@ impl FrameFaults {
         std::mem::take(&mut self.transitions)
     }
 
+    /// `true` when any scheduled fault window covers sample `t`. Pure
+    /// schedule lookup — consumes no RNG and records no edges, so a block
+    /// pipeline may probe ahead without perturbing the deterministic
+    /// contract of [`effects_at`](FrameFaults::effects_at).
+    pub fn any_active_at(&self, t: usize) -> bool {
+        self.faults.iter().any(|f| f.active_at(t))
+    }
+
+    /// The next sample strictly after `t` at which any fault window opens
+    /// or closes (`None` once every window lies in the past). Between two
+    /// consecutive boundaries the set of active faults is constant, which
+    /// is what lets a block pipeline treat fault edges as block splits.
+    pub fn next_boundary_after(&self, t: usize) -> Option<usize> {
+        let mut next: Option<usize> = None;
+        for f in &self.faults {
+            let end = f.start.saturating_add(f.duration);
+            for b in [f.start, end] {
+                if b > t {
+                    next = Some(next.map_or(b, |n| n.min(b)));
+                }
+            }
+        }
+        next
+    }
+
     /// Computes the aggregate impairment for sample `t`. Must be called
     /// with non-decreasing `t` within a frame (the RNG consumption order
     /// is part of the deterministic contract).
@@ -490,6 +515,38 @@ mod tests {
         assert!(ff.effects_at(15).is_neutral());
         assert_eq!(ff.activations().dropout, 1);
         assert_eq!(ff.activations().total(), 1);
+    }
+
+    #[test]
+    fn boundary_probes_match_window_edges() {
+        let ff = FrameFaults::new(
+            vec![
+                ScheduledFault {
+                    start: 10,
+                    duration: 5,
+                    kind: FaultKind::AmbientFade { depth_db: 3.0 },
+                },
+                ScheduledFault {
+                    start: 12,
+                    duration: 10,
+                    kind: FaultKind::ClockDrift { ppm: 100.0 },
+                },
+            ],
+            1,
+        );
+        assert_eq!(ff.next_boundary_after(0), Some(10));
+        assert_eq!(ff.next_boundary_after(10), Some(12));
+        assert_eq!(ff.next_boundary_after(12), Some(15));
+        assert_eq!(ff.next_boundary_after(15), Some(22));
+        assert_eq!(ff.next_boundary_after(22), None);
+        assert!(!ff.any_active_at(9));
+        assert!(ff.any_active_at(10) && ff.any_active_at(14));
+        assert!(ff.any_active_at(21));
+        assert!(!ff.any_active_at(22));
+        // Between consecutive boundaries the active set is constant.
+        for t in 15..22 {
+            assert!(ff.any_active_at(t));
+        }
     }
 
     #[test]

@@ -93,6 +93,22 @@ impl FeedbackEncoder {
         !self.started || (self.sample_ctr == 0 && !self.in_second_half)
     }
 
+    /// Ticks until the next feedback-bit boundary: 0 when the next `tick`
+    /// already starts a new bit. Lets a block pipeline size its segments so
+    /// that status-bit refresh points always land on a segment start.
+    pub fn ticks_until_boundary(&self) -> usize {
+        if self.at_bit_boundary() {
+            return 0;
+        }
+        let into_bit = self.sample_ctr
+            + if self.in_second_half {
+                self.half_samples
+            } else {
+                0
+            };
+        2 * self.half_samples - into_bit
+    }
+
     /// Antenna state for this sample (`true` = reflect), then advance.
     pub fn tick(&mut self) -> bool {
         if !self.started || (self.sample_ctr == 0 && !self.in_second_half) {

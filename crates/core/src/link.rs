@@ -24,6 +24,12 @@
 //! The link is deliberately *not* a MAC: it runs exactly one frame, with an
 //! optional abort-on-NACK reflex, and reports everything a MAC needs
 //! (delivery, per-block status, feedback timeline, airtime, energy).
+//!
+//! Two frame engines share those semantics byte-for-byte: the per-sample
+//! reference loop ([`FdLink::run_frame_reference`], also the `trace`-build
+//! engine, whose probes need every sample) and the segmented block
+//! pipeline ([`FdLink::run_frame_block`], the non-trace `run_frame`
+//! engine). See `run_frame_block`'s docs for the edges that split blocks.
 
 use crate::config::PhyConfig;
 use crate::error::PhyError;
@@ -277,6 +283,25 @@ impl FrameOutcome {
     }
 }
 
+/// Hard cap on block-pipeline segment length, in samples. Bounds the
+/// per-link scratch buffers; segments are usually shorter because fault
+/// edges, fading epochs, feedback-bit boundaries and the acquisition guard
+/// all split blocks first.
+const SEG_MAX: usize = 4096;
+
+/// Reusable per-link staging buffers for the block pipeline (and the
+/// reference path's resampler output). Hoisted out of `run_frame_*` so
+/// steady-state frame runs allocate nothing per sample or per frame.
+#[derive(Debug, Default)]
+struct FrameScratch {
+    /// B-side envelope samples staged by the physics pass.
+    env_b: Vec<f64>,
+    /// B's antenna state per staged sample.
+    b_state: Vec<bool>,
+    /// Resampler output (the old per-frame `b_resampled`).
+    resampled: Vec<f64>,
+}
+
 /// The two-device full-duplex link simulator.
 pub struct FdLink {
     cfg: LinkConfig,
@@ -288,6 +313,7 @@ pub struct FdLink {
     tag_b: TagHardware,
     noise: Awgn,
     source_amp: f64,
+    scratch: FrameScratch,
 }
 
 impl FdLink {
@@ -314,6 +340,7 @@ impl FdLink {
             tag_b,
             noise,
             source_amp,
+            scratch: FrameScratch::default(),
         })
     }
 
@@ -408,6 +435,51 @@ impl FdLink {
         payload: &[u8],
         opts: &RunOptions,
         rng: &mut R,
+        faults: Option<&mut FrameFaults>,
+        #[cfg(feature = "trace")] sink: &mut dyn TraceSink,
+    ) -> Result<FrameOutcome, PhyError> {
+        // Trace builds take the per-sample reference pipeline — its probes
+        // poll the receiver at every sample, which the block pipeline by
+        // design does not. Non-trace builds take the block pipeline; both
+        // produce byte-identical `FrameOutcome`s.
+        #[cfg(feature = "trace")]
+        {
+            self.run_frame_scalar(payload, opts, rng, faults, sink)
+        }
+        #[cfg(not(feature = "trace"))]
+        self.run_frame_block(payload, opts, rng, faults)
+    }
+
+    /// Runs one frame through the preserved per-sample reference pipeline.
+    ///
+    /// This is the original scalar loop, kept always-compiled as (a) the
+    /// oracle the block pipeline is equivalence-tested against and (b) the
+    /// baseline the `fdb-bench` pairs measure speedups from. With the
+    /// `trace` feature the diagnostic events land in the outcome's ring,
+    /// exactly like [`FdLink::run_frame`].
+    pub fn run_frame_reference<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        faults: Option<&mut FrameFaults>,
+    ) -> Result<FrameOutcome, PhyError> {
+        #[cfg(feature = "trace")]
+        {
+            let mut ring = RingSink::new(self.cfg.phy.trace_ring_capacity());
+            let mut outcome = self.run_frame_scalar(payload, opts, rng, faults, &mut ring)?;
+            outcome.trace = ring.into_trace();
+            Ok(outcome)
+        }
+        #[cfg(not(feature = "trace"))]
+        self.run_frame_scalar(payload, opts, rng, faults)
+    }
+
+    fn run_frame_scalar<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
         mut faults: Option<&mut FrameFaults>,
         #[cfg(feature = "trace")] sink: &mut dyn TraceSink,
     ) -> Result<FrameOutcome, PhyError> {
@@ -450,7 +522,8 @@ impl FdLink {
         let b_base_ppm = self.tag_b.clock_mut().current_ppm();
         let mut b_clock_rs = Resampler::from_ppm(b_base_ppm);
         let mut b_fault_ppm = 0.0f64;
-        let mut b_resampled: Vec<f64> = Vec::with_capacity(2);
+        let mut b_resampled = std::mem::take(&mut self.scratch.resampled);
+        b_resampled.clear();
 
         let preamble_samples = phy.preamble.len() * spb;
         let a_epoch = preamble_samples + phy.feedback_guard_bits * spb;
@@ -491,7 +564,7 @@ impl FdLink {
         let mut samples_run = max_samples;
         for t in 0..max_samples {
             // --- fading evolution -------------------------------------
-            if fade_every > 0 && t % fade_every == 0 && t > 0 {
+            if fade_every > 0 && t.is_multiple_of(fade_every) && t > 0 {
                 self.hop_sa.advance_block(rng);
                 self.hop_sb.advance_block(rng);
                 self.hop_ab.advance_block(rng);
@@ -783,6 +856,467 @@ impl FdLink {
         let fault_activations = faults
             .map(|f| f.activations())
             .unwrap_or_default();
+        self.scratch.resampled = b_resampled;
+        Ok(self.finish(
+            samples_run,
+            tx,
+            rx,
+            feedback_events,
+            fb_dec.pilots_verified(),
+            aborted_at,
+            b_was_locked,
+            fault_activations,
+            (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
+        ))
+    }
+
+    /// Runs one frame through the chip-sized block pipeline.
+    ///
+    /// Semantically identical to [`FdLink::run_frame_reference`] — every
+    /// `FrameOutcome` field it produces is byte-for-byte the same, RNG
+    /// draw-for-draw — but the loop advances in contiguous sample segments
+    /// instead of one sample at a time. A segment never crosses an edge at
+    /// which deferred state could feed back into already-computed state:
+    ///
+    /// * **fault window edges** (`FrameFaults::next_boundary_after`) — the
+    ///   active-fault set is constant inside a segment; active windows run
+    ///   fused (per-sample) because drift ramps, burst draws and interferer
+    ///   phases are sample-indexed;
+    /// * **fading epochs** — hop coefficients are hoisted per segment;
+    /// * **feedback-bit boundaries** while B's status stream is live — the
+    ///   AckStatus idle bit samples B's *current* NACK line, so the
+    ///   receiver must be fully caught up at every boundary;
+    /// * **the acquisition guard** while B hunts for the preamble — a lock
+    ///   inside a segment schedules B's feedback epoch `guard` samples
+    ///   later, so segments stay shorter than the guard;
+    /// * **lock → header-accept** and **post-abort** windows, plus the
+    ///   post-frame verdict tail, run fused: a header-CRC re-arm or an
+    ///   early loop exit can strike at any sample there.
+    ///
+    /// Within a segment the physics/control pass stays per-sample (it owns
+    /// the shared RNG draw order and A's abort reflex), while B's SIC →
+    /// resampler → receiver chain consumes the staged block through the
+    /// slice entry points ([`DataReceiver::push_slice`]) once the header is
+    /// accepted and a mid-block loss of lock is impossible.
+    ///
+    /// This is the non-trace `run_frame` engine; it is public so benches
+    /// and equivalence tests can pit it against the reference on any build.
+    /// (`FrameOutcome::trace` stays empty on trace builds — per-sample
+    /// probes are exactly what this pipeline amortises away.)
+    pub fn run_frame_block<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        mut faults: Option<&mut FrameFaults>,
+    ) -> Result<FrameOutcome, PhyError> {
+        let phy = self.cfg.phy.clone();
+        let dt = phy.sample_period_s();
+        let spb = phy.samples_per_bit();
+        let half_fb = (phy.feedback_ratio / 2) * spb;
+
+        let mut tx = DataTransmitter::new(&phy, payload)?;
+        let mut rx = DataReceiver::new(phy.clone());
+        let mut fb_enc = FeedbackEncoder::new(half_fb);
+        let mut fb_dec = FeedbackDecoder::new(half_fb);
+        if let FeedbackPolicy::Stream(bits) = &opts.feedback {
+            for &b in bits {
+                fb_enc.push_bit(b);
+            }
+        }
+        let mut sic_a = SelfInterferenceCanceller::new(
+            phy.sic,
+            self.cfg.tag_a.rho,
+            self.cfg.tag_a.rho_residual,
+        );
+        let mut sic_b = SelfInterferenceCanceller::new(
+            phy.sic,
+            self.cfg.tag_b.rho,
+            self.cfg.tag_b.rho_residual,
+        )
+        .with_blanking(2);
+        let mut b_hold = 0.0f64;
+        let b_base_ppm = self.tag_b.clock_mut().current_ppm();
+        let mut b_clock_rs = Resampler::from_ppm(b_base_ppm);
+        let mut b_fault_ppm = 0.0f64;
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        let preamble_samples = phy.preamble.len() * spb;
+        let guard = phy.feedback_guard_bits * spb;
+        let a_epoch = preamble_samples + guard;
+        let mut b_epoch: Option<usize> = None;
+        let mut b_was_locked = false;
+
+        let total = tx.total_samples();
+        let tail = if matches!(opts.feedback, FeedbackPolicy::Silent) {
+            8 * spb
+        } else {
+            2 * phy.samples_per_feedback_bit() + 8 * spb
+        };
+        let max_samples = total + tail;
+        let verdict_horizon = total + phy.samples_per_feedback_bit() + spb;
+
+        let a_consumed0 = self.tag_a.consumed_j();
+        let b_consumed0 = self.tag_b.consumed_j();
+        let a_harvest0 = self.tag_a.harvester().harvested_total_j();
+        let b_harvest0 = self.tag_b.harvester().harvested_total_j();
+
+        let mut feedback_events = Vec::new();
+        let mut aborted_at = None;
+        let fade_every = self.cfg.fading_advance_bits * spb;
+
+        let mut samples_run = max_samples;
+        let mut t = 0usize;
+        'frame: while t < max_samples {
+            // ---- mode select: fused (exact per-sample) or staged -------
+            let fault_active = faults.as_deref().is_some_and(|f| f.any_active_at(t));
+            let fused = fault_active
+                || (b_was_locked && !rx.header_accepted())
+                || aborted_at.is_some()
+                || t + 1 >= total;
+            if fused {
+                // One sample of the full reference body: every hazard the
+                // staged path defers (re-arm, fault draws, loop exits) is
+                // decided here at exact scalar granularity.
+                if fade_every > 0 && t.is_multiple_of(fade_every) && t > 0 {
+                    self.hop_sa.advance_block(rng);
+                    self.hop_sb.advance_block(rng);
+                    self.hop_ab.advance_block(rng);
+                }
+                let fx = match faults.as_deref_mut() {
+                    Some(f) => {
+                        let fx = f.effects_at(t);
+                        if fx.ppm_offset != b_fault_ppm {
+                            b_fault_ppm = fx.ppm_offset;
+                            b_clock_rs.set_ppm(b_base_ppm + b_fault_ppm);
+                        }
+                        fx
+                    }
+                    None => FaultEffects::NEUTRAL,
+                };
+
+                let a_state = tx.next_state().unwrap_or(false) && self.tag_a.is_alive();
+                self.tag_a.set_antenna(a_state);
+                let b_fb_active = !matches!(opts.feedback, FeedbackPolicy::Silent)
+                    && b_epoch.map(|e| t >= e).unwrap_or(false)
+                    && self.tag_b.is_alive();
+                let b_state = if b_fb_active {
+                    if fb_enc.at_bit_boundary() {
+                        if let FeedbackPolicy::AckStatus = opts.feedback {
+                            fb_enc.set_idle_bit(!rx.nack());
+                        }
+                    }
+                    fb_enc.tick()
+                } else {
+                    false
+                };
+                self.tag_b.set_antenna(b_state);
+
+                let x = self.source_amp * fx.source_scale * self.source.next_power(rng).sqrt();
+                let h_sa = self.hop_sa.coeff();
+                let h_sb = self.hop_sb.coeff();
+                let h_ab = self.hop_ab.coeff();
+                let e_a0 = h_sa * x;
+                let e_b0 = h_sb * x;
+                let g_a = self.tag_a.reflected(Iq::ONE);
+                let g_b = self.tag_b.reflected(Iq::ONE);
+                let e_a = e_a0 + h_ab * g_b * (e_b0 + h_ab * g_a * e_a0) + fx.field_a;
+                let e_b = e_b0 + h_ab * g_a * (e_a0 + h_ab * g_b * e_b0) + fx.field_b;
+                let e_a = self.noise.corrupt(e_a, rng);
+                let e_b = self.noise.corrupt(e_b, rng);
+
+                let env_a = self.tag_a.step_receive(e_a, dt, rng);
+                let env_b = self.tag_b.step_receive(e_b, dt, rng);
+                let env_a = if fx.drop_a { 0.0 } else { env_a };
+                let env_b = if fx.drop_b { 0.0 } else { env_b };
+                self.tag_a.charge_awake(dt, t >= a_epoch);
+                self.tag_b.charge_awake(dt, true);
+
+                let sic_b_out = sic_b
+                    .correct(env_b, b_state)
+                    .map(|v| if b_state { v * fx.sic_gain_b } else { v });
+                let corrected = match sic_b_out {
+                    Some(v) => {
+                        b_hold = v;
+                        v
+                    }
+                    None => b_hold,
+                };
+                scratch.resampled.clear();
+                b_clock_rs.push(corrected, &mut scratch.resampled);
+                for &v in &scratch.resampled {
+                    rx.push_sample(v);
+                }
+                if b_was_locked && rx.state() == RxState::Acquiring {
+                    b_was_locked = false;
+                    b_epoch = None;
+                    fb_enc = FeedbackEncoder::new(half_fb);
+                    if let FeedbackPolicy::Stream(bits) = &opts.feedback {
+                        for &b in bits {
+                            fb_enc.push_bit(b);
+                        }
+                    }
+                }
+                if !b_was_locked && rx.state() != RxState::Acquiring {
+                    b_was_locked = true;
+                    b_epoch = Some(t + guard);
+                }
+
+                if t >= a_epoch && !matches!(opts.feedback, FeedbackPolicy::Silent) {
+                    let sic_a_out = sic_a
+                        .correct(env_a, a_state)
+                        .map(|v| if a_state { v * fx.sic_gain_a } else { v });
+                    if let Some(corrected) = sic_a_out {
+                        if let Some(decision) = fb_dec.push(corrected) {
+                            feedback_events.push(FeedbackEvent {
+                                sample: t,
+                                bit: decision.bit,
+                                margin: decision.margin,
+                            });
+                            if opts.abort_on_nack
+                                && fb_dec.pilots_verified()
+                                && !decision.bit
+                                && aborted_at.is_none()
+                            {
+                                tx.abort();
+                                aborted_at = Some(t);
+                            }
+                        }
+                    }
+                }
+
+                if aborted_at.is_some() && tx.is_done() {
+                    samples_run = t + 1;
+                    break 'frame;
+                }
+                let verdict_in = matches!(opts.feedback, FeedbackPolicy::Silent)
+                    || !b_was_locked
+                    || feedback_events
+                        .last()
+                        .map(|f| f.sample >= verdict_horizon)
+                        .unwrap_or(false);
+                if tx.is_done()
+                    && (rx.state() == RxState::Done || rx.state() == RxState::Failed)
+                    && verdict_in
+                {
+                    samples_run = t + 1;
+                    break 'frame;
+                }
+                t += 1;
+                continue;
+            }
+
+            // ---- staged segment: pick a hazard-free length -------------
+            // `t + 1 < total` here, so the tail/exit region is excluded.
+            let mut len = (total - 1 - t).min(SEG_MAX);
+            if let Some(q) = t.checked_div(fade_every) {
+                let next_fade = (q + 1) * fade_every;
+                len = len.min(next_fade - t);
+            }
+            if let Some(f) = faults.as_deref() {
+                if let Some(b) = f.next_boundary_after(t) {
+                    len = len.min(b - t);
+                }
+            }
+            if let Some(e) = b_epoch {
+                if e > t {
+                    len = len.min(e - t);
+                }
+            }
+            if !b_was_locked {
+                // A lock at sample `ti` schedules b_epoch = ti + guard;
+                // keeping len ≤ guard pins that epoch beyond the segment,
+                // so the already-run control pass never misses it.
+                len = len.min(guard.max(1));
+            }
+            let fb_live = !matches!(opts.feedback, FeedbackPolicy::Silent)
+                && b_epoch.map(|e| e <= t).unwrap_or(false);
+            if fb_live {
+                // Keep feedback-bit boundaries (where AckStatus samples the
+                // live NACK line) on segment starts, where rx is current.
+                let ticks = fb_enc.ticks_until_boundary();
+                let cap = if ticks == 0 { 2 * half_fb } else { ticks };
+                len = len.min(cap.max(1));
+            }
+            debug_assert!(len >= 1);
+
+            if fade_every > 0 && t.is_multiple_of(fade_every) && t > 0 {
+                self.hop_sa.advance_block(rng);
+                self.hop_sb.advance_block(rng);
+                self.hop_ab.advance_block(rng);
+            }
+            // One bookkeeping poll per quiet segment: boundary caps above
+            // guarantee every window edge lands exactly on a segment start,
+            // which is all `effects_at`'s edge detection needs.
+            let fx = match faults.as_deref_mut() {
+                Some(f) => {
+                    let fx = f.effects_at(t);
+                    if fx.ppm_offset != b_fault_ppm {
+                        b_fault_ppm = fx.ppm_offset;
+                        b_clock_rs.set_ppm(b_base_ppm + b_fault_ppm);
+                    }
+                    fx
+                }
+                None => FaultEffects::NEUTRAL,
+            };
+            debug_assert!(fx.is_neutral(), "active fault in a staged segment");
+
+            // ---- pass 1: physics + control + A-side, per sample --------
+            // Owns the shared RNG draw order (source, AWGN, detectors) and
+            // A's feedback/abort reflex — an abort lands on the very next
+            // sample's tx state, exactly as in the reference. B's samples
+            // are staged for pass 2.
+            scratch.env_b.clear();
+            scratch.b_state.clear();
+            let h_sa = self.hop_sa.coeff();
+            let h_sb = self.hop_sb.coeff();
+            let h_ab = self.hop_ab.coeff();
+            let mut seg_used = len;
+            let mut exited = false;
+            for i in 0..len {
+                let ti = t + i;
+                let a_state = tx.next_state().unwrap_or(false) && self.tag_a.is_alive();
+                self.tag_a.set_antenna(a_state);
+                let b_fb_active = !matches!(opts.feedback, FeedbackPolicy::Silent)
+                    && b_epoch.map(|e| ti >= e).unwrap_or(false)
+                    && self.tag_b.is_alive();
+                let b_state = if b_fb_active {
+                    if fb_enc.at_bit_boundary() {
+                        if let FeedbackPolicy::AckStatus = opts.feedback {
+                            fb_enc.set_idle_bit(!rx.nack());
+                        }
+                    }
+                    fb_enc.tick()
+                } else {
+                    false
+                };
+                self.tag_b.set_antenna(b_state);
+
+                let x = self.source_amp * fx.source_scale * self.source.next_power(rng).sqrt();
+                let e_a0 = h_sa * x;
+                let e_b0 = h_sb * x;
+                let g_a = self.tag_a.reflected(Iq::ONE);
+                let g_b = self.tag_b.reflected(Iq::ONE);
+                let e_a = e_a0 + h_ab * g_b * (e_b0 + h_ab * g_a * e_a0) + fx.field_a;
+                let e_b = e_b0 + h_ab * g_a * (e_a0 + h_ab * g_b * e_b0) + fx.field_b;
+                let e_a = self.noise.corrupt(e_a, rng);
+                let e_b = self.noise.corrupt(e_b, rng);
+
+                let env_a = self.tag_a.step_receive(e_a, dt, rng);
+                let env_b = self.tag_b.step_receive(e_b, dt, rng);
+                let env_a = if fx.drop_a { 0.0 } else { env_a };
+                let env_b = if fx.drop_b { 0.0 } else { env_b };
+                self.tag_a.charge_awake(dt, ti >= a_epoch);
+                self.tag_b.charge_awake(dt, true);
+
+                scratch.env_b.push(env_b);
+                scratch.b_state.push(b_state);
+
+                if ti >= a_epoch && !matches!(opts.feedback, FeedbackPolicy::Silent) {
+                    let sic_a_out = sic_a
+                        .correct(env_a, a_state)
+                        .map(|v| if a_state { v * fx.sic_gain_a } else { v });
+                    if let Some(corrected) = sic_a_out {
+                        if let Some(decision) = fb_dec.push(corrected) {
+                            feedback_events.push(FeedbackEvent {
+                                sample: ti,
+                                bit: decision.bit,
+                                margin: decision.margin,
+                            });
+                            if opts.abort_on_nack
+                                && fb_dec.pilots_verified()
+                                && !decision.bit
+                                && aborted_at.is_none()
+                            {
+                                tx.abort();
+                                aborted_at = Some(ti);
+                            }
+                        }
+                    }
+                }
+                // The only loop exit reachable before `total - 1`: an
+                // abort emptying the transmitter. B-side processing of the
+                // staged samples still completes below, as the reference
+                // does before its own break.
+                if aborted_at.is_some() && tx.is_done() {
+                    samples_run = ti + 1;
+                    seg_used = i + 1;
+                    exited = true;
+                    break;
+                }
+            }
+
+            // ---- pass 2: B-side SIC → resampler → receiver -------------
+            if b_was_locked {
+                // Header accepted (else this segment would be fused): no
+                // re-arm is possible, so the whole block flows through the
+                // slice entry points in one go.
+                scratch.resampled.clear();
+                for i in 0..seg_used {
+                    let b_state = scratch.b_state[i];
+                    let sic_b_out = sic_b
+                        .correct(scratch.env_b[i], b_state)
+                        .map(|v| if b_state { v * fx.sic_gain_b } else { v });
+                    let corrected = match sic_b_out {
+                        Some(v) => {
+                            b_hold = v;
+                            v
+                        }
+                        None => b_hold,
+                    };
+                    b_clock_rs.push(corrected, &mut scratch.resampled);
+                }
+                rx.push_slice(&scratch.resampled);
+            } else {
+                // Acquiring: per-sample so the exact lock instant is
+                // observed and the feedback epoch lands on the right tick.
+                for i in 0..seg_used {
+                    let ti = t + i;
+                    let b_state = scratch.b_state[i];
+                    let sic_b_out = sic_b
+                        .correct(scratch.env_b[i], b_state)
+                        .map(|v| if b_state { v * fx.sic_gain_b } else { v });
+                    let corrected = match sic_b_out {
+                        Some(v) => {
+                            b_hold = v;
+                            v
+                        }
+                        None => b_hold,
+                    };
+                    scratch.resampled.clear();
+                    b_clock_rs.push(corrected, &mut scratch.resampled);
+                    for &v in &scratch.resampled {
+                        rx.push_sample(v);
+                    }
+                    // A lock can fall back to acquisition in-segment only
+                    // when the guard outlasts the header airtime; the epoch
+                    // it clears was pinned beyond this segment either way.
+                    if b_was_locked && rx.state() == RxState::Acquiring {
+                        b_was_locked = false;
+                        b_epoch = None;
+                        fb_enc = FeedbackEncoder::new(half_fb);
+                        if let FeedbackPolicy::Stream(bits) = &opts.feedback {
+                            for &b in bits {
+                                fb_enc.push_bit(b);
+                            }
+                        }
+                    }
+                    if !b_was_locked && rx.state() != RxState::Acquiring {
+                        b_was_locked = true;
+                        b_epoch = Some(ti + guard);
+                    }
+                }
+            }
+
+            if exited {
+                break 'frame;
+            }
+            t += len;
+        }
+        let fault_activations = faults
+            .map(|f| f.activations())
+            .unwrap_or_default();
+        self.scratch = scratch;
         Ok(self.finish(
             samples_run,
             tx,
@@ -954,6 +1488,250 @@ mod tests {
         assert!(out.energy.b_consumed_j > 0.0);
         assert!(out.energy.b_harvested_j > 0.0, "B harvested nothing");
         assert!(out.airtime_samples > 0);
+    }
+
+    /// Field-by-field byte identity of two outcomes (trace excluded — the
+    /// block pipeline deliberately records no per-sample probes).
+    fn assert_outcomes_identical(a: &FrameOutcome, b: &FrameOutcome, what: &str) {
+        assert_eq!(a.delivered, b.delivered, "{what}: delivered");
+        assert_eq!(a.b_locked, b.b_locked, "{what}: b_locked");
+        assert_eq!(a.sync_attempts, b.sync_attempts, "{what}: sync_attempts");
+        assert_eq!(a.sync_rejections, b.sync_rejections, "{what}: sync_rejections");
+        assert_eq!(a.feedback.len(), b.feedback.len(), "{what}: feedback len");
+        for (i, (x, y)) in a.feedback.iter().zip(&b.feedback).enumerate() {
+            assert_eq!(x.sample, y.sample, "{what}: feedback[{i}].sample");
+            assert_eq!(x.bit, y.bit, "{what}: feedback[{i}].bit");
+            assert_eq!(
+                x.margin.to_bits(),
+                y.margin.to_bits(),
+                "{what}: feedback[{i}].margin"
+            );
+        }
+        assert_eq!(a.pilots_verified, b.pilots_verified, "{what}: pilots_verified");
+        assert_eq!(a.aborted_at_sample, b.aborted_at_sample, "{what}: aborted_at");
+        assert_eq!(a.airtime_samples, b.airtime_samples, "{what}: airtime");
+        assert_eq!(a.samples_run, b.samples_run, "{what}: samples_run");
+        for (x, y, f) in [
+            (a.energy.a_consumed_j, b.energy.a_consumed_j, "a_consumed"),
+            (a.energy.b_consumed_j, b.energy.b_consumed_j, "b_consumed"),
+            (a.energy.a_harvested_j, b.energy.a_harvested_j, "a_harvested"),
+            (a.energy.b_harvested_j, b.energy.b_harvested_j, "b_harvested"),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: energy.{f}");
+        }
+        assert_eq!(a.nack, b.nack, "{what}: nack");
+        assert_eq!(a.partial_payload, b.partial_payload, "{what}: partial_payload");
+        assert_eq!(a.partial_blocks, b.partial_blocks, "{what}: partial_blocks");
+        assert_eq!(
+            a.rx_timing_corrections, b.rx_timing_corrections,
+            "{what}: timing_corrections"
+        );
+        assert_eq!(
+            a.rx_sync_peak.to_bits(),
+            b.rx_sync_peak.to_bits(),
+            "{what}: rx_sync_peak"
+        );
+        assert_eq!(
+            a.fault_activations, b.fault_activations,
+            "{what}: fault_activations"
+        );
+    }
+
+    /// Runs `frames` back-to-back frames through two identically-seeded
+    /// links — one on the reference engine, one on the block pipeline —
+    /// and requires byte-identical outcomes every frame (back-to-back so
+    /// persistent device/energy/fading state must stay aligned too).
+    fn assert_block_matches_reference(
+        cfg: LinkConfig,
+        payload: &[u8],
+        opts: &RunOptions,
+        seed: u64,
+        frames: usize,
+        what: &str,
+    ) {
+        let mut rng_r = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let mut link_r = FdLink::new(cfg.clone(), &mut rng_r).unwrap();
+        let mut link_b = FdLink::new(cfg, &mut rng_b).unwrap();
+        for k in 0..frames {
+            let r = link_r
+                .run_frame_reference(payload, opts, &mut rng_r, None)
+                .unwrap();
+            let b = link_b.run_frame_block(payload, opts, &mut rng_b, None).unwrap();
+            assert_outcomes_identical(&r, &b, &format!("{what} frame {k}"));
+        }
+    }
+
+    #[test]
+    fn block_matches_reference_quiet_cw() {
+        let payload: Vec<u8> = (0..64u8).collect();
+        assert_block_matches_reference(
+            quiet_cfg(),
+            &payload,
+            &RunOptions::fd_monitor(),
+            200,
+            2,
+            "cw fd_monitor",
+        );
+        assert_block_matches_reference(
+            quiet_cfg(),
+            &payload,
+            &RunOptions::half_duplex(),
+            201,
+            2,
+            "cw half_duplex",
+        );
+    }
+
+    #[test]
+    fn block_matches_reference_tv_wideband() {
+        let payload: Vec<u8> = (0..48u8).map(|i| i.wrapping_mul(37)).collect();
+        assert_block_matches_reference(
+            LinkConfig::default_fd(),
+            &payload,
+            &RunOptions::fd_monitor(),
+            202,
+            2,
+            "tv fd_monitor",
+        );
+    }
+
+    #[test]
+    fn block_matches_reference_with_fading_and_stream() {
+        let mut cfg = quiet_cfg();
+        cfg.fading_advance_bits = 16;
+        cfg.geometry.fading_source = Fading::rayleigh(50.0);
+        let payload = vec![0x3Cu8; 120];
+        assert_block_matches_reference(
+            cfg,
+            &payload,
+            &RunOptions {
+                feedback: FeedbackPolicy::Stream(vec![true, false, true, true, false]),
+                abort_on_nack: false,
+            },
+            203,
+            2,
+            "fading stream",
+        );
+    }
+
+    #[test]
+    fn block_matches_reference_early_abort() {
+        // Ruin the channel mid-frame with a scripted burst so B NACKs and
+        // A's abort reflex fires — the hardest control-feedback path.
+        use fdb_channel::impairment::{FaultKind, FaultTarget, ScheduledFault};
+        let cfg = quiet_cfg();
+        let payload: Vec<u8> = (0..128u8).collect();
+        let schedule = vec![ScheduledFault {
+            start: 9_000,
+            duration: 2_500,
+            kind: FaultKind::NoiseBurst {
+                power_dbm: -35.0,
+                target: FaultTarget::B,
+            },
+        }];
+        let mut rng_r = ChaCha8Rng::seed_from_u64(204);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(204);
+        let mut link_r = FdLink::new(cfg.clone(), &mut rng_r).unwrap();
+        let mut link_b = FdLink::new(cfg, &mut rng_b).unwrap();
+        let opts = RunOptions::fd_early_abort();
+        let mut faults_r = FrameFaults::new(schedule.clone(), 7);
+        let mut faults_b = FrameFaults::new(schedule, 7);
+        let r = link_r
+            .run_frame_reference(&payload, &opts, &mut rng_r, Some(&mut faults_r))
+            .unwrap();
+        let b = link_b
+            .run_frame_block(&payload, &opts, &mut rng_b, Some(&mut faults_b))
+            .unwrap();
+        assert_outcomes_identical(&r, &b, "early abort");
+        assert!(r.aborted_at_sample.is_some(), "burst failed to provoke abort");
+    }
+
+    #[test]
+    fn block_matches_reference_under_fault_grid() {
+        // One representative of every fault class, windows straddling
+        // acquisition, header, payload and the feedback epoch.
+        use fdb_channel::impairment::{FaultKind, FaultTarget, ScheduledFault};
+        let mk = |kind, start, duration| ScheduledFault { start, duration, kind };
+        let schedules: Vec<(&str, Vec<ScheduledFault>)> = vec![
+            (
+                "burst@acquire",
+                vec![mk(
+                    FaultKind::NoiseBurst {
+                        power_dbm: -55.0,
+                        target: FaultTarget::Both,
+                    },
+                    40,
+                    400,
+                )],
+            ),
+            (
+                "dropout@payload",
+                vec![mk(
+                    FaultKind::Dropout {
+                        target: FaultTarget::B,
+                    },
+                    5_000,
+                    60,
+                )],
+            ),
+            ("drift@mid", vec![mk(FaultKind::ClockDrift { ppm: 900.0 }, 3_000, 4_000)]),
+            (
+                "sicgain@fb",
+                vec![mk(
+                    FaultKind::SicGain {
+                        gain_db: 6.0,
+                        target: FaultTarget::A,
+                    },
+                    2_000,
+                    3_000,
+                )],
+            ),
+            ("fade@mid", vec![mk(FaultKind::AmbientFade { depth_db: 6.0 }, 4_000, 1_500)]),
+            (
+                "interferer@acquire",
+                vec![mk(
+                    FaultKind::Interferer {
+                        power_dbm: -60.0,
+                        period_samples: 20,
+                    },
+                    0,
+                    600,
+                )],
+            ),
+            (
+                "stacked",
+                vec![
+                    mk(FaultKind::AmbientFade { depth_db: 3.0 }, 1_000, 6_000),
+                    mk(FaultKind::ClockDrift { ppm: 500.0 }, 2_000, 2_000),
+                    mk(
+                        FaultKind::NoiseBurst {
+                            power_dbm: -60.0,
+                            target: FaultTarget::B,
+                        },
+                        5_500,
+                        800,
+                    ),
+                ],
+            ),
+        ];
+        let payload: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(11)).collect();
+        for (name, schedule) in schedules {
+            let mut rng_r = ChaCha8Rng::seed_from_u64(205);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(205);
+            let mut link_r = FdLink::new(quiet_cfg(), &mut rng_r).unwrap();
+            let mut link_b = FdLink::new(quiet_cfg(), &mut rng_b).unwrap();
+            let opts = RunOptions::fd_monitor();
+            let mut faults_r = FrameFaults::new(schedule.clone(), 11);
+            let mut faults_b = FrameFaults::new(schedule, 11);
+            let r = link_r
+                .run_frame_reference(&payload, &opts, &mut rng_r, Some(&mut faults_r))
+                .unwrap();
+            let b = link_b
+                .run_frame_block(&payload, &opts, &mut rng_b, Some(&mut faults_b))
+                .unwrap();
+            assert_outcomes_identical(&r, &b, name);
+        }
     }
 
     #[test]

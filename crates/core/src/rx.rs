@@ -136,6 +136,17 @@ pub struct DataReceiver {
     /// Latched after a header-CRC rejection until the next verified lock:
     /// keeps the NACK line honest while the receiver re-acquires.
     nack_latch: bool,
+    /// `true` once the current lock's header has passed its CRC. From that
+    /// point the only exits from `Receiving` are `Done`/`Failed` — there is
+    /// no re-arm path — which is what lets a block pipeline feed whole
+    /// slices without watching for a mid-slice return to acquisition.
+    header_accepted: bool,
+    /// Reused by `update_timing` (was a fresh allocation per decoded bit).
+    timing_prefix: Vec<f64>,
+    /// Reused by `commit_lock` (was a fresh allocation per lock).
+    replay_scratch: Vec<f64>,
+    /// Reused by `acquire_block` for the slice run through the smoother.
+    acq_smoothed: Vec<f64>,
 }
 
 impl DataReceiver {
@@ -159,6 +170,10 @@ impl DataReceiver {
             sync_attempts: 0,
             rejections: Vec::new(),
             nack_latch: false,
+            header_accepted: false,
+            timing_prefix: Vec::new(),
+            replay_scratch: Vec::new(),
+            acq_smoothed: Vec::new(),
             sync_smoother: MovingAverage::new(smooth_len),
             history: RingBuf::new(hist_cap),
             slicer: PeakTracker::new(0.05),
@@ -282,6 +297,105 @@ impl DataReceiver {
         }
     }
 
+    /// Feeds a contiguous slice of envelope samples. Bit-identical to
+    /// calling [`Self::push_sample`] once per element: state transitions
+    /// are honoured at every sample boundary, but while `Receiving` the
+    /// samples up to the next chip boundary are accumulated in one run
+    /// (same summation order) instead of dispatching per sample.
+    pub fn push_slice(&mut self, xs: &[f64]) {
+        let mut i = 0;
+        while i < xs.len() {
+            match self.state {
+                RxState::Done | RxState::Failed => {
+                    self.samples_seen += xs.len() - i;
+                    return;
+                }
+                RxState::Acquiring => {
+                    let skipped = self.acquire_block(&xs[i..]);
+                    if skipped > 0 {
+                        i += skipped;
+                        continue;
+                    }
+                    // The screen declined (candidate region ahead, window
+                    // not primed, or the remainder is too small to be worth
+                    // an FFT): step one template length per-sample so any
+                    // declaration is carried through exactly, without
+                    // re-screening on every sample.
+                    let run = self
+                        .searcher
+                        .template_len()
+                        .max(64)
+                        .min(xs.len() - i);
+                    let mut done = 0;
+                    while done < run && self.state == RxState::Acquiring {
+                        self.samples_seen += 1;
+                        self.acquire(xs[i + done]);
+                        done += 1;
+                    }
+                    i += done;
+                }
+                RxState::Receiving => {
+                    // `chip_samples < chip_target` always holds here, so the
+                    // run is non-empty and never crosses a chip boundary.
+                    let run = (self.chip_target - self.chip_samples).min(xs.len() - i);
+                    let chunk = &xs[i..i + run];
+                    self.samples_seen += run;
+                    self.bit_samples.extend_from_slice(chunk);
+                    for &v in chunk {
+                        self.chip_acc += v;
+                    }
+                    self.chip_samples += run;
+                    i += run;
+                    if self.chip_samples >= self.chip_target {
+                        self.finish_chip();
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` once the current lock's frame header has passed its CRC.
+    /// After this point a re-arm (return to `Acquiring`) is impossible —
+    /// only `Done`/`Failed` remain — so a caller that batches samples no
+    /// longer needs to watch for a mid-batch loss of lock.
+    pub fn header_accepted(&self) -> bool {
+        self.header_accepted
+    }
+
+    /// Block acquisition fast path: screens `xs` with the searcher's FFT
+    /// correlator and fast-forwards the receiver over the longest prefix
+    /// that provably produces no sync event, leaving every observable —
+    /// smoother, raw history, window, `sync_peak` — byte-identical to
+    /// having pushed those samples through [`acquire`](Self::acquire) one
+    /// at a time. Returns the number of samples consumed (0 when the
+    /// screen declines, e.g. near a candidate peak).
+    ///
+    /// The smoothed stream handed to the screen comes from a clone of the
+    /// live smoother, so screening beyond the eventual skip point cannot
+    /// perturb receiver state; the live smoother and raw-history ring are
+    /// then advanced over exactly the skipped prefix.
+    fn acquire_block(&mut self, xs: &[f64]) -> usize {
+        let m = self.searcher.template_len();
+        if xs.len() < 2 * m || !self.searcher.primed() || self.searcher.is_tracking() {
+            return 0;
+        }
+        let mut smoother = self.sync_smoother.clone();
+        let mut smoothed = std::mem::take(&mut self.acq_smoothed);
+        smoother.process_block_into(xs, &mut smoothed);
+        let (skip, peak) = self.searcher.fast_forward(&smoothed);
+        self.acq_smoothed = smoothed;
+        if skip == 0 {
+            return 0;
+        }
+        for &env in &xs[..skip] {
+            self.history.push_evict(env);
+            self.sync_smoother.process(env);
+        }
+        self.samples_seen += skip;
+        self.sync_peak = self.sync_peak.max(peak);
+        skip
+    }
+
     fn acquire(&mut self, env: f64) {
         self.history.push_evict(env);
         let smoothed = self.sync_smoother.process(env);
@@ -396,12 +510,13 @@ impl DataReceiver {
         // all of those raw samples belong to the payload — replay them.
         let behind = self.samples_behind_peak(lag);
         let n = self.history.len();
-        let replay: Vec<f64> = (n.saturating_sub(behind)..n)
-            .filter_map(|i| self.history.get(i))
-            .collect();
-        for v in replay {
+        let mut replay = std::mem::take(&mut self.replay_scratch);
+        replay.clear();
+        replay.extend((n.saturating_sub(behind)..n).filter_map(|i| self.history.get(i)));
+        for &v in &replay {
             self.receive(v);
         }
+        self.replay_scratch = replay;
     }
 
     /// Records a rejection and either re-arms the pipeline for another
@@ -421,6 +536,7 @@ impl DataReceiver {
         self.state = RxState::Acquiring;
         self.sync_lock = None;
         self.locked_at = None;
+        self.header_accepted = false;
         self.parser = FrameParser::new(self.cfg.clone());
         self.soft = SoftDecoder::new(self.cfg.line_code);
         self.slicer = PeakTracker::new(0.05);
@@ -439,7 +555,13 @@ impl DataReceiver {
         if self.chip_samples < self.chip_target {
             return;
         }
-        // Chip complete.
+        self.finish_chip();
+    }
+
+    /// Completes the chip accumulated in `chip_acc`/`chip_samples`: slices
+    /// it, and on a bit boundary decides the bit, runs the DLL and feeds
+    /// the frame parser. Shared by the per-sample and slice paths.
+    fn finish_chip(&mut self) {
         let energy = self.chip_acc / self.chip_samples as f64;
         self.chip_acc = 0.0;
         self.chip_samples = 0;
@@ -486,7 +608,8 @@ impl DataReceiver {
                         locked_at: self.locked_at.unwrap_or(0),
                     });
                 }
-                ParseEvent::Header { .. } | ParseEvent::Block(_) => {}
+                ParseEvent::Header { .. } => self.header_accepted = true,
+                ParseEvent::Block(_) => {}
             }
         }
     }
@@ -518,12 +641,16 @@ impl DataReceiver {
         if n < 2 * sps - 2 {
             return;
         }
-        // Prefix sums for O(window) split search.
-        let mut prefix = Vec::with_capacity(n + 1);
-        prefix.push(0.0);
+        // Prefix sums for O(window) split search, in a reused buffer.
+        self.timing_prefix.clear();
+        self.timing_prefix.reserve(n + 1);
+        self.timing_prefix.push(0.0);
+        let mut acc = 0.0;
         for &v in &self.bit_samples {
-            prefix.push(prefix.last().unwrap() + v);
+            acc += v;
+            self.timing_prefix.push(acc);
         }
+        let prefix = &self.timing_prefix;
         let total = *prefix.last().unwrap();
         let w = ((sps as f64) * DLL_WINDOW_FRAC) as usize;
         let centre = n / 2;
@@ -780,6 +907,132 @@ mod tests {
         });
         assert_eq!(rx.state(), RxState::Acquiring);
         assert_eq!(rx.sync_rejections(), 1);
+    }
+
+    /// Drives two fresh receivers over `wave` — one per sample, one in
+    /// chunks of `chunk` — and asserts every observable (and the slicer
+    /// threshold, to the bit) agrees at the end.
+    fn assert_slice_matches_scalar(cfg: &PhyConfig, wave: &[f64], chunk: usize) {
+        let mut a = DataReceiver::new(cfg.clone());
+        let mut b = DataReceiver::new(cfg.clone());
+        for &v in wave {
+            a.push_sample(v);
+        }
+        for c in wave.chunks(chunk) {
+            b.push_slice(c);
+        }
+        assert_eq!(a.state(), b.state(), "chunk {chunk}");
+        assert_eq!(a.samples_seen, b.samples_seen, "chunk {chunk}");
+        assert_eq!(a.bits_decoded(), b.bits_decoded(), "chunk {chunk}");
+        assert_eq!(a.chips_seen(), b.chips_seen(), "chunk {chunk}");
+        assert_eq!(a.timing_corrections(), b.timing_corrections(), "chunk {chunk}");
+        assert_eq!(a.sync_attempts(), b.sync_attempts(), "chunk {chunk}");
+        assert_eq!(a.sync_rejections(), b.sync_rejections(), "chunk {chunk}");
+        assert_eq!(a.nack(), b.nack(), "chunk {chunk}");
+        assert_eq!(a.header_accepted(), b.header_accepted(), "chunk {chunk}");
+        assert_eq!(a.sync_lock_info(), b.sync_lock_info(), "chunk {chunk}");
+        assert_eq!(
+            a.sync_peak_seen().to_bits(),
+            b.sync_peak_seen().to_bits(),
+            "chunk {chunk}"
+        );
+        assert_eq!(
+            a.last_chip_energy().to_bits(),
+            b.last_chip_energy().to_bits(),
+            "chunk {chunk}"
+        );
+        assert_eq!(
+            a.slicer_threshold().to_bits(),
+            b.slicer_threshold().to_bits(),
+            "chunk {chunk}"
+        );
+        assert_eq!(a.take_result(), b.take_result(), "chunk {chunk}");
+    }
+
+    #[test]
+    fn push_slice_is_bit_identical_to_push_sample() {
+        let cfg = cfg();
+        let payload: Vec<u8> = (0..48u8).map(|i| i.wrapping_mul(29)).collect();
+        let wave = render(&cfg, &payload, 137, 0.35, 1.0);
+        for chunk in [1, 2, 3, 7, 64, 320, 1000, wave.len()] {
+            assert_slice_matches_scalar(&cfg, &wave, chunk);
+        }
+    }
+
+    #[test]
+    fn push_slice_matches_through_rearm_and_skew() {
+        // Exercise the hard paths inside a slice: a corrupted header that
+        // forces a mid-slice re-arm, then a skewed clean frame where the
+        // DLL stretches chip windows across slice boundaries.
+        use fdb_dsp::resample::Resampler;
+        let cfg = cfg();
+        let junk = vec![0xAAu8; 8];
+        let mut wave = render(&cfg, &junk, 40, 0.3, 1.0);
+        let pre = 40 + cfg.preamble.len() * cfg.samples_per_bit();
+        for v in wave
+            .iter_mut()
+            .skip(pre)
+            .take(crate::frame::HEADER_BITS * cfg.samples_per_bit())
+        {
+            *v = 0.65;
+        }
+        let payload: Vec<u8> = (0..64u8).collect();
+        let clean = render(&cfg, &payload, 60, 0.3, 1.0);
+        let mut rs = Resampler::from_ppm(1500.0);
+        wave.extend_from_slice(&rs.process_block(&clean));
+        for chunk in [1, 5, 19, 160, 4096] {
+            assert_slice_matches_scalar(&cfg, &wave, chunk);
+        }
+    }
+
+    #[test]
+    fn push_slice_matches_through_long_noise_hunt() {
+        // The workload the FFT acquisition screen exists for: a long
+        // pseudo-noise listening region before the frame. Every slice size
+        // — including ones that keep the screen gated — must stay
+        // byte-identical to the per-sample path through the hunt, the
+        // lock, and the decode.
+        let cfg = cfg();
+        let mut wave = Vec::new();
+        let mut lcg: u64 = 0x9E3779B9_7F4A7C15;
+        for _ in 0..20_000 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((lcg >> 33) as f64) / ((1u64 << 31) as f64);
+            wave.push(0.55 + 0.18 * (u - 0.5));
+        }
+        let payload: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37)).collect();
+        wave.extend_from_slice(&render(&cfg, &payload, 50, 0.35, 1.0));
+        for chunk in [97, 640, 1000, 4096, wave.len()] {
+            assert_slice_matches_scalar(&cfg, &wave, chunk);
+        }
+    }
+
+    #[test]
+    fn header_accepted_tracks_lock_lifecycle() {
+        let cfg = cfg();
+        let junk = vec![0xAAu8; 8];
+        let mut wave = render(&cfg, &junk, 40, 0.3, 1.0);
+        let pre = 40 + cfg.preamble.len() * cfg.samples_per_bit();
+        for v in wave
+            .iter_mut()
+            .skip(pre)
+            .take(crate::frame::HEADER_BITS * cfg.samples_per_bit())
+        {
+            *v = 0.65;
+        }
+        let payload: Vec<u8> = (0..16u8).collect();
+        wave.extend_from_slice(&render(&cfg, &payload, 60, 0.3, 1.0));
+        let mut rx = DataReceiver::new(cfg);
+        let mut accepted_while_acquiring = false;
+        for &v in &wave {
+            rx.push_sample(v);
+            if rx.state() == RxState::Acquiring && rx.header_accepted() {
+                accepted_while_acquiring = true;
+            }
+        }
+        assert!(!accepted_while_acquiring, "flag must clear on re-arm");
+        assert_eq!(rx.state(), RxState::Done);
+        assert!(rx.header_accepted(), "flag must latch once the header passes");
     }
 
     #[test]

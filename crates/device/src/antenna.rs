@@ -82,12 +82,19 @@ impl ReflectionSwitch {
         self.rho
     }
 
+    /// Complex reflection coefficient of the *current* state: amplitude
+    /// `√ρ` at the configured phase. Constant per state, so callers on a
+    /// per-sample hot path may cache it per antenna state.
+    #[inline]
+    pub fn reflection_coeff(&self) -> Iq {
+        Iq::from_polar(self.current_rho().sqrt(), self.phase)
+    }
+
     /// The complex field this antenna re-radiates for a given incident
     /// field sample.
     #[inline]
     pub fn reflected(&self, incident: Iq) -> Iq {
-        let amp = self.current_rho().sqrt();
-        incident * Iq::from_polar(amp, self.phase)
+        incident * self.reflection_coeff()
     }
 
     /// Fraction of incident *power* that continues past the antenna into

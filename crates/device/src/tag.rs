@@ -76,13 +76,28 @@ pub struct TagHardware {
     toggles: u64,
     consumed_j: f64,
     alive: bool,
+    /// Per-state reflection coefficient and pass amplitude, cached at
+    /// construction. The switch's ρ/phase never change after `new`, so
+    /// these are exactly the values the switch would recompute (with a
+    /// `sqrt` and a `cos`/`sin`) on every sample of the link hot loop.
+    coeff: [Iq; 2],
+    pass_amp: [f64; 2],
 }
 
 impl TagHardware {
     /// Builds a tag for a simulation running at sample period `dt` seconds.
     pub fn new(cfg: TagConfig, dt: f64) -> Self {
+        let mut switch = ReflectionSwitch::new(cfg.rho, cfg.rho_residual);
+        let mut coeff = [Iq::ZERO; 2];
+        let mut pass_amp = [0.0f64; 2];
+        for (i, state) in [false, true].into_iter().enumerate() {
+            switch.set_state(state);
+            coeff[i] = switch.reflection_coeff();
+            pass_amp[i] = switch.pass_power_fraction().sqrt();
+        }
+        switch.set_state(false);
         TagHardware {
-            switch: ReflectionSwitch::new(cfg.rho, cfg.rho_residual),
+            switch,
             detector: DetectorChain::new(cfg.detector_tau_s, dt, cfg.detector_noise_w),
             comparator: Comparator::new(cfg.comparator_hysteresis_w),
             harvester: Harvester::new(cfg.harvester),
@@ -91,6 +106,8 @@ impl TagHardware {
             toggles: 0,
             consumed_j: 0.0,
             alive: true,
+            coeff,
+            pass_amp,
         }
     }
 
@@ -108,7 +125,7 @@ impl TagHardware {
     /// The field this tag re-radiates for an incident field sample.
     #[inline]
     pub fn reflected(&self, incident: Iq) -> Iq {
-        self.switch.reflected(incident)
+        incident * self.coeff[self.switch.state() as usize]
     }
 
     /// One sample step on the receive/harvest side: the incident field is
@@ -116,7 +133,7 @@ impl TagHardware {
     /// detector (measurement) and the harvester (energy), and the noisy
     /// envelope sample is returned.
     pub fn step_receive<R: Rng + ?Sized>(&mut self, incident: Iq, dt: f64, rng: &mut R) -> f64 {
-        let pass_amp = self.switch.pass_power_fraction().sqrt();
+        let pass_amp = self.pass_amp[self.switch.state() as usize];
         let field_in = incident * pass_amp;
         self.harvester.harvest(field_in.norm_sq(), dt);
         self.detector.process(field_in, rng)
@@ -256,6 +273,20 @@ mod tests {
         assert!(t.charge_awake(0.01, true));
         let expect = (0.5e-6 + 0.2e-6) * 0.01;
         assert!((t.consumed_j() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cached_switch_values_bit_match_recomputation() {
+        let mut t = tag();
+        for state in [false, true, false] {
+            t.set_antenna(state);
+            let inc = Iq::new(0.3, -0.7);
+            assert_eq!(t.reflected(inc), t.switch.reflected(inc));
+            assert_eq!(
+                t.pass_amp[state as usize].to_bits(),
+                t.switch.pass_power_fraction().sqrt().to_bits()
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! large DC ambient level and the unknown modulation depth — exactly the two
 //! nuisance parameters of an envelope-detected backscatter link.
 
+use crate::fft::fft_correlate;
 use crate::ringbuf::RingBuf;
 
 /// Zero-mean normalised cross-correlation of `window` against `template`.
@@ -36,6 +37,29 @@ pub fn ncc(window: &[f64], template: &[f64]) -> f64 {
     } else {
         num / den
     }
+}
+
+/// Safety margin around the detection threshold when screening with
+/// [`fft_correlate`]: the FFT scores match the exact streaming scores to
+/// ≤ 1e-9 (asserted by the `fft` module's conformance tests), so three
+/// orders of magnitude of slack makes a missed crossing implausible — and
+/// [`PreambleSearcher::fast_forward`] still re-derives the exact score for
+/// any candidate the screen leaves in doubt.
+const SCREEN_EPS: f64 = 1e-6;
+
+/// Mean and centred sum of squares of a template, accumulated in the same
+/// index order as [`ncc`] so downstream scores stay bit-identical to it.
+fn template_stats(template: &[f64]) -> (f64, f64) {
+    if template.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mt = template.iter().sum::<f64>() / template.len() as f64;
+    let mut ss = 0.0;
+    for &t in template {
+        let b = t - mt;
+        ss += b * b;
+    }
+    (mt, ss)
 }
 
 /// Outcome of feeding one sample to a [`PreambleSearcher`].
@@ -77,6 +101,12 @@ pub enum SyncEvent {
 #[derive(Debug, Clone)]
 pub struct PreambleSearcher {
     template: Vec<f64>,
+    /// Template mean, fixed at construction — the template never changes,
+    /// so recomputing it per push (as [`ncc`] must for arbitrary inputs)
+    /// is pure waste in the streaming path.
+    template_mean: f64,
+    /// Template centred sum of squares `Σ(t−t̄)²`, fixed at construction.
+    template_ss: f64,
     window: RingBuf<f64>,
     threshold: f64,
     best: f64,
@@ -94,6 +124,9 @@ pub struct PreambleSearcher {
     /// sidelobe estimate.
     peak_guard: usize,
     last_sharpness: f64,
+    /// Reused by [`fast_forward`](PreambleSearcher::fast_forward) for the
+    /// window-prefix + block sequence handed to the FFT screen.
+    seq_scratch: Vec<f64>,
 }
 
 impl PreambleSearcher {
@@ -104,8 +137,11 @@ impl PreambleSearcher {
         let window = RingBuf::new(template.len().max(1));
         let scores = RingBuf::new(template.len().max(4));
         let peak_guard = (template.len() / 8).max(2);
+        let (template_mean, template_ss) = template_stats(&template);
         PreambleSearcher {
             template,
+            template_mean,
+            template_ss,
             window,
             threshold: threshold.clamp(0.0, 1.0),
             best: 0.0,
@@ -116,6 +152,7 @@ impl PreambleSearcher {
             min_sharpness: 0.0,
             peak_guard,
             last_sharpness: f64::INFINITY,
+            seq_scratch: Vec::new(),
         }
     }
 
@@ -178,14 +215,49 @@ impl PreambleSearcher {
         self.best / sidelobe
     }
 
+    /// Correlation of the current (full) window against the template,
+    /// computed over the ring's two contiguous slices — no per-push
+    /// allocation, no per-element modulo. The summation order matches
+    /// collecting the window into a `Vec` and calling [`ncc`] term for
+    /// term, so the result is bit-identical to that reference.
+    fn score_current(&self) -> f64 {
+        let n = self.template.len();
+        if n == 0 || self.window.len() != n {
+            return 0.0;
+        }
+        let (s1, s2) = self.window.as_slices();
+        let mut sum = 0.0;
+        for &w in s1 {
+            sum += w;
+        }
+        for &w in s2 {
+            sum += w;
+        }
+        let mw = sum / n as f64;
+        let mt = self.template_mean;
+        let mut num = 0.0;
+        let mut dw = 0.0;
+        for (&w, &t) in s1.iter().chain(s2.iter()).zip(self.template.iter()) {
+            let a = w - mw;
+            let b = t - mt;
+            num += a * b;
+            dw += a * a;
+        }
+        let den = (dw * self.template_ss).sqrt();
+        if den <= 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
     /// Pushes one envelope sample.
     pub fn process(&mut self, x: f64) -> SyncEvent {
         self.window.push_evict(x);
         if !self.window.is_full() {
             return SyncEvent::Searching;
         }
-        let buf: Vec<f64> = self.window.iter().collect();
-        let score = ncc(&buf, &self.template);
+        let score = self.score_current();
         self.last_score = score;
         self.scores.push_evict(score);
         if self.rising {
@@ -227,6 +299,87 @@ impl PreambleSearcher {
         } else {
             SyncEvent::Searching
         }
+    }
+
+    /// `true` while the searcher is tracking a super-threshold candidate
+    /// peak (a stage-1 declaration is pending).
+    pub fn is_tracking(&self) -> bool {
+        self.rising
+    }
+
+    /// `true` once the correlation window is fully populated.
+    pub fn primed(&self) -> bool {
+        self.window.is_full()
+    }
+
+    /// Fast-forwards the searcher over the longest prefix of `smoothed`
+    /// that provably yields only sub-threshold [`SyncEvent::Searching`]
+    /// outcomes, using [`fft_correlate`] as an O(N log N) screen instead
+    /// of the O(N·M) per-sample sliding correlation.
+    ///
+    /// Returns `(skipped, peak)`: the number of leading samples consumed
+    /// and the exact maximum correlation score over them
+    /// (`f64::NEG_INFINITY` when nothing was skipped). After the call the
+    /// searcher behaves byte-identically to having fed those samples
+    /// through [`process`](PreambleSearcher::process) one at a time: the
+    /// sample window and `last_score` are advanced exactly, and the skip
+    /// always stops at least one template length before any possible
+    /// threshold crossing (and before the end of `smoothed`) so that the
+    /// per-sample calls that must follow refill the score-trajectory ring
+    /// before the peak-shape gate can read it.
+    ///
+    /// The screen is conservative: positions whose FFT score comes within
+    /// [`SCREEN_EPS`] of the threshold are treated as crossings, and the
+    /// exact streaming score is re-derived (via [`ncc`], to which it is
+    /// bit-identical) for every position that could hold the skipped
+    /// region's maximum. If an exact score in the "dead" region turns out
+    /// to reach the threshold anyway, the call refuses to skip.
+    pub fn fast_forward(&mut self, smoothed: &[f64]) -> (usize, f64) {
+        let m = self.template.len();
+        if self.rising || m < 2 || !self.window.is_full() || smoothed.len() < 2 * m {
+            return (0, f64::NEG_INFINITY);
+        }
+        // The window holds exactly `m` samples; dropping the oldest one
+        // makes `seq[i..i + m]` the window ending at `smoothed[i]`.
+        self.seq_scratch.clear();
+        let (s1, s2) = self.window.as_slices();
+        self.seq_scratch.extend(s1.iter().chain(s2.iter()).skip(1));
+        self.seq_scratch.extend_from_slice(smoothed);
+        let scores = fft_correlate(&self.seq_scratch, &self.template);
+        debug_assert_eq!(scores.len(), smoothed.len());
+        let arm = self.threshold - SCREEN_EPS;
+        let skip = match scores.iter().position(|&s| s >= arm) {
+            Some(j) => (j + 1).saturating_sub(m),
+            None => smoothed.len() - m,
+        };
+        if skip == 0 {
+            return (0, f64::NEG_INFINITY);
+        }
+        // Exact maximum over the skipped region: exact and FFT scores
+        // agree within SCREEN_EPS, so only positions within twice that of
+        // the FFT maximum can hold the exact maximum.
+        let mut fft_max = f64::NEG_INFINITY;
+        for &s in &scores[..skip] {
+            fft_max = fft_max.max(s);
+        }
+        let mut peak = f64::NEG_INFINITY;
+        for (i, &s) in scores[..skip].iter().enumerate() {
+            if s >= fft_max - 2.0 * SCREEN_EPS {
+                peak = peak.max(ncc(&self.seq_scratch[i..i + m], &self.template));
+            }
+        }
+        if peak >= self.threshold {
+            // Screen bound violated: an exact score crosses inside the
+            // region the FFT called dead. Decline and let the per-sample
+            // path adjudicate it.
+            return (0, f64::NEG_INFINITY);
+        }
+        let last = ncc(&self.seq_scratch[skip - 1..skip - 1 + m], &self.template);
+        for i in 0..skip {
+            self.window.push_evict(self.seq_scratch[m - 1 + i]);
+        }
+        self.last_score = last;
+        (skip, peak)
     }
 
     /// Returns to the hunting state (also called internally after a lock).
@@ -344,6 +497,112 @@ mod tests {
                 panic!("false lock at score {score}");
             }
         }
+    }
+
+    /// Drives `screened` through `stream` using `fast_forward` wherever it
+    /// will take samples (per-sample otherwise), mirroring what a block
+    /// receiver does, and asserts every observable against a pure
+    /// per-sample `reference` fed the same stream.
+    fn assert_fast_forward_matches(template: &[f64], threshold: f64, stream: &[f64]) {
+        let mut reference = PreambleSearcher::new(template.to_vec(), threshold);
+        let mut screened = reference.clone();
+        let m = template.len();
+
+        let mut ref_events = Vec::new();
+        let mut ref_peak = f64::NEG_INFINITY;
+        for &x in stream {
+            let ev = reference.process(x);
+            ref_peak = ref_peak.max(reference.last_score());
+            if ev != SyncEvent::Searching {
+                ref_events.push(ev);
+            }
+        }
+
+        let mut scr_events = Vec::new();
+        let mut scr_peak = f64::NEG_INFINITY;
+        let mut i = 0;
+        while i < stream.len() {
+            let (skip, peak) = screened.fast_forward(&stream[i..]);
+            if skip > 0 {
+                scr_peak = scr_peak.max(peak);
+                i += skip;
+                continue;
+            }
+            // Dead prefix exhausted: step one template length per-sample,
+            // as the block receiver does around a candidate region.
+            let run = m.min(stream.len() - i);
+            for &x in &stream[i..i + run] {
+                let ev = screened.process(x);
+                scr_peak = scr_peak.max(screened.last_score());
+                if ev != SyncEvent::Searching {
+                    scr_events.push(ev);
+                }
+            }
+            i += run;
+        }
+
+        assert_eq!(ref_events.len(), scr_events.len(), "event counts differ");
+        for (a, b) in ref_events.iter().zip(&scr_events) {
+            match (a, b) {
+                (
+                    SyncEvent::Locked { lag, score, sharpness },
+                    SyncEvent::Locked { lag: l2, score: s2, sharpness: h2 },
+                ) => {
+                    assert_eq!(lag, l2);
+                    assert_eq!(score.to_bits(), s2.to_bits());
+                    assert_eq!(sharpness.to_bits(), h2.to_bits());
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        assert_eq!(
+            ref_peak.to_bits(),
+            scr_peak.to_bits(),
+            "running max of last_score diverged"
+        );
+        assert_eq!(
+            reference.last_score().to_bits(),
+            screened.last_score().to_bits()
+        );
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical_over_noise_then_preamble() {
+        let chips = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+        let template = chips_to_template(&chips, 4);
+        // Long pseudo-noise hunt, the preamble, then trailing noise.
+        let mut x = 0.37;
+        let mut noise = |n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|_| {
+                    x = (x * 9301.0 + 49297.0) % 1.0;
+                    0.5 + 0.12 * (x - 0.5)
+                })
+                .collect()
+        };
+        let mut stream = noise(5000);
+        stream.extend(template.iter().map(|t| 0.5 + 0.2 * t));
+        stream.extend(noise(500));
+        assert_fast_forward_matches(&template, 0.7, &stream);
+    }
+
+    #[test]
+    fn fast_forward_skips_flat_and_reports_exact_peak() {
+        let template = chips_to_template(&[1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0], 4);
+        let m = template.len();
+        let mut s = PreambleSearcher::new(template.clone(), 0.8);
+        // Prime the window with idle carrier.
+        for _ in 0..m {
+            s.process(0.5);
+        }
+        let block: Vec<f64> = (0..4096)
+            .map(|i| 0.5 + 0.05 * ((i as f64) * 0.7).sin())
+            .collect();
+        let (skip, peak) = s.fast_forward(&block);
+        assert_eq!(skip, block.len() - m, "should skip all but the tail");
+        assert!(peak < 0.8, "sub-threshold region, got {peak}");
+        assert!(peak.is_finite());
+        assert!(!s.is_tracking());
     }
 
     /// A sharp-autocorrelation chip pattern with its envelope rendering.
@@ -467,6 +726,60 @@ mod tests {
         for &x in &stream {
             if let SyncEvent::Locked { sharpness, score, .. } = gated.process(x) {
                 panic!("collision blend locked: score {score} sharpness {sharpness}");
+            }
+        }
+    }
+
+    /// The pre-fix scoring path: collect the ring into a fresh `Vec` and
+    /// run the general-purpose [`ncc`]. Kept verbatim as the oracle for
+    /// the allocation-free two-slice rewrite.
+    fn collect_and_ncc(s: &PreambleSearcher) -> f64 {
+        let buf: Vec<f64> = s.window.iter().collect();
+        ncc(&buf, &s.template)
+    }
+
+    #[test]
+    fn streaming_score_is_bit_identical_to_collect_and_ncc() {
+        let chips = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+        // A template length that does not divide the stream length keeps
+        // the ring wrap point sweeping over every phase.
+        let template = chips_to_template(&chips, 3);
+        let mut s = PreambleSearcher::new(template.clone(), 2.0); // never locks
+        let mut x = 0.37;
+        for i in 0..1500 {
+            x = (x * 9301.0 + 49297.0) % 1.0;
+            // Occasionally embed template energy so scores span the range.
+            let v = if (i / 100) % 3 == 0 {
+                0.5 + 0.2 * template[i % template.len()] + 0.01 * x
+            } else {
+                x
+            };
+            s.process(v);
+            if s.window.is_full() {
+                assert_eq!(
+                    s.last_score().to_bits(),
+                    collect_and_ncc(&s).to_bits(),
+                    "diverged at sample {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_score_identical_through_rearm_partial_windows() {
+        // rearm() empties the window; scores must stay bit-identical while
+        // it refills from an arbitrary head position.
+        let template = chips_to_template(&[1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0], 4);
+        let mut s = PreambleSearcher::new(template.clone(), 2.0);
+        let mut x = 0.11;
+        for i in 0..600 {
+            x = (x * 9301.0 + 49297.0) % 1.0;
+            s.process(x);
+            if i % 97 == 96 {
+                s.rearm();
+            }
+            if s.window.is_full() {
+                assert_eq!(s.last_score().to_bits(), collect_and_ncc(&s).to_bits());
             }
         }
     }

@@ -46,7 +46,16 @@ impl EnvelopeDetector {
 
     /// Processes a block, producing one envelope sample per input.
     pub fn process_block(&mut self, xs: &[Iq]) -> Vec<f64> {
-        xs.iter().map(|&x| self.process(x)).collect()
+        let mut out = Vec::with_capacity(xs.len());
+        self.process_block_into(xs, &mut out);
+        out
+    }
+
+    /// Processes a block into a caller-owned buffer (cleared first) — the
+    /// allocation-free block entry point.
+    pub fn process_block_into(&mut self, xs: &[Iq], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.process(x)));
     }
 
     /// Current detector output (capacitor voltage analogue).

@@ -1,0 +1,504 @@
+//! Radix-2 FFT and FFT-based normalised cross-correlation.
+//!
+//! The acquisition stage slides a length-`M` preamble template across an
+//! `N`-sample envelope stream. Computed naively (one [`ncc`] per position)
+//! that is O(N·M); by the convolution theorem the raw correlation for *all*
+//! positions costs O(N log N), and the per-window mean/variance needed for
+//! Pearson normalisation comes from running sums in O(N). This module
+//! provides:
+//!
+//! * [`fft`]/[`ifft`] — iterative radix-2 transforms, pure Rust, no
+//!   dependencies, power-of-two lengths only;
+//! * [`fft_correlate`] — batch correlation scan whose output matches
+//!   `ncc(&signal[p..p+M], template)` at every position to ≤ 1e-9;
+//! * [`RunningNcc`] — an incremental running-sum scorer for streaming use
+//!   (one sample in, one score out) when block sizes are too small to
+//!   amortise an FFT.
+//!
+//! ## Normalisation contract vs [`ncc`]
+//!
+//! [`ncc`] is exact Pearson correlation and returns 0 for a zero-variance
+//! window. The fast paths recover the window variance as a *difference* of
+//! running sums (`Σw² − (Σw)²/M`), which for a flat window is rounding
+//! noise rather than an exact zero. Both fast paths therefore declare a
+//! window flat — and return exactly 0, matching `ncc` — whenever its
+//! centred energy is below `1e-9` of its raw energy. Real backscatter
+//! envelopes sit many orders of magnitude above that floor (the modulation
+//! depth puts the ratio near `1e-2`), so the contract only reclassifies
+//! windows whose score was numerically meaningless anyway. Because of this
+//! reconstruction the fast scores are *not* bit-identical to `ncc`; the
+//! live lock decision stays on the exact streaming searcher and these
+//! paths serve batch scans, offline search and benchmarks.
+//!
+//! [`ncc`]: crate::correlate::ncc
+
+use crate::ringbuf::RingBuf;
+use crate::sample::Iq;
+
+/// Error returned when a transform is handed a non-power-of-two length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftSizeError {
+    /// The offending buffer length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for FftSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fft length {} is not a power of two", self.len)
+    }
+}
+
+impl std::error::Error for FftSizeError {}
+
+/// Smallest power of two ≥ `n` (saturating at the largest representable
+/// power of two).
+pub fn next_pow2(n: usize) -> usize {
+    n.checked_next_power_of_two()
+        .unwrap_or(1usize << (usize::BITS - 1))
+}
+
+/// In-place forward FFT (engineering sign convention, no scaling).
+///
+/// The length must be a power of two; `1` and `0`-length inputs are no-ops.
+pub fn fft(buf: &mut [Iq]) -> Result<(), FftSizeError> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT, scaled by `1/N` so `ifft(fft(x)) == x` up to
+/// rounding.
+pub fn ifft(buf: &mut [Iq]) -> Result<(), FftSizeError> {
+    transform(buf, true)
+}
+
+/// Forward-convention master twiddle table for an `n`-point transform:
+/// `table[k] = exp(-iπk/(n/2))` for `k < n/2`. Every stage of the
+/// iterative transform subsamples this table, so the sin/cos cost is paid
+/// once per table rather than once per stage, and a table can be shared
+/// across the several transforms of one correlation.
+fn twiddle_table(n: usize) -> Vec<Iq> {
+    let half = (n / 2).max(1);
+    let step = -std::f64::consts::PI / half as f64;
+    (0..half).map(|k| Iq::phasor(step * k as f64)).collect()
+}
+
+fn transform(buf: &mut [Iq], inverse: bool) -> Result<(), FftSizeError> {
+    let n = buf.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(FftSizeError { len: n });
+    }
+    transform_with(buf, &twiddle_table(n), inverse);
+    Ok(())
+}
+
+/// The power-of-two transform body. `table` must be `twiddle_table(n)`;
+/// the inverse conjugates it on the fly and scales by `1/n`. Twiddles come
+/// from direct sin/cos (not repeated multiplication) so rounding does not
+/// accumulate across stages.
+fn transform_with(buf: &mut [Iq], table: &[Iq], inverse: bool) {
+    let n = buf.len();
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Iterative Cooley–Tukey butterflies. The stage with half-size `half`
+    // needs `exp(±iπk/half)`, which is every `(n/2)/half`-th table entry.
+    let mut half = 1usize;
+    while half < n {
+        let stride = (n / 2) / half;
+        let mut start = 0usize;
+        while start < n {
+            for k in 0..half {
+                let w = table[k * stride];
+                let w = if inverse { w.conj() } else { w };
+                let u = buf[start + k];
+                let v = buf[start + k + half] * w;
+                buf[start + k] = u + v;
+                buf[start + k + half] = u - v;
+            }
+            start += 2 * half;
+        }
+        half *= 2;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in buf.iter_mut() {
+            *x = *x * scale;
+        }
+    }
+}
+
+/// Relative flatness floor: a window whose centred energy `Σ(w−w̄)²` falls
+/// below this fraction of its raw energy `Σw²` is declared zero-variance
+/// and scored 0, matching [`ncc`](crate::correlate::ncc) on flat input.
+const FLAT_REL_FLOOR: f64 = 1e-9;
+
+/// Final normalisation shared by the batch and streaming fast paths.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(a > b)` rejects NaN too
+fn normalise(num: f64, dw: f64, t_ss: f64, raw_energy: f64) -> f64 {
+    // `!(a > b)` also rejects NaN from upstream cancellation.
+    if !(dw > FLAT_REL_FLOOR * raw_energy.max(f64::MIN_POSITIVE)) {
+        return 0.0;
+    }
+    let den = (dw * t_ss).sqrt();
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Normalised sliding cross-correlation of `template` against every window
+/// of `signal`, via the convolution theorem.
+///
+/// Returns one score per window position: `out[p]` matches
+/// `ncc(&signal[p..p+M], template)` to ≤ 1e-9 (see the module docs for the
+/// flat-window contract). Returns an empty vector when the template is
+/// empty or longer than the signal.
+pub fn fft_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    let m = template.len();
+    if m == 0 || n < m {
+        return Vec::new();
+    }
+    let mf = m as f64;
+    let mt = template.iter().sum::<f64>() / mf;
+    let tz: Vec<f64> = template.iter().map(|&t| t - mt).collect();
+    let tz_sum: f64 = tz.iter().sum();
+    let t_ss: f64 = tz.iter().map(|b| b * b).sum();
+    if t_ss <= 0.0 {
+        // A flat template never correlates with anything — ncc semantics.
+        return vec![0.0; n - m + 1];
+    }
+    // Raw correlation for every lag at once: correlate == convolve with
+    // the time-reversed template, so corr[p] lands at conv index p + M − 1.
+    // Both inputs are real, so they ride one complex transform: with
+    // z = signal + i·kernel, the spectra split by Hermitian symmetry as
+    // S[k] = (Z[k] + Z*[n−k])/2 and K[k] = (Z[k] − Z*[n−k])/(2i) — two
+    // transforms total (one forward, one inverse) instead of three.
+    let len = next_pow2(n + m - 1);
+    let mut sig = vec![Iq::ZERO; len];
+    for (dst, &s) in sig.iter_mut().zip(signal.iter()) {
+        *dst = Iq::real(s);
+    }
+    for (i, dst) in sig.iter_mut().take(m).enumerate() {
+        dst.im = tz[m - 1 - i];
+    }
+    let table = twiddle_table(len);
+    transform_with(&mut sig, &table, false);
+    // Split, multiply and fold in one symmetric pass: the product spectrum
+    // is Hermitian (both factors are), so P[n−k] = P*[k] and each (k, n−k)
+    // pair is finished as soon as it is read.
+    let mask = len - 1;
+    for k in 0..=len / 2 {
+        let nk = (len - k) & mask;
+        let zk = sig[k];
+        let znk = sig[nk].conj();
+        let s = (zk + znk).scale(0.5);
+        let d = zk - znk;
+        // K[k] = d/(2i) = −i·d/2.
+        let kk = Iq::new(d.im, -d.re).scale(0.5);
+        let p = s * kk;
+        sig[k] = p;
+        sig[nk] = p.conj();
+    }
+    transform_with(&mut sig, &table, true);
+    // Window mean/energy from prefix sums — O(N) for all positions.
+    let mut ps1 = Vec::with_capacity(n + 1);
+    let mut ps2 = Vec::with_capacity(n + 1);
+    let (mut acc1, mut acc2) = (0.0f64, 0.0f64);
+    ps1.push(0.0);
+    ps2.push(0.0);
+    for &s in signal {
+        acc1 += s;
+        acc2 += s * s;
+        ps1.push(acc1);
+        ps2.push(acc2);
+    }
+    let mut out = Vec::with_capacity(n - m + 1);
+    for p in 0..=n - m {
+        let s1 = ps1[p + m] - ps1[p];
+        let s2 = ps2[p + m] - ps2[p];
+        let raw = sig[p + m - 1].re;
+        // Σ(w−w̄)(t−t̄) = Σw·tz − w̄·Σtz  (Σtz is ~0 but not exactly).
+        let num = raw - (s1 / mf) * tz_sum;
+        let dw = s2 - s1 * s1 / mf;
+        out.push(normalise(num, dw, t_ss, s2));
+    }
+    out
+}
+
+/// Streaming normalised correlator with O(1) window statistics.
+///
+/// The incremental running-sum fallback for when samples arrive one at a
+/// time and blocks are too small to amortise an FFT: window mean and
+/// energy are maintained by add/evict updates (periodically refreshed to
+/// bound float drift), so each push costs one O(M) dot product against the
+/// precomputed zero-mean template instead of [`ncc`]'s three passes.
+/// Scores match `ncc` on the same window to ≤ 1e-9 under the module's
+/// flat-window contract.
+#[derive(Debug, Clone)]
+pub struct RunningNcc {
+    /// Zero-mean template.
+    tz: Vec<f64>,
+    tz_sum: f64,
+    t_ss: f64,
+    window: RingBuf<f64>,
+    sum: f64,
+    sum_sq: f64,
+    pushes: u64,
+}
+
+/// Refresh period for the running sums (power of two for a cheap test).
+const REFRESH: u64 = 1 << 16;
+
+impl RunningNcc {
+    /// Creates a scorer for `template`.
+    pub fn new(template: &[f64]) -> Self {
+        let m = template.len().max(1) as f64;
+        let mt = template.iter().sum::<f64>() / m;
+        let tz: Vec<f64> = template.iter().map(|&t| t - mt).collect();
+        let tz_sum = tz.iter().sum();
+        let t_ss = tz.iter().map(|b| b * b).sum();
+        RunningNcc {
+            window: RingBuf::new(template.len().max(1)),
+            tz,
+            tz_sum,
+            t_ss,
+            sum: 0.0,
+            sum_sq: 0.0,
+            pushes: 0,
+        }
+    }
+
+    /// Template length.
+    pub fn template_len(&self) -> usize {
+        self.tz.len()
+    }
+
+    /// Pushes one sample; returns the window score once the window is full.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        if let Some(old) = self.window.push_evict(x) {
+            self.sum += x - old;
+            self.sum_sq += x * x - old * old;
+        } else {
+            self.sum += x;
+            self.sum_sq += x * x;
+        }
+        self.pushes += 1;
+        if self.pushes.is_multiple_of(REFRESH) {
+            self.sum = self.window.iter().sum();
+            self.sum_sq = self.window.iter().map(|w| w * w).sum();
+        }
+        if !self.window.is_full() || self.tz.is_empty() {
+            return None;
+        }
+        let m = self.tz.len() as f64;
+        let (s1, s2) = self.window.as_slices();
+        let mut dot = 0.0;
+        for (&w, &t) in s1.iter().chain(s2.iter()).zip(self.tz.iter()) {
+            dot += w * t;
+        }
+        let num = dot - (self.sum / m) * self.tz_sum;
+        let dw = self.sum_sq - self.sum * self.sum / m;
+        Some(normalise(num, dw, self.t_ss, self.sum_sq))
+    }
+
+    /// Clears the window and running sums.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::{chips_to_template, ncc};
+
+    /// Deterministic LCG stream in [0, 1).
+    fn noise(n: usize, mut x: f64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                x = (x * 9301.0 + 49297.0) % 1.0;
+                x
+            })
+            .collect()
+    }
+
+    fn naive_dft(xs: &[Iq]) -> Vec<Iq> {
+        let n = xs.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Iq::ZERO;
+                for (j, &x) in xs.iter().enumerate() {
+                    let th = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += x * Iq::phasor(th);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let xs: Vec<Iq> = noise(n, 0.3)
+                .iter()
+                .zip(noise(n, 0.7).iter())
+                .map(|(&a, &b)| Iq::new(a - 0.5, b - 0.5))
+                .collect();
+            let mut fast = xs.clone();
+            fft(&mut fast).unwrap();
+            for (f, d) in fast.iter().zip(naive_dft(&xs).iter()) {
+                assert!((*f - *d).abs() < 1e-10, "n {n}: {f:?} vs {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_round_trips() {
+        let xs: Vec<Iq> = noise(256, 0.41)
+            .iter()
+            .map(|&a| Iq::new(a, 1.0 - a))
+            .collect();
+        let mut buf = xs.clone();
+        fft(&mut buf).unwrap();
+        ifft(&mut buf).unwrap();
+        for (y, x) in buf.iter().zip(xs.iter()) {
+            assert!((*y - *x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Iq::ZERO; 12];
+        assert_eq!(fft(&mut buf), Err(FftSizeError { len: 12 }));
+        assert_eq!(next_pow2(12), 16);
+        assert_eq!(next_pow2(16), 16);
+        assert_eq!(next_pow2(0), 1);
+    }
+
+    /// Sliding ncc oracle.
+    fn sliding_ncc(signal: &[f64], template: &[f64]) -> Vec<f64> {
+        (0..=signal.len() - template.len())
+            .map(|p| ncc(&signal[p..p + template.len()], template))
+            .collect()
+    }
+
+    #[test]
+    fn fft_correlate_matches_ncc_on_random_input() {
+        let template = chips_to_template(&[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0], 8);
+        let mut signal = noise(400, 0.23);
+        // Embed the template (offset + gain, the envelope situation).
+        for (i, &t) in template.iter().enumerate() {
+            signal[137 + i] = 0.5 + 0.2 * t + 0.01 * signal[137 + i];
+        }
+        let fast = fft_correlate(&signal, &template);
+        let exact = sliding_ncc(&signal, &template);
+        assert_eq!(fast.len(), exact.len());
+        let mut worst = 0.0f64;
+        for (f, e) in fast.iter().zip(exact.iter()) {
+            worst = worst.max((f - e).abs());
+        }
+        assert!(worst <= 1e-9, "worst deviation {worst:.3e}");
+        // The embedded peak is found at the same place with ~the same score.
+        let peak = fast
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, 137);
+        assert!(fast[peak] > 0.99);
+    }
+
+    #[test]
+    fn fft_correlate_matches_ncc_on_flat_and_zero_variance_input() {
+        let template = chips_to_template(&[1.0, 0.0, 1.0, 1.0, 0.0, 0.0], 4);
+        // Entirely flat signal: every window is zero-variance → all zeros.
+        let flat = vec![0.7; 120];
+        let fast = fft_correlate(&flat, &template);
+        assert!(fast.iter().all(|&s| s == 0.0), "{fast:?}");
+        assert_eq!(fast, sliding_ncc(&flat, &template));
+        // Flat stretch inside an otherwise live signal.
+        let mut mixed = noise(200, 0.9);
+        for s in mixed[60..60 + 2 * template.len()].iter_mut() {
+            *s = 0.25;
+        }
+        let fast = fft_correlate(&mixed, &template);
+        let exact = sliding_ncc(&mixed, &template);
+        for (p, (f, e)) in fast.iter().zip(exact.iter()).enumerate() {
+            assert!((f - e).abs() <= 1e-9, "pos {p}: {f} vs {e}");
+        }
+        // Zero-variance template: ncc returns 0 everywhere, so must we.
+        let flat_template = vec![1.0; 16];
+        let fast = fft_correlate(&mixed, &flat_template);
+        assert!(fast.iter().all(|&s| s == 0.0));
+        // Zero (all-silent) signal.
+        let silent = vec![0.0; 80];
+        assert!(fft_correlate(&silent, &template).iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn fft_correlate_degenerate_sizes() {
+        assert!(fft_correlate(&[], &[1.0, 0.0]).is_empty());
+        assert!(fft_correlate(&[1.0], &[]).is_empty());
+        assert!(fft_correlate(&[1.0], &[1.0, 0.0]).is_empty());
+        // Signal exactly one window long.
+        let t = [1.0, 0.0, 1.0, 0.0];
+        let s = [0.9, 0.1, 0.8, 0.2];
+        let out = fft_correlate(&s, &t);
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - ncc(&s, &t)).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn running_ncc_matches_ncc() {
+        let template = chips_to_template(&[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0], 6);
+        let mut signal = noise(500, 0.55);
+        for (i, &t) in template.iter().enumerate() {
+            signal[222 + i] = 0.5 + 0.2 * t;
+        }
+        let mut r = RunningNcc::new(&template);
+        assert_eq!(r.template_len(), template.len());
+        for (i, &x) in signal.iter().enumerate() {
+            match r.push(x) {
+                None => assert!(i + 1 < template.len()),
+                Some(score) => {
+                    let p = i + 1 - template.len();
+                    let exact = ncc(&signal[p..p + template.len()], &template);
+                    assert!(
+                        (score - exact).abs() <= 1e-9,
+                        "pos {p}: {score} vs {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn running_ncc_flat_window_scores_zero() {
+        let template = chips_to_template(&[1.0, 0.0, 1.0, 1.0], 4);
+        let mut r = RunningNcc::new(&template);
+        let mut last = None;
+        for _ in 0..3 * template.len() {
+            last = r.push(3.25);
+        }
+        assert_eq!(last, Some(0.0));
+        r.reset();
+        assert_eq!(r.push(1.0), None);
+    }
+}

@@ -44,20 +44,30 @@ impl Fir {
     /// Processes one sample, returning the filter output.
     pub fn process(&mut self, x: Iq) -> Iq {
         self.delay.push_evict(x);
-        let n = self.delay.len();
+        // The delay line is always full (pre-charged with zeros), so its two
+        // contiguous slices walked newest → oldest visit taps[0], taps[1], …
+        // in order — same accumulation sequence as indexed access, without
+        // the per-tap modulo.
+        let (s1, s2) = self.delay.as_slices();
         let mut acc = Iq::ZERO;
-        // delay.get(n-1) is the newest sample → taps[0].
-        for (k, &t) in self.taps.iter().enumerate() {
-            if let Some(s) = self.delay.get(n - 1 - k) {
-                acc += s * t;
-            }
+        for (&t, &s) in self.taps.iter().zip(s2.iter().rev().chain(s1.iter().rev())) {
+            acc += s * t;
         }
         acc
     }
 
     /// Filters a whole block, producing one output per input.
     pub fn process_block(&mut self, xs: &[Iq]) -> Vec<Iq> {
-        xs.iter().map(|&x| self.process(x)).collect()
+        let mut out = Vec::with_capacity(xs.len());
+        self.process_block_into(xs, &mut out);
+        out
+    }
+
+    /// Filters a whole block into a caller-owned buffer (cleared first) —
+    /// the allocation-free block entry point.
+    pub fn process_block_into(&mut self, xs: &[Iq], out: &mut Vec<Iq>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.process(x)));
     }
 
     /// Resets the internal delay line to zeros.
@@ -90,14 +100,18 @@ impl FirC {
     /// Processes one sample.
     pub fn process(&mut self, x: Iq) -> Iq {
         self.delay.push_evict(x);
-        let n = self.delay.len();
+        let (s1, s2) = self.delay.as_slices();
         let mut acc = Iq::ZERO;
-        for (k, &t) in self.taps.iter().enumerate() {
-            if let Some(s) = self.delay.get(n - 1 - k) {
-                acc += s * t;
-            }
+        for (&t, &s) in self.taps.iter().zip(s2.iter().rev().chain(s1.iter().rev())) {
+            acc += s * t;
         }
         acc
+    }
+
+    /// Filters a whole block into a caller-owned buffer (cleared first).
+    pub fn process_block_into(&mut self, xs: &[Iq], out: &mut Vec<Iq>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.process(x)));
     }
 
     /// Resets the internal delay line to zeros.
@@ -243,6 +257,39 @@ mod tests {
             last = f.process(Iq::real(2.0));
         }
         assert!((last.re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_slice_dot_is_bit_identical_to_indexed_reference() {
+        // Odd tap count keeps the ring wrap sweeping through every phase.
+        let mut f = Fir::new(rrc_taps(4, 0.3, 4));
+        let mut x = 0.2;
+        for i in 0..100 {
+            x = (x * 9301.0 + 49297.0) % 1.0;
+            let y = f.process(Iq::new(x, -x));
+            // Indexed (pre-rewrite) dot over the identical delay state.
+            let n = f.delay.len();
+            let mut acc = Iq::ZERO;
+            for (k, &t) in f.taps.iter().enumerate() {
+                if let Some(s) = f.delay.get(n - 1 - k) {
+                    acc += s * t;
+                }
+            }
+            assert_eq!(y, acc, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn process_block_into_reuses_buffer() {
+        let mut f = Fir::new(boxcar_taps(3));
+        let xs: Vec<Iq> = (0..8).map(|i| Iq::real(i as f64)).collect();
+        let mut g = f.clone();
+        let mut out = Vec::new();
+        f.process_block_into(&xs, &mut out);
+        assert_eq!(out, g.process_block(&xs));
+        // A second call clears before refilling.
+        f.process_block_into(&xs[..2], &mut out);
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

@@ -65,6 +65,14 @@ impl MovingAverage {
         self.sum / self.window.len() as f64
     }
 
+    /// Processes a block into a caller-owned buffer (cleared first) — the
+    /// allocation-free block entry point. State evolution is identical to
+    /// calling [`process`](MovingAverage::process) per sample.
+    pub fn process_block_into(&mut self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.process(x)));
+    }
+
     /// Current mean without pushing.
     pub fn mean(&self) -> f64 {
         if self.window.is_empty() {

@@ -56,18 +56,35 @@ impl<T: Copy + Default> RingBuf<T> {
         self.len == self.cap
     }
 
+    /// Physical index of logical position `i`, assuming `i < len`. The
+    /// wrap is a compare-and-subtract, not `%`: the capacities used here
+    /// (template lengths, smoothing windows) are rarely powers of two, so
+    /// a modulo would be an integer division on every hot-path access.
+    #[inline]
+    fn wrap(&self, i: usize) -> usize {
+        let idx = self.head + i;
+        if idx >= self.cap {
+            idx - self.cap
+        } else {
+            idx
+        }
+    }
+
     /// Pushes a new element. When full, the oldest element is evicted and
     /// returned; otherwise `None`.
     pub fn push_evict(&mut self, value: T) -> Option<T> {
         if self.len < self.cap {
-            let idx = (self.head + self.len) % self.cap;
+            let idx = self.wrap(self.len);
             self.buf[idx] = value;
             self.len += 1;
             None
         } else {
             let evicted = self.buf[self.head];
             self.buf[self.head] = value;
-            self.head = (self.head + 1) % self.cap;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
             Some(evicted)
         }
     }
@@ -75,7 +92,7 @@ impl<T: Copy + Default> RingBuf<T> {
     /// Element at logical index `i` (0 = oldest). `None` when out of range.
     pub fn get(&self, i: usize) -> Option<T> {
         if i < self.len {
-            Some(self.buf[(self.head + i) % self.cap])
+            Some(self.buf[self.wrap(i)])
         } else {
             None
         }
@@ -97,7 +114,24 @@ impl<T: Copy + Default> RingBuf<T> {
 
     /// Iterates oldest → newest.
     pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-        (0..self.len).map(move |i| self.buf[(self.head + i) % self.cap])
+        let (a, b) = self.as_slices();
+        a.iter().chain(b.iter()).copied()
+    }
+
+    /// The contents as two contiguous slices in age order: chaining
+    /// `first` then `second` yields exactly the elements of [`iter`]
+    /// (oldest → newest). `second` is empty while the contents have not
+    /// wrapped around the end of the backing storage. This is the
+    /// per-element-modulo-free access path for windowed kernels.
+    ///
+    /// [`iter`]: RingBuf::iter
+    pub fn as_slices(&self) -> (&[T], &[T]) {
+        let end = self.head + self.len;
+        if end <= self.cap {
+            (&self.buf[self.head..end], &[])
+        } else {
+            (&self.buf[self.head..self.cap], &self.buf[..end - self.cap])
+        }
     }
 
     /// Clears the ring without touching capacity.
@@ -164,6 +198,34 @@ mod tests {
         assert!(r.is_full());
         assert!(r.iter().all(|x| x == 1.5));
         assert_eq!(r.push_evict(2.0), Some(1.5));
+    }
+
+    #[test]
+    fn as_slices_matches_iter_in_every_fill_state() {
+        // Sweep capacities and push counts so every head/len combination —
+        // empty, partial, full-unwrapped and full-wrapped — is exercised.
+        for cap in 1..=8usize {
+            let mut r: RingBuf<i64> = RingBuf::new(cap);
+            for pushes in 0..3 * cap {
+                let (a, b) = r.as_slices();
+                let glued: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+                assert_eq!(glued, r.iter().collect::<Vec<_>>(), "cap {cap} pushes {pushes}");
+                assert_eq!(a.len() + b.len(), r.len());
+                r.push_evict(pushes as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn as_slices_splits_exactly_at_wrap() {
+        let mut r: RingBuf<u32> = RingBuf::new(4);
+        for v in 0..6 {
+            r.push_evict(v);
+        }
+        // Holds 2,3,4,5 with head at physical index 2.
+        let (a, b) = r.as_slices();
+        assert_eq!(a, &[2, 3]);
+        assert_eq!(b, &[4, 5]);
     }
 
     #[test]

@@ -72,6 +72,13 @@ impl PeakTracker {
         x > self.threshold()
     }
 
+    /// Slices a block into a caller-owned bit buffer (cleared first) — the
+    /// allocation-free block entry point.
+    pub fn process_block_into(&mut self, xs: &[f64], out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.process(x)));
+    }
+
     /// Pre-loads the followers (e.g. from a known preamble swing).
     pub fn prime(&mut self, min: f64, max: f64) {
         self.min = min.min(max);

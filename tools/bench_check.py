@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Assemble and gate the benchmark trajectory files (BENCH_*.json).
+
+The vendored criterion harness appends one JSON line per benchmark to the
+file named by FDB_BENCH_JSON. This tool turns that stream into a committed
+trajectory file, and gates CI on it:
+
+  # run the benches, collecting machine-readable results
+  FDB_BENCH_JSON=target/bench.jsonl cargo bench -p fdb-bench --no-default-features
+
+  # assemble the paired speedups into a trajectory file
+  python3 tools/bench_check.py emit --jsonl target/bench.jsonl \
+      --out BENCH_pr6.json --label pr6 [--enforce-floors]
+
+  # CI smoke gate: recompute speedups and fail on >20% regression
+  python3 tools/bench_check.py check --jsonl target/bench.jsonl \
+      --baseline BENCH_pr6.json --tolerance 0.20
+
+Only *ratios* (candidate vs baseline within one process on one machine) are
+compared across runs, never absolute times, so the gate is machine-portable.
+Python 3 standard library only.
+"""
+
+import argparse
+import json
+import sys
+
+# Optimised/scalar pairs the trajectory tracks. `floor` is the minimum
+# speedup the optimised implementation must show over its in-process scalar
+# baseline (None = report-only). Floors come from the PR-6 acceptance
+# criteria: >=5x on preamble search, >=2x on end-to-end rx decode.
+PAIRS = {
+    "preamble_search_16k": {
+        "baseline": "sync/preamble_sliding_ncc_16k",
+        "candidate": "sync/preamble_fft_correlate_16k",
+        "floor": 5.0,
+    },
+    "rx_chain_64B_frame": {
+        "baseline": "rx_chain/sic_resample_decode_64B_per_sample",
+        "candidate": "rx_chain/sic_resample_decode_64B_block",
+        "floor": 2.0,
+    },
+    # Dispatch-only slice of the pair above (shared finish-chip/DLL work
+    # dominates, so the ratio is structurally capped well under the chain
+    # pair's floor): report-only.
+    "rx_decode_64B_frame": {
+        "baseline": "phy_loopback/rx_decode_64B_frame",
+        "candidate": "phy_loopback/rx_decode_64B_frame_slices",
+        "floor": None,
+    },
+    "fir_9tap_4096": {
+        "baseline": "fir/9tap_per_sample_4096",
+        "candidate": "fir/9tap_block_4096",
+        "floor": None,
+    },
+    "fir_33tap_4096": {
+        "baseline": "fir/33tap_per_sample_4096",
+        "candidate": "fir/33tap_block_4096",
+        "floor": None,
+    },
+    "fir_65tap_4096": {
+        "baseline": "fir/65tap_per_sample_4096",
+        "candidate": "fir/65tap_block_4096",
+        "floor": None,
+    },
+    "run_frame_64B_cw": {
+        "baseline": "fd_link/run_frame_64B_cw_reference",
+        "candidate": "fd_link/run_frame_64B_cw",
+        "floor": None,
+    },
+    "run_frame_64B_tv_wideband": {
+        "baseline": "fd_link/run_frame_64B_tv_wideband_reference",
+        "candidate": "fd_link/run_frame_64B_tv_wideband",
+        "floor": None,
+    },
+}
+
+SCHEMA = "fdb-bench-trajectory-v1"
+
+
+def load_jsonl(path):
+    """Parse the criterion result stream into {bench name: mean seconds}."""
+    means = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: bad JSON line: {e}")
+            name, mean = rec.get("name"), rec.get("mean_s")
+            if not isinstance(name, str) or not isinstance(mean, (int, float)):
+                sys.exit(f"{path}:{lineno}: missing name/mean_s: {line}")
+            if mean <= 0:
+                sys.exit(f"{path}:{lineno}: non-positive mean_s for {name}")
+            # Keep the last record when a bench ran more than once.
+            means[name] = float(mean)
+    if not means:
+        sys.exit(f"{path}: no benchmark records found")
+    return means
+
+
+def build_pairs(means):
+    """Resolve every tracked pair against the measured means."""
+    out, missing = {}, []
+    for key, spec in PAIRS.items():
+        base, cand = spec["baseline"], spec["candidate"]
+        if base not in means or cand not in means:
+            missing.extend(n for n in (base, cand) if n not in means)
+            continue
+        out[key] = {
+            "baseline": base,
+            "candidate": cand,
+            "baseline_mean_s": means[base],
+            "candidate_mean_s": means[cand],
+            "speedup": means[base] / means[cand],
+            "floor": spec["floor"],
+        }
+    if missing:
+        sys.exit("missing benchmark results: " + ", ".join(sorted(set(missing))))
+    return out
+
+
+def cmd_emit(args):
+    means = load_jsonl(args.jsonl)
+    pairs = build_pairs(means)
+    doc = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "pairs": pairs,
+        "raw_mean_s": dict(sorted(means.items())),
+    }
+    failures = []
+    for key, p in pairs.items():
+        print(f"{key:<32} {p['speedup']:6.2f}x  "
+              f"({p['baseline_mean_s']:.3e}s -> {p['candidate_mean_s']:.3e}s)")
+        if args.enforce_floors and p["floor"] and p["speedup"] < p["floor"]:
+            failures.append(
+                f"{key}: speedup {p['speedup']:.2f}x below floor {p['floor']:.1f}x")
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(pairs)} pairs, {len(means)} benches)")
+    if failures:
+        sys.exit("floor violations:\n  " + "\n  ".join(failures))
+
+
+def cmd_check(args):
+    means = load_jsonl(args.jsonl)
+    fresh = build_pairs(means)
+    with open(args.baseline, encoding="utf-8") as fh:
+        base_doc = json.load(fh)
+    if base_doc.get("schema") != SCHEMA:
+        sys.exit(f"{args.baseline}: unexpected schema {base_doc.get('schema')!r}")
+    failures = []
+    for key, committed in base_doc.get("pairs", {}).items():
+        if key not in fresh:
+            failures.append(f"{key}: pair missing from fresh run")
+            continue
+        want = committed["speedup"] * (1.0 - args.tolerance)
+        got = fresh[key]["speedup"]
+        status = "ok" if got >= want else "REGRESSED"
+        print(f"{key:<32} committed {committed['speedup']:6.2f}x  "
+              f"fresh {got:6.2f}x  (gate >= {want:.2f}x)  {status}")
+        if got < want:
+            failures.append(
+                f"{key}: fresh speedup {got:.2f}x is more than "
+                f"{args.tolerance:.0%} below committed {committed['speedup']:.2f}x")
+    if failures:
+        sys.exit("bench regression gate failed:\n  " + "\n  ".join(failures))
+    print(f"bench gate ok ({len(base_doc.get('pairs', {}))} pairs within "
+          f"{args.tolerance:.0%} of {args.baseline})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    em = sub.add_parser("emit", help="assemble a BENCH_*.json trajectory file")
+    em.add_argument("--jsonl", required=True, help="criterion FDB_BENCH_JSON output")
+    em.add_argument("--out", required=True, help="trajectory file to write")
+    em.add_argument("--label", default="dev", help="trajectory label (e.g. pr6)")
+    em.add_argument("--enforce-floors", action="store_true",
+                    help="fail if any pair misses its acceptance floor")
+    em.set_defaults(fn=cmd_emit)
+
+    ck = sub.add_parser("check", help="gate a fresh run against a committed file")
+    ck.add_argument("--jsonl", required=True, help="criterion FDB_BENCH_JSON output")
+    ck.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    ck.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional speedup regression (default 0.20)")
+    ck.set_defaults(fn=cmd_check)
+
+    args = ap.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,18 @@
 //! prints `name  <mean time>  (<throughput>)` lines — no statistics,
 //! plots, or baseline comparisons, but the same source compiles and the
 //! numbers are usable for coarse regression checks.
+//!
+//! Two environment variables extend the real criterion's CLI surface:
+//!
+//! - `FDB_BENCH_JSON=<path>`: append one JSON line per benchmark
+//!   (`{"name":…,"mean_s":…,"iters_per_sample":…,"throughput_elements":…}`)
+//!   to `<path>`, for machine consumption by `tools/bench_check.py`.
+//! - `FDB_BENCH_QUICK=1`: quick mode — shrink the per-sample calibration
+//!   budget and sample count so a full bench binary finishes in seconds.
+//!   Absolute times get noisy but within-process ratios stay usable, which
+//!   is what the CI smoke gate compares.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -74,13 +85,15 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     iters_per_sample: u64,
     samples: usize,
+    calibration_budget: Duration,
     /// Mean seconds per iteration, filled by `iter`.
     mean_s: f64,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Calibrate: grow the batch until one batch takes ≥ ~1 ms.
+        // Calibrate: grow the batch until one batch meets the time budget.
+        let budget = self.calibration_budget;
         let mut batch = 1u64;
         loop {
             let t0 = Instant::now();
@@ -88,7 +101,7 @@ impl Bencher {
                 black_box(f());
             }
             let dt = t0.elapsed();
-            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+            if dt >= budget || batch >= 1 << 20 {
                 break;
             }
             batch *= 4;
@@ -107,15 +120,55 @@ impl Bencher {
     }
 }
 
+/// Quick mode: `FDB_BENCH_QUICK` set to anything but `0` / empty.
+fn quick_mode() -> bool {
+    std::env::var("FDB_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One machine-readable result line (JSON object, no trailing newline).
+fn json_line(name: &str, throughput: Option<Throughput>, mean_s: f64, iters: u64) -> String {
+    let mut line = String::from("{\"name\":\"");
+    // The bench names this workspace produces are plain ASCII identifiers
+    // plus '/', but escape the JSON-significant characters anyway.
+    for ch in name.chars() {
+        match ch {
+            '"' => line.push_str("\\\""),
+            '\\' => line.push_str("\\\\"),
+            c if (c as u32) < 0x20 => line.push_str(&format!("\\u{:04x}", c as u32)),
+            c => line.push(c),
+        }
+    }
+    line.push_str("\",\"mean_s\":");
+    if mean_s.is_finite() {
+        line.push_str(&format!("{mean_s:e}"));
+    } else {
+        line.push_str("null");
+    }
+    line.push_str(&format!(",\"iters_per_sample\":{iters}"));
+    match throughput {
+        Some(Throughput::Elements(n)) => line.push_str(&format!(",\"throughput_elements\":{n}")),
+        Some(Throughput::Bytes(n)) => line.push_str(&format!(",\"throughput_bytes\":{n}")),
+        None => {}
+    }
+    line.push('}');
+    line
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     name: &str,
     throughput: Option<Throughput>,
     samples: usize,
     mut f: F,
 ) {
+    let (samples, calibration_budget) = if quick_mode() {
+        (samples.min(3), Duration::from_micros(200))
+    } else {
+        (samples, Duration::from_millis(1))
+    };
     let mut b = Bencher {
         iters_per_sample: 0,
         samples,
+        calibration_budget,
         mean_s: f64::NAN,
     };
     f(&mut b);
@@ -130,6 +183,19 @@ fn run_one<F: FnMut(&mut Bencher)>(
         _ => String::new(),
     };
     println!("{name:<48} {time}{rate}   ({} iters/sample)", b.iters_per_sample);
+    if let Ok(path) = std::env::var("FDB_BENCH_JSON") {
+        if !path.is_empty() {
+            let line = json_line(name, throughput, b.mean_s, b.iters_per_sample);
+            match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                Ok(mut file) => {
+                    if let Err(e) = writeln!(file, "{line}") {
+                        eprintln!("criterion: failed writing {path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("criterion: failed opening {path}: {e}"),
+            }
+        }
+    }
 }
 
 fn format_time(s: f64) -> String {
@@ -181,6 +247,27 @@ mod tests {
         });
         g.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn json_line_round_trips_fields() {
+        let l = json_line("sync/ncc_320", Some(Throughput::Elements(4096)), 1.5e-6, 256);
+        assert_eq!(
+            l,
+            "{\"name\":\"sync/ncc_320\",\"mean_s\":1.5e-6,\
+             \"iters_per_sample\":256,\"throughput_elements\":4096}"
+        );
+        let l = json_line("crc/crc8_1k", Some(Throughput::Bytes(1024)), 2.0e-7, 64);
+        assert!(l.contains("\"throughput_bytes\":1024"));
+        let l = json_line("x", None, f64::NAN, 0);
+        assert!(l.contains("\"mean_s\":null"));
+        assert!(!l.contains("throughput"));
+    }
+
+    #[test]
+    fn json_line_escapes_metacharacters() {
+        let l = json_line("a\"b\\c\nd", None, 1.0, 1);
+        assert!(l.contains("a\\\"b\\\\c\\u000ad"));
     }
 
     #[test]
