@@ -25,10 +25,17 @@
 //!   `--trace-out PATH` every frame's events stream to a JSONL file
 //!   through a `JsonlFileSink` while the run stays at constant resident
 //!   memory (needs the `trace` feature).
+//! * `--report mac` — runs an adaptive-vs-oblivious
+//!   [`fdb_sim::AblationPair`] (`--config configs/scenarios/*.json`,
+//!   required): one JSON line per session slot for each arm (tagged
+//!   `"arm":"adaptive"|"oblivious"`), then a summary with both goodputs,
+//!   the achieved margin and the pair's `min_margin` gate. Exits non-zero
+//!   when the margin is not met — the CI regression gate for the
+//!   adaptive-MAC loop.
 //!
 //! ```text
 //! cargo run --release -p fdb-bench --bin probe -- \
-//!     --report sync|link [--config configs/default_link.json] \
+//!     --report sync|link|mac [--config configs/default_link.json] \
 //!     [--frames N] [--seed N] [--trace-out PATH]
 //! ```
 //!
@@ -71,6 +78,7 @@ use rand_chacha::ChaCha8Rng;
 enum Report {
     Sync,
     Link,
+    Mac,
 }
 
 struct Args {
@@ -106,6 +114,8 @@ fn usage() -> ! {
          [--mode fd|hd] [--stage NAME] [--trace-out PATH] [--faults PATH]\n\
          \x20      probe --report sync|link [--config PATH] [--frames N] \
          [--seed N] [--trace-out PATH] [--faults PATH]\n\
+         \x20      probe --report mac --config configs/scenarios/PAIR.json \
+         [--seed N]\n\
          \x20      probe --fault-matrix CFG1,CFG2,... [--frames N] [--seed N]\n\
          \x20      probe --validate-trace PATH\n\
          \x20      probe --sweep [frames]\n\
@@ -158,8 +168,9 @@ fn parse_args() -> Args {
             "--report" => match value("--report").as_str() {
                 "sync" => args.report = Some(Report::Sync),
                 "link" => args.report = Some(Report::Link),
+                "mac" => args.report = Some(Report::Mac),
                 other => {
-                    eprintln!("unknown report '{other}' (expected sync|link)");
+                    eprintln!("unknown report '{other}' (expected sync|link|mac)");
                     usage()
                 }
             },
@@ -198,6 +209,10 @@ fn main() {
         }
         Some(Report::Link) => {
             link_report(&args);
+            return;
+        }
+        Some(Report::Mac) => {
+            mac_report(&args);
             return;
         }
         None => {}
@@ -548,6 +563,122 @@ fn link_report(args: &Args) {
         trace_out: args.trace_out.clone(),
     };
     println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+}
+
+/// Adaptive-MAC ablation report (`--report mac`): loads an
+/// [`fdb_sim::AblationPair`] from `--config`, runs both arms over the
+/// same fault timeline, prints one JSON line per session slot per arm
+/// and a closing summary with the goodput margin. Exits non-zero when
+/// the adaptive arm misses the pair's `min_margin` — the CI regression
+/// gate for the adaptive-MAC loop.
+fn mac_report(args: &Args) {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct SlotLine {
+        arm: String,
+        record: fdb_mac::scenario::FrameRecord,
+    }
+
+    #[derive(Serialize)]
+    struct ArmSummary {
+        goodput_bps: f64,
+        delivered_payloads: u64,
+        failed_payloads: u64,
+        false_acks: u64,
+        attempts: u64,
+        paused_slots: u64,
+        aborted_frames: u64,
+        rate_switches: u64,
+        retransmit_passes: u64,
+        blocks_dropped: u64,
+        elapsed_samples: u64,
+        ladder_trajectory: Vec<usize>,
+    }
+
+    #[derive(Serialize)]
+    struct SummaryLine {
+        summary: bool,
+        config: String,
+        label: String,
+        adaptive: ArmSummary,
+        oblivious: ArmSummary,
+        margin: f64,
+        min_margin: f64,
+        pass: bool,
+    }
+
+    fn arm_summary(r: &fdb_mac::scenario::AdaptationReport) -> ArmSummary {
+        ArmSummary {
+            goodput_bps: r.goodput_bps(),
+            delivered_payloads: r.delivered_payloads,
+            failed_payloads: r.failed_payloads,
+            false_acks: r.false_acks,
+            attempts: r.attempts,
+            paused_slots: r.paused_slots,
+            aborted_frames: r.aborted_frames,
+            rate_switches: r.rate_switches,
+            retransmit_passes: r.retransmit_passes,
+            blocks_dropped: r.blocks_dropped,
+            elapsed_samples: r.elapsed_samples,
+            ladder_trajectory: r.ladder_trajectory(),
+        }
+    }
+
+    let Some(path) = &args.config else {
+        eprintln!("--report mac needs --config with an ablation-pair JSON");
+        usage();
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut pair: fdb_sim::AblationPair = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path} invalid: {e}");
+        std::process::exit(2);
+    });
+    if args.seed_given {
+        pair.adaptive.seed = args.seed;
+        pair.oblivious.seed = args.seed;
+    }
+    pair.link.phy.validate().unwrap_or_else(|e| {
+        eprintln!("invalid PHY config: {e}");
+        std::process::exit(2);
+    });
+    let outcome = pair.run().unwrap_or_else(|e| {
+        eprintln!("pair run failed: {e}");
+        std::process::exit(1);
+    });
+    for (arm, report) in [
+        ("adaptive", &outcome.adaptive),
+        ("oblivious", &outcome.oblivious),
+    ] {
+        for record in &report.records {
+            let line = SlotLine {
+                arm: arm.to_string(),
+                record: record.clone(),
+            };
+            println!("{}", serde_json::to_string(&line).expect("slot line serializes"));
+        }
+    }
+    let summary = SummaryLine {
+        summary: true,
+        config: path.clone(),
+        label: outcome.label.clone(),
+        adaptive: arm_summary(&outcome.adaptive),
+        oblivious: arm_summary(&outcome.oblivious),
+        margin: outcome.margin,
+        min_margin: outcome.min_margin,
+        pass: outcome.pass,
+    };
+    println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+    if !outcome.pass {
+        eprintln!(
+            "FAIL: adaptive/oblivious goodput margin {:.3} below required {:.3}",
+            outcome.margin, outcome.min_margin
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Parses a trace JSONL file line-by-line, exiting non-zero with the

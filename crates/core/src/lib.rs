@@ -56,6 +56,7 @@ pub mod link;
 pub mod multilink;
 pub mod network;
 pub mod rx;
+pub mod seed;
 pub mod sic;
 pub mod trace;
 pub mod tx;
@@ -63,3 +64,4 @@ pub mod tx;
 pub use config::{PhyConfig, SicMode};
 pub use error::PhyError;
 pub use link::{FdLink, FrameOutcome, LinkConfig, LinkGeometry};
+pub use seed::derive_seed;

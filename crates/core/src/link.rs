@@ -139,6 +139,19 @@ impl LinkConfig {
             ambient_seed: 1,
         }
     }
+
+    /// The same link rebuilt at a different chip rate: a copy of this
+    /// config with `phy.samples_per_chip` replaced. This is how a rate
+    /// switch is applied between frames — the physical scenario (geometry,
+    /// ambient, tags, noise) is untouched; only the chip clock moves. The
+    /// caller rebuilds the [`FdLink`] from the returned config with a
+    /// seed-derived RNG so the switch never perturbs later frames' noise
+    /// lineage (see [`crate::seed::derive_seed`]).
+    pub fn at_samples_per_chip(&self, samples_per_chip: usize) -> Self {
+        let mut cfg = self.clone();
+        cfg.phy.samples_per_chip = samples_per_chip;
+        cfg
+    }
 }
 
 /// How device B drives its feedback stream during a frame.

@@ -1,0 +1,43 @@
+//! Deterministic seed derivation shared by every per-frame stream.
+//!
+//! Reproducibility across the workspace rests on one rule: any stream that
+//! must stay stable when *other* streams change (payloads, fault draws,
+//! per-frame link RNGs) derives its seed from a master seed and an index
+//! through this splitmix64 finalizer — never from evolving RNG state.
+//! The adaptive-MAC session engine ([`crate::link`] rebuilt per frame at
+//! the controller's rate) depends on this: frame `k`'s seed is
+//! `derive_seed(session_seed, k)` whether or not frames `0..k` switched
+//! rates, so a rate decision never perturbs later frames' noise.
+//!
+//! Historically this lived in `fdb_sim::runner`; it moved here so the MAC
+//! layer (which `fdb-sim` depends on) can share the same lineage. The
+//! `fdb_sim::runner::derive_seed` re-export keeps existing callers valid.
+
+/// Derives a per-point seed from a master seed and a point index
+/// (splitmix64 finalizer; injective in practice for distinct indices).
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disperses_over_indices() {
+        let s: Vec<u64> = (0..100).map(|i| derive_seed(42, i)).collect();
+        let unique: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(unique.len(), 100);
+    }
+
+    #[test]
+    fn master_seed_moves_every_index() {
+        for i in 0..32 {
+            assert_ne!(derive_seed(1, i), derive_seed(2, i));
+        }
+    }
+}

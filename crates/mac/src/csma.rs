@@ -51,19 +51,34 @@ pub struct CsmaConfig {
 }
 
 impl CsmaConfig {
-    /// Defaults matched to the PHY default (1 kbps, 256-byte-ish frames,
-    /// m = 32 feedback ratio → pilot latency ≈ guard 4 + 6·32 bits).
-    pub fn default_with(n_nodes: usize, mode: AccessMode) -> Self {
+    /// Defaults with the pilot latency derived from the given PHY config:
+    /// an FD transmitter learns its pilots are missing after the feedback
+    /// guard interval plus one full pilot pattern at the feedback ratio,
+    /// i.e. `feedback_guard_bits + PILOTS.len() · feedback_ratio` data
+    /// bits. Deriving (rather than hardcoding) keeps the event-level model
+    /// honest when the PHY's guard or ratio changes.
+    pub fn from_phy(phy: &fdb_core::config::PhyConfig, n_nodes: usize, mode: AccessMode) -> Self {
+        let pilot_latency_bits = (phy.feedback_guard_bits
+            + fdb_core::feedback::PILOTS.len() * phy.feedback_ratio)
+            as u64;
         CsmaConfig {
             n_nodes,
             frame_bits: 2500,
-            pilot_latency_bits: 4 + 6 * 32,
+            pilot_latency_bits,
             arrival_per_bit: 2e-5,
             backoff_min_bits: 512,
             max_attempts: 12,
             mode,
             horizon_bits: 2_000_000,
         }
+    }
+
+    /// Defaults matched to the default PHY (1 kbps, 256-byte-ish frames,
+    /// m = 32 feedback ratio). Delegates to
+    /// [`from_phy`](CsmaConfig::from_phy) so the pilot latency tracks the
+    /// PHY configuration instead of drifting as a hardcoded constant.
+    pub fn default_with(n_nodes: usize, mode: AccessMode) -> Self {
+        Self::from_phy(&fdb_core::config::PhyConfig::default_fd(), n_nodes, mode)
     }
 }
 
@@ -277,6 +292,28 @@ mod tests {
         let r_low = run(&low, &mut rng);
         let r_high = run(&high, &mut rng);
         assert!(r_high.delivered > r_low.delivered);
+    }
+
+    #[test]
+    fn pilot_latency_derives_from_phy() {
+        use fdb_core::config::PhyConfig;
+        // Contract: the default config's pilot latency equals the value
+        // derived from the default PHY (historically hardcoded as
+        // 4 + 6·32 = 196 and prone to silent drift).
+        let phy = PhyConfig::default_fd();
+        let derived =
+            (phy.feedback_guard_bits + fdb_core::feedback::PILOTS.len() * phy.feedback_ratio) as u64;
+        let cfg = CsmaConfig::default_with(4, AccessMode::FdCollisionDetect);
+        assert_eq!(cfg.pilot_latency_bits, derived);
+        // And a changed PHY moves the derived latency with it.
+        let mut fat = phy.clone();
+        fat.feedback_guard_bits += 8;
+        fat.feedback_ratio *= 2;
+        let cfg = CsmaConfig::from_phy(&fat, 4, AccessMode::FdCollisionDetect);
+        assert_eq!(
+            cfg.pilot_latency_bits,
+            (fat.feedback_guard_bits + fdb_core::feedback::PILOTS.len() * fat.feedback_ratio) as u64
+        );
     }
 
     #[test]

@@ -105,15 +105,53 @@ impl FlowReport {
     }
 }
 
+/// The receiver side of one block-time: drain (unless stalled), update the
+/// busy watermark state and advance the sender's delayed view of it.
+/// Returns what the sender sees this block-time.
+struct Receiver {
+    buffer: u64,
+    drain_credit: f64,
+    busy_asserted: bool,
+    busy_pipe: std::collections::VecDeque<bool>,
+}
+
+impl Receiver {
+    fn new(cfg: &FlowConfig) -> Self {
+        Receiver {
+            buffer: 0,
+            drain_credit: 0.0,
+            busy_asserted: false,
+            // The sender's delayed view of the busy bit: a tiny delay line.
+            busy_pipe: std::collections::VecDeque::from(vec![
+                false;
+                cfg.feedback_latency_blocks as usize + 1
+            ]),
+        }
+    }
+
+    fn tick<R: Rng + ?Sized>(&mut self, cfg: &FlowConfig, rng: &mut R) -> bool {
+        if rng.gen_range(0.0..1.0) >= cfg.stall_probability {
+            self.drain_credit += cfg.drain_ratio;
+            while self.drain_credit >= 1.0 && self.buffer > 0 {
+                self.buffer -= 1;
+                self.drain_credit -= 1.0;
+            }
+            self.drain_credit = self.drain_credit.min(4.0);
+        }
+        if self.buffer >= cfg.high_watermark {
+            self.busy_asserted = true;
+        } else if self.buffer <= cfg.low_watermark {
+            self.busy_asserted = false;
+        }
+        self.busy_pipe.push_back(self.busy_asserted);
+        self.busy_pipe.pop_front().unwrap_or(false)
+    }
+}
+
 /// Runs the flow-control model.
 pub fn run<R: Rng + ?Sized>(cfg: &FlowConfig, rng: &mut R) -> FlowReport {
     let mut report = FlowReport::default();
-    let mut buffer: u64 = 0;
-    let mut drain_credit = 0.0;
-    let mut busy_asserted = false;
-    // The sender's delayed view of the busy bit: a tiny delay line.
-    let latency = cfg.feedback_latency_blocks as usize;
-    let mut busy_pipe = std::collections::VecDeque::from(vec![false; latency + 1]);
+    let mut rx = Receiver::new(cfg);
     // Blocks that still need their *first* successful delivery, plus, for
     // the overflow mode, the set dropped in the current pass.
     let mut remaining = cfg.total_blocks;
@@ -123,23 +161,7 @@ pub fn run<R: Rng + ?Sized>(cfg: &FlowConfig, rng: &mut R) -> FlowReport {
 
     while remaining > 0 && t < hard_stop {
         t += 1;
-        // Receiver drains.
-        if rng.gen_range(0.0..1.0) >= cfg.stall_probability {
-            drain_credit += cfg.drain_ratio;
-            while drain_credit >= 1.0 && buffer > 0 {
-                buffer -= 1;
-                drain_credit -= 1.0;
-            }
-            drain_credit = drain_credit.min(4.0);
-        }
-        // Receiver updates busy.
-        if buffer >= cfg.high_watermark {
-            busy_asserted = true;
-        } else if buffer <= cfg.low_watermark {
-            busy_asserted = false;
-        }
-        busy_pipe.push_back(busy_asserted);
-        let sender_sees_busy = busy_pipe.pop_front().unwrap_or(false);
+        let sender_sees_busy = rx.tick(cfg, rng);
 
         match cfg.mode {
             FlowMode::FdBackpressure => {
@@ -147,8 +169,8 @@ pub fn run<R: Rng + ?Sized>(cfg: &FlowConfig, rng: &mut R) -> FlowReport {
                     report.paused_time += 1;
                 } else {
                     report.transmissions += 1;
-                    if buffer < cfg.buffer_blocks {
-                        buffer += 1;
+                    if rx.buffer < cfg.buffer_blocks {
+                        rx.buffer += 1;
                         report.delivered += 1;
                         remaining -= 1;
                     } else {
@@ -160,15 +182,24 @@ pub fn run<R: Rng + ?Sized>(cfg: &FlowConfig, rng: &mut R) -> FlowReport {
             FlowMode::OverflowRetransmit => {
                 // Sender streams blindly through the current pass.
                 if pass_backlog == 0 && remaining > 0 {
-                    // Start a pass over everything still missing.
+                    // Start a pass over everything still missing. The
+                    // learn-and-turnaround gap is simulated tick-by-tick:
+                    // the receiver keeps draining (and stalling) through
+                    // the sender's silence, so a new pass starts against
+                    // whatever the receiver actually worked off — not
+                    // against the spuriously full buffer a bare
+                    // `t += gap` time-skip used to leave behind.
                     pass_backlog = remaining;
-                    t += cfg.retransmit_gap_blocks; // learn-and-turnaround
+                    for _ in 0..cfg.retransmit_gap_blocks {
+                        t += 1;
+                        rx.tick(cfg, rng);
+                    }
                 }
                 if pass_backlog > 0 {
                     report.transmissions += 1;
                     pass_backlog -= 1;
-                    if buffer < cfg.buffer_blocks {
-                        buffer += 1;
+                    if rx.buffer < cfg.buffer_blocks {
+                        rx.buffer += 1;
                         report.delivered += 1;
                         remaining -= 1;
                     } else {
@@ -241,6 +272,57 @@ mod tests {
             "drops: slow {} vs quick {}",
             r_slow.dropped,
             r_quick.dropped
+        );
+    }
+
+    #[test]
+    fn retransmit_gap_drains_receiver() {
+        // Regression for the `t += retransmit_gap_blocks` time-skip: the
+        // receiver neither drained nor stalled during the skipped
+        // block-times, so every pass after the first started against a
+        // spuriously full buffer. With stall_probability = 0 the model is
+        // fully deterministic; drain_ratio · gap ≥ buffer_blocks
+        // guarantees the buffer empties during each gap, so the first
+        // `buffer_blocks` transmissions of every pass must land.
+        let cfg = FlowConfig {
+            total_blocks: 40,
+            buffer_blocks: 4,
+            drain_ratio: 0.5,
+            stall_probability: 0.0,
+            feedback_latency_blocks: 2,
+            high_watermark: 3,
+            low_watermark: 1,
+            retransmit_gap_blocks: 16,
+            mode: FlowMode::OverflowRetransmit,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(405);
+        let hd = run(&cfg, &mut rng);
+        assert_eq!(hd.delivered, cfg.total_blocks);
+        // Pinned corrected trajectory (the buggy time-skip produced more
+        // drops / transmissions because pass 2+ opened at a full buffer).
+        assert_eq!(
+            (hd.dropped, hd.transmissions, hd.elapsed),
+            (13, 53, 85),
+            "overflow pass accounting moved: dropped {} tx {} elapsed {}",
+            hd.dropped,
+            hd.transmissions,
+            hd.elapsed
+        );
+        // Corrected goodput ordering: even with the baseline no longer
+        // handicapped by phantom-full buffers, FD backpressure still wins.
+        let fd = run(
+            &FlowConfig {
+                mode: FlowMode::FdBackpressure,
+                ..cfg
+            },
+            &mut rng,
+        );
+        assert_eq!(fd.delivered, cfg.total_blocks);
+        assert!(
+            fd.goodput_fraction() > hd.goodput_fraction(),
+            "FD {} vs corrected HD {}",
+            fd.goodput_fraction(),
+            hd.goodput_fraction()
         );
     }
 

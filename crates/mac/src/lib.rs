@@ -18,6 +18,11 @@
 //! experiment (E7) drives against PHY-backed frames, and [`selective`]
 //! extends early abort with resume-from-failed-block partial
 //! retransmission (the NACK's *timing* identifies the broken block).
+//!
+//! [`scenario`] closes the loop: a multi-frame session engine that runs
+//! rate adaptation, early abort, and flow control end-to-end over a real
+//! `FdLink` under injected faults, with every decision driven only by
+//! transmitter-observable feedback.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,11 +34,13 @@ pub mod early_abort;
 pub mod flow;
 pub mod rate_adapt;
 pub mod report;
+pub mod scenario;
 pub mod selective;
 pub mod stream;
 
 pub use arq::StopAndWait;
 pub use early_abort::EarlyAbortArq;
 pub use report::TransferReport;
+pub use scenario::{AdaptationReport, FlowModel, FrameRecord, RatePolicy, SessionConfig};
 pub use selective::ResumeArq;
 pub use stream::StreamSession;

@@ -25,6 +25,13 @@ pub enum RateDecision {
     Down,
 }
 
+/// Serde default for [`RateController::nack_trip`]: the historical 0.2
+/// trip point, so controller JSON written before the field existed parses
+/// unchanged.
+fn default_nack_trip() -> f64 {
+    0.2
+}
+
 /// AIMD rate controller over a discrete rate ladder.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RateController {
@@ -35,6 +42,11 @@ pub struct RateController {
     /// Clean frames required before stepping up.
     up_streak_needed: u32,
     streak: u32,
+    /// NACK-fraction trip point: a frame whose decoded feedback carries a
+    /// NACK fraction strictly above this counts as a failure even if it
+    /// delivered. Formerly a hidden `0.2` constant inside `on_frame`.
+    #[serde(default = "default_nack_trip")]
+    nack_trip: f64,
 }
 
 impl RateController {
@@ -51,7 +63,22 @@ impl RateController {
             idx,
             up_streak_needed: up_streak_needed.max(1),
             streak: 0,
+            nack_trip: default_nack_trip(),
         }
+    }
+
+    /// Builder-style override of the NACK-fraction trip point (clamped to
+    /// `[0, 1]`; non-finite values keep the default).
+    pub fn with_nack_trip(mut self, trip: f64) -> Self {
+        if trip.is_finite() {
+            self.nack_trip = trip.clamp(0.0, 1.0);
+        }
+        self
+    }
+
+    /// The configured NACK-fraction trip point.
+    pub fn nack_trip(&self) -> f64 {
+        self.nack_trip
     }
 
     /// The default ladder: 5/10/20/40 samples per chip — 2×, 1×, ½×, ¼×
@@ -75,10 +102,24 @@ impl RateController {
         self.ladder.len()
     }
 
+    /// The slowest (largest samples-per-chip) rung — the rate the
+    /// controller starts at and the longest frame a session can emit.
+    pub fn slowest_sps(&self) -> usize {
+        *self.ladder.last().expect("ladder is never empty")
+    }
+
     /// Feeds one frame outcome: whether the frame delivered cleanly and
     /// the fraction of feedback bits that were NACK.
+    ///
+    /// `delivered_clean` must be computed from the transmitter's own
+    /// observables. In particular, **a frame whose feedback pilot epoch
+    /// was never verified must count as not-clean**: without verified
+    /// pilots the transmitter has no evidence the receiver locked at all,
+    /// and an unverified epoch's decoded "feedback" bits are noise. Use
+    /// [`on_frame_observed`](RateController::on_frame_observed) to get
+    /// that rule applied for you.
     pub fn on_frame(&mut self, delivered_clean: bool, nack_fraction: f64) -> RateDecision {
-        if !delivered_clean || nack_fraction > 0.2 {
+        if !delivered_clean || nack_fraction > self.nack_trip {
             self.streak = 0;
             if self.idx + 1 < self.ladder.len() {
                 self.idx += 1;
@@ -93,6 +134,18 @@ impl RateController {
             return RateDecision::Up;
         }
         RateDecision::Hold
+    }
+
+    /// Observable-only wrapper around [`on_frame`](RateController::on_frame):
+    /// a frame with an unverified pilot epoch counts as not-clean regardless
+    /// of what the (noise) feedback bits decoded to.
+    pub fn on_frame_observed(
+        &mut self,
+        pilots_verified: bool,
+        believed_clean: bool,
+        nack_fraction: f64,
+    ) -> RateDecision {
+        self.on_frame(pilots_verified && believed_clean, nack_fraction)
     }
 
     /// Resets to the slowest rate (link re-establishment).
@@ -164,6 +217,54 @@ mod tests {
         let c = RateController::new(vec![], 1);
         assert_eq!(c.current_sps(), 10);
         assert_eq!(c.ladder_len(), 1);
+    }
+
+    #[test]
+    fn nack_trip_is_configurable() {
+        // Trip at 0.5: a 0.4-NACK frame is clean, a 0.6-NACK frame trips.
+        let mut c = RateController::new(vec![5, 10], 1).with_nack_trip(0.5);
+        assert_eq!(c.nack_trip(), 0.5);
+        c.on_frame(true, 0.4); // → 5 (clean despite 0.4 > old default 0.2)
+        assert_eq!(c.current_sps(), 5);
+        assert_eq!(c.on_frame(true, 0.6), RateDecision::Down);
+        assert_eq!(c.current_sps(), 10);
+        // Non-finite and out-of-range inputs are sanitised.
+        assert_eq!(
+            RateController::new(vec![5], 1).with_nack_trip(f64::NAN).nack_trip(),
+            0.2
+        );
+        assert_eq!(
+            RateController::new(vec![5], 1).with_nack_trip(7.0).nack_trip(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn legacy_json_without_trip_gets_default() {
+        // Controller JSON from before the field existed must parse and
+        // behave exactly as the old hidden 0.2 constant did.
+        let json = r#"{"ladder":[5,10,20],"idx":2,"up_streak_needed":2,"streak":0}"#;
+        let mut c: RateController = serde_json::from_str(json).unwrap();
+        assert_eq!(c.nack_trip(), 0.2);
+        c.on_frame(true, 0.0);
+        c.on_frame(true, 0.0); // → 10
+        assert_eq!(c.current_sps(), 10);
+        assert_eq!(c.on_frame(true, 0.21), RateDecision::Down);
+    }
+
+    #[test]
+    fn unverified_pilots_count_as_not_clean() {
+        let mut c = RateController::new(vec![5, 10, 20], 2);
+        c.on_frame(true, 0.0);
+        c.on_frame(true, 0.0); // → 10
+        assert_eq!(c.current_sps(), 10);
+        // Feedback decoded as all-ACK, but the pilot epoch never verified:
+        // the "feedback" is noise and the frame must count as a failure.
+        assert_eq!(c.on_frame_observed(false, true, 0.0), RateDecision::Down);
+        assert_eq!(c.current_sps(), 20);
+        // With pilots verified the same inputs are a clean frame.
+        c.on_frame_observed(true, true, 0.0);
+        assert_eq!(c.on_frame_observed(true, true, 0.0), RateDecision::Up);
     }
 
     #[test]

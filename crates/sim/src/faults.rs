@@ -22,7 +22,7 @@ use crate::runner::derive_seed;
 use fdb_core::config::PhyConfig;
 use fdb_core::link::FrameOutcome;
 pub use fdb_channel::impairment::{FaultKind, FaultTarget};
-use fdb_channel::impairment::{FrameFaults, ScheduledFault};
+use fdb_channel::impairment::{FaultRng, FrameFaults, ScheduledFault};
 use serde::{Deserialize, Serialize};
 
 /// XOR salt separating the fault RNG lineage from every other stream
@@ -115,6 +115,250 @@ impl FaultPlan {
             scheduled,
             derive_seed(self.seed ^ FAULT_SALT, frame),
         ))
+    }
+}
+
+/// XOR salt separating the generator draw lineage from the engine lineage
+/// (a generated plan's own `seed` feeds [`FaultPlan::frame_faults`] too —
+/// the two streams must not alias).
+const GEN_SALT: u64 = 0x6E6E_FA17;
+
+/// Seeded stochastic fault-plan generator with validated, bounded-energy
+/// parameters.
+///
+/// Where a [`FaultPlan`] scripts each impairment by hand, a `FaultGen`
+/// *expands* into one: [`FaultGen::generate`] draws a schedule from a
+/// splitmix lineage keyed per frame (`derive_seed(seed ^ GEN_SALT,
+/// frame)`), so frame `k`'s draws are identical whether the session runs
+/// 10 frames or 100, and the expanded plan replays byte-identically for
+/// the same `(generator, seed, frames, frame_samples)`. Every generated
+/// plan passes [`FaultPlan::validate`] by construction; the generator's
+/// own [`validate`](FaultGen::validate) additionally bounds the injected
+/// energy (burst rate/power/width caps) so a stochastic scenario cannot
+/// degenerate into a jammed channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultGen {
+    /// Trains of short noise bursts: each frame draws a burst count from
+    /// the expected rate, then a start, width and power per burst.
+    BurstTrain {
+        /// Expected bursts per frame (≤ 16).
+        bursts_per_frame: f64,
+        /// Burst power draw range, dBm (each ≤ 60, min ≤ max).
+        power_dbm_min: f64,
+        /// Upper end of the power range.
+        power_dbm_max: f64,
+        /// Burst width draw range, samples (min ≥ 1, min ≤ max).
+        duration_min_samples: usize,
+        /// Upper end of the width range.
+        duration_max_samples: usize,
+        /// Which device the bursts hit.
+        #[serde(default)]
+        target: FaultTarget,
+    },
+    /// Clock drift ramping linearly from `ppm_start` at `start_frame` to
+    /// `ppm_end` at the last frame — a tag's oscillator pulling away (or a
+    /// walk-away Doppler stand-in). Each afflicted frame gets one
+    /// whole-frame `ClockDrift` window.
+    DriftRamp {
+        /// Drift at `start_frame`, ppm.
+        ppm_start: f64,
+        /// Drift at the final frame, ppm (|ppm| ≤ 100 000).
+        ppm_end: f64,
+        /// First afflicted frame.
+        #[serde(default)]
+        start_frame: u64,
+    },
+    /// Alternating deep-fade / clear epochs of the ambient carrier, with
+    /// optional per-epoch length jitter. Each faded frame gets one
+    /// whole-frame `AmbientFade` window.
+    FadeEpochs {
+        /// Fade depth, dB (≥ 0).
+        depth_db: f64,
+        /// Nominal faded-epoch length, frames (≥ 1).
+        fade_frames: u64,
+        /// Nominal clear-epoch length, frames (≥ 1).
+        clear_frames: u64,
+        /// Uniform ±jitter applied to each epoch's length, frames
+        /// (must be < the shorter nominal epoch).
+        #[serde(default)]
+        jitter_frames: u64,
+    },
+}
+
+impl FaultGen {
+    /// Validates the generator's parameter bounds (delegating per-class
+    /// limits to [`FaultKind::validate`] on the extreme points) and its
+    /// energy budget.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            FaultGen::BurstTrain {
+                bursts_per_frame,
+                power_dbm_min,
+                power_dbm_max,
+                duration_min_samples,
+                duration_max_samples,
+                target,
+            } => {
+                if !(bursts_per_frame.is_finite() && (0.0..=16.0).contains(&bursts_per_frame)) {
+                    return Err(format!(
+                        "burst_train: bursts_per_frame {bursts_per_frame} outside [0, 16]"
+                    ));
+                }
+                if !(power_dbm_min.is_finite() && power_dbm_max.is_finite())
+                    || power_dbm_min > power_dbm_max
+                {
+                    return Err(format!(
+                        "burst_train: power range [{power_dbm_min}, {power_dbm_max}] invalid"
+                    ));
+                }
+                FaultKind::NoiseBurst {
+                    power_dbm: power_dbm_max,
+                    target,
+                }
+                .validate()?;
+                if duration_min_samples == 0 || duration_min_samples > duration_max_samples {
+                    return Err(format!(
+                        "burst_train: duration range [{duration_min_samples}, \
+                         {duration_max_samples}] invalid"
+                    ));
+                }
+            }
+            FaultGen::DriftRamp {
+                ppm_start, ppm_end, ..
+            } => {
+                FaultKind::ClockDrift { ppm: ppm_start }.validate()?;
+                FaultKind::ClockDrift { ppm: ppm_end }.validate()?;
+            }
+            FaultGen::FadeEpochs {
+                depth_db,
+                fade_frames,
+                clear_frames,
+                jitter_frames,
+            } => {
+                FaultKind::AmbientFade { depth_db }.validate()?;
+                if fade_frames == 0 || clear_frames == 0 {
+                    return Err("fade_epochs: epoch lengths must be ≥ 1 frame".into());
+                }
+                if jitter_frames >= fade_frames.min(clear_frames) {
+                    return Err(format!(
+                        "fade_epochs: jitter_frames {jitter_frames} must be below the \
+                         shorter nominal epoch {}",
+                        fade_frames.min(clear_frames)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the generator into a scripted [`FaultPlan`] covering frames
+    /// `0..frames`, each `frame_samples` long. The returned plan carries
+    /// `seed` (its engine lineage is salted differently from the draws
+    /// made here, so generation and injection never share a stream).
+    pub fn generate(
+        &self,
+        seed: u64,
+        frames: u64,
+        frame_samples: usize,
+    ) -> Result<FaultPlan, String> {
+        self.validate()?;
+        if frames == 0 || frame_samples == 0 {
+            return Err("generate: frames and frame_samples must be ≥ 1".into());
+        }
+        let mut faults = Vec::new();
+        match *self {
+            FaultGen::BurstTrain {
+                bursts_per_frame,
+                power_dbm_min,
+                power_dbm_max,
+                duration_min_samples,
+                duration_max_samples,
+                target,
+            } => {
+                for frame in 0..frames {
+                    let mut rng =
+                        FaultRng::new(derive_seed(seed ^ GEN_SALT, frame));
+                    let whole = bursts_per_frame.floor() as u64;
+                    let extra = rng.next_f64() < bursts_per_frame.fract();
+                    for _ in 0..whole + u64::from(extra) {
+                        let span = duration_max_samples - duration_min_samples;
+                        let duration = duration_min_samples
+                            + (rng.next_u64() as usize) % (span + 1);
+                        let duration = duration.min(frame_samples);
+                        let latest_start = frame_samples - duration;
+                        let start = (rng.next_u64() as usize) % (latest_start + 1);
+                        let power_dbm = power_dbm_min
+                            + (power_dbm_max - power_dbm_min) * rng.next_f64();
+                        faults.push(FaultSpec {
+                            frame,
+                            start_sample: start,
+                            duration_samples: duration,
+                            kind: FaultKind::NoiseBurst { power_dbm, target },
+                        });
+                    }
+                }
+            }
+            FaultGen::DriftRamp {
+                ppm_start,
+                ppm_end,
+                start_frame,
+            } => {
+                let ramp_span = frames.saturating_sub(start_frame + 1).max(1) as f64;
+                for frame in start_frame..frames {
+                    let progress = (frame - start_frame) as f64 / ramp_span;
+                    let ppm = ppm_start + (ppm_end - ppm_start) * progress;
+                    faults.push(FaultSpec {
+                        frame,
+                        start_sample: 0,
+                        duration_samples: frame_samples,
+                        kind: FaultKind::ClockDrift { ppm },
+                    });
+                }
+            }
+            FaultGen::FadeEpochs {
+                depth_db,
+                fade_frames,
+                clear_frames,
+                jitter_frames,
+            } => {
+                let jitter = |rng: &mut FaultRng, nominal: u64| -> u64 {
+                    if jitter_frames == 0 {
+                        return nominal;
+                    }
+                    let span = 2 * jitter_frames + 1;
+                    nominal + rng.next_u64() % span - jitter_frames
+                };
+                let mut frame = 0u64;
+                let mut epoch = 0u64;
+                let mut fading = false;
+                while frame < frames {
+                    // Epoch draws are keyed by epoch index, not frame, so
+                    // a jittered epoch never shifts later epochs' draws.
+                    let mut rng =
+                        FaultRng::new(derive_seed(seed ^ GEN_SALT, epoch));
+                    let len = jitter(
+                        &mut rng,
+                        if fading { fade_frames } else { clear_frames },
+                    );
+                    if fading {
+                        for f in frame..(frame + len).min(frames) {
+                            faults.push(FaultSpec {
+                                frame: f,
+                                start_sample: 0,
+                                duration_samples: frame_samples,
+                                kind: FaultKind::AmbientFade { depth_db },
+                            });
+                        }
+                    }
+                    frame += len;
+                    epoch += 1;
+                    fading = !fading;
+                }
+            }
+        }
+        let plan = FaultPlan { seed, faults };
+        plan.validate()?;
+        Ok(plan)
     }
 }
 
@@ -315,6 +559,131 @@ mod tests {
         // Determinism: rebuilding reproduces the same draw.
         let mut f1c = a.frame_faults(1).unwrap();
         assert_eq!(f1c.effects_at(600).field_b, fx_a);
+    }
+
+    #[test]
+    fn burst_train_generates_valid_bounded_plans() {
+        let train = FaultGen::BurstTrain {
+            bursts_per_frame: 1.5,
+            power_dbm_min: -80.0,
+            power_dbm_max: -60.0,
+            duration_min_samples: 200,
+            duration_max_samples: 2_000,
+            target: FaultTarget::B,
+        };
+        let plan = train.generate(9, 20, 30_000).unwrap();
+        plan.validate().unwrap();
+        assert!(!plan.is_empty());
+        // Expected ~30 bursts over 20 frames; the bound is generous.
+        assert!(plan.faults.len() >= 10 && plan.faults.len() <= 50);
+        for f in &plan.faults {
+            assert!(f.start_sample + f.duration_samples <= 30_000);
+            match f.kind {
+                FaultKind::NoiseBurst { power_dbm, target } => {
+                    assert!((-80.0..=-60.0).contains(&power_dbm));
+                    assert_eq!(target, FaultTarget::B);
+                }
+                _ => panic!("wrong class"),
+            }
+        }
+        // Byte-identical replay, and the seed moves the draws.
+        assert_eq!(plan, train.generate(9, 20, 30_000).unwrap());
+        assert_ne!(plan, train.generate(10, 20, 30_000).unwrap());
+        // Frame k's draws are stable under a longer run.
+        let longer = train.generate(9, 40, 30_000).unwrap();
+        let head: Vec<_> = longer.faults.iter().filter(|f| f.frame < 20).collect();
+        assert_eq!(head.len(), plan.faults.len());
+    }
+
+    #[test]
+    fn drift_ramp_is_monotonic_and_whole_frame() {
+        let ramp = FaultGen::DriftRamp {
+            ppm_start: 0.0,
+            ppm_end: 4_000.0,
+            start_frame: 2,
+        };
+        let plan = ramp.generate(3, 10, 25_000).unwrap();
+        assert_eq!(plan.faults.len(), 8);
+        let ppms: Vec<f64> = plan
+            .faults
+            .iter()
+            .map(|f| match f.kind {
+                FaultKind::ClockDrift { ppm } => ppm,
+                _ => panic!("wrong class"),
+            })
+            .collect();
+        assert_eq!(ppms[0], 0.0);
+        assert_eq!(*ppms.last().unwrap(), 4_000.0);
+        assert!(ppms.windows(2).all(|w| w[0] < w[1]));
+        assert!(plan.faults.iter().all(|f| f.duration_samples == 25_000));
+    }
+
+    #[test]
+    fn fade_epochs_alternate_and_jitter_stays_bounded() {
+        let fades = FaultGen::FadeEpochs {
+            depth_db: 18.0,
+            fade_frames: 3,
+            clear_frames: 4,
+            jitter_frames: 1,
+        };
+        let plan = fades.generate(5, 40, 20_000).unwrap();
+        plan.validate().unwrap();
+        let faded: Vec<u64> = plan.faults.iter().map(|f| f.frame).collect();
+        assert!(!faded.is_empty());
+        // First epoch is clear: frame 0 is never faded.
+        assert!(!faded.contains(&0));
+        // A faded frame appears at most once (whole-frame windows).
+        let unique: std::collections::HashSet<_> = faded.iter().collect();
+        assert_eq!(unique.len(), faded.len());
+        assert_eq!(plan, fades.generate(5, 40, 20_000).unwrap());
+    }
+
+    #[test]
+    fn generators_reject_unbounded_energy() {
+        assert!(FaultGen::BurstTrain {
+            bursts_per_frame: 40.0,
+            power_dbm_min: -80.0,
+            power_dbm_max: -60.0,
+            duration_min_samples: 1,
+            duration_max_samples: 10,
+            target: FaultTarget::Both,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultGen::BurstTrain {
+            bursts_per_frame: 1.0,
+            power_dbm_min: -10.0,
+            power_dbm_max: 70.0,
+            duration_min_samples: 1,
+            duration_max_samples: 10,
+            target: FaultTarget::Both,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultGen::DriftRamp {
+            ppm_start: 0.0,
+            ppm_end: 200_000.0,
+            start_frame: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultGen::FadeEpochs {
+            depth_db: 10.0,
+            fade_frames: 2,
+            clear_frames: 2,
+            jitter_frames: 2,
+        }
+        .validate()
+        .is_err());
+        // Round trip through JSON.
+        let g = FaultGen::DriftRamp {
+            ppm_start: 100.0,
+            ppm_end: 2_000.0,
+            start_frame: 0,
+        };
+        let back: FaultGen =
+            serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+        assert_eq!(back, g);
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //!   produces [`metrics::LinkMetrics`]; every run is reproducible
 //!   bit-for-bit from `(config, seed)`.
 //! * [`faults`] — scripted impairment plans ([`faults::FaultPlan`])
-//!   injected into a run at deterministic frame/sample offsets, plus the
+//!   injected into a run at deterministic frame/sample offsets, seeded
+//!   stochastic plan generators ([`faults::FaultGen`]), plus the
 //!   invariant checks the fault-conformance harness asserts.
+//! * [`scenario`] — serde specs for end-to-end adaptive-MAC sessions
+//!   ([`scenario::ScenarioSpec`]) and adaptive-vs-oblivious ablation
+//!   pairs ([`scenario::AblationPair`]) with margin gates.
 //! * [`sweep`] — order-preserving parallel parameter sweeps on
 //!   `std::thread::scope` workers (one seed per point, derived
 //!   deterministically).
@@ -23,9 +27,11 @@ pub mod faults;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
 
-pub use faults::{check_frame_invariants, check_link_invariants, FaultPlan, FaultSpec};
+pub use faults::{check_frame_invariants, check_link_invariants, FaultGen, FaultPlan, FaultSpec};
+pub use scenario::{AblationPair, FaultSource, PairOutcome, ScenarioSpec};
 pub use metrics::LinkMetrics;
 #[allow(deprecated)]
 #[cfg(feature = "trace")]

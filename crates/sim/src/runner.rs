@@ -315,14 +315,10 @@ where
     Ok(metrics)
 }
 
-/// Derives a per-point seed from a master seed and a point index (splitmix).
-pub fn derive_seed(master: u64, index: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Derives a per-point seed from a master seed and a point index
+/// (splitmix). Re-exported from [`fdb_core::seed`], where it moved so the
+/// MAC layer can share the same seed lineage.
+pub use fdb_core::seed::derive_seed;
 
 /// Draws `n` payload bytes from an RNG (utility for MAC experiments).
 pub fn random_payload<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<u8> {

@@ -1,0 +1,278 @@
+//! Adaptive-MAC scenario specs and the adaptive-vs-oblivious ablation
+//! harness.
+//!
+//! A [`ScenarioSpec`] is the serde-visible description of one
+//! [`fdb_mac::scenario`] session: a link, a [`SessionConfig`], and an
+//! optional fault source (a scripted [`FaultPlan`] or a seeded
+//! [`FaultGen`] expanded at run time). It plays the same role for MAC
+//! sessions that [`crate::runner::MeasureSpec`] plays for PHY measurement
+//! batches — identical spec JSON reproduces identical reports, byte for
+//! byte.
+//!
+//! An [`AblationPair`] bundles two sessions over the *same* link and
+//! fault timeline — one with a MAC mechanism enabled (adaptive), one
+//! without (oblivious) — plus the goodput margin the adaptive arm must
+//! clear. The bundled `configs/scenarios/*.json` pairs are the headline
+//! acceptance gates: rate adaptation under a drift/distance ramp, early
+//! abort under burst trains, flow control under ambient fades.
+
+use crate::faults::{FaultGen, FaultPlan};
+use fdb_core::link::LinkConfig;
+use fdb_core::PhyError;
+use fdb_mac::scenario::{
+    nominal_frame_samples, run_session, AdaptationReport, SessionConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// Where a scenario's faults come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultSource {
+    /// A hand-scripted plan, used as-is.
+    Plan {
+        /// The scripted schedule.
+        plan: FaultPlan,
+    },
+    /// A seeded stochastic generator, expanded over the session's slot
+    /// budget at its slowest frame length before the run starts.
+    Generator {
+        /// The generator.
+        generator: FaultGen,
+        /// Seed for the generator's draw lineage (and the expanded plan's
+        /// engine lineage).
+        seed: u64,
+    },
+}
+
+impl FaultSource {
+    /// Resolves the source into a concrete plan for a session running
+    /// over `link`: generators are expanded over `slots` frames of
+    /// `frame_samples` samples each.
+    fn resolve(&self, slots: u64, frame_samples: usize) -> Result<FaultPlan, String> {
+        match self {
+            FaultSource::Plan { plan } => {
+                plan.validate()?;
+                Ok(plan.clone())
+            }
+            FaultSource::Generator { generator, seed } => {
+                generator.generate(*seed, slots, frame_samples)
+            }
+        }
+    }
+}
+
+/// One adaptive-MAC session, fully described in serde.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Human-readable tag carried into reports.
+    pub label: String,
+    /// The link both devices run over.
+    pub link: LinkConfig,
+    /// The session to run.
+    pub session: SessionConfig,
+    /// Fault source (`None` = clean run).
+    #[serde(default)]
+    pub faults: Option<FaultSource>,
+}
+
+/// Whole-frame window length (samples) at a session's slowest rate.
+fn frame_envelope(link: &LinkConfig, session: &SessionConfig) -> usize {
+    let phy = link.at_samples_per_chip(session.slowest_sps()).phy;
+    nominal_frame_samples(&phy, session.payload_len) as usize
+}
+
+impl ScenarioSpec {
+    /// Expands the fault source (if any) into the concrete plan this
+    /// scenario will run under.
+    pub fn resolve_plan(&self) -> Result<Option<FaultPlan>, String> {
+        self.faults
+            .as_ref()
+            .map(|src| {
+                src.resolve(
+                    self.session.slot_cap(),
+                    frame_envelope(&self.link, &self.session),
+                )
+            })
+            .transpose()
+    }
+
+    /// Runs the session and returns its report.
+    pub fn run(&self) -> Result<AdaptationReport, PhyError> {
+        let plan = self
+            .resolve_plan()
+            .map_err(|reason| PhyError::InvalidConfig {
+                field: "scenario.faults",
+                reason,
+            })?;
+        run_session(&self.link, &self.session, |slot| {
+            plan.as_ref().and_then(|p| p.frame_faults(slot))
+        })
+    }
+}
+
+/// An adaptive-vs-oblivious ablation: two sessions over the same link and
+/// fault timeline, and the margin the adaptive arm must win by.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationPair {
+    /// Human-readable tag carried into reports.
+    pub label: String,
+    /// The link both arms run over.
+    pub link: LinkConfig,
+    /// The arm with the MAC mechanism under test enabled.
+    pub adaptive: SessionConfig,
+    /// The arm with it disabled (fixed rate / no abort / no
+    /// backpressure).
+    pub oblivious: SessionConfig,
+    /// Shared fault source (`None` = clean pair).
+    #[serde(default)]
+    pub faults: Option<FaultSource>,
+    /// Minimum adaptive-over-oblivious goodput ratio for the pair to
+    /// pass.
+    pub min_margin: f64,
+}
+
+/// Result of running one ablation pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// The pair's label.
+    pub label: String,
+    /// The adaptive arm's report.
+    pub adaptive: AdaptationReport,
+    /// The oblivious arm's report.
+    pub oblivious: AdaptationReport,
+    /// Achieved adaptive-over-oblivious goodput ratio.
+    pub margin: f64,
+    /// The margin the pair had to clear.
+    pub min_margin: f64,
+    /// `margin ≥ min_margin`.
+    pub pass: bool,
+}
+
+impl AblationPair {
+    /// Runs both arms over the same expanded fault plan and scores the
+    /// margin. The plan is expanded once, over the larger of the two
+    /// arms' slot budgets and frame envelopes, so both arms face an
+    /// identical impairment timeline.
+    pub fn run(&self) -> Result<PairOutcome, PhyError> {
+        if !(self.min_margin.is_finite() && self.min_margin > 0.0) {
+            return Err(PhyError::InvalidConfig {
+                field: "pair.min_margin",
+                reason: format!("must be a positive finite ratio, got {}", self.min_margin),
+            });
+        }
+        let slots = self.adaptive.slot_cap().max(self.oblivious.slot_cap());
+        let envelope = frame_envelope(&self.link, &self.adaptive)
+            .max(frame_envelope(&self.link, &self.oblivious));
+        let plan = self
+            .faults
+            .as_ref()
+            .map(|src| src.resolve(slots, envelope))
+            .transpose()
+            .map_err(|reason| PhyError::InvalidConfig {
+                field: "pair.faults",
+                reason,
+            })?;
+        let faults_for = |p: &Option<FaultPlan>, slot: u64| {
+            p.as_ref().and_then(|p| p.frame_faults(slot))
+        };
+        let adaptive = run_session(&self.link, &self.adaptive, |s| faults_for(&plan, s))?;
+        let oblivious = run_session(&self.link, &self.oblivious, |s| faults_for(&plan, s))?;
+        let (a, o) = (adaptive.goodput_bps(), oblivious.goodput_bps());
+        let margin = if o > 0.0 {
+            a / o
+        } else if a > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        Ok(PairOutcome {
+            label: self.label.clone(),
+            adaptive,
+            oblivious,
+            margin,
+            min_margin: self.min_margin,
+            pass: margin >= self.min_margin,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_mac::scenario::RatePolicy;
+
+    fn quiet_link() -> LinkConfig {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.field_noise_dbm = -160.0;
+        cfg
+    }
+
+    fn fixed_session(seed: u64) -> SessionConfig {
+        SessionConfig {
+            frames: 3,
+            payload_len: 32,
+            seed,
+            rate: RatePolicy::Fixed {
+                samples_per_chip: 10,
+            },
+            early_abort: false,
+            max_attempts: 2,
+            retry_gap_samples: 200,
+            flow: None,
+            distance_ramp_m_per_slot: 0.0,
+        }
+    }
+
+    #[test]
+    fn scenario_spec_round_trips_and_runs() {
+        let spec = ScenarioSpec {
+            label: "clean".into(),
+            link: quiet_link(),
+            session: fixed_session(3),
+            faults: None,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label, "clean");
+        let report = back.run().unwrap();
+        assert_eq!(report.delivered_payloads, 3);
+    }
+
+    #[test]
+    fn generator_source_expands_over_the_slot_budget() {
+        let spec = ScenarioSpec {
+            label: "drift".into(),
+            link: quiet_link(),
+            session: fixed_session(3),
+            faults: Some(FaultSource::Generator {
+                generator: FaultGen::DriftRamp {
+                    ppm_start: 100.0,
+                    ppm_end: 1_000.0,
+                    start_frame: 0,
+                },
+                seed: 5,
+            }),
+        };
+        let plan = spec.resolve_plan().unwrap().unwrap();
+        assert_eq!(plan.faults.len() as u64, spec.session.slot_cap());
+        assert_eq!(plan.seed, 5);
+    }
+
+    #[test]
+    fn pair_scores_margin_and_rejects_bad_margin() {
+        let pair = AblationPair {
+            label: "identity".into(),
+            link: quiet_link(),
+            adaptive: fixed_session(7),
+            oblivious: fixed_session(7),
+            faults: None,
+            min_margin: 0.9,
+        };
+        let out = pair.run().unwrap();
+        // Identical arms: margin is exactly 1.
+        assert!((out.margin - 1.0).abs() < 1e-12);
+        assert!(out.pass);
+        let mut bad = pair;
+        bad.min_margin = f64::NAN;
+        assert!(bad.run().is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Adaptive-MAC acceptance scenarios: the closed control loop beats its
+//! oblivious ablation under the fault matrix.
+//!
+//! Each bundled `configs/scenarios/*.json` pair runs two sessions over
+//! the same link and fault timeline through
+//! [`fd_backscatter::mac::scenario::run_session`] — one with a MAC
+//! mechanism enabled, one without — and the tests assert the adaptive
+//! arm wins goodput by the pair's margin gate, that the mechanism
+//! actually engaged (ladder switches / aborts / pauses), and that the
+//! whole thing replays byte-identically. The drift-ramp pair's
+//! adaptation trajectory is additionally pinned against
+//! `results/golden/mac_drift_ramp.json`
+//! (`tools/regen_mac_golden.py` regenerates it after intentional
+//! changes).
+
+use fd_backscatter::sim::{AblationPair, PairOutcome};
+
+fn load_pair(name: &str) -> AblationPair {
+    let path = format!(
+        "{}/configs/scenarios/{name}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} invalid: {e}"))
+}
+
+fn run_pair(name: &str) -> PairOutcome {
+    let out = load_pair(name).run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert!(
+        out.pass,
+        "{name}: adaptive/oblivious margin {:.3} below gate {:.3}",
+        out.margin, out.min_margin
+    );
+    out
+}
+
+/// Headline 1 — rate adaptation: under a clock-drift ramp and a walk-away
+/// distance ramp, the AIMD controller rides the rate ladder down from the
+/// observable NACK fractions and keeps delivering, while the fixed-rate
+/// arm dies early. The margin gate lives in the config (`min_margin`).
+#[test]
+fn drift_ramp_rate_adaptation_beats_fixed_rate() {
+    let out = run_pair("drift_ramp");
+    let traj = out.adaptive.ladder_trajectory();
+    // The controller starts at the slowest rung, climbs while the link is
+    // still short/clean, and is forced back to the bottom by the ramps.
+    assert_eq!(traj.first(), Some(&3), "must start at the slowest rung");
+    assert!(
+        traj.iter().any(|&p| p < 3),
+        "controller never climbed: {traj:?}"
+    );
+    assert_eq!(
+        traj.last(),
+        Some(&3),
+        "ramp should force the controller back down: {traj:?}"
+    );
+    assert!(out.adaptive.rate_switches >= 4, "ladder barely moved");
+    // The adaptive arm delivers most payloads; the fixed-fast arm loses
+    // most of them as the ramps pass its operating point.
+    assert!(out.adaptive.delivered_payloads >= 10);
+    assert!(out.oblivious.delivered_payloads <= 4);
+    // Decisions were observable-only: no false ACKs crept in.
+    assert_eq!(out.adaptive.false_acks, 0);
+}
+
+/// Headline 2 — early abort: under noise-burst trains that corrupt frames
+/// mid-flight, aborting on the first verified NACK and retrying beats
+/// running every doomed frame to completion.
+#[test]
+fn burst_trains_early_abort_beats_run_to_completion() {
+    let out = run_pair("burst_abort");
+    assert!(
+        out.adaptive.aborted_frames >= 5,
+        "early abort never engaged ({} aborts)",
+        out.adaptive.aborted_frames
+    );
+    assert_eq!(out.oblivious.aborted_frames, 0);
+    // Both arms face the same bursts; the win is airtime, not delivery.
+    assert!(out.adaptive.delivered_payloads >= out.oblivious.delivered_payloads);
+    assert!(
+        out.adaptive.elapsed_samples < out.oblivious.elapsed_samples,
+        "abort arm should finish the session in less airtime"
+    );
+    // The scheduled bursts actually fired in both arms.
+    assert!(out.adaptive.fault_activations.noise_burst > 0);
+    assert!(out.oblivious.fault_activations.noise_burst > 0);
+}
+
+/// Headline 3 — flow control: when ambient fades starve B's harvester and
+/// its drain stalls, the in-band busy signal (B streams NACK, A pauses)
+/// beats the oblivious arm that overruns the buffer and pays end-of-pass
+/// retransmissions.
+#[test]
+fn fade_epochs_backpressure_beats_overflow_retransmit() {
+    let out = run_pair("fade_flow");
+    assert!(
+        out.adaptive.paused_slots > 0,
+        "backpressure never engaged (no paused slots)"
+    );
+    assert_eq!(out.oblivious.paused_slots, 0);
+    assert!(
+        out.oblivious.blocks_dropped > out.adaptive.blocks_dropped,
+        "oblivious arm should overflow more ({} vs {})",
+        out.oblivious.blocks_dropped,
+        out.adaptive.blocks_dropped
+    );
+    assert!(
+        out.oblivious.retransmit_passes >= 1,
+        "oblivious arm never paid a ledger pass"
+    );
+    assert!(out.adaptive.delivered_payloads > out.oblivious.delivered_payloads);
+}
+
+/// The whole pair run — per-slot records included — replays
+/// byte-identically from the same config: per-slot seeds derive from the
+/// session seed, never from link state or controller decisions.
+#[test]
+fn scenario_pairs_replay_byte_identically() {
+    let a = load_pair("drift_ramp").run().unwrap();
+    let b = load_pair("drift_ramp").run().unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "pair replay diverged"
+    );
+}
+
+/// The drift-ramp adaptation trajectory is pinned byte-exactly against
+/// the golden corpus: any change to the PHY, the controller, or the
+/// session engine that moves a single rate decision shows up here.
+#[test]
+fn golden_adaptation_trajectory_matches() {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Golden {
+        scenario: String,
+        label: String,
+        ladder_trajectory: Vec<usize>,
+        delivered_payloads: u64,
+        failed_payloads: u64,
+        attempts: u64,
+        rate_switches: u64,
+        elapsed_samples: u64,
+    }
+
+    let out = load_pair("drift_ramp").run().unwrap();
+    let got = Golden {
+        scenario: "configs/scenarios/drift_ramp.json".into(),
+        label: out.label.clone(),
+        ladder_trajectory: out.adaptive.ladder_trajectory(),
+        delivered_payloads: out.adaptive.delivered_payloads,
+        failed_payloads: out.adaptive.failed_payloads,
+        attempts: out.adaptive.attempts,
+        rate_switches: out.adaptive.rate_switches,
+        elapsed_samples: out.adaptive.elapsed_samples,
+    };
+    let got: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&got).unwrap()).unwrap();
+    let want: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(format!(
+            "{}/results/golden/mac_drift_ramp.json",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        got, want,
+        "adaptation trajectory drifted from the golden vector \
+         (tools/regen_mac_golden.py regenerates after intentional changes)"
+    );
+}
+
+/// Every bundled pair config parses, validates, and carries a usable
+/// margin gate — the contract the probe CLI and CI job rely on.
+#[test]
+fn bundled_scenario_configs_are_well_formed() {
+    for name in ["drift_ramp", "burst_abort", "fade_flow"] {
+        let pair = load_pair(name);
+        assert!(!pair.label.is_empty(), "{name}: empty label");
+        pair.link.phy.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        pair.adaptive.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        pair.oblivious.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            pair.min_margin.is_finite() && pair.min_margin > 1.0,
+            "{name}: margin gate {} must demand a real win",
+            pair.min_margin
+        );
+    }
+}

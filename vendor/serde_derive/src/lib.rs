@@ -7,16 +7,29 @@
 //! * structs with named fields (including empty `{}` and unit structs);
 //! * enums whose variants are unit or struct-like (named fields), using
 //!   serde's externally-tagged representation;
-//! * the `#[serde(default)]` field attribute.
+//! * the `#[serde(default)]` and `#[serde(default = "path")]` field
+//!   attributes (the latter calls the named function for a missing field,
+//!   as real serde does).
 //!
 //! Tuple structs, tuple variants, and generic types are rejected with a
 //! compile-time panic naming the offender.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// How a missing field is filled in.
+#[derive(Clone)]
+enum FieldDefault {
+    /// Field is required; missing is an error.
+    None,
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
 struct Field {
     name: String,
-    has_default: bool,
+    default: FieldDefault,
 }
 
 enum Shape {
@@ -31,34 +44,58 @@ struct Item {
     shape: Shape,
 }
 
-/// True when an attribute group body is `serde(...)` containing `default`.
-fn attr_is_serde_default(body: &[TokenTree]) -> bool {
-    match body {
-        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
-        _ => false,
+/// Extracts the default policy from a `serde(...)` attribute group body:
+/// `serde(default)` → [`FieldDefault::Std`], `serde(default = "path")` →
+/// [`FieldDefault::Path`]; anything else → [`FieldDefault::None`].
+fn attr_serde_default(body: &[TokenTree]) -> FieldDefault {
+    let args = match body {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            args.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        _ => return FieldDefault::None,
+    };
+    for (i, t) in args.iter().enumerate() {
+        if !matches!(t, TokenTree::Ident(id) if id.to_string() == "default") {
+            continue;
+        }
+        // `default = "path"`?
+        if let (
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) = (args.get(i + 1), args.get(i + 2))
+        {
+            if eq.as_char() == '=' {
+                let s = lit.to_string();
+                let path = s.trim_matches('"');
+                if path.len() < s.len() {
+                    return FieldDefault::Path(path.to_string());
+                }
+            }
+        }
+        return FieldDefault::Std;
     }
+    FieldDefault::None
 }
 
-/// Consumes leading `#[...]` attributes; reports whether any was
-/// `#[serde(default)]`.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
-    let mut has_default = false;
+/// Consumes leading `#[...]` attributes; reports the field's
+/// `#[serde(default…)]` policy, if any.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, FieldDefault) {
+    let mut default = FieldDefault::None;
     while let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() != '#' {
             break;
         }
         if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
             let body: Vec<TokenTree> = g.stream().into_iter().collect();
-            has_default |= attr_is_serde_default(&body);
+            if matches!(default, FieldDefault::None) {
+                default = attr_serde_default(&body);
+            }
             i += 2;
         } else {
             break;
         }
     }
-    (i, has_default)
+    (i, default)
 }
 
 /// Consumes an optional `pub` / `pub(...)` visibility.
@@ -81,7 +118,7 @@ fn parse_fields(stream: TokenStream, owner: &str) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (ni, has_default) = skip_attrs(&tokens, i);
+        let (ni, default) = skip_attrs(&tokens, i);
         i = skip_vis(&tokens, ni);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -107,7 +144,7 @@ fn parse_fields(stream: TokenStream, owner: &str) -> Vec<Field> {
             i += 1;
         }
         i += 1; // consume the comma (or run off the end, fine)
-        fields.push(Field { name, has_default });
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -258,10 +295,12 @@ fn gen_serialize(item: &Item) -> String {
 fn field_inits(fields: &[Field], ctx: &str) -> String {
     let mut out = String::new();
     for f in fields {
-        let missing = if f.has_default {
-            "::std::default::Default::default()".to_string()
-        } else {
-            format!("::serde::Deserialize::from_missing(\"{ctx}.{f}\")?", f = f.name)
+        let missing = match &f.default {
+            FieldDefault::Std => "::std::default::Default::default()".to_string(),
+            FieldDefault::Path(path) => format!("{path}()"),
+            FieldDefault::None => {
+                format!("::serde::Deserialize::from_missing(\"{ctx}.{f}\")?", f = f.name)
+            }
         };
         out.push_str(&format!(
             "{f}: match ::serde::__get(obj, \"{f}\") {{\n\
