@@ -1,87 +1,88 @@
-//! Frame-trace probe.
-//!
-//! Default mode replays **one seeded frame** over the default link and
-//! prints the per-stage diagnostic trace as JSON lines — one
-//! [`fdb_core::trace::TraceEvent`] per line, followed by a final `summary`
-//! object. This is the fastest way to see *where* inside the PHY pipeline
-//! a frame dies: tx chip emission, channel envelopes, SIC correction,
-//! receiver lock/chips/bits/block CRCs and the feedback pilot/bit decode
-//! all appear as separate stages. With `--trace-out PATH` the events
-//! stream to a JSONL file (with frame markers) instead of stdout.
+//! PHY/MAC probe CLI — one binary, subcommand per workflow:
 //!
 //! ```text
-//! cargo run --release -p fdb-bench --bin probe -- \
-//!     [--seed N] [--dist METERS] [--payload-len BYTES] [--mode fd|hd] \
-//!     [--stage tx|channel|sic|rx|feedback] [--trace-out PATH]
+//! probe replay  [--seed N] [--dist METERS] [--payload-len BYTES]
+//!               [--mode fd|hd] [--stage NAME] [--trace-out PATH]
+//!               [--faults PATH]
+//! probe sync    [--config PATH] [--frames N] [--seed N] [--faults PATH]
+//! probe link    [--config PATH] [--frames N] [--seed N] [--faults PATH]
+//!               [--trace-out PATH]
+//! probe mac     --config configs/scenarios/PAIR.json [--seed N]
+//! probe matrix  --configs CFG1,CFG2,... [--frames N] [--seed N]
+//!               [--faults PATH]
+//! probe serve   [--socket PATH] [--cache-dir DIR] [--jobs N]
+//!               [--queue N] [--seed-golden]
+//! probe submit  [--socket PATH] (--job PATH | --pair PATH |
+//!               [--config PATH] [--frames N] [--seed N] [--faults PATH])
+//!               [--stream-trace --trace-out PATH] [--timeout-ms N]
+//! probe submit  [--socket PATH] --ping | --recheck N | --stop-service
+//! probe --validate-trace PATH
+//! probe --sweep [frames]
 //! ```
 //!
-//! Reports replay a batch of frames and emit one JSON line per frame plus
-//! a closing summary:
-//!
-//! * `--report sync` — two-stage acquisition counters per frame (candidate
-//!   locks, rejections, peak correlation). Works without the `trace`
-//!   feature; the CI smoke check for lock discrimination.
-//! * `--report link` — aggregate `LinkMetrics` for the batch; with
+//! * `replay` — replays **one seeded frame** over the default link and
+//!   prints the per-stage diagnostic trace as JSON lines — one
+//!   [`fdb_core::trace::TraceEvent`] per line, then a `summary` object.
+//!   The fastest way to see *where* inside the PHY pipeline a frame dies.
+//!   With `--trace-out PATH` the events stream to a JSONL file (with
+//!   frame markers) instead of stdout. Needs the `trace` feature (on by
+//!   default for this crate).
+//! * `sync` — per-frame two-stage acquisition counters (candidate locks,
+//!   rejections, peak correlation) plus a closing summary. Works without
+//!   the `trace` feature; the CI smoke check for lock discrimination.
+//! * `link` — aggregate [`fdb_sim::LinkMetrics`] for a batch; with
 //!   `--trace-out PATH` every frame's events stream to a JSONL file
-//!   through a `JsonlFileSink` while the run stays at constant resident
-//!   memory (needs the `trace` feature).
-//! * `--report mac` — runs an adaptive-vs-oblivious
-//!   [`fdb_sim::AblationPair`] (`--config configs/scenarios/*.json`,
-//!   required): one JSON line per session slot for each arm (tagged
-//!   `"arm":"adaptive"|"oblivious"`), then a summary with both goodputs,
-//!   the achieved margin and the pair's `min_margin` gate. Exits non-zero
-//!   when the margin is not met — the CI regression gate for the
-//!   adaptive-MAC loop.
-//!
-//! ```text
-//! cargo run --release -p fdb-bench --bin probe -- \
-//!     --report sync|link|mac [--config configs/default_link.json] \
-//!     [--frames N] [--seed N] [--trace-out PATH]
-//! ```
-//!
-//! `--sync-report` is the backward-compatible alias for `--report sync`.
+//!   through a `JsonlFileSink` at constant resident memory (needs the
+//!   `trace` feature).
+//! * `mac` — runs an adaptive-vs-oblivious [`fdb_sim::AblationPair`]:
+//!   one JSON line per session slot per arm, then a summary with both
+//!   goodputs and the achieved margin. Exits non-zero when the margin is
+//!   not met — the CI regression gate for the adaptive-MAC loop.
+//! * `matrix` — sweeps every listed scenario config against the built-in
+//!   per-class fault plans ([`fdb_sim::matrix::class_plans`]), one JSON
+//!   line per grid cell, exiting non-zero if any cell violates a
+//!   conformance invariant — the CI smoke check for the fault layer.
+//! * `serve` / `submit` — the long-running job service
+//!   ([`fdb_service`]): `serve` binds a Unix socket, executes submitted
+//!   [`fdb_sim::JobSpec`]s on a bounded worker pool and replays repeated
+//!   jobs byte-identically from a content-addressed result cache;
+//!   `submit` sends one job (or a `--ping`/`--recheck N`/`--stop-service`
+//!   control request) and relays the response stream — progress to
+//!   stderr, streamed trace chunks to `--trace-out`, the result and a
+//!   `{"summary":...,"cached":...}` line to stdout.
 //!
 //! `--faults PATH` attaches a scripted [`fdb_sim::faults::FaultPlan`]
-//! (JSON, see `configs/faults/`) to any mode: report runs inject the plan
-//! through `MeasureSpec::with_faults`; the single-frame trace replay and
-//! `--report sync` inject each frame's schedule directly. Fault
-//! activations land in the metrics/summary output.
+//! (JSON, see `configs/faults/`) to any run mode; fault activations land
+//! in the metrics/summary output. `--validate-trace PATH` parses a trace
+//! JSONL file line-by-line and exits non-zero on the first malformed
+//! line. `--sweep [frames]` is the legacy operating-envelope sweep.
 //!
-//! `--fault-matrix CFG1,CFG2,...` sweeps every listed scenario config
-//! against the built-in per-class fault plans
-//! ([`fdb_bench::fault_matrix::class_plans`]), printing one JSON line per
-//! grid cell and exiting non-zero if any cell violates a conformance
-//! invariant — the CI smoke check for the fault layer.
-//!
-//! `--validate-trace PATH` parses a trace JSONL file line-by-line
-//! (`serde_json`-backed), exits non-zero on the first malformed line, and
-//! prints a summary — the CI check that streamed traces stay readable.
-//!
-//! The legacy operating-envelope sweep is still available:
-//!
-//! ```text
-//! cargo run --release -p fdb-bench --bin probe -- --sweep [frames-per-point]
-//! ```
-//!
-//! The single-frame trace replay needs the `trace` feature, which is on by
-//! default for this crate; a `--no-default-features` build keeps
-//! `--sweep`, `--report sync` and `--validate-trace`.
+//! Every pre-subcommand spelling keeps working as a hidden alias:
+//! `--report sync|link|mac`, `--sync-report`, `--fault-matrix CFGS`, a
+//! bare default invocation (→ `replay`) and `probe N` (→ `--sweep N`).
 
-use fdb_core::link::{FdLink, LinkConfig, RunOptions};
+use fdb_core::link::{FdLink, FrameRun, LinkConfig, RunOptions};
 use fdb_core::trace::parse_trace_line;
 use fdb_sim::faults::FaultPlan;
-use fdb_sim::MeasureSpec;
+use fdb_sim::{LinkRun, MeasureSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-#[derive(PartialEq)]
-enum Report {
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    Replay,
     Sync,
     Link,
     Mac,
+    Matrix,
+    Serve,
+    Submit,
+    Validate,
+    Sweep,
 }
 
 struct Args {
+    mode: Option<Mode>,
     seed: u64,
     seed_given: bool,
     dist: f64,
@@ -89,11 +90,8 @@ struct Args {
     full_duplex: bool,
     /// Restrict JSONL output to one stage (tx/channel/sic/rx/feedback).
     stage: Option<String>,
-    /// `Some(frames)` = run the legacy distance sweep instead.
-    sweep: Option<u32>,
-    /// Batch report mode (`--report sync|link`; `--sync-report` aliases
-    /// `--report sync`).
-    report: Option<Report>,
+    /// Frames per point for the legacy distance sweep.
+    sweep_frames: u32,
     /// Bundled scenario file (`{link, spec}` JSON) for report modes.
     config: Option<String>,
     /// Frame-count override for report modes.
@@ -105,49 +103,101 @@ struct Args {
     /// Scripted fault plan (JSON file) injected into the run.
     faults: Option<String>,
     /// Comma-separated scenario configs for the conformance matrix.
-    fault_matrix: Option<String>,
+    matrix_configs: Option<String>,
+    /// Service socket path (`serve`/`submit`).
+    socket: Option<String>,
+    /// Result-cache directory (`serve`).
+    cache_dir: Option<String>,
+    /// Worker threads (`serve`).
+    jobs: usize,
+    /// Queue bound (`serve`).
+    queue: usize,
+    /// Seed the cache from the repo golden corpus (`serve`).
+    seed_golden: bool,
+    /// Raw `JobSpec` JSON file (`submit`).
+    job_file: Option<String>,
+    /// Ablation-pair JSON file submitted as a job (`submit`).
+    pair_file: Option<String>,
+    /// Stream per-frame trace chunks over the socket (`submit`).
+    stream_trace: bool,
+    /// Per-job timeout in milliseconds (`submit`; 0 = none).
+    timeout_ms: u64,
+    /// Send a liveness ping instead of a job (`submit`).
+    ping: bool,
+    /// Recompute every n-th cache entry and diff (`submit`).
+    recheck: Option<u64>,
+    /// Ask the service to shut down (`submit`).
+    stop_service: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: probe [--seed N] [--dist METERS] [--payload-len BYTES] \
-         [--mode fd|hd] [--stage NAME] [--trace-out PATH] [--faults PATH]\n\
-         \x20      probe --report sync|link [--config PATH] [--frames N] \
-         [--seed N] [--trace-out PATH] [--faults PATH]\n\
-         \x20      probe --report mac --config configs/scenarios/PAIR.json \
-         [--seed N]\n\
-         \x20      probe --fault-matrix CFG1,CFG2,... [--frames N] [--seed N]\n\
+        "usage: probe replay  [--seed N] [--dist M] [--payload-len BYTES] [--mode fd|hd]\n\
+         \x20                    [--stage NAME] [--trace-out PATH] [--faults PATH]\n\
+         \x20      probe sync|link [--config PATH] [--frames N] [--seed N]\n\
+         \x20                    [--faults PATH] [--trace-out PATH]\n\
+         \x20      probe mac     --config configs/scenarios/PAIR.json [--seed N]\n\
+         \x20      probe matrix  --configs CFG1,CFG2,... [--frames N] [--seed N]\n\
+         \x20      probe serve   [--socket PATH] [--cache-dir DIR] [--jobs N]\n\
+         \x20                    [--queue N] [--seed-golden]\n\
+         \x20      probe submit  [--socket PATH] (--job PATH | --pair PATH | [--config PATH])\n\
+         \x20                    [--stream-trace --trace-out PATH] [--timeout-ms N]\n\
+         \x20      probe submit  [--socket PATH] --ping | --recheck N | --stop-service\n\
          \x20      probe --validate-trace PATH\n\
          \x20      probe --sweep [frames]\n\
-         (--sync-report is the legacy alias for --report sync)"
+         (legacy aliases: --report sync|link|mac, --sync-report, --fault-matrix CFGS)"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        mode: None,
         seed: 7,
         seed_given: false,
         dist: 0.3,
         payload_len: 64,
         full_duplex: true,
         stage: None,
-        sweep: None,
-        report: None,
+        sweep_frames: 20,
         config: None,
         frames: None,
         trace_out: None,
         validate_trace: None,
         faults: None,
-        fault_matrix: None,
+        matrix_configs: None,
+        socket: None,
+        cache_dir: None,
+        jobs: 2,
+        queue: 32,
+        seed_golden: false,
+        job_file: None,
+        pair_file: None,
+        stream_trace: false,
+        timeout_ms: 0,
+        ping: false,
+        recheck: None,
+        stop_service: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    let mut first_token = true;
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().unwrap_or_else(|| {
-            eprintln!("missing value for {name}");
-            usage()
-        });
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
         match flag.as_str() {
+            // Subcommands (first token only).
+            "replay" if first_token => args.mode = Some(Mode::Replay),
+            "sync" if first_token => args.mode = Some(Mode::Sync),
+            "link" if first_token => args.mode = Some(Mode::Link),
+            "mac" if first_token => args.mode = Some(Mode::Mac),
+            "matrix" if first_token => args.mode = Some(Mode::Matrix),
+            "serve" if first_token => args.mode = Some(Mode::Serve),
+            "submit" if first_token => args.mode = Some(Mode::Submit),
+            // Shared options.
             "--seed" => {
                 args.seed = value("--seed").parse().unwrap_or_else(|_| usage());
                 args.seed_given = true;
@@ -162,74 +212,102 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--stage" => args.stage = Some(value("--stage")),
-            "--sweep" => {
-                args.sweep = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or(20))
+            "--config" => args.config = Some(value("--config")),
+            "--configs" => args.matrix_configs = Some(value("--configs")),
+            "--frames" => {
+                args.frames = Some(value("--frames").parse().unwrap_or_else(|_| usage()))
             }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--faults" => args.faults = Some(value("--faults")),
+            // Service options.
+            "--socket" => args.socket = Some(value("--socket")),
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")),
+            "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--queue" => args.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--seed-golden" => args.seed_golden = true,
+            "--job" => args.job_file = Some(value("--job")),
+            "--pair" => args.pair_file = Some(value("--pair")),
+            "--stream-trace" => args.stream_trace = true,
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--ping" => args.ping = true,
+            "--recheck" => {
+                args.recheck = Some(value("--recheck").parse().unwrap_or_else(|_| usage()))
+            }
+            "--stop-service" => args.stop_service = true,
+            // Legacy aliases (pre-subcommand spellings).
             "--report" => match value("--report").as_str() {
-                "sync" => args.report = Some(Report::Sync),
-                "link" => args.report = Some(Report::Link),
-                "mac" => args.report = Some(Report::Mac),
+                "sync" => args.mode = Some(Mode::Sync),
+                "link" => args.mode = Some(Mode::Link),
+                "mac" => args.mode = Some(Mode::Mac),
                 other => {
                     eprintln!("unknown report '{other}' (expected sync|link|mac)");
                     usage()
                 }
             },
-            "--sync-report" => args.report = Some(Report::Sync),
-            "--config" => args.config = Some(value("--config")),
-            "--frames" => {
-                args.frames = Some(value("--frames").parse().unwrap_or_else(|_| usage()))
+            "--sync-report" => args.mode = Some(Mode::Sync),
+            "--fault-matrix" => {
+                args.mode = Some(Mode::Matrix);
+                args.matrix_configs = Some(value("--fault-matrix"));
             }
-            "--trace-out" => args.trace_out = Some(value("--trace-out")),
-            "--validate-trace" => args.validate_trace = Some(value("--validate-trace")),
-            "--faults" => args.faults = Some(value("--faults")),
-            "--fault-matrix" => args.fault_matrix = Some(value("--fault-matrix")),
+            "--validate-trace" => {
+                args.mode = Some(Mode::Validate);
+                args.validate_trace = Some(value("--validate-trace"));
+            }
+            "--sweep" => {
+                args.mode = Some(Mode::Sweep);
+                if let Some(n) = it.peek().and_then(|s| s.parse().ok()) {
+                    args.sweep_frames = n;
+                    it.next();
+                }
+            }
             "--help" | "-h" => usage(),
+            // Positional comma-list after `matrix`.
+            cfgs if args.mode == Some(Mode::Matrix)
+                && args.matrix_configs.is_none()
+                && !cfgs.starts_with('-') =>
+            {
+                args.matrix_configs = Some(cfgs.to_string())
+            }
             // Bare number: legacy `probe N` sweep invocation.
-            n if n.parse::<u32>().is_ok() => args.sweep = Some(n.parse().unwrap()),
+            n if n.parse::<u32>().is_ok() => {
+                args.mode = Some(Mode::Sweep);
+                args.sweep_frames = n.parse().unwrap();
+            }
             _ => usage(),
         }
+        first_token = false;
     }
     args
 }
 
 fn main() {
     let args = parse_args();
-    if let Some(path) = &args.validate_trace {
-        validate_trace(path);
-        return;
-    }
-    if let Some(configs) = &args.fault_matrix {
-        fault_matrix(&args, configs);
-        return;
-    }
-    match args.report {
-        Some(Report::Sync) => {
-            sync_report(&args);
-            return;
+    match args.mode.unwrap_or(Mode::Replay) {
+        Mode::Validate => validate_trace(args.validate_trace.as_deref().unwrap_or_else(|| {
+            eprintln!("--validate-trace needs a path");
+            usage()
+        })),
+        Mode::Matrix => fault_matrix(&args),
+        Mode::Sync => sync_report(&args),
+        Mode::Link => link_report(&args),
+        Mode::Mac => mac_report(&args),
+        Mode::Serve => serve_cmd(&args),
+        Mode::Submit => submit_cmd(&args),
+        Mode::Sweep => sweep(args.sweep_frames),
+        Mode::Replay => {
+            #[cfg(feature = "trace")]
+            trace_frame(&args);
+            #[cfg(not(feature = "trace"))]
+            {
+                eprintln!(
+                    "probe was built without the `trace` feature; rebuild with default \
+                     features (or use sync/link/matrix/--sweep/--validate-trace)"
+                );
+                std::process::exit(2);
+            }
         }
-        Some(Report::Link) => {
-            link_report(&args);
-            return;
-        }
-        Some(Report::Mac) => {
-            mac_report(&args);
-            return;
-        }
-        None => {}
-    }
-    if let Some(frames) = args.sweep {
-        sweep(frames);
-        return;
-    }
-    #[cfg(feature = "trace")]
-    trace_frame(&args);
-    #[cfg(not(feature = "trace"))]
-    {
-        eprintln!(
-            "probe was built without the `trace` feature; rebuild with default \
-             features (or use --sweep / --report / --validate-trace)"
-        );
-        std::process::exit(2);
     }
 }
 
@@ -301,46 +379,43 @@ fn load_scenario(args: &Args, default_frames: u64) -> (LinkConfig, MeasureSpec) 
     (cfg, spec)
 }
 
-/// The conformance matrix (`--fault-matrix`): every listed scenario
-/// config crossed with the built-in per-class plans (plus the `--faults`
-/// plan when given). One JSON line per grid cell; exits non-zero when any
+/// The conformance matrix (`probe matrix`): every listed scenario config
+/// crossed with the built-in per-class plans (plus the `--faults` plan
+/// when given). One JSON line per grid cell; exits non-zero when any
 /// cell reports an invariant violation.
-fn fault_matrix(args: &Args, configs: &str) {
+fn fault_matrix(args: &Args) {
+    let Some(configs) = &args.matrix_configs else {
+        eprintln!("probe matrix needs --configs CFG1,CFG2,...");
+        usage();
+    };
     let mut scenarios = Vec::new();
     for path in configs.split(',').filter(|s| !s.is_empty()) {
         let one = Args {
-            seed: args.seed,
-            seed_given: args.seed_given,
-            dist: args.dist,
-            payload_len: args.payload_len,
-            full_duplex: args.full_duplex,
-            stage: None,
-            sweep: None,
-            report: None,
             config: Some(path.to_string()),
             // Matrix cells default to a short batch; --frames overrides.
             frames: Some(args.frames.unwrap_or(4)),
-            trace_out: None,
-            validate_trace: None,
             faults: None,
-            fault_matrix: None,
+            trace_out: None,
+            stage: None,
+            matrix_configs: None,
+            ..clone_args(args)
         };
         let (cfg, spec) = load_scenario(&one, 4);
         scenarios.push((path.to_string(), cfg, spec));
     }
     if scenarios.is_empty() {
-        eprintln!("--fault-matrix needs at least one config path");
+        eprintln!("probe matrix needs at least one config path");
         usage();
     }
     let mut plans: Vec<(String, fdb_sim::faults::FaultPlan)> =
-        fdb_bench::fault_matrix::class_plans(args.seed)
+        fdb_sim::matrix::class_plans(args.seed)
             .into_iter()
             .map(|(label, plan)| (label.to_string(), plan))
             .collect();
     if let Some(path) = &args.faults {
         plans.push((path.clone(), load_fault_plan(path)));
     }
-    let cells = fdb_bench::fault_matrix::run_matrix(&scenarios, &plans).unwrap_or_else(|e| {
+    let cells = fdb_sim::matrix::run_matrix(&scenarios, &plans).unwrap_or_else(|e| {
         eprintln!("matrix run failed: {e}");
         std::process::exit(1);
     });
@@ -355,6 +430,40 @@ fn fault_matrix(args: &Args, configs: &str) {
     );
     if violations > 0 {
         std::process::exit(1);
+    }
+}
+
+/// Field-by-field copy of the shared scalar options (the struct holds
+/// `String`s, so a derived `Clone` would be misleading for the per-mode
+/// fields the callers override — they pass explicit values instead).
+fn clone_args(args: &Args) -> Args {
+    Args {
+        mode: args.mode,
+        seed: args.seed,
+        seed_given: args.seed_given,
+        dist: args.dist,
+        payload_len: args.payload_len,
+        full_duplex: args.full_duplex,
+        stage: args.stage.clone(),
+        sweep_frames: args.sweep_frames,
+        config: args.config.clone(),
+        frames: args.frames,
+        trace_out: args.trace_out.clone(),
+        validate_trace: args.validate_trace.clone(),
+        faults: args.faults.clone(),
+        matrix_configs: args.matrix_configs.clone(),
+        socket: args.socket.clone(),
+        cache_dir: args.cache_dir.clone(),
+        jobs: args.jobs,
+        queue: args.queue,
+        seed_golden: args.seed_golden,
+        job_file: args.job_file.clone(),
+        pair_file: args.pair_file.clone(),
+        stream_trace: args.stream_trace,
+        timeout_ms: args.timeout_ms,
+        ping: args.ping,
+        recheck: args.recheck,
+        stop_service: args.stop_service,
     }
 }
 
@@ -410,7 +519,12 @@ fn trace_frame(args: &Args) {
                 .with_frame_cap(frame_cap);
             sink.begin_frame(0);
             let out = link
-                .run_frame_faulted_into(&payload, &opts, &mut rng, frame_faults.as_mut(), &mut sink)
+                .run_frame_with(
+                    &payload,
+                    &opts,
+                    &mut rng,
+                    FrameRun::faulted(frame_faults.as_mut()).with_sink(&mut sink),
+                )
                 .expect("frame");
             sink.end_frame();
             let summary = sink.finish().unwrap_or_else(|e| {
@@ -421,7 +535,12 @@ fn trace_frame(args: &Args) {
         }
         None => {
             let out = link
-                .run_frame_faulted(&payload, &opts, &mut rng, frame_faults.as_mut())
+                .run_frame_with(
+                    &payload,
+                    &opts,
+                    &mut rng,
+                    FrameRun::faulted(frame_faults.as_mut()),
+                )
                 .expect("frame");
             for ev in out.trace.events() {
                 if let Some(stage) = &args.stage {
@@ -499,11 +618,11 @@ fn sync_report(args: &Args) {
             .as_ref()
             .and_then(|plan| plan.frame_faults(frame));
         let out = link
-            .run_frame_faulted(
+            .run_frame_with(
                 &payload,
                 &RunOptions::fd_monitor(),
                 &mut rng,
-                frame_faults.as_mut(),
+                FrameRun::faulted(frame_faults.as_mut()),
             )
             .expect("frame");
         locked += u64::from(out.b_locked);
@@ -552,7 +671,7 @@ fn link_report(args: &Args) {
     if let Some(path) = &args.trace_out {
         spec = spec.with_trace(fdb_core::trace::TraceSinkSpec::jsonl(path.clone()));
     }
-    let metrics = fdb_sim::measure_link(&cfg, &spec).unwrap_or_else(|e| {
+    let metrics = fdb_sim::run_link(&cfg, &spec, LinkRun::new()).unwrap_or_else(|e| {
         eprintln!("measurement failed: {e}");
         std::process::exit(1);
     });
@@ -565,7 +684,7 @@ fn link_report(args: &Args) {
     println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
 }
 
-/// Adaptive-MAC ablation report (`--report mac`): loads an
+/// Adaptive-MAC ablation report (`probe mac`): loads an
 /// [`fdb_sim::AblationPair`] from `--config`, runs both arms over the
 /// same fault timeline, prints one JSON line per session slot per arm
 /// and a closing summary with the goodput margin. Exits non-zero when
@@ -626,7 +745,7 @@ fn mac_report(args: &Args) {
     }
 
     let Some(path) = &args.config else {
-        eprintln!("--report mac needs --config with an ablation-pair JSON");
+        eprintln!("probe mac needs --config with an ablation-pair JSON");
         usage();
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -679,6 +798,218 @@ fn mac_report(args: &Args) {
         );
         std::process::exit(1);
     }
+}
+
+/// Default socket path shared by `serve` and `submit`.
+fn socket_path(args: &Args) -> String {
+    args.socket
+        .clone()
+        .unwrap_or_else(|| "target/fdb-service.sock".to_string())
+}
+
+/// `probe serve`: bind the job service on a Unix socket and run until a
+/// client sends `Shutdown`. Prints one readiness line to stdout once the
+/// socket is listening (CI waits for it before submitting).
+#[cfg(unix)]
+fn serve_cmd(args: &Args) {
+    use std::io::Write;
+    use std::sync::Arc;
+
+    let socket = socket_path(args);
+    let cache_dir = args
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| "target/fdb-cache".to_string());
+    let mut config = fdb_service::ServiceConfig::new(&cache_dir);
+    config.workers = args.jobs;
+    config.max_queue = args.queue;
+    if args.seed_golden {
+        config.seed_golden_from = Some(std::path::PathBuf::from("."));
+    }
+    let service = Arc::new(fdb_service::Service::start(config).unwrap_or_else(|e| {
+        eprintln!("service failed to start: {e}");
+        std::process::exit(1);
+    }));
+    println!(
+        "{{\"serving\":\"{socket}\",\"cache_dir\":\"{cache_dir}\",\"workers\":{},\"queue\":{},\"cache_entries\":{}}}",
+        args.jobs,
+        args.queue,
+        service.store().len()
+    );
+    let _ = std::io::stdout().flush();
+    let serve_on = std::path::Path::new(&socket);
+    fdb_service::serve_unix(Arc::clone(&service), serve_on).unwrap_or_else(|e| {
+        eprintln!("serve loop failed: {e}");
+        std::process::exit(1);
+    });
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => eprintln!("warning: connections still referenced the service at exit"),
+    }
+}
+
+/// `probe submit`: send one request to a running service and relay the
+/// response stream. Progress goes to stderr; streamed trace chunks go to
+/// `--trace-out` (verbatim JSONL); the result JSON and then a
+/// `{"summary":true,...,"cached":...}` line go to stdout.
+#[cfg(unix)]
+fn submit_cmd(args: &Args) {
+    use fdb_service::{Request, Response};
+    use std::io::Write;
+
+    let socket = socket_path(args);
+    let mut client =
+        fdb_service::Client::connect(std::path::Path::new(&socket)).unwrap_or_else(|e| {
+            eprintln!("cannot connect to {socket}: {e}");
+            std::process::exit(1);
+        });
+    let recv = |client: &mut fdb_service::Client| {
+        client
+            .recv()
+            .unwrap_or_else(|e| {
+                eprintln!("connection error: {e}");
+                std::process::exit(1);
+            })
+            .unwrap_or_else(|| {
+                eprintln!("service hung up");
+                std::process::exit(1);
+            })
+    };
+
+    // Control-plane requests first: each is a single request/response.
+    if args.ping {
+        client.send(&Request::Ping).expect("send ping");
+        let resp = recv(&mut client);
+        println!("{}", serde_json::to_string(&resp).expect("pong serializes"));
+        return;
+    }
+    if let Some(sample_every) = args.recheck {
+        client
+            .send(&Request::Recheck { sample_every })
+            .expect("send recheck");
+        let resp = recv(&mut client);
+        println!("{}", serde_json::to_string(&resp).expect("report serializes"));
+        if let Response::RecheckReport { mismatched, .. } = &resp {
+            if !mismatched.is_empty() {
+                eprintln!("FAIL: {} cache entries no longer reproduce", mismatched.len());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.stop_service {
+        client.send(&Request::Shutdown).expect("send shutdown");
+        let resp = recv(&mut client);
+        println!("{}", serde_json::to_string(&resp).expect("ack serializes"));
+        return;
+    }
+
+    let job = build_job(args);
+    client
+        .send(&Request::Submit {
+            job,
+            stream_trace: args.stream_trace,
+            timeout_ms: args.timeout_ms,
+        })
+        .expect("send job");
+
+    let mut trace_out = args.trace_out.as_ref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    loop {
+        match recv(&mut client) {
+            Response::Accepted { id, job_hash, kind } => {
+                eprintln!("accepted: id={id} kind={kind} hash={job_hash}");
+            }
+            Response::Rejected { reason } => {
+                eprintln!("rejected: {reason}");
+                std::process::exit(1);
+            }
+            Response::Progress { done, total, .. } => {
+                eprintln!("progress: {done}/{total}");
+            }
+            Response::Trace { text, .. } => match &mut trace_out {
+                Some(file) => file.write_all(text.as_bytes()).unwrap_or_else(|e| {
+                    eprintln!("trace write failed: {e}");
+                    std::process::exit(1);
+                }),
+                None => print!("{text}"),
+            },
+            Response::Done {
+                id,
+                job_hash,
+                cached,
+                result,
+            } => {
+                println!("{}", serde_json::to_string(&result).expect("result serializes"));
+                println!(
+                    "{{\"summary\":true,\"id\":{id},\"job_hash\":\"{job_hash}\",\"cached\":{cached}}}"
+                );
+                return;
+            }
+            Response::Failed { error, .. } => {
+                eprintln!("failed: {error}");
+                std::process::exit(1);
+            }
+            Response::Cancelled { frames_done, .. } => {
+                eprintln!("cancelled after {frames_done} units");
+                std::process::exit(1);
+            }
+            other => {
+                eprintln!("unexpected response: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Builds the `JobSpec` a `probe submit` invocation describes:
+/// `--job PATH` (raw spec JSON) > `--pair PATH` (ablation pair) >
+/// `--config`/defaults (link job via [`load_scenario`]).
+#[cfg(unix)]
+fn build_job(args: &Args) -> fdb_sim::JobSpec {
+    if let Some(path) = &args.job_file {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        return serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("{path} invalid: {e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(path) = &args.pair_file {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let mut pair: fdb_sim::AblationPair = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("{path} invalid: {e}");
+            std::process::exit(2);
+        });
+        if args.seed_given {
+            pair.adaptive.seed = args.seed;
+            pair.oblivious.seed = args.seed;
+        }
+        return fdb_sim::JobSpec::Ablation { pair };
+    }
+    let (link, spec) = load_scenario(args, 20);
+    fdb_sim::JobSpec::Link { link, spec }
+}
+
+#[cfg(not(unix))]
+fn serve_cmd(_args: &Args) {
+    eprintln!("probe serve needs a Unix socket; unsupported on this platform");
+    std::process::exit(2);
+}
+
+#[cfg(not(unix))]
+fn submit_cmd(_args: &Args) {
+    eprintln!("probe submit needs a Unix socket; unsupported on this platform");
+    std::process::exit(2);
 }
 
 /// Parses a trace JSONL file line-by-line, exiting non-zero with the

@@ -20,7 +20,7 @@ use fdb_mac::early_abort::{EarlyAbortArq, EarlyAbortConfig};
 use fdb_mac::report::TransferReport;
 use fdb_sim::report::{fmt_ber, fmt_sig, Table};
 use fdb_sim::runner::{derive_seed, random_payload};
-use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use fdb_sim::{parallel_sweep, run_link, LinkRun, MeasureSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -49,13 +49,13 @@ pub fn line_codes(effort: Effort) -> Vec<ExperimentResult> {
             trace: Default::default(),
             faults: None,
         };
-        let with_sic = measure_link(&cfg, &spec).expect("A1 sic-on run");
+        let with_sic = run_link(&cfg, &spec, LinkRun::new()).expect("A1 sic-on run");
         let mut no_sic_cfg = cfg.clone();
         no_sic_cfg.phy.sic = fdb_core::config::SicMode::Off;
         // Keep B's data path viable without SIC by making its feedback
         // toggle gentle; the quantity under test is A's feedback decode.
         no_sic_cfg.tag_b.rho = 0.05;
-        let no_sic = measure_link(&no_sic_cfg, &spec).expect("A1 sic-off run");
+        let no_sic = run_link(&no_sic_cfg, &spec, LinkRun::new()).expect("A1 sic-off run");
         (code, with_sic, no_sic)
     });
     let mut table = Table::new(&[

@@ -11,7 +11,7 @@ use fdb_core::link::LinkConfig;
 use fdb_dsp::sample::dbm_to_watts;
 use fdb_sim::report::{fmt_sig, Table};
 use fdb_sim::runner::derive_seed;
-use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use fdb_sim::{parallel_sweep, run_link, LinkRun, MeasureSpec};
 
 /// Runs E10.
 pub fn run(effort: Effort) -> Vec<ExperimentResult> {
@@ -26,7 +26,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
         let mut cfg = LinkConfig::default_fd();
         cfg.geometry.source_dist_a_m = d;
         cfg.geometry.source_dist_b_m = d;
-        let metrics = measure_link(
+        let metrics = run_link(
             &cfg,
             &MeasureSpec {
                 frames,
@@ -36,6 +36,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                 trace: Default::default(),
                 faults: None,
             },
+            LinkRun::new(),
         )
         .expect("E10 run");
         // Mean harvested power at B over the run.

@@ -16,7 +16,7 @@ use fdb_ambient::AmbientConfig;
 use fdb_core::link::LinkConfig;
 use fdb_sim::report::{fmt_ber, fmt_sig, Table};
 use fdb_sim::runner::derive_seed;
-use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use fdb_sim::{parallel_sweep, run_link, LinkRun, MeasureSpec};
 
 /// Distance sweep used by several experiments (metres).
 pub fn distances() -> Vec<f64> {
@@ -66,7 +66,7 @@ fn run_variant(effort: Effort, fading: bool) -> Vec<ExperimentResult> {
             cfg.fading_advance_bits = 64;
         }
         let seed = derive_seed(if fading { 0x1B } else { 0xE1 }, (d * 1000.0) as u64);
-        let fd = measure_link(
+        let fd = run_link(
             &cfg,
             &MeasureSpec {
                 frames,
@@ -76,9 +76,10 @@ fn run_variant(effort: Effort, fading: bool) -> Vec<ExperimentResult> {
                 trace: Default::default(),
                 faults: None,
             },
+            LinkRun::new(),
         )
         .expect("E1 fd run");
-        let hd = measure_link(
+        let hd = run_link(
             &cfg,
             &MeasureSpec {
                 frames,
@@ -88,6 +89,7 @@ fn run_variant(effort: Effort, fading: bool) -> Vec<ExperimentResult> {
                 trace: Default::default(),
                 faults: None,
             },
+            LinkRun::new(),
         )
         .expect("E1 hd run");
         let theory = predicted_data_ber(&cfg);

@@ -11,7 +11,7 @@ use fdb_ambient::AmbientConfig;
 use fdb_core::link::LinkConfig;
 use fdb_sim::report::{fmt_ber, fmt_sig, Table};
 use fdb_sim::runner::derive_seed;
-use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use fdb_sim::{parallel_sweep, run_link, LinkRun, MeasureSpec};
 
 /// Predicted feedback BER for a configuration (theory overlay).
 pub fn predicted_feedback_ber(cfg: &LinkConfig) -> f64 {
@@ -53,7 +53,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
             cfg.tag_b.rho = 0.03;
             cfg.phy.feedback_ratio = m;
             // Long frames so even m = 128 yields several feedback bits.
-            let metrics = measure_link(
+            let metrics = run_link(
                 &cfg,
                 &MeasureSpec {
                     frames,
@@ -63,6 +63,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                     trace: Default::default(),
                     faults: None,
                 },
+                LinkRun::new(),
             )
             .expect("E2 run");
             let theory = predicted_feedback_ber(&cfg);

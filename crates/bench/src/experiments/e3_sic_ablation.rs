@@ -13,7 +13,7 @@ use fdb_core::config::SicMode;
 use fdb_core::link::LinkConfig;
 use fdb_sim::report::{fmt_ber, fmt_sig, Table};
 use fdb_sim::runner::derive_seed;
-use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use fdb_sim::{parallel_sweep, run_link, LinkRun, MeasureSpec};
 
 /// Runs E3.
 pub fn run(effort: Effort) -> Vec<ExperimentResult> {
@@ -34,8 +34,8 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
             trace: Default::default(),
             faults: None,
         };
-        let on = measure_link(&on_cfg, &spec).expect("E3 on");
-        let off = measure_link(&off_cfg, &spec).expect("E3 off");
+        let on = run_link(&on_cfg, &spec, LinkRun::new()).expect("E3 on");
+        let off = run_link(&off_cfg, &spec, LinkRun::new()).expect("E3 off");
         (rho_b, on, off)
     });
 

@@ -14,7 +14,7 @@ use fdb_mac::early_abort::{EarlyAbortArq, EarlyAbortConfig};
 use fdb_mac::report::TransferReport;
 use fdb_sim::report::{fmt_sig, Table};
 use fdb_sim::runner::{derive_seed, random_payload};
-use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use fdb_sim::{parallel_sweep, run_link, LinkRun, MeasureSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -83,7 +83,7 @@ pub fn measure_point(
     cfg.geometry.device_dist_m = distance_m;
 
     // Calibrate the per-block error rate for the analytical overlay.
-    let cal = measure_link(
+    let cal = run_link(
         &cfg,
         &MeasureSpec {
             frames: transfers.max(8),
@@ -93,6 +93,7 @@ pub fn measure_point(
             trace: Default::default(),
             faults: None,
         },
+        LinkRun::new(),
     )
     .expect("E4 calibration");
     let p_block = cal.block_error_rate();

@@ -11,7 +11,7 @@ use fdb_ambient::AmbientConfig;
 use fdb_core::link::LinkConfig;
 use fdb_sim::report::{fmt_ber, fmt_sig, Table};
 use fdb_sim::runner::derive_seed;
-use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use fdb_sim::{parallel_sweep, run_link, LinkRun, MeasureSpec};
 
 /// Runs E8.
 pub fn run(effort: Effort) -> Vec<ExperimentResult> {
@@ -32,7 +32,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
         let mut cfg = LinkConfig::default_fd();
         cfg.geometry.device_dist_m = 0.45;
         cfg.ambient = *ambient;
-        let metrics = measure_link(
+        let metrics = run_link(
             &cfg,
             &MeasureSpec {
                 frames,
@@ -42,6 +42,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                 trace: Default::default(),
                 faults: None,
             },
+            LinkRun::new(),
         )
         .expect("E8 run");
         (*name, metrics)

@@ -12,7 +12,7 @@ use fdb_core::link::LinkConfig;
 use fdb_dsp::line_code::LineCode;
 use fdb_sim::report::{fmt_ber, fmt_sig, Table};
 use fdb_sim::runner::derive_seed;
-use fdb_sim::{measure_link, parallel_sweep, MeasureSpec};
+use fdb_sim::{parallel_sweep, run_link, LinkRun, MeasureSpec};
 
 /// Runs E9.
 pub fn run(effort: Effort) -> Vec<ExperimentResult> {
@@ -28,7 +28,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                 jitter_ppm: 0.0,
                 reversion: 1.0,
             };
-            measure_link(
+            run_link(
                 &cfg,
                 &MeasureSpec {
                     frames,
@@ -38,6 +38,7 @@ pub fn run(effort: Effort) -> Vec<ExperimentResult> {
                     trace: Default::default(),
                     faults: None,
                 },
+                LinkRun::new(),
             )
             .expect("E9 run")
         };

@@ -31,6 +31,13 @@ pub enum PhyError {
         /// Human-readable cause.
         reason: String,
     },
+    /// A cooperative run was cancelled (client cancel or per-job timeout)
+    /// before completing; checked between frames, so partial work up to
+    /// `frames_done` completed normally and was then discarded.
+    Cancelled {
+        /// Frames that finished before the cancellation was observed.
+        frames_done: u64,
+    },
 }
 
 impl fmt::Display for PhyError {
@@ -44,6 +51,9 @@ impl fmt::Display for PhyError {
                 write!(f, "payload of {got} bytes exceeds maximum {max}")
             }
             PhyError::TraceSink { reason } => write!(f, "trace sink: {reason}"),
+            PhyError::Cancelled { frames_done } => {
+                write!(f, "run cancelled after {frames_done} frames")
+            }
         }
     }
 }

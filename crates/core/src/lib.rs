@@ -37,6 +37,8 @@
 //! | [`link`] | the sample-synchronous two-device full-duplex link |
 //! | [`network`] | K coexisting links with first-order mutual scattering |
 //! | [`trace`] | frame-level per-stage diagnostics (captured under the `trace` feature) |
+//! | [`seed`] | deterministic seed derivation shared by every per-frame stream |
+//! | [`hash`] | canonical JSON + stable 128-bit content addressing for cached results |
 //! | [`error`] | error types |
 //!
 //! ## Feature flags
@@ -52,6 +54,7 @@ pub mod config;
 pub mod error;
 pub mod feedback;
 pub mod frame;
+pub mod hash;
 pub mod link;
 pub mod multilink;
 pub mod network;
@@ -63,5 +66,5 @@ pub mod tx;
 
 pub use config::{PhyConfig, SicMode};
 pub use error::PhyError;
-pub use link::{FdLink, FrameOutcome, LinkConfig, LinkGeometry};
+pub use link::{FdLink, FrameOutcome, FrameRun, LinkConfig, LinkGeometry};
 pub use seed::derive_seed;

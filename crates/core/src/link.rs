@@ -200,6 +200,55 @@ impl RunOptions {
     }
 }
 
+/// Per-run attachments for [`FdLink::run_frame_with`] — the single frame
+/// entry point that replaced the `run_frame_faulted` / `run_frame_into` /
+/// `run_frame_faulted_into` variant explosion.
+///
+/// `FrameRun::default()` is a clean, ring-traced frame (identical to
+/// [`FdLink::run_frame`]); attach what the run needs through the
+/// constructors:
+///
+/// ```ignore
+/// link.run_frame_with(&payload, &opts, &mut rng, FrameRun::faulted(Some(&mut faults)))?;
+/// ```
+#[derive(Default)]
+pub struct FrameRun<'a> {
+    /// Scripted impairment schedule injected into the channel path
+    /// (`None` = clean frame). Faults draw randomness only from the
+    /// engine's own deterministic generator, never from the run's `rng`.
+    pub faults: Option<&'a mut FrameFaults>,
+    /// Caller-owned trace sink receiving the frame's diagnostic events
+    /// instead of the outcome's in-memory ring (`FrameOutcome::trace`
+    /// stays an empty placeholder). The caller owns frame bracketing:
+    /// call `sink.begin_frame` / `sink.end_frame` around the run.
+    #[cfg(feature = "trace")]
+    pub sink: Option<&'a mut dyn TraceSink>,
+}
+
+impl<'a> FrameRun<'a> {
+    /// A clean, ring-traced frame — what [`FdLink::run_frame`] runs.
+    pub fn clean() -> Self {
+        FrameRun::default()
+    }
+
+    /// A frame with an optional fault schedule attached.
+    pub fn faulted(faults: Option<&'a mut FrameFaults>) -> Self {
+        FrameRun {
+            faults,
+            #[cfg(feature = "trace")]
+            sink: None,
+        }
+    }
+
+    /// Streams the frame's diagnostic events into `sink` instead of the
+    /// outcome's in-memory ring.
+    #[cfg(feature = "trace")]
+    pub fn with_sink(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
 /// Energy totals for one frame run (joules).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyReport {
@@ -377,25 +426,53 @@ impl FdLink {
     /// With the `trace` feature on, the frame's diagnostic events land in a
     /// fresh bounded [`RingSink`] (capacity from
     /// `PhyConfig::trace_ring_capacity`) attached as `FrameOutcome::trace`.
-    /// Use [`run_frame_into`](FdLink::run_frame_into) to stream the events
-    /// elsewhere instead.
+    /// Use [`run_frame_with`](FdLink::run_frame_with) to attach a fault
+    /// schedule and/or stream the events elsewhere instead.
     pub fn run_frame<R: Rng + ?Sized>(
         &mut self,
         payload: &[u8],
         opts: &RunOptions,
         rng: &mut R,
     ) -> Result<FrameOutcome, PhyError> {
-        self.run_frame_faulted(payload, opts, rng, None)
+        self.run_frame_with(payload, opts, rng, FrameRun::clean())
     }
 
-    /// Runs one frame with a scripted impairment schedule injected into
-    /// the channel path (`None` = clean frame; [`FdLink::run_frame`] is
-    /// exactly this with `None`).
+    /// Runs one frame with the [`FrameRun`] attachments: an optional
+    /// scripted impairment schedule injected into the channel path, and
+    /// (under the `trace` feature) an optional caller-owned trace sink
+    /// replacing the outcome's in-memory ring.
     ///
     /// Faults draw randomness only from the [`FrameFaults`] engine's own
     /// deterministic generator, never from `rng`, so the main stream's
     /// draws are identical with and without injection; the schedule's
     /// activation tally lands on `FrameOutcome::fault_activations`.
+    pub fn run_frame_with<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        run: FrameRun<'_>,
+    ) -> Result<FrameOutcome, PhyError> {
+        #[cfg(feature = "trace")]
+        {
+            match run.sink {
+                Some(sink) => self.run_frame_inner(payload, opts, rng, run.faults, sink),
+                None => {
+                    let mut ring = RingSink::new(self.cfg.phy.trace_ring_capacity());
+                    let mut outcome =
+                        self.run_frame_inner(payload, opts, rng, run.faults, &mut ring)?;
+                    outcome.trace = ring.into_trace();
+                    Ok(outcome)
+                }
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        self.run_frame_inner(payload, opts, rng, run.faults)
+    }
+
+    /// Runs one frame with a scripted impairment schedule injected into
+    /// the channel path (`None` = clean frame).
+    #[deprecated(since = "0.2.0", note = "use run_frame_with(FrameRun::faulted(..))")]
     pub fn run_frame_faulted<R: Rng + ?Sized>(
         &mut self,
         payload: &[u8],
@@ -403,22 +480,13 @@ impl FdLink {
         rng: &mut R,
         faults: Option<&mut FrameFaults>,
     ) -> Result<FrameOutcome, PhyError> {
-        #[cfg(feature = "trace")]
-        {
-            let mut ring = RingSink::new(self.cfg.phy.trace_ring_capacity());
-            let mut outcome = self.run_frame_inner(payload, opts, rng, faults, &mut ring)?;
-            outcome.trace = ring.into_trace();
-            Ok(outcome)
-        }
-        #[cfg(not(feature = "trace"))]
-        self.run_frame_inner(payload, opts, rng, faults)
+        self.run_frame_with(payload, opts, rng, FrameRun::faulted(faults))
     }
 
     /// Runs one frame, emitting its diagnostic events into `sink` instead
-    /// of the outcome's in-memory ring (`FrameOutcome::trace` stays an
-    /// empty placeholder). The caller owns frame bracketing: call
-    /// `sink.begin_frame` / `sink.end_frame` around this.
+    /// of the outcome's in-memory ring.
     #[cfg(feature = "trace")]
+    #[deprecated(since = "0.2.0", note = "use run_frame_with(FrameRun::clean().with_sink(..))")]
     pub fn run_frame_into<R: Rng + ?Sized>(
         &mut self,
         payload: &[u8],
@@ -426,12 +494,15 @@ impl FdLink {
         rng: &mut R,
         sink: &mut dyn TraceSink,
     ) -> Result<FrameOutcome, PhyError> {
-        self.run_frame_inner(payload, opts, rng, None, sink)
+        self.run_frame_with(payload, opts, rng, FrameRun::clean().with_sink(sink))
     }
 
-    /// [`FdLink::run_frame_faulted`] streaming into a caller-owned sink
-    /// (the faulted counterpart of [`FdLink::run_frame_into`]).
+    /// Faulted run streaming into a caller-owned sink.
     #[cfg(feature = "trace")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run_frame_with(FrameRun::faulted(..).with_sink(..))"
+    )]
     pub fn run_frame_faulted_into<R: Rng + ?Sized>(
         &mut self,
         payload: &[u8],
@@ -440,7 +511,7 @@ impl FdLink {
         faults: Option<&mut FrameFaults>,
         sink: &mut dyn TraceSink,
     ) -> Result<FrameOutcome, PhyError> {
-        self.run_frame_inner(payload, opts, rng, faults, sink)
+        self.run_frame_with(payload, opts, rng, FrameRun::faulted(faults).with_sink(sink))
     }
 
     fn run_frame_inner<R: Rng + ?Sized>(

@@ -46,6 +46,13 @@
 //!   that assert on the full event stream of a short run.
 //! * [`NullSink`] — counts and discards. Pick it when only the
 //!   `events_recorded` tally matters.
+//! * [`ChannelSink`] — stages frames exactly like [`JsonlFileSink`] but
+//!   sends each completed frame's JSONL block through an in-process
+//!   channel as a [`TraceChunk`] instead of writing a file. Pick it to
+//!   stream a live trace across threads — the job service forwards the
+//!   chunks over its client socket, and because both sinks share one
+//!   staging engine the streamed bytes equal the file sink's output
+//!   byte-for-byte.
 //!
 //! Sink selection is serialisable through [`TraceSinkSpec`] (carried on
 //! `fdb_sim::MeasureSpec`), so a scenario JSON can request streaming
@@ -489,6 +496,131 @@ pub struct JsonlSinkSummary {
     pub bytes: u64,
 }
 
+/// Shared line-staging engine behind the streaming sinks.
+///
+/// Stages exactly one frame's JSONL block in memory — a
+/// `{"frame_start":N}` marker, at most `frame_cap` event lines, and a
+/// `{"frame_end":N,"events":K,"dropped":D}` marker — so that every
+/// streaming backend emits **byte-identical framing** for the same event
+/// stream. [`JsonlFileSink`] appends the block to a file;
+/// [`ChannelSink`] sends it through an in-process channel (how the job
+/// service streams traces over its socket). The service-smoke check that
+/// a socket-streamed trace equals the file sink's output byte-for-byte
+/// rests on both backends staging through this one engine.
+#[derive(Debug)]
+struct FrameStager {
+    /// Lines of the currently open frame.
+    staged: String,
+    staged_events: u64,
+    frame: Option<u64>,
+    next_auto_frame: u64,
+    frame_dropped: u64,
+    frame_cap: usize,
+    peak_staged_bytes: usize,
+}
+
+/// One completed frame's staged JSONL block.
+#[derive(Debug)]
+struct StagedFrame {
+    /// Driver-assigned frame index.
+    frame: u64,
+    /// The frame's lines, each `\n`-terminated.
+    text: String,
+    /// Event lines staged (markers excluded).
+    events: u64,
+}
+
+impl FrameStager {
+    fn new() -> Self {
+        FrameStager {
+            staged: String::new(),
+            staged_events: 0,
+            frame: None,
+            next_auto_frame: 0,
+            frame_dropped: 0,
+            frame_cap: DEFAULT_TRACE_CAPACITY,
+            peak_staged_bytes: 0,
+        }
+    }
+
+    fn set_frame_cap(&mut self, cap: usize) {
+        self.frame_cap = cap.max(1);
+    }
+
+    fn open(&self) -> bool {
+        self.frame.is_some()
+    }
+
+    fn stage_line(&mut self, line: &str) {
+        self.staged.push_str(line);
+        self.staged.push('\n');
+        self.peak_staged_bytes = self.peak_staged_bytes.max(self.staged.len());
+    }
+
+    /// Opens frame `frame` (caller guarantees no frame is open).
+    fn begin_frame(&mut self, frame: u64) {
+        debug_assert!(self.frame.is_none(), "frame already open");
+        self.frame = Some(frame);
+        self.frame_dropped = 0;
+        self.stage_line(&format!("{{\"frame_start\":{frame}}}"));
+    }
+
+    /// Opens the next auto-numbered frame (unbracketed `record`).
+    fn begin_auto_frame(&mut self) {
+        let frame = self.next_auto_frame;
+        self.begin_frame(frame);
+    }
+
+    /// Stages one event line; `false` means the event was dropped (cap
+    /// reached or serialization failed).
+    fn record(&mut self, event: &TraceEvent) -> bool {
+        if self.staged_events >= self.frame_cap as u64 {
+            self.frame_dropped += 1;
+            return false;
+        }
+        match serde_json::to_string(event) {
+            Ok(line) => {
+                self.stage_line(&line);
+                self.staged_events += 1;
+                true
+            }
+            Err(_) => {
+                self.frame_dropped += 1;
+                false
+            }
+        }
+    }
+
+    /// Closes the open frame, staging the end marker, and hands the
+    /// completed block to the backend. `None` when no frame was open.
+    fn end_frame(&mut self) -> Option<StagedFrame> {
+        let frame = self.frame.take()?;
+        self.next_auto_frame = frame + 1;
+        self.stage_line(&format!(
+            "{{\"frame_end\":{frame},\"events\":{},\"dropped\":{}}}",
+            self.staged_events, self.frame_dropped
+        ));
+        let text = std::mem::take(&mut self.staged);
+        let out = StagedFrame {
+            frame,
+            text,
+            events: self.staged_events,
+        };
+        self.staged_events = 0;
+        self.frame_dropped = 0;
+        Some(out)
+    }
+
+    /// Discards anything currently staged (backend failure), returning
+    /// how many staged event lines never reached the backend.
+    fn abandon_staged(&mut self) -> u64 {
+        let n = self.staged_events;
+        self.staged.clear();
+        self.staged_events = 0;
+        n
+    }
+}
+
 /// Streams [`TraceEvent`]s to a JSON-lines file.
 ///
 /// Each frame appears as a `{"frame_start":N}` line, the frame's event
@@ -503,13 +635,7 @@ pub struct JsonlSinkSummary {
 pub struct JsonlFileSink {
     path: PathBuf,
     writer: Option<BufWriter<File>>,
-    /// Lines of the currently open frame, written out at `end_frame`.
-    staged: String,
-    staged_events: u64,
-    frame: Option<u64>,
-    next_auto_frame: u64,
-    frame_dropped: u64,
-    frame_cap: usize,
+    stager: FrameStager,
     rotate_bytes: Option<u64>,
     /// Rotated-out files, chronological.
     rotated: Vec<PathBuf>,
@@ -518,7 +644,6 @@ pub struct JsonlFileSink {
     frames: u64,
     events: u64,
     dropped: u64,
-    peak_staged_bytes: usize,
     error: Option<String>,
 }
 
@@ -532,12 +657,7 @@ impl JsonlFileSink {
         Ok(JsonlFileSink {
             path,
             writer: Some(writer),
-            staged: String::new(),
-            staged_events: 0,
-            frame: None,
-            next_auto_frame: 0,
-            frame_dropped: 0,
-            frame_cap: DEFAULT_TRACE_CAPACITY,
+            stager: FrameStager::new(),
             rotate_bytes: None,
             rotated: Vec::new(),
             bytes_current: 0,
@@ -545,7 +665,6 @@ impl JsonlFileSink {
             frames: 0,
             events: 0,
             dropped: 0,
-            peak_staged_bytes: 0,
             error: None,
         })
     }
@@ -553,7 +672,7 @@ impl JsonlFileSink {
     /// Caps the events retained per frame (mirrors the ring bound; the
     /// overflow is counted as dropped). Zero is clamped to 1.
     pub fn with_frame_cap(mut self, cap: usize) -> Self {
-        self.frame_cap = cap.max(1);
+        self.stager.set_frame_cap(cap);
         self
     }
 
@@ -568,7 +687,7 @@ impl JsonlFileSink {
     /// Largest number of bytes ever staged in memory for one frame — the
     /// resident-memory high-water mark of the sink.
     pub fn peak_staged_bytes(&self) -> usize {
-        self.peak_staged_bytes
+        self.stager.peak_staged_bytes
     }
 
     /// Every file written so far, chronological (rotated first, live
@@ -584,17 +703,10 @@ impl JsonlFileSink {
             self.error = Some(format!("{}: {e}", self.path.display()));
         }
         self.writer = None;
-        // The staged frame never reached the file: recount it as dropped.
-        self.dropped += self.staged_events;
-        self.events -= self.staged_events;
-        self.staged.clear();
-        self.staged_events = 0;
-    }
-
-    fn stage_line(&mut self, line: &str) {
-        self.staged.push_str(line);
-        self.staged.push('\n');
-        self.peak_staged_bytes = self.peak_staged_bytes.max(self.staged.len());
+        // Anything staged never reached the file: recount it as dropped.
+        let lost = self.stager.abandon_staged();
+        self.dropped += lost;
+        self.events -= lost;
     }
 
     fn rotate(&mut self) {
@@ -647,15 +759,13 @@ impl JsonlFileSink {
 
 impl TraceSink for JsonlFileSink {
     fn begin_frame(&mut self, frame: u64) {
-        if self.frame.is_some() {
+        if self.stager.open() {
             self.end_frame();
         }
         if self.error.is_some() {
             return;
         }
-        self.frame = Some(frame);
-        self.frame_dropped = 0;
-        self.stage_line(&format!("{{\"frame_start\":{frame}}}"));
+        self.stager.begin_frame(frame);
     }
 
     fn record(&mut self, event: TraceEvent) {
@@ -663,57 +773,184 @@ impl TraceSink for JsonlFileSink {
             self.dropped += 1;
             return;
         }
-        if self.frame.is_none() {
-            self.begin_frame(self.next_auto_frame);
+        if !self.stager.open() {
+            self.stager.begin_auto_frame();
         }
-        if self.staged_events >= self.frame_cap as u64 {
+        if self.stager.record(&event) {
+            self.events += 1;
+        } else {
             self.dropped += 1;
-            self.frame_dropped += 1;
-            return;
-        }
-        match serde_json::to_string(&event) {
-            Ok(line) => {
-                self.stage_line(&line);
-                self.staged_events += 1;
-                self.events += 1;
-            }
-            Err(_) => {
-                self.dropped += 1;
-                self.frame_dropped += 1;
-            }
         }
     }
 
     fn end_frame(&mut self) {
-        let Some(frame) = self.frame.take() else {
+        let Some(staged) = self.stager.end_frame() else {
             return;
         };
-        self.next_auto_frame = frame + 1;
-        self.stage_line(&format!(
-            "{{\"frame_end\":{frame},\"events\":{},\"dropped\":{}}}",
-            self.staged_events, self.frame_dropped
-        ));
         let Some(w) = self.writer.as_mut() else {
-            self.staged.clear();
-            self.staged_events = 0;
             return;
         };
-        let res = w.write_all(self.staged.as_bytes()).and_then(|_| w.flush());
+        let res = w.write_all(staged.text.as_bytes()).and_then(|_| w.flush());
         if let Err(e) = res {
             self.fail(&e);
+            // The frame was taken from the stager before the write, so
+            // recount its events here rather than in `fail`.
+            self.dropped += staged.events;
+            self.events -= staged.events;
             return;
         }
-        self.bytes_current += self.staged.len() as u64;
-        self.bytes_total += self.staged.len() as u64;
-        self.staged.clear();
-        self.staged_events = 0;
-        self.frame_dropped = 0;
+        self.bytes_current += staged.text.len() as u64;
+        self.bytes_total += staged.text.len() as u64;
         self.frames += 1;
         if let Some(limit) = self.rotate_bytes {
             if self.bytes_current >= limit {
                 self.rotate();
             }
         }
+    }
+
+    fn events_recorded(&self) -> u64 {
+        self.events
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn io_error(&self) -> Option<String> {
+        self.error.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channel-streaming sink
+// ---------------------------------------------------------------------------
+
+/// One completed frame's JSONL block, as streamed by [`ChannelSink`].
+///
+/// `text` is **exactly** the bytes [`JsonlFileSink`] would have appended
+/// to its file for the same frame under the same per-frame cap: the
+/// `{"frame_start":N}` line, the (capped) event lines, and the
+/// `{"frame_end":N,"events":K,"dropped":D}` line, each `\n`-terminated.
+/// Concatenating every chunk of a run reproduces the file sink's output
+/// byte-for-byte — the property the job service's socket trace streaming
+/// is verified against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceChunk {
+    /// Driver-assigned frame index.
+    pub frame: u64,
+    /// The frame's JSONL block.
+    pub text: String,
+}
+
+/// Streams each completed frame's JSONL block through an
+/// [`std::sync::mpsc`] channel.
+///
+/// The socket/channel backend the [`TraceSink`] trait was designed for:
+/// the run side records events exactly as it would into a
+/// [`JsonlFileSink`]; a receiver on another thread (the job service's
+/// client connection) drains [`TraceChunk`]s as frames complete. A
+/// disconnected receiver behaves like a failed file write — the sink goes
+/// inert, subsequent events count as dropped, and the error surfaces via
+/// [`TraceSink::io_error`].
+#[derive(Debug)]
+pub struct ChannelSink {
+    tx: std::sync::mpsc::Sender<TraceChunk>,
+    stager: FrameStager,
+    frames: u64,
+    events: u64,
+    dropped: u64,
+    error: Option<String>,
+}
+
+impl ChannelSink {
+    /// Wraps `tx` with the default per-frame cap
+    /// ([`DEFAULT_TRACE_CAPACITY`]).
+    pub fn new(tx: std::sync::mpsc::Sender<TraceChunk>) -> Self {
+        ChannelSink {
+            tx,
+            stager: FrameStager::new(),
+            frames: 0,
+            events: 0,
+            dropped: 0,
+            error: None,
+        }
+    }
+
+    /// Caps the events retained per frame (must match the file sink's cap
+    /// for byte-identical output). Zero is clamped to 1.
+    pub fn with_frame_cap(mut self, cap: usize) -> Self {
+        self.stager.set_frame_cap(cap);
+        self
+    }
+
+    /// Frames sent so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flushes any open frame and returns the send-side statistics (or
+    /// the disconnect error).
+    pub fn finish(mut self) -> std::io::Result<JsonlSinkSummary> {
+        self.end_frame();
+        match self.error {
+            Some(reason) => Err(std::io::Error::other(reason)),
+            None => Ok(JsonlSinkSummary {
+                files: Vec::new(),
+                frames: self.frames,
+                events: self.events,
+                dropped: self.dropped,
+                bytes: 0,
+            }),
+        }
+    }
+}
+
+impl TraceSink for ChannelSink {
+    fn begin_frame(&mut self, frame: u64) {
+        if self.stager.open() {
+            self.end_frame();
+        }
+        if self.error.is_some() {
+            return;
+        }
+        self.stager.begin_frame(frame);
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            self.dropped += 1;
+            return;
+        }
+        if !self.stager.open() {
+            self.stager.begin_auto_frame();
+        }
+        if self.stager.record(&event) {
+            self.events += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn end_frame(&mut self) {
+        let Some(staged) = self.stager.end_frame() else {
+            return;
+        };
+        if self.error.is_some() {
+            return;
+        }
+        let chunk = TraceChunk {
+            frame: staged.frame,
+            text: staged.text,
+        };
+        if self.tx.send(chunk).is_err() {
+            self.error = Some("trace channel receiver disconnected".to_string());
+            // The frame never reached the receiver: recount it as dropped.
+            self.dropped += staged.events;
+            self.events -= staged.events;
+            return;
+        }
+        self.frames += 1;
     }
 
     fn events_recorded(&self) -> u64 {
@@ -1163,6 +1400,78 @@ mod tests {
         } else {
             sink.finish().ok();
         }
+    }
+
+    #[test]
+    fn channel_sink_matches_jsonl_file_bytes() {
+        // The tentpole contract: the same event stream through a
+        // ChannelSink and a JsonlFileSink (same frame cap) produces
+        // byte-identical output, including the cap-overflow frame.
+        let path = temp_path("channel_match");
+        let mut file_sink = JsonlFileSink::create(&path).unwrap().with_frame_cap(3);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut chan_sink = ChannelSink::new(tx).with_frame_cap(3);
+
+        let events = one_of_each();
+        for (f, chunk) in events.chunks(5).enumerate() {
+            file_sink.begin_frame(f as u64);
+            chan_sink.begin_frame(f as u64);
+            for ev in chunk {
+                file_sink.record(ev.clone());
+                chan_sink.record(ev.clone());
+            }
+            file_sink.end_frame();
+            chan_sink.end_frame();
+        }
+        assert_eq!(chan_sink.events_recorded(), file_sink.events_recorded());
+        assert_eq!(chan_sink.events_dropped(), file_sink.events_dropped());
+        let file_summary = file_sink.finish().unwrap();
+        let chan_summary = chan_sink.finish().unwrap();
+        assert_eq!(chan_summary.frames, file_summary.frames);
+
+        let mut streamed = String::new();
+        let mut frames = Vec::new();
+        while let Ok(chunk) = rx.try_recv() {
+            frames.push(chunk.frame);
+            streamed.push_str(&chunk.text);
+        }
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed, written, "streamed bytes differ from file bytes");
+        assert_eq!(frames, (0..file_summary.frames).collect::<Vec<_>>());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn channel_sink_auto_frames_and_caps() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut sink = ChannelSink::new(tx).with_frame_cap(2);
+        for i in 0..5 {
+            sink.record(TraceEvent::Abort { sample: i });
+        }
+        sink.end_frame();
+        assert_eq!(sink.events_recorded(), 2);
+        assert_eq!(sink.events_dropped(), 3);
+        assert_eq!(sink.frames(), 1);
+        let chunk = rx.try_recv().unwrap();
+        assert_eq!(chunk.frame, 0);
+        assert!(chunk.text.starts_with("{\"frame_start\":0}\n"));
+        assert!(chunk.text.ends_with("{\"frame_end\":0,\"events\":2,\"dropped\":3}\n"));
+    }
+
+    #[test]
+    fn channel_sink_disconnect_goes_inert() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        drop(rx);
+        let mut sink = ChannelSink::new(tx);
+        sink.begin_frame(0);
+        sink.record(TraceEvent::Abort { sample: 0 });
+        sink.end_frame();
+        assert!(sink.io_error().is_some(), "send to dropped receiver fails");
+        assert_eq!(sink.events_recorded(), 0, "lost frame recounted as dropped");
+        assert_eq!(sink.events_dropped(), 1);
+        sink.record(TraceEvent::Abort { sample: 1 });
+        assert_eq!(sink.events_dropped(), 2, "inert sink keeps counting drops");
+        assert!(sink.finish().is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@
 use crate::rate_adapt::{RateController, RateDecision};
 use fdb_channel::impairment::{FaultActivations, FrameFaults};
 use fdb_core::config::PhyConfig;
-use fdb_core::link::{FdLink, FeedbackPolicy, LinkConfig, RunOptions};
+use fdb_core::link::{FdLink, FeedbackPolicy, FrameRun, LinkConfig, RunOptions};
 use fdb_core::seed::derive_seed;
 use fdb_core::PhyError;
 use fdb_dsp::prbs::{Prbs, PrbsOrder};
@@ -518,7 +518,12 @@ where
             abort_on_nack: session.early_abort,
         };
         let mut faults = frame_faults(slot);
-        let out = link.run_frame_faulted(&payload, &opts, &mut rng, faults.as_mut())?;
+        let out = link.run_frame_with(
+            &payload,
+            &opts,
+            &mut rng,
+            FrameRun::faulted(faults.as_mut()),
+        )?;
 
         // --- A's observables ---
         let nacks = out.feedback.iter().filter(|f| !f.bit).count();

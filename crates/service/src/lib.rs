@@ -1,0 +1,42 @@
+//! # fdb-service — the long-running sweep/scenario job service
+//!
+//! Turns the workspace's one-shot runners into a resident service:
+//! clients submit serde-typed jobs ([`fdb_sim::JobSpec`] — link
+//! measurements, fault-matrix grids, MAC scenario/ablation sessions) and
+//! get a streamed response — progress ticks, live trace chunks, then one
+//! terminal `Done`/`Failed`/`Cancelled` line.
+//!
+//! * [`protocol`] — the line-delimited JSON request/response surface,
+//!   symmetric across transports.
+//! * [`pool`] — persistent worker threads over one bounded queue, with
+//!   per-job cancellation flags and wall-clock timeouts folded into the
+//!   cooperative predicate [`fdb_sim::JobSpec::run`] polls.
+//! * [`cache`] — the content-addressed result store: one file per job
+//!   content hash, seeded from the repo's golden corpus, replaying
+//!   byte-identical result JSON on repeat submissions, with an integrity
+//!   `recheck` pass that recomputes entries from their stored specs.
+//! * [`service`] — the assembled service plus its transports: an
+//!   in-process blocking handle for tests/embedding and a Unix-socket
+//!   server/client pair (`probe serve` / `probe submit`).
+//!
+//! The end-to-end contracts this crate owes the rest of the workspace:
+//! submitting the same job twice yields a recorded cache hit whose
+//! result bytes are identical to the first reply, and a trace-streamed
+//! link job's concatenated chunk text equals the
+//! [`JsonlFileSink`](fdb_core::trace::JsonlFileSink) file a direct run
+//! of the same spec would write, byte for byte.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod pool;
+pub mod protocol;
+pub mod service;
+
+pub use cache::{CachedResult, RecheckOutcome, ResultStore};
+pub use pool::{JobEvent, JobEvents, SubmitError, SubmitHandle, WorkerPool};
+pub use protocol::{Request, Response};
+#[cfg(unix)]
+pub use service::{serve_unix, Client};
+pub use service::{Service, ServiceConfig, SubmitOutcome};

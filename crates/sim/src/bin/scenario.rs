@@ -14,7 +14,7 @@
 //! type. Runs are deterministic in the file's `spec.seed`.
 
 use fdb_core::link::LinkConfig;
-use fdb_sim::runner::{measure_link, MeasureSpec};
+use fdb_sim::runner::{run_link, LinkRun, MeasureSpec};
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,7 +67,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let metrics = match measure_link(&scenario.link, &scenario.spec) {
+    let metrics = match run_link(&scenario.link, &scenario.spec, LinkRun::new()) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("invalid link configuration: {e}");

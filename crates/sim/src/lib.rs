@@ -14,6 +14,13 @@
 //! * [`scenario`] — serde specs for end-to-end adaptive-MAC sessions
 //!   ([`scenario::ScenarioSpec`]) and adaptive-vs-oblivious ablation
 //!   pairs ([`scenario::AblationPair`]) with margin gates.
+//! * [`matrix`] — the PhyConfig × FaultPlan conformance grid
+//!   ([`matrix::run_matrix`]), moved here from `fdb-bench` so the job
+//!   service can run grids without depending on the experiment harness.
+//! * [`job`] — the unified serde job surface ([`job::JobSpec`]): one
+//!   enum covering link measurements, fault-matrix grids, and MAC
+//!   scenario/ablation sessions, with a stable content address per job
+//!   for result caching.
 //! * [`sweep`] — order-preserving parallel parameter sweeps on
 //!   `std::thread::scope` workers (one seed per point, derived
 //!   deterministically).
@@ -24,6 +31,8 @@
 #![deny(unsafe_code)]
 
 pub mod faults;
+pub mod job;
+pub mod matrix;
 pub mod metrics;
 pub mod report;
 pub mod runner;
@@ -31,14 +40,19 @@ pub mod scenario;
 pub mod sweep;
 
 pub use faults::{check_frame_invariants, check_link_invariants, FaultGen, FaultPlan, FaultSpec};
+pub use job::{JobProgress, JobResult, JobSpec, MatrixScenario, NamedPlan, RunControl};
+pub use matrix::MatrixCell;
 pub use scenario::{AblationPair, FaultSource, PairOutcome, ScenarioSpec};
 pub use metrics::LinkMetrics;
 #[allow(deprecated)]
 #[cfg(feature = "trace")]
 pub use runner::measure_link_traced;
+#[allow(deprecated)]
 #[cfg(feature = "trace")]
 pub use runner::measure_link_with_sink;
-pub use runner::{measure_link, measure_link_observed, MeasureSpec};
+#[allow(deprecated)]
+pub use runner::{measure_link, measure_link_observed};
+pub use runner::{run_link, LinkRun, MeasureSpec};
 pub use sweep::parallel_sweep;
 #[cfg(feature = "trace")]
 pub use sweep::parallel_sweep_traced;

@@ -1,0 +1,207 @@
+//! PhyConfig × FaultPlan conformance matrix.
+//!
+//! The fault-injection layer's promise is *graceful* degradation: a
+//! scripted impairment may cost delivery, but it must never crash a run,
+//! blow the receiver's re-arm budget, or corrupt the metrics accounting.
+//! This module sweeps that promise over a grid — every scenario config
+//! crossed with every fault plan — and reports one [`MatrixCell`] per
+//! grid point with the run's metrics and any invariant violations.
+//!
+//! Used two ways:
+//!
+//! * `tests/fault_conformance.rs` runs the grid over the bundled configs
+//!   and the per-class plans from [`class_plans`];
+//! * `probe matrix cfg1,cfg2,...` runs the same grid from the CLI (the
+//!   CI smoke check), printing one JSON line per cell and exiting
+//!   non-zero when any cell reports a violation;
+//! * the job service runs it for [`crate::job::JobSpec::Matrix`] jobs.
+
+use crate::faults::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
+use crate::metrics::LinkMetrics;
+use crate::runner::{run_link, LinkRun, MeasureSpec};
+use crate::{check_frame_invariants, check_link_invariants};
+use fdb_core::link::LinkConfig;
+use fdb_core::PhyError;
+use serde::Serialize;
+
+/// One grid point's result: which scenario and plan ran, what came out,
+/// and every invariant violation observed (empty = conformant).
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixCell {
+    /// Scenario label (config file name or "default").
+    pub config: String,
+    /// Fault-plan label (class name or file name).
+    pub plan: String,
+    /// Aggregate metrics of the faulted run.
+    pub metrics: LinkMetrics,
+    /// Invariant violations, frame-level and aggregate. Conformance =
+    /// empty.
+    pub violations: Vec<String>,
+}
+
+/// One single-class [`FaultPlan`] per fault kind, each landing in frame 1
+/// with windows sized for the bundled scenarios (≥ 16-byte payloads run
+/// ≥ ~3 900 samples per frame at the default 20 samples/bit). The
+/// interferer window covers the preamble with chip-rate transitions — the
+/// acquisition collision stressor.
+pub fn class_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    let plan = |kind: FaultKind, start: usize, duration: usize| FaultPlan {
+        seed,
+        faults: vec![FaultSpec {
+            frame: 1,
+            start_sample: start,
+            duration_samples: duration,
+            kind,
+        }],
+    };
+    vec![
+        (
+            "noise_burst",
+            plan(
+                FaultKind::NoiseBurst {
+                    power_dbm: -78.0,
+                    target: FaultTarget::B,
+                },
+                1_000,
+                1_500,
+            ),
+        ),
+        (
+            "dropout",
+            plan(
+                FaultKind::Dropout {
+                    target: FaultTarget::B,
+                },
+                1_200,
+                600,
+            ),
+        ),
+        (
+            "clock_drift",
+            plan(FaultKind::ClockDrift { ppm: 1_500.0 }, 500, 2_500),
+        ),
+        (
+            "sic_gain",
+            plan(
+                FaultKind::SicGain {
+                    gain_db: 6.0,
+                    target: FaultTarget::B,
+                },
+                800,
+                2_000,
+            ),
+        ),
+        (
+            "ambient_fade",
+            plan(FaultKind::AmbientFade { depth_db: 15.0 }, 1_000, 1_200),
+        ),
+        (
+            "interferer",
+            plan(
+                FaultKind::Interferer {
+                    power_dbm: -70.0,
+                    period_samples: 20,
+                },
+                0,
+                600,
+            ),
+        ),
+    ]
+}
+
+/// Runs one grid point: the scenario with `plan` attached, frame-level
+/// invariants checked on every outcome, aggregate invariants checked on
+/// the final metrics.
+pub fn run_cell(
+    config_label: &str,
+    cfg: &LinkConfig,
+    spec: &MeasureSpec,
+    plan_label: &str,
+    plan: &FaultPlan,
+) -> Result<MatrixCell, PhyError> {
+    let spec = spec.clone().with_faults(plan.clone());
+    let mut violations = Vec::new();
+    let mut observe = |frame: u64, out: &fdb_core::link::FrameOutcome| {
+        if let Err(v) = check_frame_invariants(out, &cfg.phy) {
+            violations.push(format!("frame {frame}: {v}"));
+        }
+    };
+    let metrics = run_link(cfg, &spec, LinkRun::new().with_observe(&mut observe))?;
+    if let Err(v) = check_link_invariants(&metrics) {
+        violations.push(format!("aggregate: {v}"));
+    }
+    if !plan.is_empty()
+        && plan.faults.iter().any(|f| f.frame < spec.frames)
+        && metrics.faults.total() == 0
+    {
+        violations.push("aggregate: plan scheduled in-run faults but none activated".into());
+    }
+    Ok(MatrixCell {
+        config: config_label.to_string(),
+        plan: plan_label.to_string(),
+        metrics,
+        violations,
+    })
+}
+
+/// Sweeps the full grid: every scenario × every plan, in order. Scenario
+/// and plan labels carry through to the cells. Fails fast on a scenario
+/// that cannot run at all (invalid config), which is distinct from a
+/// conformance violation.
+pub fn run_matrix(
+    scenarios: &[(String, LinkConfig, MeasureSpec)],
+    plans: &[(String, FaultPlan)],
+) -> Result<Vec<MatrixCell>, PhyError> {
+    let mut cells = Vec::with_capacity(scenarios.len() * plans.len());
+    for (cfg_label, cfg, spec) in scenarios {
+        for (plan_label, plan) in plans {
+            cells.push(run_cell(cfg_label, cfg, spec, plan_label, plan)?);
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_plans_cover_every_kind_and_validate() {
+        let plans = class_plans(3);
+        assert_eq!(plans.len(), 6);
+        let labels: Vec<&str> = plans.iter().map(|(l, _)| *l).collect();
+        for (label, plan) in &plans {
+            plan.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(plan.faults.len(), 1);
+            assert_eq!(plan.faults[0].kind.label(), *label);
+        }
+        assert_eq!(
+            labels,
+            [
+                "noise_burst",
+                "dropout",
+                "clock_drift",
+                "sic_gain",
+                "ambient_fade",
+                "interferer"
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_cell_reports_no_violations() {
+        let mut cfg = LinkConfig::default_fd();
+        cfg.ambient = fdb_ambient::AmbientConfig::Cw;
+        cfg.field_noise_dbm = -160.0;
+        let spec = MeasureSpec {
+            frames: 3,
+            payload_len: 16,
+            seed: 2,
+            ..Default::default()
+        };
+        let (label, plan) = &class_plans(1)[1]; // dropout
+        let cell = run_cell("default", &cfg, &spec, label, plan).unwrap();
+        assert!(cell.violations.is_empty(), "{:?}", cell.violations);
+        assert_eq!(cell.metrics.faults.dropout, 1);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::faults::FaultPlan;
 use crate::metrics::LinkMetrics;
 use fdb_core::frame::bytes_to_bits;
-use fdb_core::link::{FdLink, FeedbackPolicy, FrameOutcome, LinkConfig, RunOptions};
+use fdb_core::link::{FdLink, FeedbackPolicy, FrameOutcome, FrameRun, LinkConfig, RunOptions};
 #[cfg(feature = "trace")]
 use fdb_core::trace::{FrameTrace, TraceSink};
 use fdb_core::trace::TraceSinkSpec;
@@ -65,14 +65,14 @@ impl MeasureSpec {
 
     /// Builder-style trace attachment: the returned spec routes every
     /// frame's diagnostic events into the described sink when run through
-    /// [`measure_link`].
+    /// [`run_link`].
     pub fn with_trace(mut self, sink: TraceSinkSpec) -> Self {
         self.trace = sink;
         self
     }
 
     /// Builder-style fault attachment: the returned spec injects the
-    /// plan's scripted impairments when run through [`measure_link`]
+    /// plan's scripted impairments when run through [`run_link`]
     /// (mirrors [`with_trace`](MeasureSpec::with_trace)). The plan is
     /// validated at run time.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
@@ -104,46 +104,122 @@ fn prbs_seed(master: u64, salt: u64) -> u64 {
     (master ^ salt).max(1)
 }
 
-/// Runs `spec.frames` frames over `cfg` and aggregates metrics.
+/// Per-frame observer callback: `observe(frame_index, outcome)`.
+pub type FrameObserver<'a> = dyn FnMut(u64, &FrameOutcome) + 'a;
+
+/// Per-run attachments for [`run_link`] — the single measurement entry
+/// point that replaced the `measure_link` / `measure_link_traced` /
+/// `measure_link_observed` / `measure_link_with_sink` variant explosion.
 ///
-/// Reproducible: identical `(cfg, spec)` produce identical metrics. When
-/// `spec.trace` names a sink (see [`MeasureSpec::with_trace`]), every
-/// frame's diagnostic events stream into it and the sink's
-/// recorded/dropped totals land on `LinkMetrics::trace_events` /
-/// `LinkMetrics::trace_dropped`; this path needs the `trace` feature.
-pub fn measure_link(cfg: &LinkConfig, spec: &MeasureSpec) -> Result<LinkMetrics, PhyError> {
-    if spec.trace.is_null() {
-        return measure_link_with(cfg, spec, |_, _| {});
-    }
+/// `LinkRun::default()` is a plain batch (spec-selected trace sink, no
+/// observer, not cancellable); attach what the run needs through the
+/// builder methods:
+///
+/// ```ignore
+/// run_link(&cfg, &spec, LinkRun::new().with_observe(&mut |i, out| { ... }))?;
+/// ```
+#[derive(Default)]
+pub struct LinkRun<'a> {
+    /// Caller-owned trace sink receiving every frame's diagnostic events
+    /// (frames bracketed with `begin_frame`/`end_frame`); takes precedence
+    /// over `spec.trace`. The sink's recorded/dropped deltas land on
+    /// `LinkMetrics::trace_events` / `trace_dropped`.
     #[cfg(feature = "trace")]
-    {
-        let mut sink = spec
-            .trace
-            .build(cfg.phy.trace_ring_capacity())
-            .map_err(|e| PhyError::TraceSink {
-                reason: e.to_string(),
-            })?;
-        measure_link_with_sink(cfg, spec, sink.as_mut())
-    }
-    #[cfg(not(feature = "trace"))]
-    Err(PhyError::TraceSink {
-        reason: "spec requests a trace sink but this build lacks the `trace` feature".into(),
-    })
+    pub sink: Option<&'a mut dyn TraceSink>,
+    /// Per-frame observer: `observe(frame_index, outcome)` runs on every
+    /// raw [`FrameOutcome`] before aggregation (the conformance harness
+    /// asserts frame-level invariants through this).
+    pub observe: Option<&'a mut FrameObserver<'a>>,
+    /// Cooperative cancellation, polled before each frame: when it
+    /// returns `true` the run stops with [`PhyError::Cancelled`]
+    /// (partial metrics are discarded). The job service routes client
+    /// cancels and per-job timeouts through this.
+    pub cancel: Option<&'a dyn Fn() -> bool>,
 }
 
-/// Runs a measurement batch streaming every frame's events into a
-/// caller-owned sink (frames bracketed with `begin_frame`/`end_frame`).
-/// Prefer [`MeasureSpec::with_trace`] + [`measure_link`] unless you need
-/// to keep the sink — e.g. to call `JsonlFileSink::finish` for the file
-/// summary afterwards.
-#[cfg(feature = "trace")]
-pub fn measure_link_with_sink(
+impl<'a> LinkRun<'a> {
+    /// A plain batch run — what [`run_link`] used to run.
+    pub fn new() -> Self {
+        LinkRun::default()
+    }
+
+    /// Attaches a per-frame observer.
+    pub fn with_observe(mut self, observe: &'a mut FrameObserver<'a>) -> Self {
+        self.observe = Some(observe);
+        self
+    }
+
+    /// Attaches a cancellation predicate, polled before each frame.
+    pub fn with_cancel(mut self, cancel: &'a dyn Fn() -> bool) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Streams every frame's diagnostic events into a caller-owned sink
+    /// (overrides `spec.trace`).
+    #[cfg(feature = "trace")]
+    pub fn with_sink(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+/// Runs `spec.frames` frames over `cfg` and aggregates metrics, with the
+/// [`LinkRun`] attachments (trace sink, per-frame observer, cooperative
+/// cancellation).
+///
+/// Reproducible: identical `(cfg, spec)` produce identical metrics, and
+/// attaching an observer or cancellation predicate does not perturb the
+/// run's random streams. Trace capture follows `run.sink` if present,
+/// else `spec.trace` (see [`MeasureSpec::with_trace`]); either way the
+/// sink's recorded/dropped totals land on `LinkMetrics::trace_events` /
+/// `LinkMetrics::trace_dropped`, and a non-null sink needs the `trace`
+/// feature.
+pub fn run_link(
     cfg: &LinkConfig,
     spec: &MeasureSpec,
+    run: LinkRun<'_>,
+) -> Result<LinkMetrics, PhyError> {
+    #[cfg(feature = "trace")]
+    {
+        match run.sink {
+            Some(sink) => run_link_sinked(cfg, spec, run.observe, run.cancel, sink),
+            None if !spec.trace.is_null() => {
+                let mut sink = spec
+                    .trace
+                    .build(cfg.phy.trace_ring_capacity())
+                    .map_err(|e| PhyError::TraceSink {
+                        reason: e.to_string(),
+                    })?;
+                run_link_sinked(cfg, spec, run.observe, run.cancel, sink.as_mut())
+            }
+            None => run_link_inner(cfg, spec, run.observe, run.cancel, None),
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        if !spec.trace.is_null() {
+            return Err(PhyError::TraceSink {
+                reason: "spec requests a trace sink but this build lacks the `trace` feature"
+                    .into(),
+            });
+        }
+        run_link_inner(cfg, spec, run.observe, run.cancel)
+    }
+}
+
+/// [`run_link`] with the frames streamed into `sink`, trace counters set
+/// from the sink's deltas, and the sink's backend error surfaced.
+#[cfg(feature = "trace")]
+fn run_link_sinked(
+    cfg: &LinkConfig,
+    spec: &MeasureSpec,
+    observe: Option<&mut FrameObserver<'_>>,
+    cancel: Option<&dyn Fn() -> bool>,
     sink: &mut dyn TraceSink,
 ) -> Result<LinkMetrics, PhyError> {
     let (e0, d0) = (sink.events_recorded(), sink.events_dropped());
-    let mut metrics = measure_link_inner(cfg, spec, |_, _| {}, Some(&mut *sink))?;
+    let mut metrics = run_link_inner(cfg, spec, observe, cancel, Some(&mut *sink))?;
     metrics.trace_events = sink.events_recorded() - e0;
     metrics.trace_dropped = sink.events_dropped() - d0;
     match sink.io_error() {
@@ -152,34 +228,51 @@ pub fn measure_link_with_sink(
     }
 }
 
-/// Like [`measure_link`], but also returns the [`FrameTrace`] of the first
+/// Runs `spec.frames` frames over `cfg` and aggregates metrics.
+#[deprecated(since = "0.2.0", note = "use run_link(cfg, spec, LinkRun::new())")]
+pub fn measure_link(cfg: &LinkConfig, spec: &MeasureSpec) -> Result<LinkMetrics, PhyError> {
+    run_link(cfg, spec, LinkRun::new())
+}
+
+/// Runs a measurement batch streaming every frame's events into a
+/// caller-owned sink.
+#[cfg(feature = "trace")]
+#[deprecated(since = "0.2.0", note = "use run_link(cfg, spec, LinkRun::new().with_sink(..))")]
+pub fn measure_link_with_sink(
+    cfg: &LinkConfig,
+    spec: &MeasureSpec,
+    sink: &mut dyn TraceSink,
+) -> Result<LinkMetrics, PhyError> {
+    run_link(cfg, spec, LinkRun::new().with_sink(sink))
+}
+
+/// Like [`run_link`], but also returns the [`FrameTrace`] of the first
 /// frame that failed to deliver fully (or `None` if every frame delivered).
 #[cfg(feature = "trace")]
 #[deprecated(
     since = "0.2.0",
-    note = "use MeasureSpec::with_trace + measure_link (or measure_link_with_sink); \
-            for a failing frame's ring, re-run the frame with FdLink::run_frame"
+    note = "use MeasureSpec::with_trace + run_link; for a failing frame's \
+            ring, re-run the frame with FdLink::run_frame"
 )]
 pub fn measure_link_traced(
     cfg: &LinkConfig,
     spec: &MeasureSpec,
 ) -> Result<(LinkMetrics, Option<FrameTrace>), PhyError> {
     let mut first_failure: Option<FrameTrace> = None;
-    let metrics = measure_link_with(cfg, spec, |_, out| {
+    let mut observe = |_: u64, out: &FrameOutcome| {
         if first_failure.is_none() && !out.fully_delivered() {
             first_failure = Some(out.trace.clone());
         }
-    })?;
+    };
+    let metrics = run_link(cfg, spec, LinkRun::new().with_observe(&mut observe))?;
     Ok((metrics, first_failure))
 }
 
-/// [`measure_link`] with a per-frame observer: `observe(frame_index,
-/// outcome)` runs on every raw [`FrameOutcome`] before aggregation. The
-/// conformance harness uses this to assert frame-level invariants that
-/// the aggregate metrics can't express (re-arm budgets, ledger
-/// consistency, cross-frame isolation). Trace sinks are not attached on
-/// this path — combine with [`MeasureSpec::with_faults`] freely, but use
-/// [`measure_link`] for `spec.trace`.
+/// [`run_link`] with a per-frame observer.
+#[deprecated(
+    since = "0.2.0",
+    note = "use run_link(cfg, spec, LinkRun::new().with_observe(..))"
+)]
 pub fn measure_link_observed<F>(
     cfg: &LinkConfig,
     spec: &MeasureSpec,
@@ -188,37 +281,20 @@ pub fn measure_link_observed<F>(
 where
     F: FnMut(u64, &FrameOutcome),
 {
-    measure_link_with(cfg, spec, observe)
-}
-
-/// Shared driver behind [`measure_link`]: runs the frames and invokes
-/// `observe(frame_index, outcome)` on each outcome before aggregation.
-fn measure_link_with<F>(
-    cfg: &LinkConfig,
-    spec: &MeasureSpec,
-    observe: F,
-) -> Result<LinkMetrics, PhyError>
-where
-    F: FnMut(u64, &FrameOutcome),
-{
-    #[cfg(feature = "trace")]
-    return measure_link_inner(cfg, spec, observe, None);
-    #[cfg(not(feature = "trace"))]
-    measure_link_inner(cfg, spec, observe)
+    let mut observe = observe;
+    run_link(cfg, spec, LinkRun::new().with_observe(&mut observe))
 }
 
 /// The measurement loop. With the `trace` feature and a sink present,
-/// each frame runs through `FdLink::run_frame_into` bracketed by the
-/// sink's frame markers; otherwise through plain `run_frame`.
-fn measure_link_inner<F>(
+/// each frame runs through [`FdLink::run_frame_with`] bracketed by the
+/// sink's frame markers; otherwise through a plain ring-traced run.
+fn run_link_inner(
     cfg: &LinkConfig,
     spec: &MeasureSpec,
-    mut observe: F,
+    mut observe: Option<&mut FrameObserver<'_>>,
+    cancel: Option<&dyn Fn() -> bool>,
     #[cfg(feature = "trace")] mut sink: Option<&mut dyn TraceSink>,
-) -> Result<LinkMetrics, PhyError>
-where
-    F: FnMut(u64, &FrameOutcome),
-{
+) -> Result<LinkMetrics, PhyError> {
     if let Some(plan) = &spec.faults {
         plan.validate().map_err(|reason| PhyError::InvalidConfig {
             field: "faults",
@@ -240,6 +316,13 @@ where
     );
 
     for frame_idx in 0..spec.frames {
+        if let Some(cancelled) = cancel {
+            if cancelled() {
+                return Err(PhyError::Cancelled {
+                    frames_done: frame_idx,
+                });
+            }
+        }
         let payload = payload_gen.bytes(spec.payload_len.max(1));
         let (opts, fb_expected): (RunOptions, Option<Vec<bool>>) = match spec.feedback_probe {
             None => (RunOptions::half_duplex(), None),
@@ -263,21 +346,32 @@ where
         let out = match sink.as_deref_mut() {
             Some(s) => {
                 s.begin_frame(frame_idx);
-                let out = link.run_frame_faulted_into(
+                let out = link.run_frame_with(
                     &payload,
                     &opts,
                     &mut rng,
-                    frame_faults.as_mut(),
-                    s,
+                    FrameRun::faulted(frame_faults.as_mut()).with_sink(s),
                 )?;
                 s.end_frame();
                 out
             }
-            None => link.run_frame_faulted(&payload, &opts, &mut rng, frame_faults.as_mut())?,
+            None => link.run_frame_with(
+                &payload,
+                &opts,
+                &mut rng,
+                FrameRun::faulted(frame_faults.as_mut()),
+            )?,
         };
         #[cfg(not(feature = "trace"))]
-        let out = link.run_frame_faulted(&payload, &opts, &mut rng, frame_faults.as_mut())?;
-        observe(frame_idx, &out);
+        let out = link.run_frame_with(
+            &payload,
+            &opts,
+            &mut rng,
+            FrameRun::faulted(frame_faults.as_mut()),
+        )?;
+        if let Some(observe) = observe.as_deref_mut() {
+            observe(frame_idx, &out);
+        }
         metrics.faults.merge(&out.fault_activations);
         metrics.frames += 1;
         if out.b_locked {
@@ -347,7 +441,7 @@ mod tests {
             trace: Default::default(),
             faults: None,
         };
-        let m = measure_link(&clean_cfg(), &spec).unwrap();
+        let m = run_link(&clean_cfg(), &spec, LinkRun::new()).unwrap();
         assert_eq!(m.frames, 5);
         assert_eq!(m.fully_delivered, 5);
         assert_eq!(m.data_ber.errors(), 0);
@@ -360,8 +454,8 @@ mod tests {
         let mut cfg = LinkConfig::default_fd();
         cfg.geometry.device_dist_m = 0.55;
         let spec = MeasureSpec { frames: 6, ..spec };
-        let a = measure_link(&cfg, &spec).unwrap();
-        let b = measure_link(&cfg, &spec).unwrap();
+        let a = run_link(&cfg, &spec, LinkRun::new()).unwrap();
+        let b = run_link(&cfg, &spec, LinkRun::new()).unwrap();
         assert_eq!(a.data_ber.errors(), b.data_ber.errors());
         assert_eq!(a.fully_delivered, b.fully_delivered);
         assert_eq!(a.airtime_samples, b.airtime_samples);
@@ -371,8 +465,8 @@ mod tests {
     fn different_seeds_differ_on_noisy_link() {
         let mut cfg = LinkConfig::default_fd();
         cfg.geometry.device_dist_m = 0.6;
-        let a = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 1, feedback_probe: Some(false), trace: Default::default(), faults: None }).unwrap();
-        let b = measure_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 2, feedback_probe: Some(false), trace: Default::default(), faults: None }).unwrap();
+        let a = run_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 1, feedback_probe: Some(false), trace: Default::default(), faults: None }, LinkRun::new()).unwrap();
+        let b = run_link(&cfg, &MeasureSpec { frames: 6, payload_len: 64, seed: 2, feedback_probe: Some(false), trace: Default::default(), faults: None }, LinkRun::new()).unwrap();
         assert_ne!(
             (a.data_ber.errors(), a.blocks_ok),
             (b.data_ber.errors(), b.blocks_ok)
@@ -389,7 +483,7 @@ mod tests {
             trace: Default::default(),
             faults: None,
         };
-        let m = measure_link(&clean_cfg(), &spec).unwrap();
+        let m = run_link(&clean_cfg(), &spec, LinkRun::new()).unwrap();
         assert!(m.feedback_ber.bits() > 0, "no feedback bits measured");
         assert_eq!(m.feedback_ber.errors(), 0, "clean link fb errors");
     }
@@ -404,7 +498,7 @@ mod tests {
             trace: Default::default(),
             faults: None,
         };
-        let m = measure_link(&clean_cfg(), &spec).unwrap();
+        let m = run_link(&clean_cfg(), &spec, LinkRun::new()).unwrap();
         assert_eq!(m.feedback_ber.bits(), 0);
         assert_eq!(m.pilots_ok, 0);
         assert_eq!(m.fully_delivered, 2);
@@ -415,7 +509,7 @@ mod tests {
     fn trace_spec_without_feature_errors() {
         let spec = MeasureSpec::quick(1).with_trace(TraceSinkSpec::Collect);
         assert!(matches!(
-            measure_link(&clean_cfg(), &spec),
+            run_link(&clean_cfg(), &spec, LinkRun::new()),
             Err(PhyError::TraceSink { .. })
         ));
     }
@@ -431,12 +525,12 @@ mod tests {
             trace: TraceSinkSpec::Collect,
             faults: None,
         };
-        let m = measure_link(&clean_cfg(), &spec).unwrap();
+        let m = run_link(&clean_cfg(), &spec, LinkRun::new()).unwrap();
         assert_eq!(m.frames, 2);
         assert!(m.trace_events > 0, "no events reached the sink");
         assert_eq!(m.trace_dropped, 0);
         // The null spec leaves the counters at zero.
-        let m = measure_link(&clean_cfg(), &MeasureSpec { trace: TraceSinkSpec::Null, ..spec }).unwrap();
+        let m = run_link(&clean_cfg(), &MeasureSpec { trace: TraceSinkSpec::Null, ..spec }, LinkRun::new()).unwrap();
         assert_eq!(m.trace_events, 0);
     }
 
@@ -451,10 +545,11 @@ mod tests {
             trace: Default::default(),
             faults: None,
         };
-        let plain = measure_link(&clean_cfg(), &base).unwrap();
-        let traced = measure_link(
+        let plain = run_link(&clean_cfg(), &base, LinkRun::new()).unwrap();
+        let traced = run_link(
             &clean_cfg(),
             &base.clone().with_trace(TraceSinkSpec::Ring { capacity: Some(64) }),
+            LinkRun::new(),
         )
         .unwrap();
         assert_eq!(plain.fully_delivered, traced.fully_delivered);

@@ -74,12 +74,14 @@ pub mod prelude {
     pub use fdb_channel::pathloss::PathLoss;
     pub use fdb_core::config::{PhyConfig, SicMode};
     pub use fdb_core::link::{
-        FdLink, FeedbackPolicy, FrameOutcome, LinkConfig, LinkGeometry, RunOptions,
+        FdLink, FeedbackPolicy, FrameOutcome, FrameRun, LinkConfig, LinkGeometry, RunOptions,
     };
     pub use fdb_core::trace::TraceSinkSpec;
     pub use fdb_device::{TagConfig, TagHardware};
     pub use fdb_mac::arq::{ArqConfig, StopAndWait};
     pub use fdb_mac::early_abort::{EarlyAbortArq, EarlyAbortConfig};
     pub use fdb_mac::report::TransferReport;
-    pub use fdb_sim::{measure_link, LinkMetrics, MeasureSpec};
+    #[allow(deprecated)]
+    pub use fdb_sim::measure_link;
+    pub use fdb_sim::{run_link, LinkMetrics, LinkRun, MeasureSpec};
 }

@@ -44,7 +44,12 @@ pub fn run_seeded_frame_into(
     let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
     sink.begin_frame(0);
     let out = link
-        .run_frame_into(&payload, opts, &mut rng, sink)
+        .run_frame_with(
+            &payload,
+            opts,
+            &mut rng,
+            fdb_core::link::FrameRun::clean().with_sink(sink),
+        )
         .expect("frame runs");
     sink.end_frame();
     out

@@ -59,7 +59,7 @@ fn shipped_example_configs_parse_and_run() {
             frames: 1,
             ..scenario.spec
         };
-        let m = measure_link(&scenario.link, &spec)
+        let m = run_link(&scenario.link, &spec, LinkRun::new())
             .unwrap_or_else(|e| panic!("{name} failed to run: {e}"));
         assert_eq!(m.frames, 1);
     }
@@ -239,7 +239,7 @@ fn measure_spec_quick_matches_default_and_runs() {
         payload_len: 16,
         ..MeasureSpec::quick(42)
     };
-    let m = measure_link(&LinkConfig::default_fd(), &spec).expect("quick spec runs");
+    let m = run_link(&LinkConfig::default_fd(), &spec, LinkRun::new()).expect("quick spec runs");
     assert_eq!(m.frames, 2);
     assert_eq!(m.faults.total(), 0, "clean run must report zero activations");
 }
@@ -256,5 +256,5 @@ fn rejected_configs_surface_errors() {
         trace: Default::default(),
         faults: None,
     };
-    assert!(measure_link(&cfg, &spec).is_err());
+    assert!(run_link(&cfg, &spec, LinkRun::new()).is_err());
 }

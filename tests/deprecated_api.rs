@@ -1,0 +1,128 @@
+//! Regression guard for the deprecated pre-0.2 entry points: every
+//! `#[deprecated]` wrapper must stay a zero-cost alias of its
+//! [`run_link`]/[`FdLink::run_frame_with`] replacement — same random
+//! stream consumption, byte-identical metrics JSON. Pre-PR call sites
+//! that have not migrated yet must keep producing the exact numbers they
+//! produced before the redesign.
+
+#![allow(deprecated)]
+
+use fd_backscatter::prelude::*;
+use fd_backscatter::sim::faults::FaultPlan;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn lossy_cfg() -> LinkConfig {
+    let mut cfg = LinkConfig::default_fd();
+    cfg.geometry.device_dist_m = 0.7; // enough loss to make divergence visible
+    cfg
+}
+
+fn spec(seed: u64) -> MeasureSpec {
+    MeasureSpec {
+        frames: 5,
+        payload_len: 48,
+        seed,
+        ..MeasureSpec::default()
+    }
+}
+
+/// `measure_link` (deprecated) vs `run_link` with no attachments:
+/// byte-identical serialized metrics.
+#[test]
+fn measure_link_wrapper_is_byte_identical_to_run_link() {
+    let cfg = lossy_cfg();
+    for seed in [3u64, 17, 90] {
+        let spec = spec(seed);
+        let new = run_link(&cfg, &spec, LinkRun::new()).unwrap();
+        let old = measure_link(&cfg, &spec).unwrap();
+        assert_eq!(
+            serde_json::to_string(&new).unwrap(),
+            serde_json::to_string(&old).unwrap(),
+            "seed {seed}: deprecated measure_link diverged from run_link"
+        );
+    }
+}
+
+/// `measure_link_observed` (deprecated) must neither perturb the run nor
+/// observe different outcomes than a `LinkRun::with_observe` attachment.
+#[test]
+fn observed_wrapper_is_byte_identical_and_sees_same_frames() {
+    let cfg = lossy_cfg();
+    let spec = spec(29);
+
+    let mut new_frames = Vec::new();
+    let mut observe = |i: u64, out: &FrameOutcome| {
+        new_frames.push((i, out.fully_delivered(), out.sync_attempts));
+    };
+    let new = run_link(&cfg, &spec, LinkRun::new().with_observe(&mut observe)).unwrap();
+
+    let mut old_frames = Vec::new();
+    let old = fd_backscatter::sim::measure_link_observed(&cfg, &spec, |i, out| {
+        old_frames.push((i, out.fully_delivered(), out.sync_attempts));
+    })
+    .unwrap();
+
+    assert_eq!(new_frames, old_frames, "observers saw different frames");
+    assert_eq!(
+        serde_json::to_string(&new).unwrap(),
+        serde_json::to_string(&old).unwrap(),
+        "deprecated measure_link_observed diverged from run_link"
+    );
+}
+
+/// `FdLink::run_frame_faulted` (deprecated) vs `run_frame_with` under the
+/// same scripted fault schedule: identical outcomes frame by frame, from
+/// identically-seeded links and RNG streams.
+#[test]
+fn faulted_frame_wrapper_matches_run_frame_with() {
+    let plan: FaultPlan = serde_json::from_str(
+        &std::fs::read_to_string(format!(
+            "{}/configs/faults/burst_collision.json",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .unwrap(),
+    )
+    .unwrap();
+    let payload: Vec<u8> = (0..48u8).collect();
+
+    let run = |use_wrapper: bool| {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut link = FdLink::new(lossy_cfg(), &mut rng).unwrap();
+        let mut lines = Vec::new();
+        for frame in 0..4u64 {
+            let mut faults = plan.frame_faults(frame);
+            let out = if use_wrapper {
+                link.run_frame_faulted(
+                    &payload,
+                    &RunOptions::fd_monitor(),
+                    &mut rng,
+                    faults.as_mut(),
+                )
+            } else {
+                link.run_frame_with(
+                    &payload,
+                    &RunOptions::fd_monitor(),
+                    &mut rng,
+                    FrameRun::faulted(faults.as_mut()),
+                )
+            }
+            .unwrap();
+            lines.push(format!(
+                "{frame}:{}:{}:{}:{}:{:?}",
+                out.b_locked,
+                out.fully_delivered(),
+                out.blocks_ok(),
+                out.sync_rejections,
+                out.fault_activations,
+            ));
+        }
+        lines
+    };
+
+    assert_eq!(
+        run(false),
+        run(true),
+        "deprecated run_frame_faulted diverged from run_frame_with"
+    );
+}

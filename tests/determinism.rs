@@ -15,7 +15,7 @@ fn point(dist_milli: u64) -> (u64, u64, u64) {
         trace: Default::default(),
         faults: None,
     };
-    let m = measure_link(&cfg, &spec).unwrap();
+    let m = run_link(&cfg, &spec, LinkRun::new()).unwrap();
     (m.data_ber.errors(), m.blocks_ok, m.airtime_samples)
 }
 
@@ -38,7 +38,7 @@ fn distinct_seeds_distinct_outcomes_on_lossy_link() {
     let mut cfg = LinkConfig::default_fd();
     cfg.geometry.device_dist_m = 0.65;
     let run = |seed: u64| {
-        let m = measure_link(
+        let m = run_link(
             &cfg,
             &MeasureSpec {
                 frames: 4,
@@ -48,6 +48,7 @@ fn distinct_seeds_distinct_outcomes_on_lossy_link() {
                 trace: Default::default(),
                 faults: None,
             },
+            LinkRun::new(),
         )
         .unwrap();
         m.data_ber.errors()

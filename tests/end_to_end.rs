@@ -110,7 +110,7 @@ fn measure_link_aggregates_consistently() {
         trace: Default::default(),
         faults: None,
     };
-    let m = measure_link(&realistic_cfg(0.3), &spec).unwrap();
+    let m = run_link(&realistic_cfg(0.3), &spec, LinkRun::new()).unwrap();
     assert_eq!(m.frames, 4);
     assert_eq!(m.locked, 4);
     assert_eq!(m.fully_delivered, 4);

@@ -8,7 +8,6 @@
 
 use fd_backscatter::prelude::*;
 use fd_backscatter::sim::faults::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
-use fd_backscatter::sim::measure_link_observed;
 use fdb_bench::fault_matrix::{class_plans, run_cell, run_matrix};
 use serde::Deserialize;
 
@@ -130,7 +129,7 @@ fn golden_fault_vectors_match() {
         .unwrap();
         let mut spec = sc.spec.with_faults(plan);
         spec.frames = 6;
-        let metrics = measure_link(&sc.link, &spec).expect("golden scenario runs");
+        let metrics = run_link(&sc.link, &spec, LinkRun::new()).expect("golden scenario runs");
         let got: serde_json::Value =
             serde_json::from_str(&serde_json::to_string(&metrics).unwrap()).unwrap();
         let want: serde_json::Value = serde_json::from_str(
@@ -159,10 +158,11 @@ fn fault_in_frame_k_never_degrades_frame_k_plus_2() {
     let clean_spec = quiet_spec(FRAMES);
 
     let mut clean_delivered = Vec::new();
-    measure_link_observed(&cfg, &clean_spec, |_, out| {
+    let mut observe = |_: u64, out: &FrameOutcome| {
         clean_delivered.push(out.fully_delivered());
-    })
-    .expect("clean run");
+    };
+    run_link(&cfg, &clean_spec, LinkRun::new().with_observe(&mut observe))
+        .expect("clean run");
     assert!(
         clean_delivered.iter().all(|&d| d),
         "quiet baseline must deliver every frame: {clean_delivered:?}"
@@ -177,10 +177,11 @@ fn fault_in_frame_k_never_degrades_frame_k_plus_2() {
         }
         let spec = clean_spec.clone().with_faults(plan);
         let mut delivered = Vec::new();
-        measure_link_observed(&cfg, &spec, |_, out| {
+        let mut observe = |_: u64, out: &FrameOutcome| {
             delivered.push(out.fully_delivered());
-        })
-        .unwrap_or_else(|e| panic!("{label}: {e}"));
+        };
+        run_link(&cfg, &spec, LinkRun::new().with_observe(&mut observe))
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
         for (frame, (&faulted, &clean)) in
             delivered.iter().zip(&clean_delivered).enumerate()
         {
@@ -223,7 +224,7 @@ fn noise_burst_power_ladder_degrades_monotonically() {
             }],
         };
         let spec = quiet_spec(3).with_faults(plan);
-        let metrics = measure_link(&cfg, &spec).expect("ladder point runs");
+        let metrics = run_link(&cfg, &spec, LinkRun::new()).expect("ladder point runs");
         points.push((power_dbm, metrics));
     }
 
@@ -268,8 +269,8 @@ fn identical_inputs_give_byte_identical_metrics() {
     let (_, cfg, spec) = &scenarios[0];
     let (_, plan) = class_plans(31).swap_remove(5); // interferer
     let spec = spec.clone().with_faults(plan);
-    let a = measure_link(cfg, &spec).unwrap();
-    let b = measure_link(cfg, &spec).unwrap();
+    let a = run_link(cfg, &spec, LinkRun::new()).unwrap();
+    let b = run_link(cfg, &spec, LinkRun::new()).unwrap();
     assert_eq!(
         serde_json::to_string(&a).unwrap(),
         serde_json::to_string(&b).unwrap(),
@@ -293,7 +294,7 @@ fn invalid_plan_is_rejected_before_running() {
         }],
     };
     let spec = quiet_spec(1).with_faults(plan);
-    let err = measure_link(&quiet_cfg(), &spec).unwrap_err();
+    let err = run_link(&quiet_cfg(), &spec, LinkRun::new()).unwrap_err();
     let msg = err.to_string();
     assert!(
         msg.contains("faults") || msg.contains("fault"),
@@ -333,10 +334,11 @@ fn trusting_policy_fails_lock_integrity_invariant_that_default_passes() {
         let mut cfg = quiet_cfg();
         cfg.phy.sync = policy;
         let mut per_frame = Vec::new();
-        measure_link_observed(&cfg, &spec, |_, out| {
+        let mut observe = |_: u64, out: &FrameOutcome| {
             per_frame.push((out.b_locked, out.fully_delivered(), out.sync_rejections));
-        })
-        .expect("run");
+        };
+        run_link(&cfg, &spec, LinkRun::new().with_observe(&mut observe))
+            .expect("run");
         per_frame
     };
 
@@ -390,4 +392,71 @@ fn activation_check_only_applies_to_in_run_faults() {
     let cell = run_cell("quiet", &cfg, &spec, "late", &plan).unwrap();
     assert!(cell.violations.is_empty(), "{:?}", cell.violations);
     assert_eq!(cell.metrics.faults.total(), 0);
+}
+
+/// Sharded sweeps lean on [`LinkMetrics::merge`] to fold per-point
+/// batches into one report; every additive counter — including the
+/// per-class fault activation ledger — must sum exactly across shards.
+#[test]
+fn merged_shards_sum_every_counter_including_faults() {
+    let scenarios = bundled_scenarios(4);
+    let (_, cfg, spec) = &scenarios[0];
+    // Two shards under different fault classes and different seeds, so
+    // every counter (and a different activation class) moves in each.
+    let (_, plan_a) = class_plans(41).swap_remove(0); // noise burst
+    let (_, plan_b) = class_plans(43).swap_remove(1); // dropout
+    let shard_a =
+        run_link(cfg, &spec.clone().with_faults(plan_a), LinkRun::new()).unwrap();
+    let mut spec_b = spec.clone();
+    spec_b.seed ^= 0x5EED;
+    let shard_b = run_link(cfg, &spec_b.with_faults(plan_b), LinkRun::new()).unwrap();
+    assert_eq!(shard_a.faults.total(), 1, "shard A activations: {:?}", shard_a.faults);
+    assert_eq!(shard_b.faults.total(), 1, "shard B activations: {:?}", shard_b.faults);
+
+    let mut merged = shard_a.clone();
+    merged.merge(&shard_b);
+    assert_eq!(merged.frames, shard_a.frames + shard_b.frames);
+    assert_eq!(merged.locked, shard_a.locked + shard_b.locked);
+    assert_eq!(merged.decoded, shard_a.decoded + shard_b.decoded);
+    assert_eq!(
+        merged.fully_delivered,
+        shard_a.fully_delivered + shard_b.fully_delivered
+    );
+    assert_eq!(merged.blocks_ok, shard_a.blocks_ok + shard_b.blocks_ok);
+    assert_eq!(merged.blocks_total, shard_a.blocks_total + shard_b.blocks_total);
+    assert_eq!(merged.pilots_ok, shard_a.pilots_ok + shard_b.pilots_ok);
+    assert_eq!(
+        merged.sync_attempts,
+        shard_a.sync_attempts + shard_b.sync_attempts
+    );
+    assert_eq!(
+        merged.sync_rejections,
+        shard_a.sync_rejections + shard_b.sync_rejections
+    );
+    assert_eq!(
+        merged.data_ber.bits(),
+        shard_a.data_ber.bits() + shard_b.data_ber.bits()
+    );
+    assert_eq!(
+        merged.data_ber.errors(),
+        shard_a.data_ber.errors() + shard_b.data_ber.errors()
+    );
+    assert_eq!(
+        merged.airtime_samples,
+        shard_a.airtime_samples + shard_b.airtime_samples
+    );
+    assert_eq!(
+        merged.elapsed_samples,
+        shard_a.elapsed_samples + shard_b.elapsed_samples
+    );
+    // The fault ledger: per-class and in total.
+    assert_eq!(
+        merged.faults.noise_burst,
+        shard_a.faults.noise_burst + shard_b.faults.noise_burst
+    );
+    assert_eq!(
+        merged.faults.dropout,
+        shard_a.faults.dropout + shard_b.faults.dropout
+    );
+    assert_eq!(merged.faults.total(), 2, "merged ledger: {:?}", merged.faults);
 }

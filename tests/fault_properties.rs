@@ -7,7 +7,7 @@
 
 use fd_backscatter::prelude::*;
 use fd_backscatter::sim::faults::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
-use fd_backscatter::sim::{check_frame_invariants, check_link_invariants, measure_link_observed};
+use fd_backscatter::sim::{check_frame_invariants, check_link_invariants};
 use proptest::prelude::*;
 use serde::Deserialize;
 
@@ -98,12 +98,14 @@ proptest! {
         let mut frame_violations = Vec::new();
         let max_rearms = cfg.phy.sync.max_rearms;
         let mut max_rejections = 0usize;
-        let metrics = measure_link_observed(&cfg, &spec, |frame, out| {
+        let mut observe = |frame: u64, out: &FrameOutcome| {
             if let Err(v) = check_frame_invariants(out, &cfg.phy) {
                 frame_violations.push(format!("frame {frame}: {v}"));
             }
             max_rejections = max_rejections.max(out.sync_rejections);
-        }).expect("faulted run completes");
+        };
+        let metrics = run_link(&cfg, &spec, LinkRun::new().with_observe(&mut observe))
+            .expect("faulted run completes");
 
         prop_assert!(frame_violations.is_empty(), "{:?}", frame_violations);
         prop_assert!(

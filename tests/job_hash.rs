@@ -1,0 +1,131 @@
+//! Golden hash-stability vectors for the job content-address space.
+//!
+//! The result cache (`fdb-service`) keys entries by
+//! [`JobSpec::content_hash`] — a hash of the job's **canonical JSON**,
+//! which is a pure function of the value *and* the serde shape of every
+//! type reachable from [`JobSpec`]. Renaming, reordering, or retyping any
+//! such field silently changes every address, turning warm caches cold
+//! (or, after a careless domain reuse, aliasing wrong results). These
+//! vectors pin the addresses of the bundled configs so that any reshape
+//! fails CI loudly; regenerate the constants below only alongside an
+//! intentional [`JobSpec::HASH_DOMAIN`] bump.
+
+use fd_backscatter::phy::link::LinkConfig;
+use fd_backscatter::sim::faults::FaultPlan;
+use fd_backscatter::sim::{JobSpec, MeasureSpec};
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Scenario {
+    link: LinkConfig,
+    spec: MeasureSpec,
+}
+
+fn bundled_link_job(name: &str) -> JobSpec {
+    let path = format!("{}/configs/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let sc: Scenario =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} invalid: {e}"));
+    JobSpec::Link {
+        link: sc.link,
+        spec: sc.spec,
+    }
+}
+
+/// The exact jobs the service seeds its cache with from
+/// `results/golden/fault_*.json`: default_link crossed with each bundled
+/// fault plan, trimmed to the golden corpus' 6 frames.
+fn golden_fault_job(plan_name: &str) -> JobSpec {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let text = std::fs::read_to_string(format!("{root}/configs/default_link.json")).unwrap();
+    let sc: Scenario = serde_json::from_str(&text).unwrap();
+    let plan: FaultPlan = serde_json::from_str(
+        &std::fs::read_to_string(format!("{root}/configs/faults/{plan_name}.json")).unwrap(),
+    )
+    .unwrap();
+    let mut spec = sc.spec.with_faults(plan);
+    spec.frames = 6;
+    JobSpec::Link {
+        link: sc.link,
+        spec,
+    }
+}
+
+/// Golden vectors: `(label, expected 32-hex content address)`. A failure
+/// here means the canonical form of some job input type changed shape —
+/// bump [`JobSpec::HASH_DOMAIN`] and regenerate rather than editing a
+/// single line.
+const GOLDEN: &[(&str, &str)] = &[
+    ("config:default_link", "d59e88f49be7a86889704112dd4a8f34"),
+    ("config:marginal_link", "42338c26563fb8c736f76797716d675b"),
+    ("config:near_tower", "a9f2a7a369714bbba2779e0b969c394e"),
+    ("golden:burst_collision", "1e1fc4b5576e65a602072922bdc7225a"),
+    ("golden:drift_ramp", "acdcaeb494b8136a55dc37592b3feb06"),
+    ("golden:sic_step", "896ec587aee4fb6e2d5e9a986a6c1aff"),
+];
+
+fn job_for(label: &str) -> JobSpec {
+    match label.split_once(':').expect("label shape") {
+        ("config", name) => bundled_link_job(name),
+        ("golden", plan) => golden_fault_job(plan),
+        other => panic!("unknown label {other:?}"),
+    }
+}
+
+#[test]
+fn bundled_job_addresses_are_stable() {
+    let mut drifted = Vec::new();
+    for (label, want) in GOLDEN {
+        let got = job_for(label).content_hash().to_hex();
+        if got != *want {
+            drifted.push(format!("{label}: expected {want}, got {got}"));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "job content addresses drifted — a serde reshape reached the hash \
+         input; bump JobSpec::HASH_DOMAIN and regenerate:\n{}",
+        drifted.join("\n")
+    );
+}
+
+/// A job's address survives a JSON round trip of the spec itself — the
+/// property that lets `probe submit --job FILE` and the in-process client
+/// address the same cache entries.
+#[test]
+fn addresses_survive_spec_round_trip() {
+    for (label, _) in GOLDEN {
+        let job = job_for(label);
+        let back: JobSpec =
+            serde_json::from_str(&serde_json::to_string(&job).unwrap()).unwrap();
+        assert_eq!(
+            job.content_hash(),
+            back.content_hash(),
+            "{label}: round trip moved the address"
+        );
+    }
+}
+
+/// Adjacent-seed collision smoke: the 128-bit address must separate jobs
+/// differing only in the measurement seed — the exact axis sweeps walk.
+#[test]
+fn adjacent_seeds_never_collide() {
+    let base = bundled_link_job("default_link");
+    let JobSpec::Link { link, spec } = base else {
+        unreachable!()
+    };
+    let mut seen = std::collections::HashSet::new();
+    for seed in 0..64u64 {
+        let job = JobSpec::Link {
+            link: link.clone(),
+            spec: MeasureSpec {
+                seed,
+                ..spec.clone()
+            },
+        };
+        assert!(
+            seen.insert(job.content_hash()),
+            "seed {seed} collided with an earlier seed's address"
+        );
+    }
+}

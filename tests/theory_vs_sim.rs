@@ -48,7 +48,7 @@ fn feedback_ber_matches_integrator_model() {
         trace: Default::default(),
         faults: None,
     };
-    let measured = measure_link(&cfg, &spec).unwrap();
+    let measured = run_link(&cfg, &spec, LinkRun::new()).unwrap();
     let half_samples = (cfg.phy.feedback_ratio / 2) * cfg.phy.samples_per_bit();
     let predicted = noise_model(&cfg).feedback_ber(fb_swing(&cfg), half_samples);
     let ber = measured.feedback_ber.ber();
@@ -72,7 +72,7 @@ fn data_ber_tracks_model_shape_with_distance() {
     let measure = |d: f64| {
         let mut cfg = LinkConfig::default_fd();
         cfg.geometry.device_dist_m = d;
-        let m = measure_link(
+        let m = run_link(
             &cfg,
             &MeasureSpec {
                 frames: 12,
@@ -82,6 +82,7 @@ fn data_ber_tracks_model_shape_with_distance() {
                 trace: Default::default(),
                 faults: None,
             },
+            LinkRun::new(),
         )
         .unwrap();
         let g = &cfg.geometry;
@@ -129,7 +130,7 @@ fn link_budget_matches_measured_envelope() {
         trace: Default::default(),
         faults: None,
     };
-    let m = measure_link(&cfg, &spec).unwrap();
+    let m = run_link(&cfg, &spec, LinkRun::new()).unwrap();
     // Harvested energy is zero below sensitivity (the default tower is
     // 1 km away), so check the budget against the harvester threshold
     // instead: it must be below sensitivity here.
@@ -141,7 +142,7 @@ fn link_budget_matches_measured_envelope() {
     let mut near = cfg.clone();
     near.geometry.source_dist_a_m = 100.0;
     near.geometry.source_dist_b_m = 100.0;
-    let m = measure_link(&near, &spec).unwrap();
+    let m = run_link(&near, &spec, LinkRun::new()).unwrap();
     let near_budget = DirectBudget {
         distance_m: 100.0,
         ..budget

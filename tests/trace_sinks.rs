@@ -10,7 +10,7 @@
 use fd_backscatter::phy::trace::{parse_trace_line, TraceLine, TraceSinkSpec};
 use fd_backscatter::prelude::*;
 use fd_backscatter::sim::runner::derive_seed;
-use fd_backscatter::sim::{measure_link_with_sink, parallel_sweep_traced, MeasureSpec};
+use fd_backscatter::sim::{parallel_sweep_traced, MeasureSpec};
 
 /// The cheapest frame the PHY supports: CW carrier, near-noiseless field,
 /// minimum samples per chip, one payload byte, half-duplex (no feedback
@@ -45,7 +45,8 @@ fn ten_thousand_frame_sweep_streams_all_frames_in_order_with_bounded_memory() {
             trace: Default::default(),
             faults: None,
         };
-        let metrics = measure_link_with_sink(&cfg, &spec, sink).expect("point measures");
+        let metrics =
+            run_link(&cfg, &spec, LinkRun::new().with_sink(sink)).expect("point measures");
         (metrics, sink.peak_staged_bytes())
     })
     .expect("traced sweep completes");
@@ -115,19 +116,26 @@ fn deprecated_traced_wrapper_matches_builder_path_byte_for_byte() {
         trace: Default::default(),
         faults: None,
     };
-    let new_path = measure_link(&cfg, &spec).unwrap();
+    let new_path = run_link(&cfg, &spec, LinkRun::new()).unwrap();
+    let wrapper = measure_link(&cfg, &spec).unwrap();
+    assert_eq!(
+        serde_json::to_string(&new_path).unwrap(),
+        serde_json::to_string(&wrapper).unwrap(),
+        "deprecated measure_link diverged from run_link"
+    );
     let (old_path, _trace) = fd_backscatter::sim::measure_link_traced(&cfg, &spec).unwrap();
     assert_eq!(
         serde_json::to_string(&new_path).unwrap(),
         serde_json::to_string(&old_path).unwrap(),
-        "deprecated wrapper diverged from measure_link"
+        "deprecated measure_link_traced diverged from run_link"
     );
 
     // A live sink only adds the trace counters — every PHY-level metric
     // stays identical.
-    let traced = measure_link(
+    let traced = run_link(
         &cfg,
         &spec.clone().with_trace(TraceSinkSpec::Ring { capacity: Some(32) }),
+        LinkRun::new(),
     )
     .unwrap();
     assert!(traced.trace_events > 0);
@@ -228,7 +236,7 @@ fn event_cap_and_rotation_coincide_on_one_frame_boundary() {
 }
 
 #[test]
-fn jsonl_spec_through_measure_link_round_trips_every_event() {
+fn jsonl_spec_through_run_link_round_trips_every_event() {
     let path = std::env::temp_dir().join(format!(
         "fdb_trace_sinks_rt_{}.jsonl",
         std::process::id()
@@ -243,7 +251,7 @@ fn jsonl_spec_through_measure_link_round_trips_every_event() {
         trace: TraceSinkSpec::jsonl(path.display().to_string()),
         faults: None,
     };
-    let metrics = measure_link(&cfg, &spec).unwrap();
+    let metrics = run_link(&cfg, &spec, LinkRun::new()).unwrap();
     assert!(metrics.trace_events > 0);
     assert_eq!(metrics.trace_dropped, 0, "uncapped sink must not drop");
 
