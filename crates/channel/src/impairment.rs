@@ -378,6 +378,24 @@ impl FrameFaults {
         }
     }
 
+    /// Re-arms an existing engine in place for a new frame, retaining the
+    /// schedule/activation buffer capacity (the per-frame reuse path: a
+    /// runner keeps one engine per worker instead of building one per
+    /// faulted frame). Behaviourally identical to `FrameFaults::new` with
+    /// the same schedule and seed.
+    pub fn rearm<I>(&mut self, schedule: I, seed: u64)
+    where
+        I: IntoIterator<Item = ScheduledFault>,
+    {
+        self.faults.clear();
+        self.faults.extend(schedule);
+        self.active.clear();
+        self.active.resize(self.faults.len(), false);
+        self.rng = FaultRng::new(seed);
+        self.activations = FaultActivations::default();
+        self.transitions.clear();
+    }
+
     /// `true` when no faults are scheduled.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
@@ -394,9 +412,11 @@ impl FrameFaults {
     }
 
     /// Drains the (label, became-active) edges recorded since the last
-    /// call — the link's trace layer turns these into events.
-    pub fn take_transitions(&mut self) -> Vec<(&'static str, bool)> {
-        std::mem::take(&mut self.transitions)
+    /// call — the link's trace layer turns these into events. Keeps the
+    /// buffer's capacity (unlike a `mem::take`), so steady-state draining
+    /// never reallocates.
+    pub fn drain_transitions(&mut self) -> std::vec::Drain<'_, (&'static str, bool)> {
+        self.transitions.drain(..)
     }
 
     /// `true` when any scheduled fault window covers sample `t`. Pure
@@ -562,9 +582,23 @@ mod tests {
         for t in 0..8 {
             ff.effects_at(t);
         }
-        let edges = ff.take_transitions();
+        let edges: Vec<_> = ff.drain_transitions().collect();
         assert_eq!(edges, vec![("ambient_fade", true), ("ambient_fade", false)]);
-        assert!(ff.take_transitions().is_empty(), "drained");
+        assert_eq!(ff.drain_transitions().count(), 0, "drained");
+        // A re-armed engine replays the same edges from a clean slate.
+        ff.rearm(
+            std::iter::once(ScheduledFault {
+                start: 2,
+                duration: 3,
+                kind: FaultKind::AmbientFade { depth_db: 10.0 },
+            }),
+            7,
+        );
+        for t in 0..8 {
+            ff.effects_at(t);
+        }
+        let replay: Vec<_> = ff.drain_transitions().collect();
+        assert_eq!(replay, edges);
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl Default for SyncPolicy {
 }
 
 /// Full-duplex PHY parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhyConfig {
     /// Simulation sample rate in Hz.
     pub sample_rate_hz: f64,
@@ -159,6 +159,25 @@ impl PhyConfig {
             sync: SyncPolicy::default(),
             trace_capacity: None,
         }
+    }
+
+    /// Field-wise copy that reuses `self`'s heap buffers (the preamble
+    /// vector) instead of allocating a fresh clone — the per-slot config
+    /// rebuild in a long MAC session goes through this.
+    pub fn copy_from(&mut self, source: &PhyConfig) {
+        self.sample_rate_hz = source.sample_rate_hz;
+        self.samples_per_chip = source.samples_per_chip;
+        self.line_code = source.line_code;
+        self.feedback_ratio = source.feedback_ratio;
+        self.preamble.clone_from(&source.preamble);
+        self.block_len_bytes = source.block_len_bytes;
+        self.scramble = source.scramble;
+        self.payload_fec = source.payload_fec;
+        self.sic = source.sic;
+        self.feedback_guard_bits = source.feedback_guard_bits;
+        self.sync_threshold = source.sync_threshold;
+        self.sync = source.sync;
+        self.trace_capacity = source.trace_capacity;
     }
 
     /// Effective per-frame trace ring capacity: the configured

@@ -72,6 +72,22 @@ impl FeedbackEncoder {
         }
     }
 
+    /// Returns the encoder to its start-of-stream state — pilots re-queued,
+    /// idle bit and counters cleared, half-bit length updated — without
+    /// releasing queue capacity. Observably identical to a fresh
+    /// [`FeedbackEncoder::new`], but allocation-free.
+    pub fn rearm(&mut self, half_samples: usize) {
+        self.half_samples = half_samples.max(1);
+        self.sample_ctr = 0;
+        self.current_bit = false;
+        self.in_second_half = false;
+        self.queue.clear();
+        self.queue.extend(PILOTS);
+        self.idle_bit = false;
+        self.started = false;
+        self.bits_sent = 0;
+    }
+
     /// Queues a status bit for transmission.
     pub fn push_bit(&mut self, bit: bool) {
         self.queue.push_back(bit);
@@ -282,6 +298,16 @@ impl FeedbackDecoder {
         self.halves_seen = 0;
         self.last_half = 0.0;
     }
+
+    /// Full start-of-frame re-arm: [`FeedbackDecoder::reset`] plus the
+    /// learned polarity and the half-bit length — observably identical to
+    /// a fresh [`FeedbackDecoder::new`], but allocation-free (the pilot
+    /// margin buffer keeps its capacity).
+    pub fn rearm(&mut self, half_samples: usize) {
+        self.integrator.set_len(half_samples.max(1));
+        self.polarity_positive = true;
+        self.reset();
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +490,37 @@ mod tests {
         }
         assert_eq!(dec.pilots_consumed(), PILOTS.len());
         assert!(!dec.pilots_verified(), "truncated pilot stream must not verify");
+    }
+
+    #[test]
+    fn rearm_matches_fresh_encoder_decoder_pair() {
+        // Dirty both ends (mid-bit state, learned polarity, idle bit), then
+        // rearm with a different half-bit length: the loopback must behave
+        // exactly like a freshly constructed pair.
+        let bits = vec![true, false, false, true, true, false];
+        let mut enc = FeedbackEncoder::new(8);
+        enc.set_idle_bit(true);
+        for _ in 0..101 {
+            enc.tick();
+        }
+        let mut dec = FeedbackDecoder::new(8);
+        for t in 0..77 {
+            dec.push(1.0 - if t % 2 == 0 { 0.3 } else { 0.0 });
+        }
+        enc.rearm(40);
+        dec.rearm(40);
+        for &b in &bits {
+            enc.push_bit(b);
+        }
+        let mut out = Vec::new();
+        for _ in 0..((bits.len() + PILOTS.len()) * 2 * 40) {
+            let env = 1.0 + if enc.tick() { 0.1 } else { 0.0 };
+            if let Some(d) = dec.push(env) {
+                out.push(d.bit);
+            }
+        }
+        assert_eq!(out, loopback(&bits, 40, 0.1, 1.0));
+        assert!(dec.pilots_verified());
     }
 
     #[test]

@@ -22,7 +22,9 @@
 use crate::config::PhyConfig;
 use crate::error::PhyError;
 use fdb_dsp::crc::crc8;
-use fdb_dsp::fec::{hamming74_decode_stream, hamming74_encode, Interleaver};
+use fdb_dsp::fec::{
+    hamming74_decode_stream_into, hamming74_encode_into, Interleaver,
+};
 use fdb_dsp::prbs::{PrbsOrder, Scrambler};
 
 /// Interleaver depth used when `payload_fec` is on: spreads a burst of up
@@ -47,19 +49,37 @@ pub const MAX_PAYLOAD: usize = u16::MAX as usize;
 /// Converts bytes to MSB-first bits.
 pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
     let mut bits = Vec::with_capacity(bytes.len() * 8);
+    bytes_to_bits_into(bytes, &mut bits);
+    bits
+}
+
+/// [`bytes_to_bits`] appending into a caller-owned buffer (not cleared, so
+/// a frame assembler can chain sections without an intermediate copy).
+pub fn bytes_to_bits_into(bytes: &[u8], out: &mut Vec<bool>) {
+    out.reserve(bytes.len() * 8);
     for &b in bytes {
         for i in (0..8).rev() {
-            bits.push((b >> i) & 1 == 1);
+            out.push((b >> i) & 1 == 1);
         }
     }
-    bits
 }
 
 /// Converts MSB-first bits to bytes (trailing partial byte dropped).
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
-    bits.chunks_exact(8)
-        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
-        .collect()
+    let mut out = Vec::with_capacity(bits.len() / 8);
+    bits_to_bytes_into(bits, &mut out);
+    out
+}
+
+/// [`bits_to_bytes`] into a caller-owned buffer (cleared and refilled,
+/// capacity retained).
+pub fn bits_to_bytes_into(bits: &[bool], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(bits.len() / 8);
+    out.extend(
+        bits.chunks_exact(8)
+            .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b))),
+    );
 }
 
 /// Number of CRC blocks a payload of `len` bytes occupies.
@@ -95,39 +115,68 @@ pub fn frame_bits_len(cfg: &PhyConfig, len: usize) -> usize {
     bits
 }
 
+/// Reusable working buffers for [`encode_frame_into`]: per-block byte
+/// staging, the Hamming-coded bit run, and its interleaved form. Owned by
+/// whoever encodes frames repeatedly (the transmitter's scratch arena) so
+/// steady-state encoding performs no heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct EncodeScratch {
+    bytes: Vec<u8>,
+    coded: Vec<bool>,
+    inter: Vec<bool>,
+}
+
 /// Encodes a frame body (header + blocks), excluding the preamble.
 pub fn encode_frame(cfg: &PhyConfig, payload: &[u8]) -> Result<Vec<bool>, PhyError> {
+    let mut scratch = EncodeScratch::default();
+    let mut bits = Vec::new();
+    encode_frame_into(cfg, payload, &mut scratch, &mut bits)?;
+    Ok(bits)
+}
+
+/// [`encode_frame`] into a caller-owned buffer: `out` is cleared and
+/// refilled (capacity retained) with bit-identical content to the owned
+/// path; intermediates live in `scratch`.
+pub fn encode_frame_into(
+    cfg: &PhyConfig,
+    payload: &[u8],
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<bool>,
+) -> Result<(), PhyError> {
     if payload.len() > MAX_PAYLOAD {
         return Err(PhyError::PayloadTooLarge {
             got: payload.len(),
             max: MAX_PAYLOAD,
         });
     }
+    out.clear();
+    out.reserve(frame_bits_len(cfg, payload.len()));
     let len = payload.len() as u16;
     let len_bytes = len.to_be_bytes();
     let hdr_crc = crc8(&len_bytes) ^ HEADER_CRC_MASK;
-    let mut bits = hamming74_encode(&[len_bytes[0], len_bytes[1], hdr_crc]);
-    debug_assert_eq!(bits.len(), HEADER_BITS);
+    hamming74_encode_into(&[len_bytes[0], len_bytes[1], hdr_crc], out);
+    debug_assert_eq!(out.len(), HEADER_BITS);
 
-    let mut body = Vec::with_capacity(frame_bits_len(cfg, payload.len()));
+    let EncodeScratch { bytes, coded, inter } = scratch;
     let interleaver = Interleaver::new(FEC_INTERLEAVE_ROWS);
     for block in payload.chunks(cfg.block_len_bytes) {
         if cfg.payload_fec {
-            let mut bytes = block.to_vec();
+            bytes.clear();
+            bytes.extend_from_slice(block);
             bytes.push(crc8(block));
-            let coded = hamming74_encode(&bytes);
-            body.extend(interleaver.interleave(&coded));
+            coded.clear();
+            hamming74_encode_into(bytes, coded);
+            interleaver.interleave_into(coded, inter);
+            out.extend_from_slice(inter);
         } else {
-            let mut bb = bytes_to_bits(block);
-            bb.extend(bytes_to_bits(&[crc8(block)]));
-            body.extend(bb);
+            bytes_to_bits_into(block, out);
+            bytes_to_bits_into(&[crc8(block)], out);
         }
     }
     if cfg.scramble {
-        Scrambler::new(PrbsOrder::Prbs23, SCRAMBLE_SEED).apply(&mut body);
+        Scrambler::new(PrbsOrder::Prbs23, SCRAMBLE_SEED).apply(&mut out[HEADER_BITS..]);
     }
-    bits.extend(body);
-    Ok(bits)
+    Ok(())
 }
 
 /// Per-block verdict from the parser.
@@ -153,15 +202,13 @@ pub enum ParseEvent {
     HeaderInvalid,
     /// A payload block completed (CRC verdict attached).
     Block(BlockStatus),
-    /// The final block completed; the frame is done. Payload bytes are
-    /// returned as received (blocks that failed CRC are included — the MAC
-    /// decides what to do with them).
-    Done {
-        /// Received payload bytes (possibly corrupted in failed blocks).
-        payload: Vec<u8>,
-        /// Per-block verdicts.
-        blocks: Vec<BlockStatus>,
-    },
+    /// The final block completed; the frame is done. The payload bytes are
+    /// available via [`FrameParser::partial_payload`] as received (blocks
+    /// that failed CRC are included — the MAC decides what to do with
+    /// them), and the per-block verdicts via [`FrameParser::blocks`]. The
+    /// event itself carries no buffers so the hot path stays
+    /// allocation-free.
+    Done,
 }
 
 enum ParserState {
@@ -179,6 +226,10 @@ pub struct FrameParser {
     descrambler: Scrambler,
     payload: Vec<u8>,
     blocks: Vec<BlockStatus>,
+    /// Deinterleave scratch for the FEC block path.
+    work_bits: Vec<bool>,
+    /// Hamming/byte-packing output scratch for header and block decode.
+    work_bytes: Vec<u8>,
 }
 
 impl FrameParser {
@@ -191,7 +242,20 @@ impl FrameParser {
             descrambler: Scrambler::new(PrbsOrder::Prbs23, SCRAMBLE_SEED),
             payload: Vec::new(),
             blocks: Vec::new(),
+            work_bits: Vec::new(),
+            work_bytes: Vec::new(),
         }
+    }
+
+    /// Returns the parser to its start-of-frame state without releasing any
+    /// buffer capacity: observably identical to a fresh
+    /// [`FrameParser::new`] with the same config, but allocation-free.
+    pub fn reset(&mut self) {
+        self.state = ParserState::Header;
+        self.bits.clear();
+        self.descrambler = Scrambler::new(PrbsOrder::Prbs23, SCRAMBLE_SEED);
+        self.payload.clear();
+        self.blocks.clear();
     }
 
     /// `true` once the frame is fully parsed or unrecoverable.
@@ -216,8 +280,9 @@ impl FrameParser {
                 if self.bits.len() < HEADER_BITS {
                     return None;
                 }
-                let (bytes, _fixed) = fdb_dsp::fec::hamming74_decode_stream(&self.bits);
+                hamming74_decode_stream_into(&self.bits, &mut self.work_bytes);
                 self.bits.clear();
+                let bytes = &self.work_bytes;
                 if bytes.len() != 3 || crc8(&bytes[..2]) ^ HEADER_CRC_MASK != bytes[2] {
                     self.state = ParserState::Dead;
                     return Some(ParseEvent::HeaderInvalid);
@@ -225,10 +290,7 @@ impl FrameParser {
                 let payload_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
                 if payload_len == 0 {
                     self.state = ParserState::Finished;
-                    return Some(ParseEvent::Done {
-                        payload: Vec::new(),
-                        blocks: Vec::new(),
-                    });
+                    return Some(ParseEvent::Done);
                 }
                 self.state = ParserState::Body { payload_len };
                 Some(ParseEvent::Header { payload_len })
@@ -251,16 +313,15 @@ impl FrameParser {
                 if self.bits.len() < need {
                     return None;
                 }
-                let bytes = if self.cfg.payload_fec {
-                    let deinterleaved =
-                        Interleaver::new(FEC_INTERLEAVE_ROWS).deinterleave(&self.bits);
-                    let (bytes, _corrected) = hamming74_decode_stream(&deinterleaved);
-                    bytes
+                if self.cfg.payload_fec {
+                    Interleaver::new(FEC_INTERLEAVE_ROWS)
+                        .deinterleave_into(&self.bits, &mut self.work_bits);
+                    hamming74_decode_stream_into(&self.work_bits, &mut self.work_bytes);
                 } else {
-                    bits_to_bytes(&self.bits)
-                };
+                    bits_to_bytes_into(&self.bits, &mut self.work_bytes);
+                }
                 self.bits.clear();
-                let (data, crc_byte) = bytes.split_at(this_block_payload);
+                let (data, crc_byte) = self.work_bytes.split_at(this_block_payload);
                 let ok = crc8(data) == crc_byte[0];
                 let status = BlockStatus {
                     index: block_index,
@@ -270,10 +331,7 @@ impl FrameParser {
                 self.blocks.push(status);
                 if self.payload.len() >= payload_len {
                     self.state = ParserState::Finished;
-                    Some(ParseEvent::Done {
-                        payload: self.payload.clone(),
-                        blocks: self.blocks.clone(),
-                    })
+                    Some(ParseEvent::Done)
                 } else {
                     Some(ParseEvent::Block(status))
                 }
@@ -308,7 +366,7 @@ mod tests {
         PhyConfig::default_fd()
     }
 
-    fn run_parser(cfg: &PhyConfig, bits: &[bool]) -> Vec<ParseEvent> {
+    fn run_parser(cfg: &PhyConfig, bits: &[bool]) -> (Vec<ParseEvent>, FrameParser) {
         let mut p = FrameParser::new(cfg.clone());
         let mut evs = Vec::new();
         for &b in bits {
@@ -316,7 +374,7 @@ mod tests {
                 evs.push(e);
             }
         }
-        evs
+        (evs, p)
     }
 
     #[test]
@@ -325,15 +383,11 @@ mod tests {
         let payload: Vec<u8> = (0..40u8).collect();
         let bits = encode_frame(&cfg, &payload).unwrap();
         assert_eq!(bits.len(), frame_bits_len(&cfg, payload.len()));
-        let evs = run_parser(&cfg, &bits);
-        match evs.last().unwrap() {
-            ParseEvent::Done { payload: got, blocks } => {
-                assert_eq!(got, &payload);
-                assert_eq!(blocks.len(), 3); // 16+16+8
-                assert!(blocks.iter().all(|b| b.ok));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let (evs, p) = run_parser(&cfg, &bits);
+        assert!(matches!(evs.last().unwrap(), ParseEvent::Done));
+        assert_eq!(p.partial_payload(), &payload);
+        assert_eq!(p.blocks().len(), 3); // 16+16+8
+        assert!(p.all_blocks_ok());
     }
 
     #[test]
@@ -341,8 +395,10 @@ mod tests {
         let cfg = cfg();
         let bits = encode_frame(&cfg, &[]).unwrap();
         assert_eq!(bits.len(), HEADER_BITS);
-        let evs = run_parser(&cfg, &bits);
-        assert!(matches!(evs.last().unwrap(), ParseEvent::Done { payload, .. } if payload.is_empty()));
+        let (evs, p) = run_parser(&cfg, &bits);
+        assert!(matches!(evs.last().unwrap(), ParseEvent::Done));
+        assert!(p.partial_payload().is_empty());
+        assert!(p.blocks().is_empty());
     }
 
     #[test]
@@ -353,15 +409,11 @@ mod tests {
         // Corrupt one bit inside block 1 (after header + block0).
         let pos = HEADER_BITS + (16 + 1) * 8 + 5;
         bits[pos] = !bits[pos];
-        let evs = run_parser(&cfg, &bits);
-        match evs.last().unwrap() {
-            ParseEvent::Done { blocks, .. } => {
-                assert!(blocks[0].ok);
-                assert!(!blocks[1].ok);
-                assert!(blocks[2].ok);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let (evs, p) = run_parser(&cfg, &bits);
+        assert!(matches!(evs.last().unwrap(), ParseEvent::Done));
+        assert!(p.blocks()[0].ok);
+        assert!(!p.blocks()[1].ok);
+        assert!(p.blocks()[2].ok);
     }
 
     #[test]
@@ -371,9 +423,10 @@ mod tests {
         for pos in 0..HEADER_BITS {
             let mut bits = encode_frame(&cfg, &payload).unwrap();
             bits[pos] = !bits[pos];
-            let evs = run_parser(&cfg, &bits);
+            let (evs, p) = run_parser(&cfg, &bits);
             assert!(
-                matches!(evs.last().unwrap(), ParseEvent::Done { payload: p, .. } if p == &payload),
+                matches!(evs.last().unwrap(), ParseEvent::Done)
+                    && p.partial_payload() == payload,
                 "failed at header bit {pos}"
             );
         }
@@ -387,7 +440,7 @@ mod tests {
         for pos in (0..HEADER_BITS).step_by(2) {
             bits[pos] = !bits[pos];
         }
-        let evs = run_parser(&cfg, &bits);
+        let (evs, _) = run_parser(&cfg, &bits);
         assert!(evs.iter().any(|e| matches!(e, ParseEvent::HeaderInvalid)));
     }
 
@@ -405,8 +458,9 @@ mod tests {
         let body = &b1[HEADER_BITS..];
         assert!(body.iter().any(|&b| b) && body.iter().any(|&b| !b));
         // And still decode.
-        let evs = run_parser(&c1, &b1);
-        assert!(matches!(evs.last().unwrap(), ParseEvent::Done { payload: p, .. } if p == &payload));
+        let (evs, p) = run_parser(&c1, &b1);
+        assert!(matches!(evs.last().unwrap(), ParseEvent::Done));
+        assert_eq!(p.partial_payload(), &payload);
     }
 
     #[test]
@@ -414,13 +468,37 @@ mod tests {
         let cfg = cfg();
         let payload: Vec<u8> = (0..20u8).collect(); // 16 + 4
         let bits = encode_frame(&cfg, &payload).unwrap();
-        let evs = run_parser(&cfg, &bits);
-        match evs.last().unwrap() {
-            ParseEvent::Done { payload: got, blocks } => {
-                assert_eq!(got, &payload);
-                assert_eq!(blocks.len(), 2);
+        let (evs, p) = run_parser(&cfg, &bits);
+        assert!(matches!(evs.last().unwrap(), ParseEvent::Done));
+        assert_eq!(p.partial_payload(), &payload);
+        assert_eq!(p.blocks().len(), 2);
+    }
+
+    #[test]
+    fn reset_matches_fresh_parser() {
+        // A reset parser must be observably identical to a new one — same
+        // events, same payload/blocks — across consecutive frames of
+        // different sizes, with and without scrambling/FEC.
+        for (scramble, fec) in [(false, false), (true, false), (true, true)] {
+            let mut c = cfg();
+            c.scramble = scramble;
+            c.payload_fec = fec;
+            let mut reused = FrameParser::new(c.clone());
+            for len in [40usize, 5, 0, 33] {
+                let payload: Vec<u8> = (0..len as u16).map(|i| (i * 7) as u8).collect();
+                let bits = encode_frame(&c, &payload).unwrap();
+                reused.reset();
+                let mut reused_evs = Vec::new();
+                for &b in &bits {
+                    if let Some(e) = reused.push_bit(b) {
+                        reused_evs.push(e);
+                    }
+                }
+                let (fresh_evs, fresh) = run_parser(&c, &bits);
+                assert_eq!(reused_evs, fresh_evs, "len {len}");
+                assert_eq!(reused.partial_payload(), fresh.partial_payload());
+                assert_eq!(reused.blocks(), fresh.blocks());
             }
-            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -461,14 +539,10 @@ mod tests {
         plain.payload_fec = false;
         let plain_bits = frame_bits_len(&plain, payload.len()) - HEADER_BITS;
         assert_eq!(bits.len() - HEADER_BITS, plain_bits / 4 * 7);
-        let evs = run_parser(&cfg, &bits);
-        match evs.last().unwrap() {
-            ParseEvent::Done { payload: got, blocks } => {
-                assert_eq!(got, &payload);
-                assert!(blocks.iter().all(|b| b.ok));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let (evs, p) = run_parser(&cfg, &bits);
+        assert!(matches!(evs.last().unwrap(), ParseEvent::Done));
+        assert_eq!(p.partial_payload(), &payload);
+        assert!(p.all_blocks_ok());
     }
 
     #[test]
@@ -486,14 +560,10 @@ mod tests {
             bits[pos] = !bits[pos];
             pos += 40;
         }
-        let evs = run_parser(&cfg, &bits);
-        match evs.last().unwrap() {
-            ParseEvent::Done { payload: got, blocks } => {
-                assert_eq!(got, &payload, "FEC failed to correct");
-                assert!(blocks.iter().all(|b| b.ok));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let (evs, p) = run_parser(&cfg, &bits);
+        assert!(matches!(evs.last().unwrap(), ParseEvent::Done));
+        assert_eq!(p.partial_payload(), &payload, "FEC failed to correct");
+        assert!(p.all_blocks_ok());
     }
 
     #[test]
@@ -507,9 +577,9 @@ mod tests {
         for b in bits.iter_mut().skip(HEADER_BITS + 60).take(5) {
             *b = !*b;
         }
-        let evs = run_parser(&cfg, &bits);
+        let (evs, p) = run_parser(&cfg, &bits);
         assert!(
-            matches!(evs.last().unwrap(), ParseEvent::Done { payload: p, .. } if p == &payload),
+            matches!(evs.last().unwrap(), ParseEvent::Done) && p.partial_payload() == payload,
             "burst not corrected"
         );
     }
@@ -524,10 +594,8 @@ mod tests {
         for b in bits.iter_mut().skip(HEADER_BITS + 10).take(60) {
             *b = !*b;
         }
-        let evs = run_parser(&cfg, &bits);
-        match evs.last().unwrap() {
-            ParseEvent::Done { blocks, .. } => assert!(!blocks[0].ok),
-            other => panic!("unexpected {other:?}"),
-        }
+        let (evs, p) = run_parser(&cfg, &bits);
+        assert!(matches!(evs.last().unwrap(), ParseEvent::Done));
+        assert!(!p.blocks()[0].ok);
     }
 }

@@ -35,6 +35,7 @@
 //! | [`feedback`] | the feedback channel: encoder at the data receiver, integrate-and-dump decoder at the data transmitter |
 //! | [`sic`] | known-state self-interference cancellation |
 //! | [`link`] | the sample-synchronous two-device full-duplex link |
+//! | [`scratch`] | per-link arena of reusable frame-engine working buffers |
 //! | [`network`] | K coexisting links with first-order mutual scattering |
 //! | [`trace`] | frame-level per-stage diagnostics (captured under the `trace` feature) |
 //! | [`seed`] | deterministic seed derivation shared by every per-frame stream |
@@ -59,6 +60,7 @@ pub mod link;
 pub mod multilink;
 pub mod network;
 pub mod rx;
+pub mod scratch;
 pub mod seed;
 pub mod sic;
 pub mod trace;
@@ -67,4 +69,5 @@ pub mod tx;
 pub use config::{PhyConfig, SicMode};
 pub use error::PhyError;
 pub use link::{FdLink, FrameOutcome, FrameRun, LinkConfig, LinkGeometry};
+pub use scratch::LinkScratch;
 pub use seed::derive_seed;

@@ -33,8 +33,8 @@
 
 use crate::config::PhyConfig;
 use crate::error::PhyError;
-use crate::feedback::{FeedbackDecoder, FeedbackEncoder};
 use crate::rx::{DataReceiver, RxResult, RxState};
+use crate::scratch::LinkScratch;
 use crate::sic::SelfInterferenceCanceller;
 #[cfg(feature = "trace")]
 use crate::trace::{FrameTrace, RingSink, TraceEvent, TraceSink};
@@ -152,6 +152,21 @@ impl LinkConfig {
         cfg.phy.samples_per_chip = samples_per_chip;
         cfg
     }
+
+    /// Overwrites `self` with `source` while reusing `self`'s heap
+    /// buffers where possible (the PHY preamble via
+    /// [`PhyConfig::copy_from`]; every other field is `Copy`).
+    /// Semantically identical to `*self = source.clone()`.
+    pub fn copy_from(&mut self, source: &LinkConfig) {
+        self.phy.copy_from(&source.phy);
+        self.geometry = source.geometry;
+        self.ambient = source.ambient;
+        self.tag_a = source.tag_a;
+        self.tag_b = source.tag_b;
+        self.field_noise_dbm = source.field_noise_dbm;
+        self.fading_advance_bits = source.fading_advance_bits;
+        self.ambient_seed = source.ambient_seed;
+    }
 }
 
 /// How device B drives its feedback stream during a frame.
@@ -200,8 +215,9 @@ impl RunOptions {
     }
 }
 
-/// Per-run attachments for [`FdLink::run_frame_with`] — the single frame
-/// entry point that replaced the `run_frame_faulted` / `run_frame_into` /
+/// Per-run attachments for [`FdLink::run_frame_with`] and its
+/// buffer-reusing twin [`FdLink::run_frame_into`] — the frame entry
+/// points that replaced the `run_frame_faulted` /
 /// `run_frame_faulted_into` variant explosion.
 ///
 /// `FrameRun::default()` is a clean, ring-traced frame (identical to
@@ -315,11 +331,39 @@ pub struct FrameOutcome {
     pub rx_sync_peak: f64,
     /// Scripted faults whose windows actually opened during this frame
     /// (all zero unless the frame ran with an injection schedule — see
-    /// [`FdLink::run_frame_faulted`]).
+    /// [`FrameRun::faulted`]).
     pub fault_activations: FaultActivations,
     /// Per-stage diagnostic event trace of the frame (`trace` feature).
     #[cfg(feature = "trace")]
     pub trace: FrameTrace,
+}
+
+impl Default for FrameOutcome {
+    /// An empty outcome, ready to be filled by
+    /// [`FdLink::run_frame_into`]. Cheap: no buffer is preallocated (the
+    /// first frame run grows them — the reuse contract's warmup).
+    fn default() -> Self {
+        FrameOutcome {
+            delivered: None,
+            b_locked: false,
+            sync_attempts: 0,
+            sync_rejections: 0,
+            feedback: Vec::new(),
+            pilots_verified: false,
+            aborted_at_sample: None,
+            airtime_samples: 0,
+            samples_run: 0,
+            energy: EnergyReport::default(),
+            nack: false,
+            partial_payload: Vec::new(),
+            partial_blocks: Vec::new(),
+            rx_timing_corrections: 0,
+            rx_sync_peak: 0.0,
+            fault_activations: FaultActivations::default(),
+            #[cfg(feature = "trace")]
+            trace: FrameTrace::new(1),
+        }
+    }
 }
 
 impl FrameOutcome {
@@ -351,19 +395,6 @@ impl FrameOutcome {
 /// all split blocks first.
 const SEG_MAX: usize = 4096;
 
-/// Reusable per-link staging buffers for the block pipeline (and the
-/// reference path's resampler output). Hoisted out of `run_frame_*` so
-/// steady-state frame runs allocate nothing per sample or per frame.
-#[derive(Debug, Default)]
-struct FrameScratch {
-    /// B-side envelope samples staged by the physics pass.
-    env_b: Vec<f64>,
-    /// B's antenna state per staged sample.
-    b_state: Vec<bool>,
-    /// Resampler output (the old per-frame `b_resampled`).
-    resampled: Vec<f64>,
-}
-
 /// The two-device full-duplex link simulator.
 pub struct FdLink {
     cfg: LinkConfig,
@@ -375,7 +406,7 @@ pub struct FdLink {
     tag_b: TagHardware,
     noise: Awgn,
     source_amp: f64,
-    scratch: FrameScratch,
+    scratch: LinkScratch,
 }
 
 impl FdLink {
@@ -392,6 +423,7 @@ impl FdLink {
         let noise = Awgn::from_dbm(cfg.field_noise_dbm);
         let source = Ambient::from_config(cfg.ambient, cfg.ambient_seed);
         let source_amp = dbm_to_watts(g.source_power_dbm).sqrt();
+        let scratch = LinkScratch::new(&cfg)?;
         Ok(FdLink {
             cfg,
             source,
@@ -402,8 +434,40 @@ impl FdLink {
             tag_b,
             noise,
             source_amp,
-            scratch: FrameScratch::default(),
+            scratch,
         })
+    }
+
+    /// Rebuilds the link in place for a new configuration, reusing the
+    /// existing [`LinkScratch`] arena and config heap buffers.
+    ///
+    /// Observably identical to `*self = FdLink::new(cfg.clone(), rng)?`:
+    /// the hop fading states are redrawn from `rng` in the same order
+    /// (source→A, source→B, A↔B), the tags, noise and ambient source are
+    /// rebuilt fresh. The arena survives, so a per-slot rebuild (the MAC's
+    /// rate ladder) allocates nothing in the steady state — unless the
+    /// PHY actually changed (a rate switch), which is a warmup frame by
+    /// contract. (`Ambient::Tv`/`Recorded` sources hold sample buffers
+    /// and still reallocate per reinit; the evaluation configs use the
+    /// heap-free `Cw`/`TvWideband`/`OfdmBursty` models.)
+    pub fn reinit<R: Rng + ?Sized>(
+        &mut self,
+        cfg: &LinkConfig,
+        rng: &mut R,
+    ) -> Result<(), PhyError> {
+        cfg.phy.validate()?;
+        let g = &cfg.geometry;
+        self.hop_sa = Hop::new(g.pathloss_source, g.source_dist_a_m, g.fading_source, rng);
+        self.hop_sb = Hop::new(g.pathloss_source, g.source_dist_b_m, g.fading_source, rng);
+        self.hop_ab = Hop::new(g.pathloss_device, g.device_dist_m, g.fading_device, rng);
+        let dt = cfg.phy.sample_period_s();
+        self.tag_a = TagHardware::new(cfg.tag_a, dt);
+        self.tag_b = TagHardware::new(cfg.tag_b, dt);
+        self.noise = Awgn::from_dbm(cfg.field_noise_dbm);
+        self.source = Ambient::from_config(cfg.ambient, cfg.ambient_seed);
+        self.source_amp = dbm_to_watts(g.source_power_dbm).sqrt();
+        self.cfg.copy_from(cfg);
+        Ok(())
     }
 
     /// Read access to the configuration.
@@ -453,85 +517,57 @@ impl FdLink {
         rng: &mut R,
         run: FrameRun<'_>,
     ) -> Result<FrameOutcome, PhyError> {
-        #[cfg(feature = "trace")]
-        {
-            match run.sink {
-                Some(sink) => self.run_frame_inner(payload, opts, rng, run.faults, sink),
-                None => {
-                    let mut ring = RingSink::new(self.cfg.phy.trace_ring_capacity());
-                    let mut outcome =
-                        self.run_frame_inner(payload, opts, rng, run.faults, &mut ring)?;
-                    outcome.trace = ring.into_trace();
-                    Ok(outcome)
-                }
-            }
-        }
-        #[cfg(not(feature = "trace"))]
-        self.run_frame_inner(payload, opts, rng, run.faults)
+        let mut out = FrameOutcome::default();
+        self.run_frame_into(payload, opts, rng, run, &mut out)?;
+        Ok(out)
     }
 
-    /// Runs one frame with a scripted impairment schedule injected into
-    /// the channel path (`None` = clean frame).
-    #[deprecated(since = "0.2.0", note = "use run_frame_with(FrameRun::faulted(..))")]
-    pub fn run_frame_faulted<R: Rng + ?Sized>(
-        &mut self,
-        payload: &[u8],
-        opts: &RunOptions,
-        rng: &mut R,
-        faults: Option<&mut FrameFaults>,
-    ) -> Result<FrameOutcome, PhyError> {
-        self.run_frame_with(payload, opts, rng, FrameRun::faulted(faults))
-    }
-
-    /// Runs one frame, emitting its diagnostic events into `sink` instead
-    /// of the outcome's in-memory ring.
-    #[cfg(feature = "trace")]
-    #[deprecated(since = "0.2.0", note = "use run_frame_with(FrameRun::clean().with_sink(..))")]
+    /// [`run_frame_with`](FdLink::run_frame_with) writing into a
+    /// caller-owned [`FrameOutcome`] instead of returning a fresh one.
+    ///
+    /// This is the allocation-free steady-state entry point: every owned
+    /// buffer already on `out` (the delivered payload and block list, the
+    /// feedback timeline, the partial-block staging, the trace ring) is
+    /// harvested and refilled in place, and the engines borrow the link's
+    /// [`LinkScratch`] arena for their working sets. After a one-frame
+    /// warmup, re-running with the same `out` performs no heap allocation.
+    /// Every field of `out` is overwritten; stale state never leaks into
+    /// the new frame's result.
     pub fn run_frame_into<R: Rng + ?Sized>(
         &mut self,
         payload: &[u8],
         opts: &RunOptions,
         rng: &mut R,
-        sink: &mut dyn TraceSink,
-    ) -> Result<FrameOutcome, PhyError> {
-        self.run_frame_with(payload, opts, rng, FrameRun::clean().with_sink(sink))
-    }
-
-    /// Faulted run streaming into a caller-owned sink.
-    #[cfg(feature = "trace")]
-    #[deprecated(
-        since = "0.2.0",
-        note = "use run_frame_with(FrameRun::faulted(..).with_sink(..))"
-    )]
-    pub fn run_frame_faulted_into<R: Rng + ?Sized>(
-        &mut self,
-        payload: &[u8],
-        opts: &RunOptions,
-        rng: &mut R,
-        faults: Option<&mut FrameFaults>,
-        sink: &mut dyn TraceSink,
-    ) -> Result<FrameOutcome, PhyError> {
-        self.run_frame_with(payload, opts, rng, FrameRun::faulted(faults).with_sink(sink))
-    }
-
-    fn run_frame_inner<R: Rng + ?Sized>(
-        &mut self,
-        payload: &[u8],
-        opts: &RunOptions,
-        rng: &mut R,
-        faults: Option<&mut FrameFaults>,
-        #[cfg(feature = "trace")] sink: &mut dyn TraceSink,
-    ) -> Result<FrameOutcome, PhyError> {
+        run: FrameRun<'_>,
+        out: &mut FrameOutcome,
+    ) -> Result<(), PhyError> {
         // Trace builds take the per-sample reference pipeline — its probes
         // poll the receiver at every sample, which the block pipeline by
         // design does not. Non-trace builds take the block pipeline; both
         // produce byte-identical `FrameOutcome`s.
         #[cfg(feature = "trace")]
         {
-            self.run_frame_scalar(payload, opts, rng, faults, sink)
+            match run.sink {
+                Some(sink) => {
+                    // Caller-owned sink: the outcome's ring stays an empty
+                    // placeholder (its storage is retained for later
+                    // ring-traced frames).
+                    out.trace.reset(1);
+                    self.run_frame_scalar(payload, opts, rng, run.faults, sink, out)
+                }
+                None => {
+                    let mut trace = std::mem::take(&mut out.trace);
+                    trace.reset(self.cfg.phy.trace_ring_capacity());
+                    let mut ring = RingSink::from_trace(trace);
+                    let res =
+                        self.run_frame_scalar(payload, opts, rng, run.faults, &mut ring, out);
+                    out.trace = ring.into_trace();
+                    res
+                }
+            }
         }
         #[cfg(not(feature = "trace"))]
-        self.run_frame_block(payload, opts, rng, faults)
+        self.run_frame_block_into(payload, opts, rng, run.faults, out)
     }
 
     /// Runs one frame through the preserved per-sample reference pipeline.
@@ -548,15 +584,33 @@ impl FdLink {
         rng: &mut R,
         faults: Option<&mut FrameFaults>,
     ) -> Result<FrameOutcome, PhyError> {
+        let mut out = FrameOutcome::default();
+        self.run_frame_reference_into(payload, opts, rng, faults, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`run_frame_reference`](FdLink::run_frame_reference) writing into a
+    /// caller-owned [`FrameOutcome`] (see
+    /// [`run_frame_into`](FdLink::run_frame_into) for the reuse contract).
+    pub fn run_frame_reference_into<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        faults: Option<&mut FrameFaults>,
+        out: &mut FrameOutcome,
+    ) -> Result<(), PhyError> {
         #[cfg(feature = "trace")]
         {
-            let mut ring = RingSink::new(self.cfg.phy.trace_ring_capacity());
-            let mut outcome = self.run_frame_scalar(payload, opts, rng, faults, &mut ring)?;
-            outcome.trace = ring.into_trace();
-            Ok(outcome)
+            let mut trace = std::mem::take(&mut out.trace);
+            trace.reset(self.cfg.phy.trace_ring_capacity());
+            let mut ring = RingSink::from_trace(trace);
+            let res = self.run_frame_scalar(payload, opts, rng, faults, &mut ring, out);
+            out.trace = ring.into_trace();
+            res
         }
         #[cfg(not(feature = "trace"))]
-        self.run_frame_scalar(payload, opts, rng, faults)
+        self.run_frame_scalar(payload, opts, rng, faults, out)
     }
 
     fn run_frame_scalar<R: Rng + ?Sized>(
@@ -566,26 +620,50 @@ impl FdLink {
         rng: &mut R,
         mut faults: Option<&mut FrameFaults>,
         #[cfg(feature = "trace")] sink: &mut dyn TraceSink,
-    ) -> Result<FrameOutcome, PhyError> {
-        let phy = self.cfg.phy.clone();
+        out: &mut FrameOutcome,
+    ) -> Result<(), PhyError> {
+        // Split the link into disjoint field borrows so the engine can
+        // hold the scratch arena's components mutably while stepping the
+        // channel and devices — no per-frame clone of the PHY config, no
+        // per-frame component construction.
+        let FdLink {
+            cfg,
+            source,
+            hop_sa,
+            hop_sb,
+            hop_ab,
+            tag_a,
+            tag_b,
+            noise,
+            source_amp,
+            scratch,
+        } = self;
+        let source_amp = *source_amp;
+        begin_outcome(scratch, out);
+        let phy = &cfg.phy;
         let dt = phy.sample_period_s();
         let spb = phy.samples_per_bit();
         let half_fb = (phy.feedback_ratio / 2) * spb;
 
-        let mut tx = DataTransmitter::new(&phy, payload)?;
-        let mut rx = DataReceiver::new(phy.clone());
-        let mut fb_enc = FeedbackEncoder::new(half_fb);
-        let mut fb_dec = FeedbackDecoder::new(half_fb);
+        scratch.tx.load(phy, payload)?;
+        scratch.rx.load(phy);
+        scratch.fb_enc.rearm(half_fb);
+        scratch.fb_dec.rearm(half_fb);
+        let LinkScratch {
+            tx,
+            rx,
+            fb_enc,
+            fb_dec,
+            resampled,
+            ..
+        } = scratch;
         if let FeedbackPolicy::Stream(bits) = &opts.feedback {
             for &b in bits {
                 fb_enc.push_bit(b);
             }
         }
-        let mut sic_a = SelfInterferenceCanceller::new(
-            phy.sic,
-            self.cfg.tag_a.rho,
-            self.cfg.tag_a.rho_residual,
-        );
+        let mut sic_a =
+            SelfInterferenceCanceller::new(phy.sic, cfg.tag_a.rho, cfg.tag_a.rho_residual);
         // B's data path blanks two samples after each of its own antenna
         // toggles: the detector RC takes ~a sample to re-settle after the
         // pass-fraction step, and the resulting glitch otherwise biases the
@@ -593,21 +671,17 @@ impl FdLink {
         // the loop off over a long frame). Blanked samples are replaced by
         // a hold of the last corrected value so chip sample counts stay
         // exact.
-        let mut sic_b = SelfInterferenceCanceller::new(
-            phy.sic,
-            self.cfg.tag_b.rho,
-            self.cfg.tag_b.rho_residual,
-        )
-        .with_blanking(2);
+        let mut sic_b =
+            SelfInterferenceCanceller::new(phy.sic, cfg.tag_b.rho, cfg.tag_b.rho_residual)
+                .with_blanking(2);
         let mut b_hold = 0.0f64;
         // B consumes the envelope on its own clock. A clock-drift fault
         // adds a frame-local ppm offset on top of the oscillator's state
         // without touching the oscillator itself.
-        let b_base_ppm = self.tag_b.clock_mut().current_ppm();
+        let b_base_ppm = tag_b.clock_mut().current_ppm();
         let mut b_clock_rs = Resampler::from_ppm(b_base_ppm);
         let mut b_fault_ppm = 0.0f64;
-        let mut b_resampled = std::mem::take(&mut self.scratch.resampled);
-        b_resampled.clear();
+        resampled.clear();
 
         let preamble_samples = phy.preamble.len() * spb;
         let a_epoch = preamble_samples + phy.feedback_guard_bits * spb;
@@ -627,14 +701,13 @@ impl FdLink {
         };
         let max_samples = total + tail;
 
-        let a_consumed0 = self.tag_a.consumed_j();
-        let b_consumed0 = self.tag_b.consumed_j();
-        let a_harvest0 = self.tag_a.harvester().harvested_total_j();
-        let b_harvest0 = self.tag_b.harvester().harvested_total_j();
+        let a_consumed0 = tag_a.consumed_j();
+        let b_consumed0 = tag_b.consumed_j();
+        let a_harvest0 = tag_a.harvester().harvested_total_j();
+        let b_harvest0 = tag_b.harvester().harvested_total_j();
 
-        let mut feedback_events = Vec::new();
         let mut aborted_at = None;
-        let fade_every = self.cfg.fading_advance_bits * spb;
+        let fade_every = cfg.fading_advance_bits * spb;
 
         // Change-detection cursors for the polled receiver-side probes.
         #[cfg(feature = "trace")]
@@ -649,9 +722,9 @@ impl FdLink {
         for t in 0..max_samples {
             // --- fading evolution -------------------------------------
             if fade_every > 0 && t.is_multiple_of(fade_every) && t > 0 {
-                self.hop_sa.advance_block(rng);
-                self.hop_sb.advance_block(rng);
-                self.hop_ab.advance_block(rng);
+                hop_sa.advance_block(rng);
+                hop_sb.advance_block(rng);
+                hop_ab.advance_block(rng);
             }
 
             // --- scripted fault injection ------------------------------
@@ -659,10 +732,10 @@ impl FdLink {
                 Some(f) => {
                     let fx = f.effects_at(t);
                     #[cfg(feature = "trace")]
-                    for (kind, active) in f.take_transitions() {
+                    for (kind, active) in f.drain_transitions() {
                         sink.record(TraceEvent::Fault {
                             sample: t,
-                            kind: kind.to_owned(),
+                            kind: kind.into(),
                             active,
                         });
                     }
@@ -676,12 +749,12 @@ impl FdLink {
             };
 
             // --- antenna schedules ------------------------------------
-            let a_state = tx.next_state().unwrap_or(false) && self.tag_a.is_alive();
-            self.tag_a.set_antenna(a_state);
+            let a_state = tx.next_state().unwrap_or(false) && tag_a.is_alive();
+            tag_a.set_antenna(a_state);
 
             let b_fb_active = !matches!(opts.feedback, FeedbackPolicy::Silent)
                 && b_epoch.map(|e| t >= e).unwrap_or(false)
-                && self.tag_b.is_alive();
+                && tag_b.is_alive();
             let b_state = if b_fb_active {
                 if fb_enc.at_bit_boundary() {
                     if let FeedbackPolicy::AckStatus = opts.feedback {
@@ -697,33 +770,33 @@ impl FdLink {
             } else {
                 false
             };
-            self.tag_b.set_antenna(b_state);
+            tag_b.set_antenna(b_state);
 
             // --- field assembly ---------------------------------------
-            let x = self.source_amp * fx.source_scale * self.source.next_power(rng).sqrt();
-            let h_sa = self.hop_sa.coeff();
-            let h_sb = self.hop_sb.coeff();
-            let h_ab = self.hop_ab.coeff();
+            let x = source_amp * fx.source_scale * source.next_power(rng).sqrt();
+            let h_sa = hop_sa.coeff();
+            let h_sb = hop_sb.coeff();
+            let h_ab = hop_ab.coeff();
             let e_a0 = h_sa * x;
             let e_b0 = h_sb * x;
-            let g_a = self.tag_a.reflected(Iq::ONE); // complex reflection coeff
-            let g_b = self.tag_b.reflected(Iq::ONE);
+            let g_a = tag_a.reflected(Iq::ONE); // complex reflection coeff
+            let g_b = tag_b.reflected(Iq::ONE);
             // First order + one second-order bounce each way, plus any
             // fault-injected interferer / burst-noise field.
             let e_a = e_a0 + h_ab * g_b * (e_b0 + h_ab * g_a * e_a0) + fx.field_a;
             let e_b = e_b0 + h_ab * g_a * (e_a0 + h_ab * g_b * e_b0) + fx.field_b;
-            let e_a = self.noise.corrupt(e_a, rng);
-            let e_b = self.noise.corrupt(e_b, rng);
+            let e_a = noise.corrupt(e_a, rng);
+            let e_b = noise.corrupt(e_b, rng);
 
             // --- devices ----------------------------------------------
             // A dropout fault zeroes the ADC reading; the detector RC
             // state behind it keeps evolving with the field.
-            let env_a = self.tag_a.step_receive(e_a, dt, rng);
-            let env_b = self.tag_b.step_receive(e_b, dt, rng);
+            let env_a = tag_a.step_receive(e_a, dt, rng);
+            let env_b = tag_b.step_receive(e_b, dt, rng);
             let env_a = if fx.drop_a { 0.0 } else { env_a };
             let env_b = if fx.drop_b { 0.0 } else { env_b };
-            self.tag_a.charge_awake(dt, t >= a_epoch);
-            self.tag_b.charge_awake(dt, true);
+            tag_a.charge_awake(dt, t >= a_epoch);
+            tag_b.charge_awake(dt, true);
 
             // --- per-chip trace snapshot -------------------------------
             #[cfg(feature = "trace")]
@@ -768,9 +841,9 @@ impl FdLink {
                 }
                 None => b_hold, // blanked: hold the last settled value
             };
-            b_resampled.clear();
-            b_clock_rs.push(corrected, &mut b_resampled);
-            for &v in &b_resampled {
+            resampled.clear();
+            b_clock_rs.push(corrected, resampled);
+            for &v in resampled.iter() {
                 rx.push_sample(v);
             }
             // A header-CRC rejection throws a committed lock back to
@@ -780,7 +853,7 @@ impl FdLink {
             if b_was_locked && rx.state() == RxState::Acquiring {
                 b_was_locked = false;
                 b_epoch = None;
-                fb_enc = FeedbackEncoder::new(half_fb);
+                fb_enc.rearm(half_fb);
                 if let FeedbackPolicy::Stream(bits) = &opts.feedback {
                     for &b in bits {
                         fb_enc.push_bit(b);
@@ -814,7 +887,7 @@ impl FdLink {
                             sample: t,
                             score: r.score,
                             sharpness: r.sharpness,
-                            reason: r.reason.as_str().to_owned(),
+                            reason: r.reason.as_str().into(),
                         });
                     }
                     tr_rejects = rejections.len();
@@ -890,7 +963,7 @@ impl FdLink {
                             bit: decision.bit,
                             margin: decision.margin,
                         });
-                        feedback_events.push(FeedbackEvent {
+                        out.feedback.push(FeedbackEvent {
                             sample: t,
                             bit: decision.bit,
                             margin: decision.margin,
@@ -925,7 +998,7 @@ impl FdLink {
             let verdict_horizon = total + phy.samples_per_feedback_bit() + spb;
             let verdict_in = matches!(opts.feedback, FeedbackPolicy::Silent)
                 || !b_was_locked
-                || feedback_events
+                || out.feedback
                     .last()
                     .map(|f| f.sample >= verdict_horizon)
                     .unwrap_or(false);
@@ -940,18 +1013,20 @@ impl FdLink {
         let fault_activations = faults
             .map(|f| f.activations())
             .unwrap_or_default();
-        self.scratch.resampled = b_resampled;
-        Ok(self.finish(
+        finish_into(
+            out,
             samples_run,
             tx,
             rx,
-            feedback_events,
             fb_dec.pilots_verified(),
             aborted_at,
             b_was_locked,
             fault_activations,
             (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
-        ))
+            tag_a,
+            tag_b,
+        );
+        Ok(())
     }
 
     /// Runs one frame through the chip-sized block pipeline.
@@ -992,38 +1067,72 @@ impl FdLink {
         payload: &[u8],
         opts: &RunOptions,
         rng: &mut R,
-        mut faults: Option<&mut FrameFaults>,
+        faults: Option<&mut FrameFaults>,
     ) -> Result<FrameOutcome, PhyError> {
-        let phy = self.cfg.phy.clone();
+        let mut out = FrameOutcome::default();
+        self.run_frame_block_into(payload, opts, rng, faults, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`run_frame_block`](FdLink::run_frame_block) writing into a
+    /// caller-owned [`FrameOutcome`] (see
+    /// [`run_frame_into`](FdLink::run_frame_into) for the reuse contract).
+    pub fn run_frame_block_into<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        opts: &RunOptions,
+        rng: &mut R,
+        mut faults: Option<&mut FrameFaults>,
+        out: &mut FrameOutcome,
+    ) -> Result<(), PhyError> {
+        let FdLink {
+            cfg,
+            source,
+            hop_sa,
+            hop_sb,
+            hop_ab,
+            tag_a,
+            tag_b,
+            noise,
+            source_amp,
+            scratch,
+        } = self;
+        let source_amp = *source_amp;
+        begin_outcome(scratch, out);
+        #[cfg(feature = "trace")]
+        out.trace.reset(1);
+        let phy = &cfg.phy;
         let dt = phy.sample_period_s();
         let spb = phy.samples_per_bit();
         let half_fb = (phy.feedback_ratio / 2) * spb;
 
-        let mut tx = DataTransmitter::new(&phy, payload)?;
-        let mut rx = DataReceiver::new(phy.clone());
-        let mut fb_enc = FeedbackEncoder::new(half_fb);
-        let mut fb_dec = FeedbackDecoder::new(half_fb);
+        scratch.tx.load(phy, payload)?;
+        scratch.rx.load(phy);
+        scratch.fb_enc.rearm(half_fb);
+        scratch.fb_dec.rearm(half_fb);
+        let LinkScratch {
+            tx,
+            rx,
+            fb_enc,
+            fb_dec,
+            env_b: env_b_stage,
+            b_state: b_state_stage,
+            resampled,
+        } = scratch;
         if let FeedbackPolicy::Stream(bits) = &opts.feedback {
             for &b in bits {
                 fb_enc.push_bit(b);
             }
         }
-        let mut sic_a = SelfInterferenceCanceller::new(
-            phy.sic,
-            self.cfg.tag_a.rho,
-            self.cfg.tag_a.rho_residual,
-        );
-        let mut sic_b = SelfInterferenceCanceller::new(
-            phy.sic,
-            self.cfg.tag_b.rho,
-            self.cfg.tag_b.rho_residual,
-        )
-        .with_blanking(2);
+        let mut sic_a =
+            SelfInterferenceCanceller::new(phy.sic, cfg.tag_a.rho, cfg.tag_a.rho_residual);
+        let mut sic_b =
+            SelfInterferenceCanceller::new(phy.sic, cfg.tag_b.rho, cfg.tag_b.rho_residual)
+                .with_blanking(2);
         let mut b_hold = 0.0f64;
-        let b_base_ppm = self.tag_b.clock_mut().current_ppm();
+        let b_base_ppm = tag_b.clock_mut().current_ppm();
         let mut b_clock_rs = Resampler::from_ppm(b_base_ppm);
         let mut b_fault_ppm = 0.0f64;
-        let mut scratch = std::mem::take(&mut self.scratch);
 
         let preamble_samples = phy.preamble.len() * spb;
         let guard = phy.feedback_guard_bits * spb;
@@ -1040,14 +1149,13 @@ impl FdLink {
         let max_samples = total + tail;
         let verdict_horizon = total + phy.samples_per_feedback_bit() + spb;
 
-        let a_consumed0 = self.tag_a.consumed_j();
-        let b_consumed0 = self.tag_b.consumed_j();
-        let a_harvest0 = self.tag_a.harvester().harvested_total_j();
-        let b_harvest0 = self.tag_b.harvester().harvested_total_j();
+        let a_consumed0 = tag_a.consumed_j();
+        let b_consumed0 = tag_b.consumed_j();
+        let a_harvest0 = tag_a.harvester().harvested_total_j();
+        let b_harvest0 = tag_b.harvester().harvested_total_j();
 
-        let mut feedback_events = Vec::new();
         let mut aborted_at = None;
-        let fade_every = self.cfg.fading_advance_bits * spb;
+        let fade_every = cfg.fading_advance_bits * spb;
 
         let mut samples_run = max_samples;
         let mut t = 0usize;
@@ -1063,9 +1171,9 @@ impl FdLink {
                 // staged path defers (re-arm, fault draws, loop exits) is
                 // decided here at exact scalar granularity.
                 if fade_every > 0 && t.is_multiple_of(fade_every) && t > 0 {
-                    self.hop_sa.advance_block(rng);
-                    self.hop_sb.advance_block(rng);
-                    self.hop_ab.advance_block(rng);
+                    hop_sa.advance_block(rng);
+                    hop_sb.advance_block(rng);
+                    hop_ab.advance_block(rng);
                 }
                 let fx = match faults.as_deref_mut() {
                     Some(f) => {
@@ -1079,11 +1187,11 @@ impl FdLink {
                     None => FaultEffects::NEUTRAL,
                 };
 
-                let a_state = tx.next_state().unwrap_or(false) && self.tag_a.is_alive();
-                self.tag_a.set_antenna(a_state);
+                let a_state = tx.next_state().unwrap_or(false) && tag_a.is_alive();
+                tag_a.set_antenna(a_state);
                 let b_fb_active = !matches!(opts.feedback, FeedbackPolicy::Silent)
                     && b_epoch.map(|e| t >= e).unwrap_or(false)
-                    && self.tag_b.is_alive();
+                    && tag_b.is_alive();
                 let b_state = if b_fb_active {
                     if fb_enc.at_bit_boundary() {
                         if let FeedbackPolicy::AckStatus = opts.feedback {
@@ -1094,27 +1202,27 @@ impl FdLink {
                 } else {
                     false
                 };
-                self.tag_b.set_antenna(b_state);
+                tag_b.set_antenna(b_state);
 
-                let x = self.source_amp * fx.source_scale * self.source.next_power(rng).sqrt();
-                let h_sa = self.hop_sa.coeff();
-                let h_sb = self.hop_sb.coeff();
-                let h_ab = self.hop_ab.coeff();
+                let x = source_amp * fx.source_scale * source.next_power(rng).sqrt();
+                let h_sa = hop_sa.coeff();
+                let h_sb = hop_sb.coeff();
+                let h_ab = hop_ab.coeff();
                 let e_a0 = h_sa * x;
                 let e_b0 = h_sb * x;
-                let g_a = self.tag_a.reflected(Iq::ONE);
-                let g_b = self.tag_b.reflected(Iq::ONE);
+                let g_a = tag_a.reflected(Iq::ONE);
+                let g_b = tag_b.reflected(Iq::ONE);
                 let e_a = e_a0 + h_ab * g_b * (e_b0 + h_ab * g_a * e_a0) + fx.field_a;
                 let e_b = e_b0 + h_ab * g_a * (e_a0 + h_ab * g_b * e_b0) + fx.field_b;
-                let e_a = self.noise.corrupt(e_a, rng);
-                let e_b = self.noise.corrupt(e_b, rng);
+                let e_a = noise.corrupt(e_a, rng);
+                let e_b = noise.corrupt(e_b, rng);
 
-                let env_a = self.tag_a.step_receive(e_a, dt, rng);
-                let env_b = self.tag_b.step_receive(e_b, dt, rng);
+                let env_a = tag_a.step_receive(e_a, dt, rng);
+                let env_b = tag_b.step_receive(e_b, dt, rng);
                 let env_a = if fx.drop_a { 0.0 } else { env_a };
                 let env_b = if fx.drop_b { 0.0 } else { env_b };
-                self.tag_a.charge_awake(dt, t >= a_epoch);
-                self.tag_b.charge_awake(dt, true);
+                tag_a.charge_awake(dt, t >= a_epoch);
+                tag_b.charge_awake(dt, true);
 
                 let sic_b_out = sic_b
                     .correct(env_b, b_state)
@@ -1126,15 +1234,15 @@ impl FdLink {
                     }
                     None => b_hold,
                 };
-                scratch.resampled.clear();
-                b_clock_rs.push(corrected, &mut scratch.resampled);
-                for &v in &scratch.resampled {
+                resampled.clear();
+                b_clock_rs.push(corrected, resampled);
+                for &v in resampled.iter() {
                     rx.push_sample(v);
                 }
                 if b_was_locked && rx.state() == RxState::Acquiring {
                     b_was_locked = false;
                     b_epoch = None;
-                    fb_enc = FeedbackEncoder::new(half_fb);
+                    fb_enc.rearm(half_fb);
                     if let FeedbackPolicy::Stream(bits) = &opts.feedback {
                         for &b in bits {
                             fb_enc.push_bit(b);
@@ -1152,7 +1260,7 @@ impl FdLink {
                         .map(|v| if a_state { v * fx.sic_gain_a } else { v });
                     if let Some(corrected) = sic_a_out {
                         if let Some(decision) = fb_dec.push(corrected) {
-                            feedback_events.push(FeedbackEvent {
+                            out.feedback.push(FeedbackEvent {
                                 sample: t,
                                 bit: decision.bit,
                                 margin: decision.margin,
@@ -1175,7 +1283,7 @@ impl FdLink {
                 }
                 let verdict_in = matches!(opts.feedback, FeedbackPolicy::Silent)
                     || !b_was_locked
-                    || feedback_events
+                    || out.feedback
                         .last()
                         .map(|f| f.sample >= verdict_horizon)
                         .unwrap_or(false);
@@ -1225,9 +1333,9 @@ impl FdLink {
             debug_assert!(len >= 1);
 
             if fade_every > 0 && t.is_multiple_of(fade_every) && t > 0 {
-                self.hop_sa.advance_block(rng);
-                self.hop_sb.advance_block(rng);
-                self.hop_ab.advance_block(rng);
+                hop_sa.advance_block(rng);
+                hop_sb.advance_block(rng);
+                hop_ab.advance_block(rng);
             }
             // One bookkeeping poll per quiet segment: boundary caps above
             // guarantee every window edge lands exactly on a segment start,
@@ -1250,20 +1358,20 @@ impl FdLink {
             // A's feedback/abort reflex — an abort lands on the very next
             // sample's tx state, exactly as in the reference. B's samples
             // are staged for pass 2.
-            scratch.env_b.clear();
-            scratch.b_state.clear();
-            let h_sa = self.hop_sa.coeff();
-            let h_sb = self.hop_sb.coeff();
-            let h_ab = self.hop_ab.coeff();
+            env_b_stage.clear();
+            b_state_stage.clear();
+            let h_sa = hop_sa.coeff();
+            let h_sb = hop_sb.coeff();
+            let h_ab = hop_ab.coeff();
             let mut seg_used = len;
             let mut exited = false;
             for i in 0..len {
                 let ti = t + i;
-                let a_state = tx.next_state().unwrap_or(false) && self.tag_a.is_alive();
-                self.tag_a.set_antenna(a_state);
+                let a_state = tx.next_state().unwrap_or(false) && tag_a.is_alive();
+                tag_a.set_antenna(a_state);
                 let b_fb_active = !matches!(opts.feedback, FeedbackPolicy::Silent)
                     && b_epoch.map(|e| ti >= e).unwrap_or(false)
-                    && self.tag_b.is_alive();
+                    && tag_b.is_alive();
                 let b_state = if b_fb_active {
                     if fb_enc.at_bit_boundary() {
                         if let FeedbackPolicy::AckStatus = opts.feedback {
@@ -1274,27 +1382,27 @@ impl FdLink {
                 } else {
                     false
                 };
-                self.tag_b.set_antenna(b_state);
+                tag_b.set_antenna(b_state);
 
-                let x = self.source_amp * fx.source_scale * self.source.next_power(rng).sqrt();
+                let x = source_amp * fx.source_scale * source.next_power(rng).sqrt();
                 let e_a0 = h_sa * x;
                 let e_b0 = h_sb * x;
-                let g_a = self.tag_a.reflected(Iq::ONE);
-                let g_b = self.tag_b.reflected(Iq::ONE);
+                let g_a = tag_a.reflected(Iq::ONE);
+                let g_b = tag_b.reflected(Iq::ONE);
                 let e_a = e_a0 + h_ab * g_b * (e_b0 + h_ab * g_a * e_a0) + fx.field_a;
                 let e_b = e_b0 + h_ab * g_a * (e_a0 + h_ab * g_b * e_b0) + fx.field_b;
-                let e_a = self.noise.corrupt(e_a, rng);
-                let e_b = self.noise.corrupt(e_b, rng);
+                let e_a = noise.corrupt(e_a, rng);
+                let e_b = noise.corrupt(e_b, rng);
 
-                let env_a = self.tag_a.step_receive(e_a, dt, rng);
-                let env_b = self.tag_b.step_receive(e_b, dt, rng);
+                let env_a = tag_a.step_receive(e_a, dt, rng);
+                let env_b = tag_b.step_receive(e_b, dt, rng);
                 let env_a = if fx.drop_a { 0.0 } else { env_a };
                 let env_b = if fx.drop_b { 0.0 } else { env_b };
-                self.tag_a.charge_awake(dt, ti >= a_epoch);
-                self.tag_b.charge_awake(dt, true);
+                tag_a.charge_awake(dt, ti >= a_epoch);
+                tag_b.charge_awake(dt, true);
 
-                scratch.env_b.push(env_b);
-                scratch.b_state.push(b_state);
+                env_b_stage.push(env_b);
+                b_state_stage.push(b_state);
 
                 if ti >= a_epoch && !matches!(opts.feedback, FeedbackPolicy::Silent) {
                     let sic_a_out = sic_a
@@ -1302,7 +1410,7 @@ impl FdLink {
                         .map(|v| if a_state { v * fx.sic_gain_a } else { v });
                     if let Some(corrected) = sic_a_out {
                         if let Some(decision) = fb_dec.push(corrected) {
-                            feedback_events.push(FeedbackEvent {
+                            out.feedback.push(FeedbackEvent {
                                 sample: ti,
                                 bit: decision.bit,
                                 margin: decision.margin,
@@ -1335,11 +1443,11 @@ impl FdLink {
                 // Header accepted (else this segment would be fused): no
                 // re-arm is possible, so the whole block flows through the
                 // slice entry points in one go.
-                scratch.resampled.clear();
+                resampled.clear();
                 for i in 0..seg_used {
-                    let b_state = scratch.b_state[i];
+                    let b_state = b_state_stage[i];
                     let sic_b_out = sic_b
-                        .correct(scratch.env_b[i], b_state)
+                        .correct(env_b_stage[i], b_state)
                         .map(|v| if b_state { v * fx.sic_gain_b } else { v });
                     let corrected = match sic_b_out {
                         Some(v) => {
@@ -1348,17 +1456,17 @@ impl FdLink {
                         }
                         None => b_hold,
                     };
-                    b_clock_rs.push(corrected, &mut scratch.resampled);
+                    b_clock_rs.push(corrected, resampled);
                 }
-                rx.push_slice(&scratch.resampled);
+                rx.push_slice(resampled);
             } else {
                 // Acquiring: per-sample so the exact lock instant is
                 // observed and the feedback epoch lands on the right tick.
                 for i in 0..seg_used {
                     let ti = t + i;
-                    let b_state = scratch.b_state[i];
+                    let b_state = b_state_stage[i];
                     let sic_b_out = sic_b
-                        .correct(scratch.env_b[i], b_state)
+                        .correct(env_b_stage[i], b_state)
                         .map(|v| if b_state { v * fx.sic_gain_b } else { v });
                     let corrected = match sic_b_out {
                         Some(v) => {
@@ -1367,9 +1475,9 @@ impl FdLink {
                         }
                         None => b_hold,
                     };
-                    scratch.resampled.clear();
-                    b_clock_rs.push(corrected, &mut scratch.resampled);
-                    for &v in &scratch.resampled {
+                    resampled.clear();
+                    b_clock_rs.push(corrected, resampled);
+                    for &v in resampled.iter() {
                         rx.push_sample(v);
                     }
                     // A lock can fall back to acquisition in-segment only
@@ -1378,7 +1486,7 @@ impl FdLink {
                     if b_was_locked && rx.state() == RxState::Acquiring {
                         b_was_locked = false;
                         b_epoch = None;
-                        fb_enc = FeedbackEncoder::new(half_fb);
+                        fb_enc.rearm(half_fb);
                         if let FeedbackPolicy::Stream(bits) = &opts.feedback {
                             for &b in bits {
                                 fb_enc.push_bit(b);
@@ -1400,67 +1508,79 @@ impl FdLink {
         let fault_activations = faults
             .map(|f| f.activations())
             .unwrap_or_default();
-        self.scratch = scratch;
-        Ok(self.finish(
+        finish_into(
+            out,
             samples_run,
             tx,
             rx,
-            feedback_events,
             fb_dec.pilots_verified(),
             aborted_at,
             b_was_locked,
             fault_activations,
             (a_consumed0, b_consumed0, a_harvest0, b_harvest0),
-        ))
+            tag_a,
+            tag_b,
+        );
+        Ok(())
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn finish(
-        &mut self,
-        samples_run: usize,
-        tx: DataTransmitter,
-        mut rx: DataReceiver,
-        feedback: Vec<FeedbackEvent>,
-        pilots_verified: bool,
-        aborted_at_sample: Option<usize>,
-        b_locked: bool,
-        fault_activations: FaultActivations,
-        baselines: (f64, f64, f64, f64),
-    ) -> FrameOutcome {
-        let nack = rx.nack();
-        let rx_sync_peak = rx.sync_peak_seen();
-        let sync_attempts = rx.sync_attempts();
-        let sync_rejections = rx.sync_rejections();
-        let (partial_payload, partial_blocks) = {
-            let (p, b) = rx.partial();
-            (p.to_vec(), b.to_vec())
-        };
-        FrameOutcome {
-            partial_payload,
-            partial_blocks,
-            rx_timing_corrections: rx.timing_corrections(),
-            delivered: rx.take_result(),
-            b_locked,
-            sync_attempts,
-            sync_rejections,
-            feedback,
-            pilots_verified,
-            aborted_at_sample,
-            airtime_samples: tx.samples_emitted(),
-            samples_run,
-            energy: EnergyReport {
-                a_consumed_j: self.tag_a.consumed_j() - baselines.0,
-                b_consumed_j: self.tag_b.consumed_j() - baselines.1,
-                a_harvested_j: self.tag_a.harvester().harvested_total_j() - baselines.2,
-                b_harvested_j: self.tag_b.harvester().harvested_total_j() - baselines.3,
-            },
-            nack,
-            rx_sync_peak,
-            fault_activations,
-            #[cfg(feature = "trace")]
-            trace: FrameTrace::new(1),
-        }
+/// Harvests the reusable storage a previous frame left on `out` back into
+/// the arena before the new frame overwrites it: the delivered
+/// [`RxResult`]'s buffers return to the receiver's spare pool and the
+/// feedback timeline is cleared in place. (The partial-block staging and
+/// the trace ring are recycled by [`finish_into`] and the `run_frame_*`
+/// wrappers respectively.)
+fn begin_outcome(scratch: &mut LinkScratch, out: &mut FrameOutcome) {
+    if let Some(delivered) = out.delivered.take() {
+        scratch.rx.recycle_result(delivered);
     }
+    out.feedback.clear();
+}
+
+/// Refills every `FrameOutcome` field from the frame's end state —
+/// [`begin_outcome`]'s counterpart, overwriting scalars and
+/// clearing-then-extending the owned buffers so their capacity survives
+/// into the next frame.
+#[allow(clippy::too_many_arguments)]
+fn finish_into(
+    out: &mut FrameOutcome,
+    samples_run: usize,
+    tx: &DataTransmitter,
+    rx: &mut DataReceiver,
+    pilots_verified: bool,
+    aborted_at_sample: Option<usize>,
+    b_locked: bool,
+    fault_activations: FaultActivations,
+    baselines: (f64, f64, f64, f64),
+    tag_a: &TagHardware,
+    tag_b: &TagHardware,
+) {
+    out.nack = rx.nack();
+    out.rx_sync_peak = rx.sync_peak_seen();
+    out.sync_attempts = rx.sync_attempts();
+    out.sync_rejections = rx.sync_rejections();
+    {
+        let (p, b) = rx.partial();
+        out.partial_payload.clear();
+        out.partial_payload.extend_from_slice(p);
+        out.partial_blocks.clear();
+        out.partial_blocks.extend_from_slice(b);
+    }
+    out.rx_timing_corrections = rx.timing_corrections();
+    out.delivered = rx.take_result();
+    out.b_locked = b_locked;
+    out.pilots_verified = pilots_verified;
+    out.aborted_at_sample = aborted_at_sample;
+    out.airtime_samples = tx.samples_emitted();
+    out.samples_run = samples_run;
+    out.energy = EnergyReport {
+        a_consumed_j: tag_a.consumed_j() - baselines.0,
+        b_consumed_j: tag_b.consumed_j() - baselines.1,
+        a_harvested_j: tag_a.harvester().harvested_total_j() - baselines.2,
+        b_harvested_j: tag_b.harvester().harvested_total_j() - baselines.3,
+    };
+    out.fault_activations = fault_activations;
 }
 
 #[cfg(test)]

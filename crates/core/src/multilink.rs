@@ -91,19 +91,24 @@ impl MultiLinkConfig {
         }
     }
 
-    fn build_network_config(&self) -> NetworkConfig {
-        let mut net = self.network.clone();
-        net.positions = self
-            .pairs
-            .iter()
-            .flat_map(|p| [p.a, p.b])
-            .collect();
-        net.tags = self
-            .pairs
-            .iter()
-            .flat_map(|_| [self.tag_a, self.tag_b])
-            .collect();
-        net
+    /// Writes the expanded network config (positions/tags from `pairs`)
+    /// into `net`, reusing its buffers.
+    fn write_network_config(&self, net: &mut NetworkConfig) {
+        net.source_dist_m = self.network.source_dist_m;
+        net.source_power_dbm = self.network.source_power_dbm;
+        net.pathloss_source = self.network.pathloss_source;
+        net.pathloss_device = self.network.pathloss_device;
+        net.fading_source = self.network.fading_source;
+        net.fading_device = self.network.fading_device;
+        net.ambient = self.network.ambient;
+        net.field_noise_dbm = self.network.field_noise_dbm;
+        net.ambient_seed = self.network.ambient_seed;
+        net.positions.clear();
+        net.positions
+            .extend(self.pairs.iter().flat_map(|p| [p.a, p.b]));
+        net.tags.clear();
+        net.tags
+            .extend(self.pairs.iter().flat_map(|_| [self.tag_a, self.tag_b]));
     }
 }
 
@@ -122,15 +127,61 @@ pub struct PairOutcome {
     pub feedback_bits: Vec<bool>,
 }
 
+/// Reusable working set for [`run_multilink_into`]: every per-pair engine
+/// and staging buffer one K-pair frame needs, retained across frames.
+///
+/// The multi-link analogue of [`crate::scratch::LinkScratch`]: construct
+/// once per worker, thread through every frame by `&mut` borrow. The
+/// first frame (and any frame that grows the pair count) allocates; at a
+/// steady pair count, frames allocate nothing.
+#[derive(Default)]
+pub struct MultiLinkScratch {
+    txs: Vec<DataTransmitter>,
+    rxs: Vec<DataReceiver>,
+    fb_encs: Vec<FeedbackEncoder>,
+    fb_decs: Vec<FeedbackDecoder>,
+    sic_a: Vec<SelfInterferenceCanceller>,
+    sic_b: Vec<SelfInterferenceCanceller>,
+    offsets: Vec<usize>,
+    b_epochs: Vec<Option<usize>>,
+    b_holds: Vec<f64>,
+    fb_seen: Vec<Vec<bool>>,
+    states: Vec<bool>,
+    envs: Vec<f64>,
+    net_cfg: Option<NetworkConfig>,
+    net: Option<BackscatterNetwork>,
+}
+
 /// Runs one frame per pair, sample-synchronously, on the shared network.
 ///
 /// Every pair uses [`crate::link::FeedbackPolicy`]-`AckStatus` semantics
-/// (live status, no abort — measurement mode).
+/// (live status, no abort — measurement mode). Allocates a fresh scratch
+/// and result per call; repeated-frame callers should hold a
+/// [`MultiLinkScratch`] and use [`run_multilink_into`].
 pub fn run_multilink<R: Rng + ?Sized>(
     cfg: &MultiLinkConfig,
     payloads: &[Vec<u8>],
     rng: &mut R,
 ) -> Result<Vec<PairOutcome>, PhyError> {
+    let mut scratch = MultiLinkScratch::default();
+    let mut out = Vec::new();
+    run_multilink_into(cfg, payloads, rng, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`run_multilink`] into reused storage: per-pair engines, staging
+/// buffers and the network itself live in `scratch`, and `out` is
+/// refilled in place (one [`PairOutcome`] per pair, capacity retained).
+///
+/// Byte-identical to [`run_multilink`] — the network rebuild draws fading
+/// states from `rng` in the same order as a fresh construction.
+pub fn run_multilink_into<R: Rng + ?Sized>(
+    cfg: &MultiLinkConfig,
+    payloads: &[Vec<u8>],
+    rng: &mut R,
+    scratch: &mut MultiLinkScratch,
+    out: &mut Vec<PairOutcome>,
+) -> Result<(), PhyError> {
     let k = cfg.pairs.len();
     if payloads.len() != k {
         return Err(PhyError::InvalidConfig {
@@ -143,112 +194,161 @@ pub fn run_multilink<R: Rng + ?Sized>(
     let dt = phy.sample_period_s();
     let spb = phy.samples_per_bit();
     let half_fb = (phy.feedback_ratio / 2) * spb;
-    let net_cfg = cfg.build_network_config();
-    let mut net = BackscatterNetwork::new(&net_cfg, dt, rng)?;
+    let net_cfg = match scratch.net_cfg.as_mut() {
+        Some(n) => {
+            cfg.write_network_config(n);
+            n
+        }
+        None => {
+            let mut n = cfg.network.clone();
+            cfg.write_network_config(&mut n);
+            scratch.net_cfg.insert(n)
+        }
+    };
+    let net = match scratch.net.as_mut() {
+        Some(n) => {
+            n.reinit(net_cfg, dt, rng)?;
+            n
+        }
+        None => scratch.net.insert(BackscatterNetwork::new(net_cfg, dt, rng)?),
+    };
 
-    let mut txs = Vec::with_capacity(k);
-    let mut rxs = Vec::with_capacity(k);
-    let mut fb_encs = Vec::with_capacity(k);
-    let mut fb_decs = Vec::with_capacity(k);
-    let mut sic_a: Vec<SelfInterferenceCanceller> = Vec::with_capacity(k);
-    let mut sic_b: Vec<SelfInterferenceCanceller> = Vec::with_capacity(k);
-    let mut offsets = Vec::with_capacity(k);
-    let mut b_epochs: Vec<Option<usize>> = vec![None; k];
-    let mut b_holds = vec![0.0f64; k];
-    for (i, payload) in payloads.iter().enumerate() {
-        txs.push(DataTransmitter::new(phy, payload)?);
-        rxs.push(DataReceiver::new(phy.clone()));
-        fb_encs.push(FeedbackEncoder::new(half_fb));
-        fb_decs.push(FeedbackDecoder::new(half_fb));
-        sic_a.push(SelfInterferenceCanceller::new(
+    // Per-pair engines: reload in place at a steady pair count, rebuild
+    // (allocating) when K changes.
+    if scratch.txs.len() != k {
+        scratch.txs.clear();
+        scratch.rxs.clear();
+        scratch.fb_encs.clear();
+        scratch.fb_decs.clear();
+        for payload in payloads {
+            scratch.txs.push(DataTransmitter::new(phy, payload)?);
+            scratch.rxs.push(DataReceiver::new(phy.clone()));
+            scratch.fb_encs.push(FeedbackEncoder::new(half_fb));
+            scratch.fb_decs.push(FeedbackDecoder::new(half_fb));
+        }
+    } else {
+        for (i, payload) in payloads.iter().enumerate() {
+            scratch.txs[i].load(phy, payload)?;
+            scratch.rxs[i].load(phy);
+            scratch.fb_encs[i].rearm(half_fb);
+            scratch.fb_decs[i].rearm(half_fb);
+        }
+    }
+    scratch.sic_a.clear();
+    scratch.sic_b.clear();
+    scratch.offsets.clear();
+    for i in 0..k {
+        scratch.sic_a.push(SelfInterferenceCanceller::new(
             phy.sic,
             cfg.tag_a.rho,
             cfg.tag_a.rho_residual,
         ));
-        sic_b.push(
+        scratch.sic_b.push(
             SelfInterferenceCanceller::new(phy.sic, cfg.tag_b.rho, cfg.tag_b.rho_residual)
                 .with_blanking(2),
         );
-        offsets.push(cfg.start_offsets.get(i).copied().unwrap_or(0));
+        scratch.offsets.push(cfg.start_offsets.get(i).copied().unwrap_or(0));
     }
-    let total = txs
+    scratch.b_epochs.clear();
+    scratch.b_epochs.resize(k, None);
+    scratch.b_holds.clear();
+    scratch.b_holds.resize(k, 0.0);
+    if scratch.fb_seen.len() < k {
+        scratch.fb_seen.resize_with(k, Vec::new);
+    }
+    for seen in &mut scratch.fb_seen {
+        seen.clear();
+    }
+    let total = scratch
+        .txs
         .iter()
-        .zip(&offsets)
+        .zip(&scratch.offsets)
         .map(|(tx, off)| tx.total_samples() + off)
         .max()
         .unwrap_or(0);
     let max_samples = total + 2 * phy.samples_per_feedback_bit() + 8 * spb;
-    let mut fb_seen: Vec<Vec<bool>> = vec![Vec::new(); k];
 
-    let mut states = vec![false; 2 * k];
+    scratch.states.clear();
+    scratch.states.resize(2 * k, false);
     for t in 0..max_samples {
         // Antenna schedules.
         for i in 0..k {
-            let a_state = if t >= offsets[i] {
-                txs[i].next_state().unwrap_or(false)
+            let a_state = if t >= scratch.offsets[i] {
+                scratch.txs[i].next_state().unwrap_or(false)
             } else {
                 false
             };
-            states[2 * i] = a_state;
-            let fb_active = b_epochs[i].map(|e| t >= e).unwrap_or(false);
-            states[2 * i + 1] = if fb_active {
-                if fb_encs[i].at_bit_boundary() {
-                    let nack = rxs[i].nack();
-                    fb_encs[i].set_idle_bit(!nack);
+            scratch.states[2 * i] = a_state;
+            let fb_active = scratch.b_epochs[i].map(|e| t >= e).unwrap_or(false);
+            scratch.states[2 * i + 1] = if fb_active {
+                if scratch.fb_encs[i].at_bit_boundary() {
+                    let nack = scratch.rxs[i].nack();
+                    scratch.fb_encs[i].set_idle_bit(!nack);
                 }
-                fb_encs[i].tick()
+                scratch.fb_encs[i].tick()
             } else {
                 false
             };
         }
-        let envs = net.step(&states, rng);
+        net.step_into(&scratch.states, rng, &mut scratch.envs);
+        let envs = &scratch.envs;
         for i in 0..k {
             // B-side data reception.
-            let corrected = match sic_b[i].correct(envs[2 * i + 1], states[2 * i + 1]) {
+            let corrected = match scratch.sic_b[i].correct(envs[2 * i + 1], scratch.states[2 * i + 1])
+            {
                 Some(v) => {
-                    b_holds[i] = v;
+                    scratch.b_holds[i] = v;
                     v
                 }
-                None => b_holds[i],
+                None => scratch.b_holds[i],
             };
-            let was_locked = rxs[i].state() != RxState::Acquiring;
-            rxs[i].push_sample(corrected);
-            if !was_locked && rxs[i].state() != RxState::Acquiring {
-                b_epochs[i] = Some(t + phy.feedback_guard_bits * spb);
+            let was_locked = scratch.rxs[i].state() != RxState::Acquiring;
+            scratch.rxs[i].push_sample(corrected);
+            if !was_locked && scratch.rxs[i].state() != RxState::Acquiring {
+                scratch.b_epochs[i] = Some(t + phy.feedback_guard_bits * spb);
             }
             // A-side feedback reception (epoch mirrors its own frame start).
             let a_epoch =
-                offsets[i] + (phy.preamble.len() + phy.feedback_guard_bits) * spb;
+                scratch.offsets[i] + (phy.preamble.len() + phy.feedback_guard_bits) * spb;
             if t >= a_epoch {
-                if let Some(v) = sic_a[i].correct(envs[2 * i], states[2 * i]) {
-                    if let Some(d) = fb_decs[i].push(v) {
-                        fb_seen[i].push(d.bit);
+                if let Some(v) = scratch.sic_a[i].correct(envs[2 * i], scratch.states[2 * i]) {
+                    if let Some(d) = scratch.fb_decs[i].push(v) {
+                        scratch.fb_seen[i].push(d.bit);
                     }
                 }
             }
         }
     }
 
-    Ok((0..k)
-        .map(|i| {
-            let locked = rxs[i].state() != RxState::Acquiring;
-            let result = rxs[i].take_result();
-            let (fully, blocks) = match result {
-                Some(r) => (
-                    !r.blocks.is_empty() && r.blocks.iter().all(|b| b.ok),
-                    r.blocks,
-                ),
-                None => (false, rxs[i].blocks().to_vec()),
-            };
-            PairOutcome {
-                locked,
-                fully_delivered: fully,
-                blocks,
-                pilots_verified: fb_decs[i].pilots_verified(),
-                feedback_bits: std::mem::take(&mut fb_seen[i]),
+    out.truncate(k);
+    while out.len() < k {
+        out.push(PairOutcome {
+            locked: false,
+            fully_delivered: false,
+            blocks: Vec::new(),
+            pilots_verified: false,
+            feedback_bits: Vec::new(),
+        });
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        o.locked = scratch.rxs[i].state() != RxState::Acquiring;
+        o.blocks.clear();
+        match scratch.rxs[i].take_result() {
+            Some(r) => {
+                o.fully_delivered = !r.blocks.is_empty() && r.blocks.iter().all(|b| b.ok);
+                o.blocks.extend_from_slice(&r.blocks);
+                scratch.rxs[i].recycle_result(r);
             }
-        })
-        .collect())
+            None => {
+                o.fully_delivered = false;
+                o.blocks.extend_from_slice(scratch.rxs[i].blocks());
+            }
+        }
+        o.pilots_verified = scratch.fb_decs[i].pilots_verified();
+        o.feedback_bits.clear();
+        o.feedback_bits.extend_from_slice(&scratch.fb_seen[i]);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -305,6 +405,34 @@ mod tests {
             failures += out.iter().filter(|o| !o.fully_delivered).count();
         }
         assert!(failures > 0, "co-located pairs should interfere");
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        let c = cfg(2, 5.0);
+        let payloads = vec![vec![1u8; 48], vec![2u8; 48]];
+        let mut scratch = MultiLinkScratch::default();
+        let mut out = Vec::new();
+        for seed in [800u64, 801, 802] {
+            let fresh =
+                run_multilink(&c, &payloads, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            run_multilink_into(
+                &c,
+                &payloads,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.locked, b.locked);
+                assert_eq!(a.fully_delivered, b.fully_delivered);
+                assert_eq!(a.blocks, b.blocks);
+                assert_eq!(a.pilots_verified, b.pilots_verified);
+                assert_eq!(a.feedback_bits, b.feedback_bits);
+            }
+        }
     }
 
     #[test]

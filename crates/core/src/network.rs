@@ -93,6 +93,10 @@ pub struct BackscatterNetwork {
     n: usize,
     tags: Vec<TagHardware>,
     dt: f64,
+    /// Per-step field staging (direct fields), retained across steps.
+    direct: Vec<Iq>,
+    /// Per-step reflection-coefficient staging, retained across steps.
+    gamma: Vec<Iq>,
 }
 
 impl BackscatterNetwork {
@@ -102,6 +106,36 @@ impl BackscatterNetwork {
         dt: f64,
         rng: &mut R,
     ) -> Result<Self, PhyError> {
+        let mut net = BackscatterNetwork {
+            source: Ambient::from_config(cfg.ambient, cfg.ambient_seed),
+            source_amp: dbm_to_watts(cfg.source_power_dbm).sqrt(),
+            noise: Awgn::from_dbm(cfg.field_noise_dbm),
+            hops_source: Vec::new(),
+            hops_pair: Vec::new(),
+            n: 0,
+            tags: Vec::new(),
+            dt,
+            direct: Vec::new(),
+            gamma: Vec::new(),
+        };
+        net.reinit(cfg, dt, rng)?;
+        Ok(net)
+    }
+
+    /// Rebuilds the network in place for a (possibly different) config,
+    /// retaining every internal buffer's capacity.
+    ///
+    /// Observably identical to `*self = BackscatterNetwork::new(cfg, dt,
+    /// rng)?` — the fading initial states are drawn from `rng` in the same
+    /// order (`hops_source` in position order, then the upper-triangular
+    /// `hops_pair` row-major) — but allocation-free once the buffers have
+    /// grown to the largest device count seen.
+    pub fn reinit<R: Rng + ?Sized>(
+        &mut self,
+        cfg: &NetworkConfig,
+        dt: f64,
+        rng: &mut R,
+    ) -> Result<(), PhyError> {
         let n = cfg.positions.len();
         if n == 0 || cfg.tags.len() != n {
             return Err(PhyError::InvalidConfig {
@@ -109,38 +143,35 @@ impl BackscatterNetwork {
                 reason: format!("{} positions but {} tag configs", n, cfg.tags.len()),
             });
         }
-        let hops_source = cfg
-            .positions
-            .iter()
-            .map(|&(_, y)| {
-                Hop::new(
-                    cfg.pathloss_source,
-                    (cfg.source_dist_m + y).max(1.0),
-                    cfg.fading_source,
-                    rng,
-                )
-            })
-            .collect();
-        let mut hops_pair = Vec::with_capacity(n * (n - 1) / 2);
+        self.hops_source.clear();
+        self.hops_source.extend(cfg.positions.iter().map(|&(_, y)| {
+            Hop::new(
+                cfg.pathloss_source,
+                (cfg.source_dist_m + y).max(1.0),
+                cfg.fading_source,
+                rng,
+            )
+        }));
+        self.hops_pair.clear();
+        self.hops_pair.reserve(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
                 let (xi, yi) = cfg.positions[i];
                 let (xj, yj) = cfg.positions[j];
                 let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt().max(0.1);
-                hops_pair.push(Hop::new(cfg.pathloss_device, d, cfg.fading_device, rng));
+                self.hops_pair
+                    .push(Hop::new(cfg.pathloss_device, d, cfg.fading_device, rng));
             }
         }
-        let tags = cfg.tags.iter().map(|&t| TagHardware::new(t, dt)).collect();
-        Ok(BackscatterNetwork {
-            source: Ambient::from_config(cfg.ambient, cfg.ambient_seed),
-            source_amp: dbm_to_watts(cfg.source_power_dbm).sqrt(),
-            noise: Awgn::from_dbm(cfg.field_noise_dbm),
-            hops_source,
-            hops_pair,
-            n,
-            tags,
-            dt,
-        })
+        self.tags.clear();
+        self.tags
+            .extend(cfg.tags.iter().map(|&t| TagHardware::new(t, dt)));
+        self.source = Ambient::from_config(cfg.ambient, cfg.ambient_seed);
+        self.source_amp = dbm_to_watts(cfg.source_power_dbm).sqrt();
+        self.noise = Awgn::from_dbm(cfg.field_noise_dbm);
+        self.n = n;
+        self.dt = dt;
+        Ok(())
     }
 
     /// Number of devices.
@@ -191,18 +222,39 @@ impl BackscatterNetwork {
     /// One simulation sample: sets every device's antenna to
     /// `states[i]`, assembles fields with first-order mutual scattering,
     /// and returns each device's detected envelope.
+    ///
+    /// Allocates the result; the hot path is
+    /// [`step_into`](BackscatterNetwork::step_into), which reuses a
+    /// caller-owned envelope buffer.
     pub fn step<R: Rng + ?Sized>(&mut self, states: &[bool], rng: &mut R) -> Vec<f64> {
+        let mut envelopes = Vec::with_capacity(self.n);
+        self.step_into(states, rng, &mut envelopes);
+        envelopes
+    }
+
+    /// [`step`](BackscatterNetwork::step) into a reused buffer:
+    /// `envelopes` is cleared and refilled with one envelope per device.
+    /// Field staging uses internal scratch, so steady-state steps perform
+    /// no heap allocation.
+    pub fn step_into<R: Rng + ?Sized>(
+        &mut self,
+        states: &[bool],
+        rng: &mut R,
+        envelopes: &mut Vec<f64>,
+    ) {
         debug_assert_eq!(states.len(), self.n);
         let x = self.source_amp * self.source.next_power(rng).sqrt();
         // Direct fields and reflection coefficients.
-        let mut direct = Vec::with_capacity(self.n);
-        let mut gamma = Vec::with_capacity(self.n);
+        let mut direct = std::mem::take(&mut self.direct);
+        let mut gamma = std::mem::take(&mut self.gamma);
+        direct.clear();
+        gamma.clear();
         for (i, &state) in states.iter().enumerate().take(self.n) {
             self.tags[i].set_antenna(state);
             direct.push(self.hops_source[i].coeff() * x);
             gamma.push(self.tags[i].reflected(Iq::ONE));
         }
-        let mut envelopes = Vec::with_capacity(self.n);
+        envelopes.clear();
         for i in 0..self.n {
             let mut field = direct[i];
             for j in 0..self.n {
@@ -215,7 +267,8 @@ impl BackscatterNetwork {
             self.tags[i].charge_awake(self.dt, true);
             envelopes.push(env);
         }
-        envelopes
+        self.direct = direct;
+        self.gamma = gamma;
     }
 }
 

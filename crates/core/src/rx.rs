@@ -147,6 +147,16 @@ pub struct DataReceiver {
     replay_scratch: Vec<f64>,
     /// Reused by `acquire_block` for the slice run through the smoother.
     acq_smoothed: Vec<f64>,
+    /// Scratch smoother snapshot for `acquire_block` — `clone_from` of the
+    /// live smoother each chunk, allocation-free once capacities match.
+    acq_smoother: MovingAverage,
+    /// Reused by `verify_candidate` for the per-chip integration means.
+    verify_means: Vec<f64>,
+    /// Capacity donors for the next [`RxResult`]: a caller that recycles a
+    /// delivered result via [`DataReceiver::recycle_result`] makes frame
+    /// completion allocation-free in steady state.
+    spare_payload: Vec<u8>,
+    spare_blocks: Vec<BlockStatus>,
 }
 
 impl DataReceiver {
@@ -174,6 +184,10 @@ impl DataReceiver {
             timing_prefix: Vec::new(),
             replay_scratch: Vec::new(),
             acq_smoothed: Vec::new(),
+            acq_smoother: MovingAverage::new(smooth_len),
+            verify_means: Vec::new(),
+            spare_payload: Vec::new(),
+            spare_blocks: Vec::new(),
             sync_smoother: MovingAverage::new(smooth_len),
             history: RingBuf::new(hist_cap),
             slicer: PeakTracker::new(0.05),
@@ -276,6 +290,64 @@ impl DataReceiver {
         self.result.take()
     }
 
+    /// Returns a delivered result's buffers to the receiver's spare pool so
+    /// the next frame's [`RxResult`] can be built without allocating.
+    pub fn recycle_result(&mut self, result: RxResult) {
+        let RxResult { mut payload, mut blocks, .. } = result;
+        payload.clear();
+        blocks.clear();
+        self.spare_payload = payload;
+        self.spare_blocks = blocks;
+    }
+
+    /// Returns the receiver to the state of a fresh
+    /// [`DataReceiver::new`] under the same config, retaining every grown
+    /// buffer — the allocation-free per-frame entry point for a receiver
+    /// reused across frames.
+    pub fn reset(&mut self) {
+        if let Some(r) = self.result.take() {
+            self.recycle_result(r);
+        }
+        self.state = RxState::Acquiring;
+        self.searcher.hard_reset();
+        self.sync_smoother.reset();
+        self.history.clear();
+        self.slicer = PeakTracker::new(0.05);
+        self.soft = SoftDecoder::new(self.cfg.line_code);
+        self.parser.reset();
+        self.chip_acc = 0.0;
+        self.chip_samples = 0;
+        self.chip_target = self.cfg.samples_per_chip;
+        self.chip_energies.clear();
+        self.bit_samples.clear();
+        self.timing_debt = 0.0;
+        self.samples_seen = 0;
+        self.locked_at = None;
+        self.bits_decoded = 0;
+        self.timing_corrections = 0;
+        self.sync_peak = 0.0;
+        self.sync_lock = None;
+        self.chips_seen = 0;
+        self.last_chip_energy = 0.0;
+        self.last_bit = None;
+        self.sync_attempts = 0;
+        self.rejections.clear();
+        self.nack_latch = false;
+        self.header_accepted = false;
+    }
+
+    /// Re-targets the receiver at `cfg` for the next frame. Same config →
+    /// an allocation-free [`reset`](DataReceiver::reset); a changed config
+    /// rebuilds the template and pipeline (allocation is the warmup cost of
+    /// a rate switch).
+    pub fn load(&mut self, cfg: &PhyConfig) {
+        if self.cfg == *cfg {
+            self.reset();
+        } else {
+            *self = DataReceiver::new(cfg.clone());
+        }
+    }
+
     /// Per-block verdicts so far.
     pub fn blocks(&self) -> &[BlockStatus] {
         self.parser.blocks()
@@ -370,18 +442,18 @@ impl DataReceiver {
     /// at a time. Returns the number of samples consumed (0 when the
     /// screen declines, e.g. near a candidate peak).
     ///
-    /// The smoothed stream handed to the screen comes from a clone of the
-    /// live smoother, so screening beyond the eventual skip point cannot
-    /// perturb receiver state; the live smoother and raw-history ring are
-    /// then advanced over exactly the skipped prefix.
+    /// The smoothed stream handed to the screen comes from a scratch
+    /// snapshot of the live smoother, so screening beyond the eventual skip
+    /// point cannot perturb receiver state; the live smoother and
+    /// raw-history ring are then advanced over exactly the skipped prefix.
     fn acquire_block(&mut self, xs: &[f64]) -> usize {
         let m = self.searcher.template_len();
         if xs.len() < 2 * m || !self.searcher.primed() || self.searcher.is_tracking() {
             return 0;
         }
-        let mut smoother = self.sync_smoother.clone();
+        self.acq_smoother.clone_from(&self.sync_smoother);
         let mut smoothed = std::mem::take(&mut self.acq_smoothed);
-        smoother.process_block_into(xs, &mut smoothed);
+        self.acq_smoother.process_block_into(xs, &mut smoothed);
         let (skip, peak) = self.searcher.fast_forward(&smoothed);
         self.acq_smoothed = smoothed;
         if skip == 0 {
@@ -436,7 +508,7 @@ impl DataReceiver {
     /// chips from the raw sample history ending at the peak and compare
     /// them against the known pattern. Returns the failure reason, or
     /// `None` when the candidate is good.
-    fn verify_candidate(&self, lag: usize) -> Option<SyncRejectReason> {
+    fn verify_candidate(&mut self, lag: usize) -> Option<SyncRejectReason> {
         // The history must carry modulation — a flat span can never hold
         // the preamble, and committing on it would leave the slicer at its
         // stale default.
@@ -464,18 +536,19 @@ impl DataReceiver {
         };
         // Integrate each chip and slice at the midpoint of the chip-mean
         // range (chip means are far less noise-sensitive than raw samples).
-        let mut means = Vec::with_capacity(n_chips);
+        self.verify_means.clear();
         for c in 0..n_chips {
             let mut acc = 0.0;
             for i in 0..sps {
                 acc += self.history.get(start + c * sps + i).unwrap_or(0.0);
             }
-            means.push(acc / sps as f64);
+            self.verify_means.push(acc / sps as f64);
         }
-        let m_lo = means.iter().cloned().fold(f64::MAX, f64::min);
-        let m_hi = means.iter().cloned().fold(f64::MIN, f64::max);
+        let m_lo = self.verify_means.iter().cloned().fold(f64::MAX, f64::min);
+        let m_hi = self.verify_means.iter().cloned().fold(f64::MIN, f64::max);
         let mid = 0.5 * (m_lo + m_hi);
-        let mismatches = means
+        let mismatches = self
+            .verify_means
             .iter()
             .zip(&self.preamble_chip_pattern)
             .filter(|&(&m, &c)| (m > mid) != c)
@@ -537,7 +610,7 @@ impl DataReceiver {
         self.sync_lock = None;
         self.locked_at = None;
         self.header_accepted = false;
-        self.parser = FrameParser::new(self.cfg.clone());
+        self.parser.reset();
         self.soft = SoftDecoder::new(self.cfg.line_code);
         self.slicer = PeakTracker::new(0.05);
         self.chip_acc = 0.0;
@@ -600,8 +673,14 @@ impl DataReceiver {
                         reason: SyncRejectReason::HeaderCrc,
                     });
                 }
-                ParseEvent::Done { payload, blocks } => {
+                ParseEvent::Done => {
                     self.state = RxState::Done;
+                    let mut payload = std::mem::take(&mut self.spare_payload);
+                    payload.clear();
+                    payload.extend_from_slice(self.parser.partial_payload());
+                    let mut blocks = std::mem::take(&mut self.spare_blocks);
+                    blocks.clear();
+                    blocks.extend_from_slice(self.parser.blocks());
                     self.result = Some(RxResult {
                         payload,
                         blocks,
@@ -1033,6 +1112,83 @@ mod tests {
         assert!(!accepted_while_acquiring, "flag must clear on re-arm");
         assert_eq!(rx.state(), RxState::Done);
         assert!(rx.header_accepted(), "flag must latch once the header passes");
+    }
+
+    /// Runs `wave` through both receivers and asserts every end-of-frame
+    /// observable agrees, to the bit where floats are involved.
+    fn assert_same_decode(a: &mut DataReceiver, b: &mut DataReceiver, wave: &[f64], tag: &str) {
+        for &v in wave {
+            a.push_sample(v);
+            b.push_sample(v);
+        }
+        assert_eq!(a.state(), b.state(), "{tag}");
+        assert_eq!(a.samples_seen, b.samples_seen, "{tag}");
+        assert_eq!(a.bits_decoded(), b.bits_decoded(), "{tag}");
+        assert_eq!(a.chips_seen(), b.chips_seen(), "{tag}");
+        assert_eq!(a.timing_corrections(), b.timing_corrections(), "{tag}");
+        assert_eq!(a.sync_attempts(), b.sync_attempts(), "{tag}");
+        assert_eq!(a.rejections(), b.rejections(), "{tag}");
+        assert_eq!(a.nack(), b.nack(), "{tag}");
+        assert_eq!(a.header_accepted(), b.header_accepted(), "{tag}");
+        assert_eq!(a.sync_lock_info(), b.sync_lock_info(), "{tag}");
+        assert_eq!(a.sync_peak_seen().to_bits(), b.sync_peak_seen().to_bits(), "{tag}");
+        assert_eq!(
+            a.slicer_threshold().to_bits(),
+            b.slicer_threshold().to_bits(),
+            "{tag}"
+        );
+        assert_eq!(a.take_result(), b.take_result(), "{tag}");
+    }
+
+    #[test]
+    fn reset_matches_fresh_receiver() {
+        // Dirty a receiver with a full decode (and a corrupted-header frame
+        // so the re-arm machinery has state too), then reset: it must be
+        // observably identical to a brand-new receiver on the next frame.
+        let cfg = cfg();
+        let junk = vec![0xAAu8; 8];
+        let mut first = render(&cfg, &junk, 40, 0.3, 1.0);
+        let pre = 40 + cfg.preamble.len() * cfg.samples_per_bit();
+        for v in first
+            .iter_mut()
+            .skip(pre)
+            .take(crate::frame::HEADER_BITS * cfg.samples_per_bit())
+        {
+            *v = 0.65;
+        }
+        first.extend_from_slice(&render(&cfg, &[0x3Cu8; 12], 30, 0.3, 1.0));
+        let mut reused = DataReceiver::new(cfg.clone());
+        for &v in &first {
+            reused.push_sample(v);
+        }
+        assert_eq!(reused.state(), RxState::Done);
+        let r = reused.take_result().unwrap();
+        reused.recycle_result(r);
+        reused.reset();
+        let mut fresh = DataReceiver::new(cfg.clone());
+        let payload: Vec<u8> = (0..40u8).collect();
+        let wave = render(&cfg, &payload, 90, 0.35, 1.0);
+        assert_same_decode(&mut reused, &mut fresh, &wave, "after reset");
+    }
+
+    #[test]
+    fn load_retargets_config() {
+        let mut cfg2 = cfg();
+        cfg2.samples_per_chip = 14;
+        cfg2.block_len_bytes = 8;
+        let payload = vec![0x9Du8; 24];
+        let mut rx = DataReceiver::new(cfg());
+        for &v in &render(&cfg(), &payload, 50, 0.3, 1.0) {
+            rx.push_sample(v);
+        }
+        assert_eq!(rx.state(), RxState::Done);
+        // Same config: load == reset; changed config: full re-target.
+        rx.load(&cfg());
+        let mut fresh = DataReceiver::new(cfg());
+        assert_same_decode(&mut rx, &mut fresh, &render(&cfg(), &payload, 20, 0.3, 1.0), "same cfg");
+        rx.load(&cfg2);
+        let mut fresh2 = DataReceiver::new(cfg2.clone());
+        assert_same_decode(&mut rx, &mut fresh2, &render(&cfg2, &payload, 33, 0.3, 1.0), "new cfg");
     }
 
     #[test]

@@ -63,6 +63,7 @@
 //! `run_frame` contains no tracing code at all — zero hot-path cost.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -131,8 +132,10 @@ pub enum TraceEvent {
         /// Peak-to-sidelobe ratio of the candidate trajectory.
         sharpness: f64,
         /// Which stage failed: `"peak_shape"`, `"flat_history"`,
-        /// `"preamble_mismatch"` or `"header_crc"`.
-        reason: String,
+        /// `"preamble_mismatch"` or `"header_crc"`. Borrowed from the
+        /// receiver's static labels on the hot path (no per-event
+        /// allocation); owned only when deserialized back from JSONL.
+        reason: Cow<'static, str>,
     },
     /// B's receiver re-armed and returned to acquisition after a
     /// rejected lock.
@@ -213,8 +216,9 @@ pub enum TraceEvent {
         sample: usize,
         /// Fault class label (`"noise_burst"`, `"dropout"`,
         /// `"clock_drift"`, `"sic_gain"`, `"ambient_fade"`,
-        /// `"interferer"`).
-        kind: String,
+        /// `"interferer"`). Borrowed from the impairment engine's static
+        /// labels on the hot path; owned only after deserialization.
+        kind: Cow<'static, str>,
         /// `true` at the rising edge of the window, `false` at the
         /// falling edge.
         active: bool,
@@ -254,8 +258,17 @@ pub struct FrameTrace {
 }
 
 impl Default for FrameTrace {
+    /// An empty trace with the default capacity *bound* but no storage —
+    /// ring memory grows on first record. This keeps `Default` cheap
+    /// enough to serve as `mem::take`'s placeholder on the frame hot
+    /// path, where the real ring is recycled through
+    /// [`FrameTrace::reset`] every frame.
     fn default() -> Self {
-        FrameTrace::new(DEFAULT_TRACE_CAPACITY)
+        FrameTrace {
+            events: VecDeque::new(),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            dropped: 0,
+        }
     }
 }
 
@@ -268,6 +281,16 @@ impl FrameTrace {
             capacity,
             dropped: 0,
         }
+    }
+
+    /// Clears the trace for reuse with a (possibly new) capacity bound,
+    /// retaining the event storage already grown — the frame hot path
+    /// recycles each outcome's ring through here instead of allocating a
+    /// fresh one per frame.
+    pub fn reset(&mut self, capacity: usize) {
+        self.events.clear();
+        self.capacity = capacity.max(1);
+        self.dropped = 0;
     }
 
     /// Appends an event, evicting the oldest once full.
@@ -299,6 +322,13 @@ impl FrameTrace {
         self.dropped
     }
 
+    /// Pre-sizes the ring for up to `events` retained events (clamped to
+    /// the capacity bound) so steady-state recording never grows it.
+    pub fn reserve(&mut self, events: usize) {
+        let want = events.min(self.capacity);
+        self.events.reserve(want.saturating_sub(self.events.len()));
+    }
+
     /// Events belonging to one coarse stage (see [`TraceEvent::stage`]).
     pub fn stage_events<'a>(&'a self, stage: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
         self.events().filter(move |e| e.stage() == stage)
@@ -324,6 +354,15 @@ impl FrameTrace {
 /// subsequent event as dropped, and is surfaced afterwards through
 /// [`io_error`](TraceSink::io_error).
 pub trait TraceSink {
+    /// Pre-sizes internal buffers for frames expected to carry up to
+    /// `events` events each — the explicit half of the sinks' reuse
+    /// contract. Drivers call this once before a frame loop; steady-state
+    /// recording then reuses (never re-grows) the reserved storage. The
+    /// default is a no-op for sinks with nothing to size.
+    fn reserve(&mut self, events: usize) {
+        let _ = events;
+    }
+
     /// Marks the start of frame `frame` (driver-assigned index).
     fn begin_frame(&mut self, frame: u64) {
         let _ = frame;
@@ -366,6 +405,12 @@ impl RingSink {
         }
     }
 
+    /// Wraps an existing (typically [`FrameTrace::reset`]) ring, reusing
+    /// its storage. The recorded counter starts at zero.
+    pub fn from_trace(trace: FrameTrace) -> Self {
+        RingSink { trace, recorded: 0 }
+    }
+
     /// The ring so far.
     pub fn trace(&self) -> &FrameTrace {
         &self.trace
@@ -379,6 +424,10 @@ impl RingSink {
 }
 
 impl TraceSink for RingSink {
+    fn reserve(&mut self, events: usize) {
+        self.trace.reserve(events);
+    }
+
     fn record(&mut self, event: TraceEvent) {
         self.recorded += 1;
         self.trace.record(event);
@@ -451,6 +500,10 @@ impl CollectSink {
 }
 
 impl TraceSink for CollectSink {
+    fn reserve(&mut self, events: usize) {
+        self.events.reserve(events.saturating_sub(self.events.len()));
+    }
+
     fn begin_frame(&mut self, _frame: u64) {
         self.frame_open = true;
     }
@@ -511,6 +564,10 @@ pub struct JsonlSinkSummary {
 struct FrameStager {
     /// Lines of the currently open frame.
     staged: String,
+    /// Recycled block storage handed back by the backend after a
+    /// completed frame was consumed — the next frame stages into it
+    /// instead of re-growing a fresh `String`.
+    spare: String,
     staged_events: u64,
     frame: Option<u64>,
     next_auto_frame: u64,
@@ -531,9 +588,13 @@ struct StagedFrame {
 }
 
 impl FrameStager {
+    /// Nominal serialized bytes per event line, for [`reserve`](FrameStager::reserve).
+    const NOMINAL_LINE_BYTES: usize = 48;
+
     fn new() -> Self {
         FrameStager {
             staged: String::new(),
+            spare: String::new(),
             staged_events: 0,
             frame: None,
             next_auto_frame: 0,
@@ -545,6 +606,28 @@ impl FrameStager {
 
     fn set_frame_cap(&mut self, cap: usize) {
         self.frame_cap = cap.max(1);
+    }
+
+    /// Pre-sizes the staging buffer for frames of up to `events` lines
+    /// (clamped to the per-frame cap): the larger of the high-water mark
+    /// already observed and a nominal per-line estimate.
+    fn reserve(&mut self, events: usize) {
+        let want = self
+            .peak_staged_bytes
+            .max(events.min(self.frame_cap).saturating_mul(Self::NOMINAL_LINE_BYTES));
+        let cap = self.staged.capacity();
+        if cap < want {
+            self.staged.reserve(want - cap);
+        }
+    }
+
+    /// Hands a consumed frame block's storage back for reuse by the next
+    /// frame.
+    fn recycle(&mut self, mut text: String) {
+        text.clear();
+        if text.capacity() > self.spare.capacity() {
+            self.spare = text;
+        }
     }
 
     fn open(&self) -> bool {
@@ -560,6 +643,9 @@ impl FrameStager {
     /// Opens frame `frame` (caller guarantees no frame is open).
     fn begin_frame(&mut self, frame: u64) {
         debug_assert!(self.frame.is_none(), "frame already open");
+        if self.staged.capacity() < self.spare.capacity() {
+            std::mem::swap(&mut self.staged, &mut self.spare);
+        }
         self.frame = Some(frame);
         self.frame_dropped = 0;
         self.stage_line(&format!("{{\"frame_start\":{frame}}}"));
@@ -758,6 +844,10 @@ impl JsonlFileSink {
 }
 
 impl TraceSink for JsonlFileSink {
+    fn reserve(&mut self, events: usize) {
+        self.stager.reserve(events);
+    }
+
     fn begin_frame(&mut self, frame: u64) {
         if self.stager.open() {
             self.end_frame();
@@ -802,6 +892,7 @@ impl TraceSink for JsonlFileSink {
         self.bytes_current += staged.text.len() as u64;
         self.bytes_total += staged.text.len() as u64;
         self.frames += 1;
+        self.stager.recycle(staged.text);
         if let Some(limit) = self.rotate_bytes {
             if self.bytes_current >= limit {
                 self.rotate();
@@ -907,6 +998,10 @@ impl ChannelSink {
 }
 
 impl TraceSink for ChannelSink {
+    fn reserve(&mut self, events: usize) {
+        self.stager.reserve(events);
+    }
+
     fn begin_frame(&mut self, frame: u64) {
         if self.stager.open() {
             self.end_frame();
@@ -1498,6 +1593,58 @@ mod tests {
         assert!(TraceSinkSpec::Null.is_null());
         assert!(!TraceSinkSpec::Collect.is_null());
         std::fs::remove_file(temp_path("spec")).ok();
+    }
+
+    #[test]
+    fn stager_recycles_frame_block_storage() {
+        // After the first frame's block is written and recycled, staging
+        // identical frames never grows the staging buffer again.
+        let path = temp_path("recycle");
+        let mut sink = JsonlFileSink::create(&path).unwrap();
+        let frame = |sink: &mut JsonlFileSink, f: u64| {
+            sink.begin_frame(f);
+            for i in 0..32 {
+                sink.record(TraceEvent::RxChip {
+                    sample: i,
+                    energy: 0.123456789,
+                    threshold: 0.1,
+                });
+            }
+            sink.end_frame();
+        };
+        frame(&mut sink, 0);
+        let cap_after_warmup = sink.stager.staged.capacity().max(sink.stager.spare.capacity());
+        for f in 1..50 {
+            frame(&mut sink, f);
+        }
+        let cap_final = sink.stager.staged.capacity().max(sink.stager.spare.capacity());
+        assert_eq!(
+            cap_final, cap_after_warmup,
+            "steady-state frames must reuse the recycled block storage"
+        );
+        sink.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reserve_presizes_every_sink_backend() {
+        let mut ring = RingSink::new(8);
+        ring.reserve(1000); // clamped to the ring bound
+        let mut collect = CollectSink::new();
+        collect.reserve(64);
+        assert!(collect.events.capacity() >= 64);
+        let path = temp_path("reserve");
+        let mut jsonl = JsonlFileSink::create(&path).unwrap();
+        jsonl.reserve(100);
+        let reserved = jsonl.stager.staged.capacity();
+        assert!(reserved >= 100 * 48, "stager reserved {reserved}");
+        jsonl.begin_frame(0);
+        jsonl.record(TraceEvent::Abort { sample: 0 });
+        jsonl.end_frame();
+        jsonl.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+        // NullSink takes the default no-op without panicking.
+        NullSink::new().reserve(10);
     }
 
     #[test]

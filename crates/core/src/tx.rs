@@ -10,7 +10,7 @@
 
 use crate::config::PhyConfig;
 use crate::error::PhyError;
-use crate::frame::encode_frame;
+use crate::frame::{encode_frame_into, EncodeScratch};
 use fdb_dsp::line_code::Encoder;
 
 /// Streaming chip scheduler for one frame.
@@ -22,30 +22,54 @@ pub struct DataTransmitter {
     chip_idx: usize,
     aborted_at_chip: Option<usize>,
     preamble_chips: usize,
+    /// Frame-body bit staging, reused across [`DataTransmitter::load`]s.
+    body_bits: Vec<bool>,
+    /// Frame-encoder working buffers, reused across loads.
+    enc_scratch: EncodeScratch,
 }
 
 impl DataTransmitter {
     /// Builds the chip schedule for `payload`.
     pub fn new(cfg: &PhyConfig, payload: &[u8]) -> Result<Self, PhyError> {
-        cfg.validate()?;
-        let body_bits = encode_frame(cfg, payload)?;
-        let mut bits = cfg.preamble.clone();
-        bits.extend(body_bits);
-        // One continuous line-code encoding so FM0/Miller state carries from
-        // the preamble into the body (the receiver's template assumes it).
-        let mut enc = Encoder::new(cfg.line_code);
-        let mut chips = Vec::with_capacity(bits.len() * cfg.chips_per_bit());
-        for &b in &bits {
-            enc.push(b, &mut chips);
-        }
-        Ok(DataTransmitter {
-            preamble_chips: cfg.preamble.len() * cfg.chips_per_bit(),
-            chips,
-            sps: cfg.samples_per_chip,
+        let mut tx = DataTransmitter {
+            chips: Vec::new(),
+            sps: 1,
             sample_in_chip: 0,
             chip_idx: 0,
             aborted_at_chip: None,
-        })
+            preamble_chips: 0,
+            body_bits: Vec::new(),
+            enc_scratch: EncodeScratch::default(),
+        };
+        tx.load(cfg, payload)?;
+        Ok(tx)
+    }
+
+    /// Rebuilds the chip schedule for a new frame in place, reusing every
+    /// buffer: observably identical to a fresh [`DataTransmitter::new`],
+    /// allocation-free once the buffers have grown to the frame size. On
+    /// error the schedule is unspecified and must be reloaded before use.
+    pub fn load(&mut self, cfg: &PhyConfig, payload: &[u8]) -> Result<(), PhyError> {
+        cfg.validate()?;
+        encode_frame_into(cfg, payload, &mut self.enc_scratch, &mut self.body_bits)?;
+        // One continuous line-code encoding so FM0/Miller state carries from
+        // the preamble into the body (the receiver's template assumes it).
+        let mut enc = Encoder::new(cfg.line_code);
+        self.chips.clear();
+        self.chips
+            .reserve((cfg.preamble.len() + self.body_bits.len()) * cfg.chips_per_bit());
+        for &b in &cfg.preamble {
+            enc.push(b, &mut self.chips);
+        }
+        for &b in &self.body_bits {
+            enc.push(b, &mut self.chips);
+        }
+        self.preamble_chips = cfg.preamble.len() * cfg.chips_per_bit();
+        self.sps = cfg.samples_per_chip;
+        self.sample_in_chip = 0;
+        self.chip_idx = 0;
+        self.aborted_at_chip = None;
+        Ok(())
     }
 
     /// The preamble chip pattern (for building the receiver's template).
@@ -196,6 +220,31 @@ mod tests {
         for (i, &expect) in template.iter().enumerate() {
             for _ in 0..cfg.samples_per_chip {
                 assert_eq!(tx.next_state().unwrap(), expect, "chip {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_matches_fresh_transmitter() {
+        let cfg = cfg();
+        let mut tx = DataTransmitter::new(&cfg, &[0xFFu8; 4]).unwrap();
+        // Run (and abort) a frame, then reload: state must match `new`.
+        for _ in 0..25 {
+            tx.next_state();
+        }
+        tx.abort();
+        for len in [20usize, 3, 48] {
+            let payload: Vec<u8> = (0..len as u8).collect();
+            tx.load(&cfg, &payload).unwrap();
+            let mut fresh = DataTransmitter::new(&cfg, &payload).unwrap();
+            assert_eq!(tx.total_chips(), fresh.total_chips());
+            assert_eq!(tx.aborted_at(), None);
+            loop {
+                let (a, b) = (tx.next_state(), fresh.next_state());
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }

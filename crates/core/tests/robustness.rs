@@ -47,11 +47,12 @@ proptest! {
                     prop_assert!(payload_len <= MAX_PAYLOAD);
                     advertised = Some(payload_len);
                 }
-                Some(ParseEvent::Done { payload, blocks }) => {
+                Some(ParseEvent::Done) => {
+                    let payload = parser.partial_payload();
                     if let Some(n) = advertised {
                         prop_assert_eq!(payload.len(), n);
                     }
-                    prop_assert!(blocks.len() <= payload.len().div_ceil(1).max(1));
+                    prop_assert!(parser.blocks().len() <= payload.len().div_ceil(1).max(1));
                 }
                 _ => {}
             }

@@ -7,7 +7,7 @@
 //! large DC ambient level and the unknown modulation depth — exactly the two
 //! nuisance parameters of an envelope-detected backscatter link.
 
-use crate::fft::fft_correlate;
+use crate::fft::{fft_correlate_into, CorrelateScratch};
 use crate::ringbuf::RingBuf;
 
 /// Zero-mean normalised cross-correlation of `window` against `template`.
@@ -127,6 +127,11 @@ pub struct PreambleSearcher {
     /// Reused by [`fast_forward`](PreambleSearcher::fast_forward) for the
     /// window-prefix + block sequence handed to the FFT screen.
     seq_scratch: Vec<f64>,
+    /// FFT workspace for the screen — owned by the searcher so steady-state
+    /// acquisition scans perform no heap allocations.
+    fft_scratch: CorrelateScratch,
+    /// Screen score output buffer, reused across `fast_forward` calls.
+    fft_scores: Vec<f64>,
 }
 
 impl PreambleSearcher {
@@ -153,6 +158,8 @@ impl PreambleSearcher {
             peak_guard,
             last_sharpness: f64::INFINITY,
             seq_scratch: Vec::new(),
+            fft_scratch: CorrelateScratch::new(),
+            fft_scores: Vec::new(),
         }
     }
 
@@ -345,7 +352,13 @@ impl PreambleSearcher {
         let (s1, s2) = self.window.as_slices();
         self.seq_scratch.extend(s1.iter().chain(s2.iter()).skip(1));
         self.seq_scratch.extend_from_slice(smoothed);
-        let scores = fft_correlate(&self.seq_scratch, &self.template);
+        fft_correlate_into(
+            &self.seq_scratch,
+            &self.template,
+            &mut self.fft_scratch,
+            &mut self.fft_scores,
+        );
+        let scores = &self.fft_scores;
         debug_assert_eq!(scores.len(), smoothed.len());
         let arm = self.threshold - SCREEN_EPS;
         let skip = match scores.iter().position(|&s| s >= arm) {

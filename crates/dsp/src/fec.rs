@@ -71,11 +71,18 @@ pub fn hamming74_decode(cw: &[bool; 7]) -> (u8, Option<usize>) {
 /// (high nibble first).
 pub fn hamming74_encode(data: &[u8]) -> Vec<bool> {
     let mut out = Vec::with_capacity(data.len() * 14);
+    hamming74_encode_into(data, &mut out);
+    out
+}
+
+/// [`hamming74_encode`] appending into a caller-owned buffer (the buffer is
+/// *not* cleared first, so a frame assembler can chain sections).
+pub fn hamming74_encode_into(data: &[u8], out: &mut Vec<bool>) {
+    out.reserve(data.len() * 14);
     for &byte in data {
         out.extend_from_slice(&hamming74_encode_nibble(byte >> 4));
         out.extend_from_slice(&hamming74_encode_nibble(byte & 0x0F));
     }
-    out
 }
 
 /// Decodes a Hamming(7,4) bit stream back to bytes. Returns the decoded
@@ -83,6 +90,15 @@ pub fn hamming74_encode(data: &[u8]) -> Vec<bool> {
 /// fill two full codewords are ignored.
 pub fn hamming74_decode_stream(bits: &[bool]) -> (Vec<u8>, usize) {
     let mut out = Vec::with_capacity(bits.len() / 14);
+    let corrections = hamming74_decode_stream_into(bits, &mut out);
+    (out, corrections)
+}
+
+/// [`hamming74_decode_stream`] into a caller-owned buffer: `out` is cleared
+/// and refilled (capacity retained); returns the corrected-bit count.
+pub fn hamming74_decode_stream_into(bits: &[bool], out: &mut Vec<u8>) -> usize {
+    out.clear();
+    out.reserve(bits.len() / 14);
     let mut corrections = 0;
     let mut iter = bits.chunks_exact(7);
     let mut pending_high: Option<u8> = None;
@@ -98,7 +114,7 @@ pub fn hamming74_decode_stream(bits: &[bool]) -> (Vec<u8>, usize) {
             Some(high) => out.push((high << 4) | nibble),
         }
     }
-    (out, corrections)
+    corrections
 }
 
 /// Rectangular block interleaver: writes row-wise, reads column-wise.
@@ -120,22 +136,40 @@ impl Interleaver {
 
     /// Interleaves a bit slice.
     pub fn interleave(&self, bits: &[bool]) -> Vec<bool> {
-        self.permute(bits, false)
+        let mut out = Vec::new();
+        self.permute_into(bits, false, &mut out);
+        out
     }
 
     /// Inverts [`Interleaver::interleave`].
     pub fn deinterleave(&self, bits: &[bool]) -> Vec<bool> {
-        self.permute(bits, true)
+        let mut out = Vec::new();
+        self.permute_into(bits, true, &mut out);
+        out
     }
 
-    fn permute(&self, bits: &[bool], inverse: bool) -> Vec<bool> {
+    /// [`Interleaver::interleave`] into a caller-owned buffer (cleared and
+    /// refilled, capacity retained).
+    pub fn interleave_into(&self, bits: &[bool], out: &mut Vec<bool>) {
+        self.permute_into(bits, false, out);
+    }
+
+    /// [`Interleaver::deinterleave`] into a caller-owned buffer (cleared
+    /// and refilled, capacity retained).
+    pub fn deinterleave_into(&self, bits: &[bool], out: &mut Vec<bool>) {
+        self.permute_into(bits, true, out);
+    }
+
+    fn permute_into(&self, bits: &[bool], inverse: bool, out: &mut Vec<bool>) {
+        out.clear();
         let r = self.rows;
         if r <= 1 || bits.len() < r {
-            return bits.to_vec();
+            out.extend_from_slice(bits);
+            return;
         }
         let body = bits.len() - bits.len() % r;
         let cols = body / r;
-        let mut out = vec![false; bits.len()];
+        out.resize(bits.len(), false);
         for i in 0..body {
             let (row, col) = (i / cols, i % cols);
             let j = col * r + row;
@@ -146,7 +180,6 @@ impl Interleaver {
             }
         }
         out[body..].copy_from_slice(&bits[body..]);
-        out
     }
 }
 

@@ -76,9 +76,20 @@ pub fn ifft(buf: &mut [Iq]) -> Result<(), FftSizeError> {
 /// once per table rather than once per stage, and a table can be shared
 /// across the several transforms of one correlation.
 fn twiddle_table(n: usize) -> Vec<Iq> {
+    let mut out = Vec::new();
+    twiddle_table_into(n, &mut out);
+    out
+}
+
+/// [`twiddle_table`] into a caller-owned buffer (cleared and refilled,
+/// capacity retained) so a cached table can be regenerated in place when
+/// the transform length changes.
+fn twiddle_table_into(n: usize, out: &mut Vec<Iq>) {
     let half = (n / 2).max(1);
     let step = -std::f64::consts::PI / half as f64;
-    (0..half).map(|k| Iq::phasor(step * k as f64)).collect()
+    out.clear();
+    out.reserve(half);
+    out.extend((0..half).map(|k| Iq::phasor(step * k as f64)));
 }
 
 fn transform(buf: &mut [Iq], inverse: bool) -> Result<(), FftSizeError> {
@@ -159,6 +170,30 @@ fn normalise(num: f64, dw: f64, t_ss: f64, raw_energy: f64) -> f64 {
     }
 }
 
+/// Reusable workspace for [`fft_correlate_into`].
+///
+/// Holds the zero-mean template, the padded transform buffer, the twiddle
+/// table (regenerated only when the transform length changes — the values
+/// are a pure function of the length, so caching is numerically invisible)
+/// and the prefix-sum arrays. Once the buffers have grown to the caller's
+/// working sizes, repeated correlations perform no heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelateScratch {
+    tz: Vec<f64>,
+    sig: Vec<Iq>,
+    table: Vec<Iq>,
+    table_len: usize,
+    ps1: Vec<f64>,
+    ps2: Vec<f64>,
+}
+
+impl CorrelateScratch {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Normalised sliding cross-correlation of `template` against every window
 /// of `signal`, via the convolution theorem.
 ///
@@ -167,19 +202,45 @@ fn normalise(num: f64, dw: f64, t_ss: f64, raw_energy: f64) -> f64 {
 /// flat-window contract). Returns an empty vector when the template is
 /// empty or longer than the signal.
 pub fn fft_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    let mut scratch = CorrelateScratch::new();
+    let mut out = Vec::new();
+    fft_correlate_into(signal, template, &mut scratch, &mut out);
+    out
+}
+
+/// [`fft_correlate`] into caller-owned buffers: `out` is cleared and
+/// refilled (capacity retained), all intermediates live in `scratch`.
+/// Scores are bit-identical to [`fft_correlate`] for the same inputs.
+pub fn fft_correlate_into(
+    signal: &[f64],
+    template: &[f64],
+    scratch: &mut CorrelateScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     let n = signal.len();
     let m = template.len();
     if m == 0 || n < m {
-        return Vec::new();
+        return;
     }
+    let CorrelateScratch {
+        tz,
+        sig,
+        table,
+        table_len,
+        ps1,
+        ps2,
+    } = scratch;
     let mf = m as f64;
     let mt = template.iter().sum::<f64>() / mf;
-    let tz: Vec<f64> = template.iter().map(|&t| t - mt).collect();
+    tz.clear();
+    tz.extend(template.iter().map(|&t| t - mt));
     let tz_sum: f64 = tz.iter().sum();
     let t_ss: f64 = tz.iter().map(|b| b * b).sum();
     if t_ss <= 0.0 {
         // A flat template never correlates with anything — ncc semantics.
-        return vec![0.0; n - m + 1];
+        out.resize(n - m + 1, 0.0);
+        return;
     }
     // Raw correlation for every lag at once: correlate == convolve with
     // the time-reversed template, so corr[p] lands at conv index p + M − 1.
@@ -188,15 +249,19 @@ pub fn fft_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
     // S[k] = (Z[k] + Z*[n−k])/2 and K[k] = (Z[k] − Z*[n−k])/(2i) — two
     // transforms total (one forward, one inverse) instead of three.
     let len = next_pow2(n + m - 1);
-    let mut sig = vec![Iq::ZERO; len];
+    sig.clear();
+    sig.resize(len, Iq::ZERO);
     for (dst, &s) in sig.iter_mut().zip(signal.iter()) {
         *dst = Iq::real(s);
     }
     for (i, dst) in sig.iter_mut().take(m).enumerate() {
         dst.im = tz[m - 1 - i];
     }
-    let table = twiddle_table(len);
-    transform_with(&mut sig, &table, false);
+    if *table_len != len {
+        twiddle_table_into(len, table);
+        *table_len = len;
+    }
+    transform_with(sig, table, false);
     // Split, multiply and fold in one symmetric pass: the product spectrum
     // is Hermitian (both factors are), so P[n−k] = P*[k] and each (k, n−k)
     // pair is finished as soon as it is read.
@@ -213,10 +278,12 @@ pub fn fft_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
         sig[k] = p;
         sig[nk] = p.conj();
     }
-    transform_with(&mut sig, &table, true);
+    transform_with(sig, table, true);
     // Window mean/energy from prefix sums — O(N) for all positions.
-    let mut ps1 = Vec::with_capacity(n + 1);
-    let mut ps2 = Vec::with_capacity(n + 1);
+    ps1.clear();
+    ps2.clear();
+    ps1.reserve(n + 1);
+    ps2.reserve(n + 1);
     let (mut acc1, mut acc2) = (0.0f64, 0.0f64);
     ps1.push(0.0);
     ps2.push(0.0);
@@ -226,7 +293,7 @@ pub fn fft_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
         ps1.push(acc1);
         ps2.push(acc2);
     }
-    let mut out = Vec::with_capacity(n - m + 1);
+    out.reserve(n - m + 1);
     for p in 0..=n - m {
         let s1 = ps1[p + m] - ps1[p];
         let s2 = ps2[p + m] - ps2[p];
@@ -236,7 +303,6 @@ pub fn fft_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
         let dw = s2 - s1 * s1 / mf;
         out.push(normalise(num, dw, t_ss, s2));
     }
-    out
 }
 
 /// Streaming normalised correlator with O(1) window statistics.
@@ -463,6 +529,24 @@ mod tests {
         let out = fft_correlate(&s, &t);
         assert_eq!(out.len(), 1);
         assert!((out[0] - ncc(&s, &t)).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn fft_correlate_into_reuses_workspace_bit_identically() {
+        let template = chips_to_template(&[1.0, 0.0, 1.0, 1.0, 0.0, 0.0], 4);
+        let sig_a = noise(300, 0.11);
+        let sig_b = noise(180, 0.62);
+        let mut scratch = CorrelateScratch::new();
+        let mut out = Vec::new();
+        fft_correlate_into(&sig_a, &template, &mut scratch, &mut out);
+        assert_eq!(out, fft_correlate(&sig_a, &template));
+        // A shorter signal reuses the grown workspace (table regenerated
+        // for the smaller transform) and still matches the one-shot path.
+        fft_correlate_into(&sig_b, &template, &mut scratch, &mut out);
+        assert_eq!(out, fft_correlate(&sig_b, &template));
+        // And back to the original length.
+        fft_correlate_into(&sig_a, &template, &mut scratch, &mut out);
+        assert_eq!(out, fft_correlate(&sig_a, &template));
     }
 
     #[test]

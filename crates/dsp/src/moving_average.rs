@@ -16,11 +16,30 @@ use crate::ringbuf::RingBuf;
 /// over very long runs, the sum is recomputed from the window every
 /// `REFRESH` updates; the window is at most a few thousand samples in this
 /// stack so the recompute is cheap.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MovingAverage {
     window: RingBuf<f64>,
     sum: f64,
     updates: u64,
+}
+
+impl Clone for MovingAverage {
+    fn clone(&self) -> Self {
+        MovingAverage {
+            window: self.window.clone(),
+            sum: self.sum,
+            updates: self.updates,
+        }
+    }
+
+    /// Capacity-retaining copy (see [`RingBuf::clone_from`]): snapshotting
+    /// a smoother into an equal-length scratch instance is allocation-free,
+    /// which the block acquisition path relies on every chunk.
+    fn clone_from(&mut self, source: &Self) {
+        self.window.clone_from(&source.window);
+        self.sum = source.sum;
+        self.updates = source.updates;
+    }
 }
 
 const REFRESH: u64 = 1 << 16;

@@ -86,20 +86,40 @@ impl Prbs {
 
     /// Generates `n` bits into a vector.
     pub fn bits(&mut self, n: usize) -> Vec<bool> {
-        (0..n).map(|_| self.next_bit()).collect()
+        let mut out = Vec::with_capacity(n);
+        self.bits_into(n, &mut out);
+        out
+    }
+
+    /// Generates `n` bits into a caller-owned buffer (cleared and refilled,
+    /// capacity retained — the per-frame payload path).
+    pub fn bits_into(&mut self, n: usize, out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_bit());
+        }
     }
 
     /// Generates `n` bytes (MSB-first packing).
     pub fn bytes(&mut self, n: usize) -> Vec<u8> {
-        (0..n)
-            .map(|_| {
-                let mut b = 0u8;
-                for _ in 0..8 {
-                    b = (b << 1) | u8::from(self.next_bit());
-                }
-                b
-            })
-            .collect()
+        let mut out = Vec::with_capacity(n);
+        self.bytes_into(n, &mut out);
+        out
+    }
+
+    /// Generates `n` bytes into a caller-owned buffer (cleared and
+    /// refilled, capacity retained).
+    pub fn bytes_into(&mut self, n: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            let mut b = 0u8;
+            for _ in 0..8 {
+                b = (b << 1) | u8::from(self.next_bit());
+            }
+            out.push(b);
+        }
     }
 }
 

@@ -9,12 +9,33 @@
 /// A fixed-capacity FIFO ring buffer over `T`.
 ///
 /// Once `len() == capacity()`, each push evicts the oldest element.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RingBuf<T> {
     buf: Vec<T>,
     head: usize, // index of the oldest element when full / wrapped start
     len: usize,
     cap: usize,
+}
+
+impl<T: Clone> Clone for RingBuf<T> {
+    fn clone(&self) -> Self {
+        RingBuf {
+            buf: self.buf.clone(),
+            head: self.head,
+            len: self.len,
+            cap: self.cap,
+        }
+    }
+
+    /// Capacity-retaining copy: when `source` fits in the existing backing
+    /// storage this performs no heap allocation, which is what lets hot
+    /// paths snapshot windowed state (e.g. a smoother) every frame for free.
+    fn clone_from(&mut self, source: &Self) {
+        self.buf.clone_from(&source.buf);
+        self.head = source.head;
+        self.len = source.len;
+        self.cap = source.cap;
+    }
 }
 
 impl<T: Copy + Default> RingBuf<T> {

@@ -43,7 +43,7 @@
 use crate::rate_adapt::{RateController, RateDecision};
 use fdb_channel::impairment::{FaultActivations, FrameFaults};
 use fdb_core::config::PhyConfig;
-use fdb_core::link::{FdLink, FeedbackPolicy, FrameRun, LinkConfig, RunOptions};
+use fdb_core::link::{FdLink, FeedbackPolicy, FrameOutcome, FrameRun, LinkConfig, RunOptions};
 use fdb_core::seed::derive_seed;
 use fdb_core::PhyError;
 use fdb_dsp::prbs::{Prbs, PrbsOrder};
@@ -391,16 +391,25 @@ impl FlowState {
 }
 
 /// Runs one adaptive-MAC session over `base`, pulling each slot's fault
-/// schedule from `frame_faults(slot)` (`None` = clean slot). The closure
-/// shape keeps this crate independent of `fdb-sim`'s `FaultPlan`; the sim
-/// layer adapts a plan via `|slot| plan.frame_faults(slot)`.
+/// schedule from `frame_faults(slot, &mut engine)`: the closure re-arms
+/// the session-owned [`FrameFaults`] engine for the slot and returns
+/// whether any fault is scheduled (`false` = clean slot, engine ignored).
+/// The closure shape keeps this crate independent of `fdb-sim`'s
+/// `FaultPlan`; the sim layer adapts a plan via
+/// `|slot, engine| plan.frame_faults_into(slot, engine)`.
+///
+/// The session owns one of everything — link (re-initialised per slot via
+/// [`FdLink::reinit`], reusing its scratch arena), outcome, payload and
+/// feedback buffers, fault engine — so steady-state slots at a settled
+/// rate perform no heap allocation; a rate switch rebuilds the working
+/// set once (warmup).
 pub fn run_session<F>(
     base: &LinkConfig,
     session: &SessionConfig,
     mut frame_faults: F,
 ) -> Result<AdaptationReport, PhyError>
 where
-    F: FnMut(u64) -> Option<FrameFaults>,
+    F: FnMut(u64, &mut FrameFaults) -> bool,
 {
     session
         .validate()
@@ -443,11 +452,31 @@ where
         energy_b_j: 0.0,
         fault_activations: FaultActivations::default(),
         sample_rate_hz: base.phy.sample_rate_hz,
-        records: Vec::new(),
+        // Sized to the session's hard slot bound up front so record pushes
+        // never reallocate mid-session (the zero-allocation steady state).
+        records: Vec::with_capacity(session.slot_cap() as usize),
     };
 
     let mut slot: u64 = 0;
     let slot_cap = session.slot_cap();
+
+    // One of everything, reused across slots: config staging, the link
+    // (built lazily on the first transmitting slot, re-initialised in
+    // place afterwards), the frame outcome, payload/feedback staging and
+    // the fault-injection engine.
+    let mut cfg = base.clone();
+    let mut link: Option<FdLink> = None;
+    let mut out = FrameOutcome::default();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut fault_engine = FrameFaults::new(Vec::new(), 0);
+    let ack_opts = RunOptions {
+        feedback: FeedbackPolicy::AckStatus,
+        abort_on_nack: session.early_abort,
+    };
+    let mut busy_opts = RunOptions {
+        feedback: FeedbackPolicy::Stream(Vec::new()),
+        abort_on_nack: session.early_abort,
+    };
 
     while !queue.is_empty() && slot < slot_cap {
         let pid = *queue.front().expect("queue non-empty");
@@ -457,7 +486,7 @@ where
             .unwrap_or(fixed_sps);
         let distance =
             base.geometry.device_dist_m + session.distance_ramp_m_per_slot * slot as f64;
-        let mut cfg = base.at_samples_per_chip(sps);
+        cfg.phy.samples_per_chip = sps;
         cfg.geometry.device_dist_m = distance;
         let nominal_samples = nominal_frame_samples(&cfg.phy, session.payload_len);
         let fb_bits = feedback_bits_in_frame(&cfg.phy, session.payload_len);
@@ -496,12 +525,18 @@ where
         // Slot streams derive from (session seed, slot) only: a rate
         // decision or retry at slot j never moves slot k's draws.
         let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(session.seed, slot));
-        let mut link = FdLink::new(cfg, &mut rng)?;
-        let payload = Prbs::new(
+        let link = match link.as_mut() {
+            Some(l) => {
+                l.reinit(&cfg, &mut rng)?;
+                l
+            }
+            None => link.insert(FdLink::new(cfg.clone(), &mut rng)?),
+        };
+        Prbs::new(
             PrbsOrder::Prbs23,
             derive_seed(session.seed ^ PAYLOAD_SALT, pid).max(1),
         )
-        .bytes(session.payload_len);
+        .bytes_into(session.payload_len, &mut payload);
 
         // B streams NACK while busy (backpressure on): the in-band busy
         // signal rides the existing feedback channel.
@@ -509,20 +544,22 @@ where
             (flow.as_ref(), flow_cfg.as_ref()),
             (Some(fs), Some(fc)) if fc.backpressure && fs.busy
         );
-        let opts = RunOptions {
-            feedback: if b_streams_busy {
-                FeedbackPolicy::Stream(vec![false; fb_bits.max(1)])
-            } else {
-                FeedbackPolicy::AckStatus
-            },
-            abort_on_nack: session.early_abort,
+        let opts = if b_streams_busy {
+            if let FeedbackPolicy::Stream(bits) = &mut busy_opts.feedback {
+                bits.clear();
+                bits.resize(fb_bits.max(1), false);
+            }
+            &busy_opts
+        } else {
+            &ack_opts
         };
-        let mut faults = frame_faults(slot);
-        let out = link.run_frame_with(
+        let has_faults = frame_faults(slot, &mut fault_engine);
+        link.run_frame_into(
             &payload,
-            &opts,
+            opts,
             &mut rng,
-            FrameRun::faulted(faults.as_mut()),
+            FrameRun::faulted(has_faults.then_some(&mut fault_engine)),
+            &mut out,
         )?;
 
         // --- A's observables ---
@@ -686,7 +723,7 @@ mod tests {
 
     #[test]
     fn clean_session_delivers_everything_first_try() {
-        let r = run_session(&clean_cfg(), &quick_session(11), |_| None).unwrap();
+        let r = run_session(&clean_cfg(), &quick_session(11), |_, _| false).unwrap();
         assert_eq!(r.delivered_payloads, 4);
         assert_eq!(r.believed_delivered, 4);
         assert_eq!(r.attempts, 4);
@@ -696,8 +733,8 @@ mod tests {
 
     #[test]
     fn session_replays_byte_identically() {
-        let a = run_session(&clean_cfg(), &quick_session(17), |_| None).unwrap();
-        let b = run_session(&clean_cfg(), &quick_session(17), |_| None).unwrap();
+        let a = run_session(&clean_cfg(), &quick_session(17), |_, _| false).unwrap();
+        let b = run_session(&clean_cfg(), &quick_session(17), |_, _| false).unwrap();
         assert_eq!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()
@@ -711,7 +748,7 @@ mod tests {
         s.rate = RatePolicy::Adaptive {
             controller: RateController::new(vec![5, 10, 20], 2),
         };
-        let r = run_session(&clean_cfg(), &s, |_| None).unwrap();
+        let r = run_session(&clean_cfg(), &s, |_, _| false).unwrap();
         let traj = r.ladder_trajectory();
         assert_eq!(traj.first(), Some(&2), "must start at the slowest rung");
         assert!(
@@ -725,10 +762,10 @@ mod tests {
     fn invalid_sessions_are_rejected() {
         let mut s = quick_session(1);
         s.frames = 0;
-        assert!(run_session(&clean_cfg(), &s, |_| None).is_err());
+        assert!(run_session(&clean_cfg(), &s, |_, _| false).is_err());
         let mut s = quick_session(1);
         s.rate = RatePolicy::Fixed { samples_per_chip: 2 };
-        assert!(run_session(&clean_cfg(), &s, |_| None).is_err());
+        assert!(run_session(&clean_cfg(), &s, |_, _| false).is_err());
         let mut s = quick_session(1);
         s.flow = Some(FlowModel {
             buffer_blocks: 4,
@@ -738,7 +775,7 @@ mod tests {
             backpressure: true,
             retransmit_gap_frames: 2,
         });
-        assert!(run_session(&clean_cfg(), &s, |_| None).is_err());
+        assert!(run_session(&clean_cfg(), &s, |_, _| false).is_err());
     }
 
     #[test]

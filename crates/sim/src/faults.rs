@@ -3,9 +3,9 @@
 //! A [`FaultPlan`] is the serde-visible schedule of impairments for one
 //! measurement run: each [`FaultSpec`] pins one fault class (see
 //! [`FaultKind`]) to a frame index and a sample window inside that frame.
-//! [`crate::runner::measure_link`] consults the plan once per frame via
-//! [`FaultPlan::frame_faults`] and hands the resulting engine to
-//! `FdLink::run_frame_faulted`, so the plan travels inside
+//! [`crate::runner::run_link`] consults the plan once per frame via
+//! [`FaultPlan::frame_faults_into`] and hands the re-armed engine to
+//! `FdLink::run_frame_into`, so the plan travels inside
 //! [`crate::runner::MeasureSpec`] like every other run parameter —
 //! identical `(config, spec, plan, seed)` reproduce identical metrics,
 //! byte for byte.
@@ -115,6 +115,26 @@ impl FaultPlan {
             scheduled,
             derive_seed(self.seed ^ FAULT_SALT, frame),
         ))
+    }
+
+    /// Allocation-free variant of [`frame_faults`](FaultPlan::frame_faults):
+    /// re-arms a caller-owned engine in place with the frame's schedule and
+    /// seed lineage, retaining buffer capacity across frames. Returns
+    /// `false` (engine left empty) when the frame is clean, so the runner
+    /// can keep the fast no-fault path.
+    pub fn frame_faults_into(&self, frame: u64, engine: &mut FrameFaults) -> bool {
+        engine.rearm(
+            self.faults
+                .iter()
+                .filter(|f| f.frame == frame)
+                .map(|f| ScheduledFault {
+                    start: f.start_sample,
+                    duration: f.duration_samples,
+                    kind: f.kind,
+                }),
+            derive_seed(self.seed ^ FAULT_SALT, frame),
+        );
+        !engine.is_empty()
     }
 }
 

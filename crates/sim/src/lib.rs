@@ -44,14 +44,6 @@ pub use job::{JobProgress, JobResult, JobSpec, MatrixScenario, NamedPlan, RunCon
 pub use matrix::MatrixCell;
 pub use scenario::{AblationPair, FaultSource, PairOutcome, ScenarioSpec};
 pub use metrics::LinkMetrics;
-#[allow(deprecated)]
-#[cfg(feature = "trace")]
-pub use runner::measure_link_traced;
-#[allow(deprecated)]
-#[cfg(feature = "trace")]
-pub use runner::measure_link_with_sink;
-#[allow(deprecated)]
-pub use runner::{measure_link, measure_link_observed};
 pub use runner::{run_link, LinkRun, MeasureSpec};
 pub use sweep::parallel_sweep;
 #[cfg(feature = "trace")]

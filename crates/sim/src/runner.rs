@@ -2,10 +2,11 @@
 
 use crate::faults::FaultPlan;
 use crate::metrics::LinkMetrics;
-use fdb_core::frame::bytes_to_bits;
+use fdb_channel::impairment::FrameFaults;
+use fdb_core::frame::bytes_to_bits_into;
 use fdb_core::link::{FdLink, FeedbackPolicy, FrameOutcome, FrameRun, LinkConfig, RunOptions};
 #[cfg(feature = "trace")]
-use fdb_core::trace::{FrameTrace, TraceSink};
+use fdb_core::trace::TraceSink;
 use fdb_core::trace::TraceSinkSpec;
 use fdb_core::PhyError;
 use fdb_dsp::prbs::{Prbs, PrbsOrder};
@@ -228,66 +229,14 @@ fn run_link_sinked(
     }
 }
 
-/// Runs `spec.frames` frames over `cfg` and aggregates metrics.
-#[deprecated(since = "0.2.0", note = "use run_link(cfg, spec, LinkRun::new())")]
-pub fn measure_link(cfg: &LinkConfig, spec: &MeasureSpec) -> Result<LinkMetrics, PhyError> {
-    run_link(cfg, spec, LinkRun::new())
-}
-
-/// Runs a measurement batch streaming every frame's events into a
-/// caller-owned sink.
-#[cfg(feature = "trace")]
-#[deprecated(since = "0.2.0", note = "use run_link(cfg, spec, LinkRun::new().with_sink(..))")]
-pub fn measure_link_with_sink(
-    cfg: &LinkConfig,
-    spec: &MeasureSpec,
-    sink: &mut dyn TraceSink,
-) -> Result<LinkMetrics, PhyError> {
-    run_link(cfg, spec, LinkRun::new().with_sink(sink))
-}
-
-/// Like [`run_link`], but also returns the [`FrameTrace`] of the first
-/// frame that failed to deliver fully (or `None` if every frame delivered).
-#[cfg(feature = "trace")]
-#[deprecated(
-    since = "0.2.0",
-    note = "use MeasureSpec::with_trace + run_link; for a failing frame's \
-            ring, re-run the frame with FdLink::run_frame"
-)]
-pub fn measure_link_traced(
-    cfg: &LinkConfig,
-    spec: &MeasureSpec,
-) -> Result<(LinkMetrics, Option<FrameTrace>), PhyError> {
-    let mut first_failure: Option<FrameTrace> = None;
-    let mut observe = |_: u64, out: &FrameOutcome| {
-        if first_failure.is_none() && !out.fully_delivered() {
-            first_failure = Some(out.trace.clone());
-        }
-    };
-    let metrics = run_link(cfg, spec, LinkRun::new().with_observe(&mut observe))?;
-    Ok((metrics, first_failure))
-}
-
-/// [`run_link`] with a per-frame observer.
-#[deprecated(
-    since = "0.2.0",
-    note = "use run_link(cfg, spec, LinkRun::new().with_observe(..))"
-)]
-pub fn measure_link_observed<F>(
-    cfg: &LinkConfig,
-    spec: &MeasureSpec,
-    observe: F,
-) -> Result<LinkMetrics, PhyError>
-where
-    F: FnMut(u64, &FrameOutcome),
-{
-    let mut observe = observe;
-    run_link(cfg, spec, LinkRun::new().with_observe(&mut observe))
-}
-
 /// The measurement loop. With the `trace` feature and a sink present,
-/// each frame runs through [`FdLink::run_frame_with`] bracketed by the
+/// each frame runs through [`FdLink::run_frame_into`] bracketed by the
 /// sink's frame markers; otherwise through a plain ring-traced run.
+///
+/// The loop owns one of everything — outcome, payload buffer, fault
+/// engine, BER staging — and re-arms it per frame, so after the first
+/// (warmup) frame the steady state performs no heap allocation
+/// (`tests/alloc_steady_state.rs` pins this with a counting allocator).
 fn run_link_inner(
     cfg: &LinkConfig,
     spec: &MeasureSpec,
@@ -315,6 +264,28 @@ fn run_link_inner(
         cfg.phy.feedback_guard_bits,
     );
 
+    // One of everything, re-armed per frame: the run's steady state reuses
+    // these buffers (and the link's own scratch arena) instead of
+    // reallocating them.
+    let mut out = FrameOutcome::default();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut fb_expected: Vec<bool> = Vec::new();
+    let mut sent_bits: Vec<bool> = Vec::new();
+    let mut recv_bits: Vec<bool> = Vec::new();
+    let mut fault_engine = FrameFaults::new(Vec::new(), 0);
+    let mut opts = match spec.feedback_probe {
+        None => RunOptions::half_duplex(),
+        Some(false) => RunOptions::fd_monitor(),
+        Some(true) => RunOptions {
+            feedback: FeedbackPolicy::Stream(Vec::new()),
+            abort_on_nack: false,
+        },
+    };
+    #[cfg(feature = "trace")]
+    if let Some(s) = sink.as_deref_mut() {
+        s.reserve(cfg.phy.trace_ring_capacity());
+    }
+
     for frame_idx in 0..spec.frames {
         if let Some(cancelled) = cancel {
             if cancelled() {
@@ -323,51 +294,48 @@ fn run_link_inner(
                 });
             }
         }
-        let payload = payload_gen.bytes(spec.payload_len.max(1));
-        let (opts, fb_expected): (RunOptions, Option<Vec<bool>>) = match spec.feedback_probe {
-            None => (RunOptions::half_duplex(), None),
-            Some(false) => (RunOptions::fd_monitor(), None),
-            Some(true) => {
-                let bits = fb_gen.bits(fb_bits_per_frame.max(1));
-                (
-                    RunOptions {
-                        feedback: FeedbackPolicy::Stream(bits.clone()),
-                        abort_on_nack: false,
-                    },
-                    Some(bits),
-                )
-            }
+        payload_gen.bytes_into(spec.payload_len.max(1), &mut payload);
+        let probing = if let FeedbackPolicy::Stream(bits) = &mut opts.feedback {
+            fb_gen.bits_into(fb_bits_per_frame.max(1), bits);
+            fb_expected.clear();
+            fb_expected.extend_from_slice(bits);
+            true
+        } else {
+            false
         };
-        let mut frame_faults = spec
-            .faults
-            .as_ref()
-            .and_then(|plan| plan.frame_faults(frame_idx));
+        let has_faults = match &spec.faults {
+            Some(plan) => plan.frame_faults_into(frame_idx, &mut fault_engine),
+            None => false,
+        };
+        let frame_faults = has_faults.then_some(&mut fault_engine);
         #[cfg(feature = "trace")]
-        let out = match sink.as_deref_mut() {
+        match sink.as_deref_mut() {
             Some(s) => {
                 s.begin_frame(frame_idx);
-                let out = link.run_frame_with(
+                link.run_frame_into(
                     &payload,
                     &opts,
                     &mut rng,
-                    FrameRun::faulted(frame_faults.as_mut()).with_sink(s),
+                    FrameRun::faulted(frame_faults).with_sink(s),
+                    &mut out,
                 )?;
                 s.end_frame();
-                out
             }
-            None => link.run_frame_with(
+            None => link.run_frame_into(
                 &payload,
                 &opts,
                 &mut rng,
-                FrameRun::faulted(frame_faults.as_mut()),
+                FrameRun::faulted(frame_faults),
+                &mut out,
             )?,
-        };
+        }
         #[cfg(not(feature = "trace"))]
-        let out = link.run_frame_with(
+        link.run_frame_into(
             &payload,
             &opts,
             &mut rng,
-            FrameRun::faulted(frame_faults.as_mut()),
+            FrameRun::faulted(frame_faults),
+            &mut out,
         )?;
         if let Some(observe) = observe.as_deref_mut() {
             observe(frame_idx, &out);
@@ -394,16 +362,19 @@ fn run_link_inner(
             if out.fully_delivered() {
                 metrics.fully_delivered += 1;
             }
-            metrics
-                .data_ber
-                .record_slice(&bytes_to_bits(&payload), &bytes_to_bits(&res.payload));
+            sent_bits.clear();
+            recv_bits.clear();
+            bytes_to_bits_into(&payload, &mut sent_bits);
+            bytes_to_bits_into(&res.payload, &mut recv_bits);
+            metrics.data_ber.record_slice(&sent_bits, &recv_bits);
         }
-        if let (Some(expected), true) = (&fb_expected, out.pilots_verified) {
-            let got: Vec<bool> = out.feedback.iter().map(|f| f.bit).collect();
-            let n = expected.len().min(got.len());
+        if probing && out.pilots_verified {
+            recv_bits.clear();
+            recv_bits.extend(out.feedback.iter().map(|f| f.bit));
+            let n = fb_expected.len().min(recv_bits.len());
             metrics
                 .feedback_ber
-                .record_slice(&expected[..n], &got[..n]);
+                .record_slice(&fb_expected[..n], &recv_bits[..n]);
         }
     }
     Ok(metrics)

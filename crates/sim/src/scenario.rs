@@ -17,6 +17,7 @@
 //! abort under burst trains, flow control under ambient fades.
 
 use crate::faults::{FaultGen, FaultPlan};
+use fdb_channel::impairment::FrameFaults;
 use fdb_core::link::LinkConfig;
 use fdb_core::PhyError;
 use fdb_mac::scenario::{
@@ -103,8 +104,9 @@ impl ScenarioSpec {
                 field: "scenario.faults",
                 reason,
             })?;
-        run_session(&self.link, &self.session, |slot| {
-            plan.as_ref().and_then(|p| p.frame_faults(slot))
+        run_session(&self.link, &self.session, |slot, engine| match &plan {
+            Some(p) => p.frame_faults_into(slot, engine),
+            None => false,
         })
     }
 }
@@ -171,11 +173,15 @@ impl AblationPair {
                 field: "pair.faults",
                 reason,
             })?;
-        let faults_for = |p: &Option<FaultPlan>, slot: u64| {
-            p.as_ref().and_then(|p| p.frame_faults(slot))
-        };
-        let adaptive = run_session(&self.link, &self.adaptive, |s| faults_for(&plan, s))?;
-        let oblivious = run_session(&self.link, &self.oblivious, |s| faults_for(&plan, s))?;
+        let faults_for =
+            |p: &Option<FaultPlan>, slot: u64, engine: &mut FrameFaults| match p {
+                Some(p) => p.frame_faults_into(slot, engine),
+                None => false,
+            };
+        let adaptive = run_session(&self.link, &self.adaptive, |s, e| faults_for(&plan, s, e))?;
+        let oblivious = run_session(&self.link, &self.oblivious, |s, e| {
+            faults_for(&plan, s, e)
+        })?;
         let (a, o) = (adaptive.goodput_bps(), oblivious.goodput_bps());
         let margin = if o > 0.0 {
             a / o

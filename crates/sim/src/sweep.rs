@@ -79,9 +79,9 @@ where
 /// most one frame), no matter how many frames the sweep runs in total.
 ///
 /// `f` receives `(point_index, point, sink)` and should bracket its
-/// frames through the sink (e.g. via
-/// [`crate::runner::measure_link_with_sink`]). Frame indices restart at 0
-/// for every point.
+/// frames through the sink (e.g. via [`crate::runner::run_link`] with
+/// `LinkRun::new().with_sink(..)`). Frame indices restart at 0 for every
+/// point.
 ///
 /// On any sink or merge I/O error the sweep returns `Err`; part files
 /// that were already merged are gone, unmerged ones are cleaned up.

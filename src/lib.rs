@@ -81,7 +81,5 @@ pub mod prelude {
     pub use fdb_mac::arq::{ArqConfig, StopAndWait};
     pub use fdb_mac::early_abort::{EarlyAbortArq, EarlyAbortConfig};
     pub use fdb_mac::report::TransferReport;
-    #[allow(deprecated)]
-    pub use fdb_sim::measure_link;
     pub use fdb_sim::{run_link, LinkMetrics, LinkRun, MeasureSpec};
 }

@@ -1,0 +1,121 @@
+//! Equivalence guards for the borrowing frame API (folded in from the
+//! removed deprecated-API suite): the buffer-reusing entry points
+//! ([`FdLink::run_frame_into`], [`FaultPlan::frame_faults_into`],
+//! `LinkRun::with_observe`) must consume the same random streams and
+//! produce byte-identical outcomes/metrics as their allocating
+//! counterparts. A reused `FrameOutcome` carrying a previous frame's
+//! state must never leak into the next frame's results.
+
+use fd_backscatter::channel::impairment::FrameFaults;
+use fd_backscatter::prelude::*;
+use fd_backscatter::sim::faults::FaultPlan;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn lossy_cfg() -> LinkConfig {
+    let mut cfg = LinkConfig::default_fd();
+    cfg.geometry.device_dist_m = 0.7; // enough loss to make divergence visible
+    cfg
+}
+
+fn outcome_line(frame: u64, out: &FrameOutcome) -> String {
+    format!(
+        "{frame}:{}:{}:{}:{}:{}:{}:{:?}:{:x}:{:x}",
+        out.b_locked,
+        out.fully_delivered(),
+        out.blocks_ok(),
+        out.sync_attempts,
+        out.sync_rejections,
+        out.samples_run,
+        out.fault_activations,
+        out.energy.a_consumed_j.to_bits(),
+        out.energy.b_consumed_j.to_bits(),
+    )
+}
+
+/// `run_frame_into` with one reused `FrameOutcome` and one re-armed
+/// `FrameFaults` engine vs `run_frame_with` building everything fresh,
+/// under the same scripted fault schedule: identical outcomes frame by
+/// frame, from identically-seeded links and RNG streams.
+#[test]
+fn reused_outcome_and_fault_engine_match_fresh_per_frame_state() {
+    let plan: FaultPlan = serde_json::from_str(
+        &std::fs::read_to_string(format!(
+            "{}/configs/faults/burst_collision.json",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .unwrap(),
+    )
+    .unwrap();
+    let payload: Vec<u8> = (0..48u8).collect();
+
+    let run = |reuse: bool| {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut link = FdLink::new(lossy_cfg(), &mut rng).unwrap();
+        let mut lines = Vec::new();
+        let mut out = FrameOutcome::default();
+        let mut engine = FrameFaults::new(Vec::new(), 0);
+        for frame in 0..4u64 {
+            if reuse {
+                let has_faults = plan.frame_faults_into(frame, &mut engine);
+                link.run_frame_into(
+                    &payload,
+                    &RunOptions::fd_monitor(),
+                    &mut rng,
+                    FrameRun::faulted(has_faults.then_some(&mut engine)),
+                    &mut out,
+                )
+                .unwrap();
+                lines.push(outcome_line(frame, &out));
+            } else {
+                let mut faults = plan.frame_faults(frame);
+                let fresh = link
+                    .run_frame_with(
+                        &payload,
+                        &RunOptions::fd_monitor(),
+                        &mut rng,
+                        FrameRun::faulted(faults.as_mut()),
+                    )
+                    .unwrap();
+                lines.push(outcome_line(frame, &fresh));
+            }
+        }
+        lines
+    };
+
+    assert_eq!(
+        run(false),
+        run(true),
+        "buffer-reusing frame path diverged from the allocating path"
+    );
+}
+
+/// Attaching a per-frame observer must neither perturb the run's random
+/// streams nor see different outcomes than the aggregation consumed:
+/// byte-identical serialized metrics with and without the attachment.
+#[test]
+fn observer_attachment_is_byte_identical_to_plain_run() {
+    let cfg = lossy_cfg();
+    for seed in [3u64, 17, 29, 90] {
+        let spec = MeasureSpec {
+            frames: 5,
+            payload_len: 48,
+            seed,
+            ..MeasureSpec::default()
+        };
+        let plain = run_link(&cfg, &spec, LinkRun::new()).unwrap();
+
+        let mut frames_seen = Vec::new();
+        let mut observe = |i: u64, out: &FrameOutcome| {
+            frames_seen.push((i, out.fully_delivered(), out.sync_attempts));
+        };
+        let observed = run_link(&cfg, &spec, LinkRun::new().with_observe(&mut observe)).unwrap();
+
+        assert_eq!(frames_seen.len(), 5, "observer missed frames");
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&observed).unwrap(),
+            "seed {seed}: observer attachment perturbed the run"
+        );
+    }
+}

@@ -20,7 +20,7 @@ fn point(dist_milli: u64) -> (u64, u64, u64) {
 }
 
 #[test]
-fn measure_link_is_deterministic() {
+fn run_link_is_deterministic() {
     assert_eq!(point(550), point(550));
     assert_eq!(point(700), point(700));
 }

@@ -101,7 +101,7 @@ fn energy_conservation_and_ledgers() {
 }
 
 #[test]
-fn measure_link_aggregates_consistently() {
+fn run_link_aggregates_consistently() {
     let spec = MeasureSpec {
         frames: 4,
         payload_len: 48,

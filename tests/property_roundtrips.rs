@@ -54,15 +54,15 @@ proptest! {
         cfg.scramble = scramble;
         let bits = encode_frame(&cfg, &payload).unwrap();
         let mut parser = FrameParser::new(cfg);
-        let mut done = None;
+        let mut done = false;
         for b in bits {
-            if let Some(ParseEvent::Done { payload, blocks }) = parser.push_bit(b) {
-                done = Some((payload, blocks));
+            if let Some(ParseEvent::Done) = parser.push_bit(b) {
+                done = true;
             }
         }
-        let (got, blocks) = done.expect("frame never completed");
-        prop_assert_eq!(got, payload);
-        prop_assert!(blocks.iter().all(|b| b.ok));
+        prop_assert!(done, "frame never completed");
+        prop_assert_eq!(parser.partial_payload(), &payload[..]);
+        prop_assert!(parser.blocks().iter().all(|b| b.ok));
     }
 
     /// A single corrupted bit in the body flips exactly one block's CRC
@@ -79,14 +79,15 @@ proptest! {
         let pos = fd_backscatter::phy::frame::HEADER_BITS + flip_block * 17 * 8 + flip_bit;
         bits[pos] = !bits[pos];
         let mut parser = FrameParser::new(cfg);
-        let mut done = None;
+        let mut done = false;
         for b in bits {
-            if let Some(ParseEvent::Done { payload, blocks }) = parser.push_bit(b) {
-                done = Some((payload, blocks));
+            if let Some(ParseEvent::Done) = parser.push_bit(b) {
+                done = true;
             }
         }
-        let (got, blocks) = done.expect("frame never completed");
-        for (i, status) in blocks.iter().enumerate() {
+        prop_assert!(done, "frame never completed");
+        let got = parser.partial_payload();
+        for (i, status) in parser.blocks().iter().enumerate() {
             prop_assert_eq!(status.ok, i != flip_block, "block {} verdict", i);
             if i != flip_block {
                 prop_assert_eq!(

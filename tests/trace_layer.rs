@@ -62,10 +62,12 @@ fn trace_serialises_to_jsonl_and_tags_stages() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn traced_runner_captures_first_failing_frame() {
-    // At a marginal distance some frames fail; the traced runner must hand
-    // back the trace of the first one that did.
+fn observer_captures_first_failing_frame_trace() {
+    // At a marginal distance some frames fail; an observer attachment can
+    // clone the ring trace of the first one that did (what the removed
+    // `measure_link_traced` wrapper used to hard-code).
+    use fd_backscatter::phy::trace::FrameTrace;
+
     let mut cfg = LinkConfig::default_fd();
     cfg.geometry.device_dist_m = 0.8; // far: reliably lossy
     let spec = MeasureSpec {
@@ -76,12 +78,18 @@ fn traced_runner_captures_first_failing_frame() {
         trace: Default::default(),
         faults: None,
     };
-    let (metrics, trace) = fd_backscatter::sim::measure_link_traced(&cfg, &spec).unwrap();
+    let mut first_failure: Option<FrameTrace> = None;
+    let mut observe = |_: u64, out: &FrameOutcome| {
+        if first_failure.is_none() && !out.fully_delivered() {
+            first_failure = Some(out.trace.clone());
+        }
+    };
+    let metrics = run_link(&cfg, &spec, LinkRun::new().with_observe(&mut observe)).unwrap();
     assert_eq!(metrics.frames, 6);
     if metrics.fully_delivered < metrics.frames {
-        let trace = trace.expect("a failing frame must carry its trace");
+        let trace = first_failure.expect("a failing frame must carry its trace");
         assert!(!trace.is_empty(), "captured trace is empty");
     } else {
-        assert!(trace.is_none());
+        assert!(first_failure.is_none());
     }
 }

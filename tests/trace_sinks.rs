@@ -104,8 +104,7 @@ fn ten_thousand_frame_sweep_streams_all_frames_in_order_with_bounded_memory() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_traced_wrapper_matches_builder_path_byte_for_byte() {
+fn ring_spec_only_adds_trace_counters() {
     let mut cfg = LinkConfig::default_fd();
     cfg.geometry.device_dist_m = 0.8; // lossy: exercises the failure capture
     let spec = MeasureSpec {
@@ -117,18 +116,6 @@ fn deprecated_traced_wrapper_matches_builder_path_byte_for_byte() {
         faults: None,
     };
     let new_path = run_link(&cfg, &spec, LinkRun::new()).unwrap();
-    let wrapper = measure_link(&cfg, &spec).unwrap();
-    assert_eq!(
-        serde_json::to_string(&new_path).unwrap(),
-        serde_json::to_string(&wrapper).unwrap(),
-        "deprecated measure_link diverged from run_link"
-    );
-    let (old_path, _trace) = fd_backscatter::sim::measure_link_traced(&cfg, &spec).unwrap();
-    assert_eq!(
-        serde_json::to_string(&new_path).unwrap(),
-        serde_json::to_string(&old_path).unwrap(),
-        "deprecated measure_link_traced diverged from run_link"
-    );
 
     // A live sink only adds the trace counters — every PHY-level metric
     // stays identical.

@@ -2,23 +2,34 @@
 """Assemble and gate the benchmark trajectory files (BENCH_*.json).
 
 The vendored criterion harness appends one JSON line per benchmark to the
-file named by FDB_BENCH_JSON. This tool turns that stream into a committed
+file named by FDB_BENCH_JSON, and the counting-allocator suite
+(tests/alloc_steady_state.rs) appends one line per scenario to the file
+named by FDB_ALLOC_JSON. This tool turns those streams into a committed
 trajectory file, and gates CI on it:
 
   # run the benches, collecting machine-readable results
   FDB_BENCH_JSON=target/bench.jsonl cargo bench -p fdb-bench --no-default-features
 
-  # assemble the paired speedups into a trajectory file
+  # run the counting-allocator suite, collecting steady-state alloc counts
+  FDB_ALLOC_JSON=target/alloc.jsonl cargo test --release --test alloc_steady_state
+
+  # assemble the paired speedups + alloc counts into a trajectory file
   python3 tools/bench_check.py emit --jsonl target/bench.jsonl \
-      --out BENCH_pr6.json --label pr6 [--enforce-floors]
+      --alloc-jsonl target/alloc.jsonl \
+      --out BENCH_pr9.json --label pr9 [--enforce-floors]
 
   # CI smoke gate: recompute speedups and fail on >20% regression
   python3 tools/bench_check.py check --jsonl target/bench.jsonl \
-      --baseline BENCH_pr6.json --tolerance 0.20
+      --baseline BENCH_pr9.json --tolerance 0.20
 
-Only *ratios* (candidate vs baseline within one process on one machine) are
-compared across runs, never absolute times, so the gate is machine-portable.
-Python 3 standard library only.
+  # CI alloc gate: fail if any steady-state scenario allocates at all
+  python3 tools/bench_check.py check --alloc-jsonl target/alloc.jsonl \
+      --baseline BENCH_pr9.json
+
+Only *ratios* (candidate vs baseline within one process on one machine) and
+*allocation counts* (exact, machine-independent) are compared across runs,
+never absolute times, so the gate is machine-portable. Python 3 standard
+library only.
 """
 
 import argparse
@@ -75,7 +86,29 @@ PAIRS = {
     },
 }
 
-SCHEMA = "fdb-bench-trajectory-v1"
+# Steady-state allocation scenarios the trajectory tracks, from
+# tests/alloc_steady_state.rs. `floor` is the maximum allocations the
+# scenario may perform after its one-frame warmup — the PR-9 acceptance
+# criterion pins every one of them at zero.
+ALLOC_SCENARIOS = {
+    "alloc/clean_link_reference": 0,
+    "alloc/clean_link_block": 0,
+    "alloc/clean_link_dispatch": 0,
+    "alloc/faulted_link_reference": 0,
+    "alloc/faulted_link_block": 0,
+    "alloc/mac_session": 0,
+}
+
+# Relative floors applied when emitting with --prior: the fresh speedup
+# must be at least `floor` times the prior trajectory's committed speedup.
+# PR-9's scratch-arena redesign must not cost the block rx chain any of
+# its PR-6 gain (ratio >= 1.0).
+REL_FLOORS = {"rx_chain_64B_frame": 1.0}
+
+SCHEMA = "fdb-bench-trajectory-v2"
+# v1 files (BENCH_pr6.json) predate the `allocs` section; `check` still
+# accepts them as baselines.
+OLD_SCHEMAS = {"fdb-bench-trajectory-v1"}
 
 
 def load_jsonl(path):
@@ -100,6 +133,47 @@ def load_jsonl(path):
     if not means:
         sys.exit(f"{path}: no benchmark records found")
     return means
+
+
+def load_alloc_jsonl(path):
+    """Parse the alloc result stream into {scenario: (allocs, frames)}."""
+    counts = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: bad JSON line: {e}")
+            name, allocs = rec.get("name"), rec.get("steady_allocs")
+            frames = rec.get("frames")
+            if not isinstance(name, str) or not isinstance(allocs, int):
+                sys.exit(f"{path}:{lineno}: missing name/steady_allocs: {line}")
+            # Keep the last record when a scenario ran more than once.
+            counts[name] = (allocs, frames if isinstance(frames, int) else 0)
+    if not counts:
+        sys.exit(f"{path}: no allocation records found")
+    return counts
+
+
+def build_allocs(counts):
+    """Resolve every tracked alloc scenario against the measured counts."""
+    out, missing = {}, []
+    for name, floor in ALLOC_SCENARIOS.items():
+        if name not in counts:
+            missing.append(name)
+            continue
+        allocs, frames = counts[name]
+        out[name] = {
+            "steady_allocs": allocs,
+            "frames": frames,
+            "floor": floor,
+        }
+    if missing:
+        sys.exit("missing allocation results: " + ", ".join(sorted(missing)))
+    return out
 
 
 def build_pairs(means):
@@ -139,39 +213,99 @@ def cmd_emit(args):
         if args.enforce_floors and p["floor"] and p["speedup"] < p["floor"]:
             failures.append(
                 f"{key}: speedup {p['speedup']:.2f}x below floor {p['floor']:.1f}x")
+    if args.prior:
+        with open(args.prior, encoding="utf-8") as fh:
+            prior_doc = json.load(fh)
+        prior_pairs = prior_doc.get("pairs", {})
+        rel = {}
+        for key, floor in REL_FLOORS.items():
+            if key not in pairs or key not in prior_pairs:
+                sys.exit(f"relative floor {key}: pair missing from "
+                         f"{'fresh run' if key not in pairs else args.prior}")
+            prior_speedup = prior_pairs[key]["speedup"]
+            ratio = pairs[key]["speedup"] / prior_speedup
+            rel[key] = {
+                "prior_speedup": prior_speedup,
+                "ratio": ratio,
+                "floor": floor,
+            }
+            print(f"{key:<32} {ratio:6.2f}x of {prior_doc.get('label', '?')}'s "
+                  f"{prior_speedup:.2f}x (floor {floor:.1f}x)")
+            if args.enforce_floors and ratio < floor:
+                failures.append(
+                    f"{key}: fresh speedup is only {ratio:.2f}x of the "
+                    f"{prior_doc.get('label', '?')} trajectory "
+                    f"(floor {floor:.1f}x)")
+        doc["prior"] = {"label": prior_doc.get("label"), "rel": rel}
+    allocs = {}
+    if args.alloc_jsonl:
+        allocs = build_allocs(load_alloc_jsonl(args.alloc_jsonl))
+        doc["allocs"] = allocs
+        for name, a in allocs.items():
+            print(f"{name:<32} {a['steady_allocs']:6d} allocs over "
+                  f"{a['frames']} steady-state frames (floor {a['floor']})")
+            if args.enforce_floors and a["steady_allocs"] > a["floor"]:
+                failures.append(
+                    f"{name}: {a['steady_allocs']} steady-state allocations "
+                    f"exceed floor {a['floor']}")
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=False)
         fh.write("\n")
-    print(f"wrote {args.out} ({len(pairs)} pairs, {len(means)} benches)")
+    print(f"wrote {args.out} ({len(pairs)} pairs, {len(means)} benches, "
+          f"{len(allocs)} alloc scenarios)")
     if failures:
         sys.exit("floor violations:\n  " + "\n  ".join(failures))
 
 
 def cmd_check(args):
-    means = load_jsonl(args.jsonl)
-    fresh = build_pairs(means)
+    if not args.jsonl and not args.alloc_jsonl:
+        sys.exit("check: pass --jsonl, --alloc-jsonl, or both")
     with open(args.baseline, encoding="utf-8") as fh:
         base_doc = json.load(fh)
-    if base_doc.get("schema") != SCHEMA:
+    if base_doc.get("schema") != SCHEMA and base_doc.get("schema") not in OLD_SCHEMAS:
         sys.exit(f"{args.baseline}: unexpected schema {base_doc.get('schema')!r}")
     failures = []
-    for key, committed in base_doc.get("pairs", {}).items():
-        if key not in fresh:
-            failures.append(f"{key}: pair missing from fresh run")
-            continue
-        want = committed["speedup"] * (1.0 - args.tolerance)
-        got = fresh[key]["speedup"]
-        status = "ok" if got >= want else "REGRESSED"
-        print(f"{key:<32} committed {committed['speedup']:6.2f}x  "
-              f"fresh {got:6.2f}x  (gate >= {want:.2f}x)  {status}")
-        if got < want:
-            failures.append(
-                f"{key}: fresh speedup {got:.2f}x is more than "
-                f"{args.tolerance:.0%} below committed {committed['speedup']:.2f}x")
+    checked = []
+    if args.jsonl:
+        fresh = build_pairs(load_jsonl(args.jsonl))
+        for key, committed in base_doc.get("pairs", {}).items():
+            if key not in fresh:
+                failures.append(f"{key}: pair missing from fresh run")
+                continue
+            want = committed["speedup"] * (1.0 - args.tolerance)
+            got = fresh[key]["speedup"]
+            status = "ok" if got >= want else "REGRESSED"
+            print(f"{key:<32} committed {committed['speedup']:6.2f}x  "
+                  f"fresh {got:6.2f}x  (gate >= {want:.2f}x)  {status}")
+            if got < want:
+                failures.append(
+                    f"{key}: fresh speedup {got:.2f}x is more than "
+                    f"{args.tolerance:.0%} below committed {committed['speedup']:.2f}x")
+        checked.append(f"{len(base_doc.get('pairs', {}))} pairs within "
+                       f"{args.tolerance:.0%}")
+    if args.alloc_jsonl:
+        committed_allocs = base_doc.get("allocs")
+        if not committed_allocs:
+            sys.exit(f"{args.baseline}: no `allocs` section to gate against "
+                     "(baseline predates the allocation trajectory?)")
+        counts = load_alloc_jsonl(args.alloc_jsonl)
+        for name, committed in committed_allocs.items():
+            if name not in counts:
+                failures.append(f"{name}: scenario missing from fresh run")
+                continue
+            got, _frames = counts[name]
+            floor = committed["floor"]
+            status = "ok" if got <= floor else "REGRESSED"
+            print(f"{name:<32} committed {committed['steady_allocs']:6d}  "
+                  f"fresh {got:6d}  (gate <= {floor})  {status}")
+            if got > floor:
+                failures.append(
+                    f"{name}: {got} steady-state allocations exceed "
+                    f"the committed floor of {floor}")
+        checked.append(f"{len(committed_allocs)} alloc scenarios at floor")
     if failures:
         sys.exit("bench regression gate failed:\n  " + "\n  ".join(failures))
-    print(f"bench gate ok ({len(base_doc.get('pairs', {}))} pairs within "
-          f"{args.tolerance:.0%} of {args.baseline})")
+    print(f"bench gate ok ({'; '.join(checked)} vs {args.baseline})")
 
 
 def main():
@@ -181,14 +315,24 @@ def main():
 
     em = sub.add_parser("emit", help="assemble a BENCH_*.json trajectory file")
     em.add_argument("--jsonl", required=True, help="criterion FDB_BENCH_JSON output")
+    em.add_argument("--alloc-jsonl",
+                    help="counting-allocator FDB_ALLOC_JSON output "
+                         "(tests/alloc_steady_state.rs)")
+    em.add_argument("--prior",
+                    help="earlier committed BENCH_*.json; enforces the "
+                         "relative speedup floors (REL_FLOORS) against it")
     em.add_argument("--out", required=True, help="trajectory file to write")
-    em.add_argument("--label", default="dev", help="trajectory label (e.g. pr6)")
+    em.add_argument("--label", default="dev", help="trajectory label (e.g. pr9)")
     em.add_argument("--enforce-floors", action="store_true",
-                    help="fail if any pair misses its acceptance floor")
+                    help="fail if any pair or alloc scenario misses its "
+                         "acceptance floor")
     em.set_defaults(fn=cmd_emit)
 
     ck = sub.add_parser("check", help="gate a fresh run against a committed file")
-    ck.add_argument("--jsonl", required=True, help="criterion FDB_BENCH_JSON output")
+    ck.add_argument("--jsonl", help="criterion FDB_BENCH_JSON output")
+    ck.add_argument("--alloc-jsonl",
+                    help="counting-allocator FDB_ALLOC_JSON output; gates "
+                         "fresh counts against the committed alloc floors")
     ck.add_argument("--baseline", required=True, help="committed BENCH_*.json")
     ck.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional speedup regression (default 0.20)")

@@ -202,6 +202,21 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'_, str> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(std::borrow::Cow::Owned(s.clone())),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
