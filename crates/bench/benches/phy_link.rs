@@ -220,7 +220,7 @@ fn bench_network_step(c: &mut Criterion) {
         let mut cfg = NetworkConfig::ring(k, 1.0, TagConfig::typical(5e-5));
         cfg.ambient = AmbientConfig::TvWideband { k_factor: 300.0 };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut net = BackscatterNetwork::new(&cfg, 5e-5, &mut rng).unwrap();
+        let mut net = BackscatterNetwork::new(&cfg, 5e-5).unwrap();
         let states = vec![false; k];
         g.throughput(Throughput::Elements(1));
         g.bench_function(format!("step_{k}_devices"), |b| {

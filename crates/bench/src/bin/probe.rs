@@ -74,6 +74,7 @@ enum Mode {
     Sync,
     Link,
     Mac,
+    City,
     Matrix,
     Serve,
     Submit,
@@ -100,6 +101,8 @@ struct Args {
     trace_out: Option<String>,
     /// Validate a trace JSONL file line-by-line and exit.
     validate_trace: Option<String>,
+    /// Write the full city report as pretty JSON to this path (`city`).
+    json_out: Option<String>,
     /// Scripted fault plan (JSON file) injected into the run.
     faults: Option<String>,
     /// Comma-separated scenario configs for the conformance matrix.
@@ -137,6 +140,8 @@ fn usage() -> ! {
          \x20      probe sync|link [--config PATH] [--frames N] [--seed N]\n\
          \x20                    [--faults PATH] [--trace-out PATH]\n\
          \x20      probe mac     --config configs/scenarios/PAIR.json [--seed N]\n\
+         \x20      probe city    [--config configs/scenarios/CITY.json] [--seed N]\n\
+         \x20                    [--json-out PATH]\n\
          \x20      probe matrix  --configs CFG1,CFG2,... [--frames N] [--seed N]\n\
          \x20      probe serve   [--socket PATH] [--cache-dir DIR] [--jobs N]\n\
          \x20                    [--queue N] [--seed-golden]\n\
@@ -164,6 +169,7 @@ fn parse_args() -> Args {
         frames: None,
         trace_out: None,
         validate_trace: None,
+        json_out: None,
         faults: None,
         matrix_configs: None,
         socket: None,
@@ -194,6 +200,7 @@ fn parse_args() -> Args {
             "sync" if first_token => args.mode = Some(Mode::Sync),
             "link" if first_token => args.mode = Some(Mode::Link),
             "mac" if first_token => args.mode = Some(Mode::Mac),
+            "city" if first_token => args.mode = Some(Mode::City),
             "matrix" if first_token => args.mode = Some(Mode::Matrix),
             "serve" if first_token => args.mode = Some(Mode::Serve),
             "submit" if first_token => args.mode = Some(Mode::Submit),
@@ -218,6 +225,7 @@ fn parse_args() -> Args {
                 args.frames = Some(value("--frames").parse().unwrap_or_else(|_| usage()))
             }
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--json-out" => args.json_out = Some(value("--json-out")),
             "--faults" => args.faults = Some(value("--faults")),
             // Service options.
             "--socket" => args.socket = Some(value("--socket")),
@@ -293,6 +301,7 @@ fn main() {
         Mode::Sync => sync_report(&args),
         Mode::Link => link_report(&args),
         Mode::Mac => mac_report(&args),
+        Mode::City => city_report(&args),
         Mode::Serve => serve_cmd(&args),
         Mode::Submit => submit_cmd(&args),
         Mode::Sweep => sweep(args.sweep_frames),
@@ -450,6 +459,7 @@ fn clone_args(args: &Args) -> Args {
         frames: args.frames,
         trace_out: args.trace_out.clone(),
         validate_trace: args.validate_trace.clone(),
+        json_out: args.json_out.clone(),
         faults: args.faults.clone(),
         matrix_configs: args.matrix_configs.clone(),
         socket: args.socket.clone(),
@@ -795,6 +805,66 @@ fn mac_report(args: &Args) {
         eprintln!(
             "FAIL: adaptive/oblivious goodput margin {:.3} below required {:.3}",
             outcome.margin, outcome.min_margin
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `probe city`: run one event-driven city scenario and print its JSONL
+/// report (one line per active-tag ledger, then a summary line). Exits 1
+/// if the conservation invariant (`offered == delivered + lost +
+/// pending`) is violated.
+fn city_report(args: &Args) {
+    use std::io::Write;
+
+    let mut spec = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            serde_json::from_str::<fdb_sim::CityScenarioSpec>(&text).unwrap_or_else(|e| {
+                eprintln!("{path} invalid: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => fdb_sim::CityScenarioSpec::default(),
+    };
+    if args.seed_given {
+        spec.seed = args.seed;
+    }
+    let start = std::time::Instant::now();
+    let report = fdb_sim::CityEngine::run(&spec).unwrap_or_else(|e| {
+        eprintln!("city run failed: {e}");
+        std::process::exit(1);
+    });
+    let wall = start.elapsed();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    report.write_jsonl(&mut out).expect("stdout writable");
+    out.flush().expect("stdout flush");
+    if let Some(path) = &args.json_out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(path, json + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    eprintln!(
+        "{}: {} events in {:.3} s wall ({:.0} events/s), peak queue {}",
+        report.label,
+        report.events_processed,
+        wall.as_secs_f64(),
+        report.events_processed as f64 / wall.as_secs_f64().max(1e-9),
+        report.peak_queue,
+    );
+    if !report.totals.conserved() {
+        eprintln!(
+            "FAIL: conservation violated: offered {} != delivered {} + lost {} + pending {}",
+            report.totals.offered,
+            report.totals.delivered,
+            report.totals.lost,
+            report.totals.pending
         );
         std::process::exit(1);
     }

@@ -103,6 +103,7 @@ impl MultiLinkConfig {
         net.ambient = self.network.ambient;
         net.field_noise_dbm = self.network.field_noise_dbm;
         net.ambient_seed = self.network.ambient_seed;
+        net.fading_seed = self.network.fading_seed;
         net.positions.clear();
         net.positions
             .extend(self.pairs.iter().flat_map(|p| [p.a, p.b]));
@@ -173,8 +174,8 @@ pub fn run_multilink<R: Rng + ?Sized>(
 /// buffers and the network itself live in `scratch`, and `out` is
 /// refilled in place (one [`PairOutcome`] per pair, capacity retained).
 ///
-/// Byte-identical to [`run_multilink`] — the network rebuild draws fading
-/// states from `rng` in the same order as a fresh construction.
+/// Byte-identical to [`run_multilink`] — the network rebuild replays the
+/// same seed-keyed per-hop fading streams as a fresh construction.
 pub fn run_multilink_into<R: Rng + ?Sized>(
     cfg: &MultiLinkConfig,
     payloads: &[Vec<u8>],
@@ -207,32 +208,32 @@ pub fn run_multilink_into<R: Rng + ?Sized>(
     };
     let net = match scratch.net.as_mut() {
         Some(n) => {
-            n.reinit(net_cfg, dt, rng)?;
+            n.reinit(net_cfg, dt)?;
             n
         }
-        None => scratch.net.insert(BackscatterNetwork::new(net_cfg, dt, rng)?),
+        None => scratch.net.insert(BackscatterNetwork::new(net_cfg, dt)?),
     };
 
-    // Per-pair engines: reload in place at a steady pair count, rebuild
-    // (allocating) when K changes.
-    if scratch.txs.len() != k {
-        scratch.txs.clear();
-        scratch.rxs.clear();
-        scratch.fb_encs.clear();
-        scratch.fb_decs.clear();
-        for payload in payloads {
-            scratch.txs.push(DataTransmitter::new(phy, payload)?);
-            scratch.rxs.push(DataReceiver::new(phy.clone()));
-            scratch.fb_encs.push(FeedbackEncoder::new(half_fb));
-            scratch.fb_decs.push(FeedbackDecoder::new(half_fb));
-        }
-    } else {
-        for (i, payload) in payloads.iter().enumerate() {
-            scratch.txs[i].load(phy, payload)?;
-            scratch.rxs[i].load(phy);
-            scratch.fb_encs[i].rearm(half_fb);
-            scratch.fb_decs[i].rearm(half_fb);
-        }
+    // Per-pair engines: reload every slot that already exists, then grow
+    // or shrink to K. A pool that oscillates between pair counts (the
+    // city engine's active-link slots) only ever allocates for slots
+    // beyond the high-water mark.
+    let reuse = scratch.txs.len().min(k);
+    for (i, payload) in payloads.iter().enumerate().take(reuse) {
+        scratch.txs[i].load(phy, payload)?;
+        scratch.rxs[i].load(phy);
+        scratch.fb_encs[i].rearm(half_fb);
+        scratch.fb_decs[i].rearm(half_fb);
+    }
+    scratch.txs.truncate(k);
+    scratch.rxs.truncate(k);
+    scratch.fb_encs.truncate(k);
+    scratch.fb_decs.truncate(k);
+    for payload in payloads.iter().skip(reuse) {
+        scratch.txs.push(DataTransmitter::new(phy, payload)?);
+        scratch.rxs.push(DataReceiver::new(phy.clone()));
+        scratch.fb_encs.push(FeedbackEncoder::new(half_fb));
+        scratch.fb_decs.push(FeedbackDecoder::new(half_fb));
     }
     scratch.sic_a.clear();
     scratch.sic_b.clear();

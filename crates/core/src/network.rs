@@ -15,6 +15,7 @@
 //! top by `fdb-mac`.
 
 use crate::error::PhyError;
+use crate::seed::derive_seed;
 use fdb_ambient::{Ambient, AmbientConfig};
 use fdb_channel::awgn::Awgn;
 use fdb_channel::fading::Fading;
@@ -23,8 +24,15 @@ use fdb_channel::pathloss::PathLoss;
 use fdb_device::{TagConfig, TagHardware};
 use fdb_dsp::sample::dbm_to_watts;
 use fdb_dsp::Iq;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+/// Salt separating source-hop fading streams from pair-hop streams in the
+/// [`derive_seed`] lineage rooted at [`NetworkConfig::fading_seed`].
+const SOURCE_FADING_STREAM: u64 = 0x46_44_42_53; // "FDBS"
+/// Salt for device↔device pair-hop fading streams.
+const PAIR_FADING_STREAM: u64 = 0x46_44_42_50; // "FDBP"
 
 /// Configuration for a K-device shared-source network.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,6 +61,15 @@ pub struct NetworkConfig {
     pub tags: Vec<TagConfig>,
     /// Ambient seed.
     pub ambient_seed: u64,
+    /// Master seed of the per-hop fading streams. Every hop's fading draws
+    /// come from its own [`derive_seed`]-keyed stream — source hop `i` from
+    /// `(fading_seed, source-stream, i)`, pair hop `(i, j)` from
+    /// `(fading_seed, pair-stream, i·2³² + j)` — so a hop's coefficient
+    /// history depends only on its endpoints and this seed, never on how
+    /// many other devices share the network. Older configs without the
+    /// field default to 0.
+    #[serde(default)]
+    pub fading_seed: u64,
 }
 
 impl NetworkConfig {
@@ -78,7 +95,34 @@ impl NetworkConfig {
             field_noise_dbm: -110.0,
             tags: vec![tag; n],
             ambient_seed: 1,
+            fading_seed: 0,
         }
+    }
+
+    /// Euclidean distance between two device positions, clamped to the
+    /// same 0.1 m near-field floor every pair hop uses.
+    pub fn pair_distance(a: (f64, f64), b: (f64, f64)) -> f64 {
+        ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt().max(0.1)
+    }
+
+    /// The amplitude-gain kernel of [`BackscatterNetwork::pair_coeff`] for
+    /// two arbitrary positions: `pathloss_device` over their clamped
+    /// Euclidean distance. For `Static` device fading this equals
+    /// `pair_coeff(i, j).abs()` of any network placing devices at `a` and
+    /// `b`; the event-driven city engine uses it to score interference
+    /// between concurrently-active links without instantiating the dense
+    /// O(n²) hop set.
+    pub fn pair_gain(&self, a: (f64, f64), b: (f64, f64)) -> f64 {
+        self.pathloss_device
+            .amplitude_gain(Self::pair_distance(a, b))
+    }
+
+    /// Harvesting/excitation amplitude gain from the ambient source to a
+    /// device at `pos` (the source sits `source_dist_m` away in +y, as in
+    /// [`BackscatterNetwork`]'s hop construction).
+    pub fn source_gain(&self, pos: (f64, f64)) -> f64 {
+        self.pathloss_source
+            .amplitude_gain((self.source_dist_m + pos.1).max(1.0))
     }
 }
 
@@ -90,6 +134,11 @@ pub struct BackscatterNetwork {
     hops_source: Vec<Hop>,
     /// Upper-triangular pairwise hops: `pair_hop(i, j)` with `i < j`.
     hops_pair: Vec<Hop>,
+    /// Per-hop fading streams, parallel to `hops_source`/`hops_pair`.
+    /// Keyed from `NetworkConfig::fading_seed` so a hop's draws are
+    /// independent of the device population (see `advance_fading`).
+    rngs_source: Vec<ChaCha8Rng>,
+    rngs_pair: Vec<ChaCha8Rng>,
     n: usize,
     tags: Vec<TagHardware>,
     dt: f64,
@@ -100,42 +149,38 @@ pub struct BackscatterNetwork {
 }
 
 impl BackscatterNetwork {
-    /// Builds the network; fading initial states come from `rng`.
-    pub fn new<R: Rng + ?Sized>(
-        cfg: &NetworkConfig,
-        dt: f64,
-        rng: &mut R,
-    ) -> Result<Self, PhyError> {
+    /// Builds the network. Fading initial states come from per-hop streams
+    /// keyed by `cfg.fading_seed` (see [`NetworkConfig::fading_seed`]),
+    /// never from a shared generator — adding a device to the config
+    /// cannot perturb any existing hop's coefficient history.
+    pub fn new(cfg: &NetworkConfig, dt: f64) -> Result<Self, PhyError> {
         let mut net = BackscatterNetwork {
             source: Ambient::from_config(cfg.ambient, cfg.ambient_seed),
             source_amp: dbm_to_watts(cfg.source_power_dbm).sqrt(),
             noise: Awgn::from_dbm(cfg.field_noise_dbm),
             hops_source: Vec::new(),
             hops_pair: Vec::new(),
+            rngs_source: Vec::new(),
+            rngs_pair: Vec::new(),
             n: 0,
             tags: Vec::new(),
             dt,
             direct: Vec::new(),
             gamma: Vec::new(),
         };
-        net.reinit(cfg, dt, rng)?;
+        net.reinit(cfg, dt)?;
         Ok(net)
     }
 
     /// Rebuilds the network in place for a (possibly different) config,
     /// retaining every internal buffer's capacity.
     ///
-    /// Observably identical to `*self = BackscatterNetwork::new(cfg, dt,
-    /// rng)?` — the fading initial states are drawn from `rng` in the same
-    /// order (`hops_source` in position order, then the upper-triangular
-    /// `hops_pair` row-major) — but allocation-free once the buffers have
-    /// grown to the largest device count seen.
-    pub fn reinit<R: Rng + ?Sized>(
-        &mut self,
-        cfg: &NetworkConfig,
-        dt: f64,
-        rng: &mut R,
-    ) -> Result<(), PhyError> {
+    /// Observably identical to `*self = BackscatterNetwork::new(cfg,
+    /// dt)?`: every per-hop fading stream restarts from its derived seed,
+    /// so a reinit to the same config replays the same coefficient
+    /// history. Allocation-free once the buffers have grown to the largest
+    /// device count seen.
+    pub fn reinit(&mut self, cfg: &NetworkConfig, dt: f64) -> Result<(), PhyError> {
         let n = cfg.positions.len();
         if n == 0 || cfg.tags.len() != n {
             return Err(PhyError::InvalidConfig {
@@ -143,24 +188,35 @@ impl BackscatterNetwork {
                 reason: format!("{} positions but {} tag configs", n, cfg.tags.len()),
             });
         }
+        let source_master = derive_seed(cfg.fading_seed, SOURCE_FADING_STREAM);
+        let pair_master = derive_seed(cfg.fading_seed, PAIR_FADING_STREAM);
         self.hops_source.clear();
-        self.hops_source.extend(cfg.positions.iter().map(|&(_, y)| {
-            Hop::new(
+        self.rngs_source.clear();
+        for (i, &(_, y)) in cfg.positions.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(source_master, i as u64));
+            self.hops_source.push(Hop::new(
                 cfg.pathloss_source,
                 (cfg.source_dist_m + y).max(1.0),
                 cfg.fading_source,
-                rng,
-            )
-        }));
+                &mut rng,
+            ));
+            self.rngs_source.push(rng);
+        }
         self.hops_pair.clear();
+        self.rngs_pair.clear();
         self.hops_pair.reserve(n * (n - 1) / 2);
+        self.rngs_pair.reserve(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                let (xi, yi) = cfg.positions[i];
-                let (xj, yj) = cfg.positions[j];
-                let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt().max(0.1);
+                let d = NetworkConfig::pair_distance(cfg.positions[i], cfg.positions[j]);
+                // Pair key `i·2³² + j` depends only on the endpoints'
+                // indices, not on n — stream (i, j) is identical in a
+                // 3-device and a 10 000-device network.
+                let key = ((i as u64) << 32) | j as u64;
+                let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(pair_master, key));
                 self.hops_pair
-                    .push(Hop::new(cfg.pathloss_device, d, cfg.fading_device, rng));
+                    .push(Hop::new(cfg.pathloss_device, d, cfg.fading_device, &mut rng));
+                self.rngs_pair.push(rng);
             }
         }
         self.tags.clear();
@@ -209,12 +265,17 @@ impl BackscatterNetwork {
         &mut self.tags[i]
     }
 
-    /// Advances fading on all hops by one block.
-    pub fn advance_fading<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        for h in &mut self.hops_source {
+    /// Advances fading on all hops by one block. Each hop draws from its
+    /// own [`derive_seed`]-keyed stream (rooted at
+    /// [`NetworkConfig::fading_seed`]), so hop `(i, j)`'s coefficient
+    /// history is byte-identical no matter how many other devices the
+    /// network holds — the invariant the city engine's scale-invariance
+    /// suite pins.
+    pub fn advance_fading(&mut self) {
+        for (h, rng) in self.hops_source.iter_mut().zip(&mut self.rngs_source) {
             h.advance_block(rng);
         }
-        for h in &mut self.hops_pair {
+        for (h, rng) in self.hops_pair.iter_mut().zip(&mut self.rngs_pair) {
             h.advance_block(rng);
         }
     }
@@ -270,6 +331,53 @@ impl BackscatterNetwork {
         self.direct = direct;
         self.gamma = gamma;
     }
+
+    /// Sparse variant of [`step_into`](BackscatterNetwork::step_into):
+    /// only the devices listed in `subset` participate. Non-subset devices
+    /// are quiescent — antenna absorbing, no reflection contribution, and
+    /// their detectors/harvesters are not advanced — and, crucially, **no
+    /// noise is drawn for them**, so the envelope a subset member sees
+    /// depends only on `subset`'s membership and order, never on how many
+    /// idle devices exist in the network.
+    ///
+    /// `states[k]` is the antenna state of device `subset[k]`; `envelopes`
+    /// is refilled with one envelope per subset member, in subset order.
+    /// Indices in `subset` must be distinct and in-range.
+    pub fn step_subset_into<R: Rng + ?Sized>(
+        &mut self,
+        subset: &[usize],
+        states: &[bool],
+        rng: &mut R,
+        envelopes: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(states.len(), subset.len());
+        let x = self.source_amp * self.source.next_power(rng).sqrt();
+        let mut direct = std::mem::take(&mut self.direct);
+        let mut gamma = std::mem::take(&mut self.gamma);
+        direct.clear();
+        gamma.clear();
+        for (&i, &state) in subset.iter().zip(states) {
+            debug_assert!(i < self.n);
+            self.tags[i].set_antenna(state);
+            direct.push(self.hops_source[i].coeff() * x);
+            gamma.push(self.tags[i].reflected(Iq::ONE));
+        }
+        envelopes.clear();
+        for (k, &i) in subset.iter().enumerate() {
+            let mut field = direct[k];
+            for (m, &j) in subset.iter().enumerate() {
+                if j != i {
+                    field += self.pair_coeff(i, j) * gamma[m] * direct[m];
+                }
+            }
+            let field = self.noise.corrupt(field, rng);
+            let env = self.tags[i].step_receive(field, self.dt, rng);
+            self.tags[i].charge_awake(self.dt, true);
+            envelopes.push(env);
+        }
+        self.direct = direct;
+        self.gamma = gamma;
+    }
 }
 
 #[cfg(test)]
@@ -289,14 +397,12 @@ mod tests {
     fn rejects_mismatched_tags() {
         let mut c = cfg(3);
         c.tags.pop();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        assert!(BackscatterNetwork::new(&c, 5e-5, &mut rng).is_err());
+        assert!(BackscatterNetwork::new(&c, 5e-5).is_err());
     }
 
     #[test]
     fn pair_index_covers_triangle() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let net = BackscatterNetwork::new(&cfg(5), 5e-5, &mut rng).unwrap();
+        let net = BackscatterNetwork::new(&cfg(5), 5e-5).unwrap();
         let mut seen = std::collections::HashSet::new();
         for i in 0..5 {
             for j in (i + 1)..5 {
@@ -309,8 +415,7 @@ mod tests {
 
     #[test]
     fn reciprocity() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let net = BackscatterNetwork::new(&cfg(4), 5e-5, &mut rng).unwrap();
+        let net = BackscatterNetwork::new(&cfg(4), 5e-5).unwrap();
         for i in 0..4 {
             for j in 0..4 {
                 if i != j {
@@ -323,7 +428,7 @@ mod tests {
     #[test]
     fn toggling_one_device_moves_others_envelopes() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let mut net = BackscatterNetwork::new(&cfg(3), 5e-5, &mut rng).unwrap();
+        let mut net = BackscatterNetwork::new(&cfg(3), 5e-5).unwrap();
         // Settle detector RCs.
         for _ in 0..2000 {
             net.step(&[false, false, false], &mut rng);
@@ -345,7 +450,7 @@ mod tests {
     #[test]
     fn more_reflectors_more_interference() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let mut net = BackscatterNetwork::new(&cfg(4), 5e-5, &mut rng).unwrap();
+        let mut net = BackscatterNetwork::new(&cfg(4), 5e-5).unwrap();
         let settle = |net: &mut BackscatterNetwork, st: &[bool], rng: &mut ChaCha8Rng| {
             for _ in 0..2000 {
                 net.step(st, rng);
@@ -365,8 +470,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let mut weak_cfg = cfg(2);
         weak_cfg.source_power_dbm = 40.0;
-        let mut strong = BackscatterNetwork::new(&cfg(2), 5e-5, &mut rng).unwrap();
-        let mut weak = BackscatterNetwork::new(&weak_cfg, 5e-5, &mut rng).unwrap();
+        let mut strong = BackscatterNetwork::new(&cfg(2), 5e-5).unwrap();
+        let mut weak = BackscatterNetwork::new(&weak_cfg, 5e-5).unwrap();
         let mut es = 0.0;
         let mut ew = 0.0;
         for _ in 0..3000 {
@@ -375,5 +480,88 @@ mod tests {
         }
         // 20 dB power difference → 100× envelope (power) difference.
         assert!((es / ew - 100.0).abs() < 5.0, "ratio {}", es / ew);
+    }
+
+    /// Regression for the population-dependent fading bug: with per-hop
+    /// derive_seed-keyed streams, growing the network from 3 to 4 devices
+    /// must leave every shared hop's coefficient history byte-identical.
+    #[test]
+    fn fading_streams_are_population_independent() {
+        let fading = |c: &mut NetworkConfig| {
+            c.fading_source = Fading::Rayleigh { coherence_blocks: 1.0 };
+            c.fading_device = Fading::Rayleigh { coherence_blocks: 1.0 };
+            c.fading_seed = 42;
+        };
+        let mut c3 = cfg(3);
+        fading(&mut c3);
+        // c4: same first three positions, one extra device appended.
+        let mut c4 = cfg(3);
+        fading(&mut c4);
+        c4.positions.push((0.3, 0.7));
+        c4.tags.push(c4.tags[0]);
+        let mut small = BackscatterNetwork::new(&c3, 5e-5).unwrap();
+        let mut big = BackscatterNetwork::new(&c4, 5e-5).unwrap();
+        for block in 0..8 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    assert_eq!(
+                        small.pair_coeff(i, j),
+                        big.pair_coeff(i, j),
+                        "pair ({i},{j}) diverged at block {block}"
+                    );
+                }
+            }
+            small.advance_fading();
+            big.advance_fading();
+        }
+    }
+
+    /// `NetworkConfig::pair_gain` is the geometry kernel of `pair_coeff`:
+    /// for Static device fading the hop coefficient's magnitude equals the
+    /// pathloss amplitude gain over the pair distance.
+    #[test]
+    fn pair_gain_matches_static_pair_coeff() {
+        let c = cfg(5);
+        let net = BackscatterNetwork::new(&c, 5e-5).unwrap();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                let mag = net.pair_coeff(i, j).abs();
+                let gain = c.pair_gain(c.positions[i], c.positions[j]);
+                assert!(
+                    (mag - gain).abs() < 1e-12 * gain.max(1e-30),
+                    "({i},{j}): |coeff| {mag} vs pair_gain {gain}"
+                );
+            }
+        }
+    }
+
+    /// Stepping only a subset must produce the same envelopes as stepping
+    /// the full network with the complement held quiescent would for those
+    /// devices — and must be independent of idle-device count by
+    /// construction (noise drawn only for subset members).
+    #[test]
+    fn subset_step_ignores_idle_population() {
+        let mut c_small = cfg(3);
+        c_small.field_noise_dbm = -110.0;
+        // Same first three positions, five extra idle devices appended.
+        let mut c_big = c_small.clone();
+        for k in 0..5 {
+            c_big.positions.push((10.0 + k as f64, 10.0));
+            c_big.tags.push(c_big.tags[0]);
+        }
+        let subset = [0usize, 2];
+        let states = [true, false];
+        let mut small = BackscatterNetwork::new(&c_small, 5e-5).unwrap();
+        let mut big = BackscatterNetwork::new(&c_big, 5e-5).unwrap();
+        let mut env_a = Vec::new();
+        let mut env_b = Vec::new();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(9);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..500 {
+            small.step_subset_into(&subset, &states, &mut rng_a, &mut env_a);
+            big.step_subset_into(&subset, &states, &mut rng_b, &mut env_b);
+            assert_eq!(env_a, env_b);
+        }
+        assert_eq!(env_a.len(), subset.len());
     }
 }

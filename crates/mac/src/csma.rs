@@ -50,17 +50,27 @@ pub struct CsmaConfig {
     pub horizon_bits: u64,
 }
 
+/// Data-bit times until an FD transmitter learns its feedback pilots are
+/// missing: the feedback guard interval plus one full pilot pattern at the
+/// feedback ratio. The abort latency of FD collision detection — shared by
+/// the event-level model here and the city engine's frame scheduler.
+pub fn pilot_latency_bits(phy: &fdb_core::config::PhyConfig) -> u64 {
+    (phy.feedback_guard_bits + fdb_core::feedback::PILOTS.len() * phy.feedback_ratio) as u64
+}
+
+/// Binary-exponential backoff window in bit-times after `attempt` failed
+/// attempts: `min_bits · 2^min(attempt, 10)`. The retry draws a uniform
+/// delay from `[0, window)`.
+pub fn backoff_window(min_bits: u64, attempt: u32) -> u64 {
+    min_bits.max(1) << attempt.min(10)
+}
+
 impl CsmaConfig {
-    /// Defaults with the pilot latency derived from the given PHY config:
-    /// an FD transmitter learns its pilots are missing after the feedback
-    /// guard interval plus one full pilot pattern at the feedback ratio,
-    /// i.e. `feedback_guard_bits + PILOTS.len() · feedback_ratio` data
-    /// bits. Deriving (rather than hardcoding) keeps the event-level model
-    /// honest when the PHY's guard or ratio changes.
+    /// Defaults with the pilot latency derived from the given PHY config
+    /// via [`pilot_latency_bits`]. Deriving (rather than hardcoding) keeps
+    /// the event-level model honest when the PHY's guard or ratio changes.
     pub fn from_phy(phy: &fdb_core::config::PhyConfig, n_nodes: usize, mode: AccessMode) -> Self {
-        let pilot_latency_bits = (phy.feedback_guard_bits
-            + fdb_core::feedback::PILOTS.len() * phy.feedback_ratio)
-            as u64;
+        let pilot_latency_bits = pilot_latency_bits(phy);
         CsmaConfig {
             n_nodes,
             frame_bits: 2500,
@@ -219,8 +229,7 @@ pub fn run<R: Rng + ?Sized>(cfg: &CsmaConfig, rng: &mut R) -> CsmaReport {
                             report.dropped += 1;
                             node.ready_at = None;
                         } else {
-                            let exp = node.attempts.min(10);
-                            let window = cfg.backoff_min_bits.max(1) << exp;
+                            let window = backoff_window(cfg.backoff_min_bits, node.attempts);
                             node.ready_at = Some(t + 1 + rng.gen_range(0..window));
                         }
                     }
@@ -314,6 +323,16 @@ mod tests {
             cfg.pilot_latency_bits,
             (fat.feedback_guard_bits + fdb_core::feedback::PILOTS.len() * fat.feedback_ratio) as u64
         );
+    }
+
+    #[test]
+    fn backoff_window_doubles_and_caps() {
+        assert_eq!(backoff_window(512, 0), 512);
+        assert_eq!(backoff_window(512, 1), 1024);
+        assert_eq!(backoff_window(512, 10), 512 << 10);
+        // Capped at 10 doublings, and a zero floor is clamped to 1.
+        assert_eq!(backoff_window(512, 40), 512 << 10);
+        assert_eq!(backoff_window(0, 0), 1);
     }
 
     #[test]

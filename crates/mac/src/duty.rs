@@ -56,6 +56,8 @@ pub struct DutyCycleController {
     slept_s: f64,
     fired: u64,
     browned_out: u64,
+    harvested_j: f64,
+    spent_j: f64,
 }
 
 impl DutyCycleController {
@@ -68,6 +70,8 @@ impl DutyCycleController {
             slept_s: 0.0,
             fired: 0,
             browned_out: 0,
+            harvested_j: 0.0,
+            spent_j: 0.0,
         }
     }
 
@@ -102,7 +106,24 @@ impl DutyCycleController {
         let t = deficit / net;
         self.stored_j = (self.stored_j + net * t).min(self.cfg.storage_j);
         self.slept_s += t;
+        self.harvested_j += income_w * t;
+        self.spent_j += self.cfg.sleep_load_w * t;
         Some(t)
+    }
+
+    /// Accrues harvest over a fixed interval without firing — the tag is
+    /// parked (carrier-sense deferral, backoff wait) rather than sleeping
+    /// toward a threshold. The sleep load drains as usual; the bank is
+    /// clamped to `[0, storage_j]`.
+    pub fn bank(&mut self, income_w: f64, dt_s: f64) {
+        if dt_s <= 0.0 {
+            return;
+        }
+        let net = income_w - self.cfg.sleep_load_w;
+        self.stored_j = (self.stored_j + net * dt_s).clamp(0.0, self.cfg.storage_j);
+        self.slept_s += dt_s;
+        self.harvested_j += income_w * dt_s;
+        self.spent_j += self.cfg.sleep_load_w * dt_s;
     }
 
     /// Records one fired transfer with its measured energy cost and
@@ -116,10 +137,23 @@ impl DutyCycleController {
         let ok = self.stored_j >= cost_j;
         self.stored_j = (self.stored_j - cost_j).max(0.0);
         self.cost_estimate_j += self.cfg.cost_alpha * (cost_j - self.cost_estimate_j);
+        self.harvested_j += income_w * duration_s;
+        self.spent_j += cost_j;
         if !ok {
             self.browned_out += 1;
         }
         ok
+    }
+
+    /// Lifetime harvested energy (joules), across sleeps, banked waits and
+    /// transfer intervals.
+    pub fn harvested_j(&self) -> f64 {
+        self.harvested_j
+    }
+
+    /// Lifetime spent energy (joules): sleep load plus transfer costs.
+    pub fn spent_j(&self) -> f64 {
+        self.spent_j
     }
 
     /// Total time slept (seconds).
@@ -196,6 +230,30 @@ mod tests {
         let mut c = ctl();
         // Massive income for a long transfer.
         c.fire(0.0, 1e6, 1e-3);
+        assert!(c.stored_j() <= DutyConfig::default().storage_j + 1e-18);
+    }
+
+    #[test]
+    fn energy_ledger_accumulates() {
+        let mut c = ctl();
+        let income = 1e-6;
+        let t = c.sleep_until_ready(income).unwrap();
+        c.bank(income, 10.0);
+        c.fire(60e-6, 1.0, income);
+        let expect_harvest = income * (t + 10.0 + 1.0);
+        assert!((c.harvested_j() - expect_harvest).abs() < 1e-15);
+        let expect_spent = 50e-9 * (t + 10.0) + 60e-6;
+        assert!((c.spent_j() - expect_spent).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bank_clamps_and_drains() {
+        let mut c = ctl();
+        // Net-negative income drains toward zero, never below.
+        c.bank(0.0, 1e9);
+        assert_eq!(c.stored_j(), 0.0);
+        // Huge income clamps at capacity.
+        c.bank(1e-3, 1e6);
         assert!(c.stored_j() <= DutyConfig::default().storage_j + 1e-18);
     }
 

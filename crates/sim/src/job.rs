@@ -25,6 +25,7 @@
 //! callbacks, and — for link jobs under the `trace` feature — a
 //! caller-owned [`TraceSink`] receiving the run's event stream.
 
+use crate::city::{CityEngine, CityReport, CityScenarioSpec};
 use crate::matrix::{class_plans, run_cell, MatrixCell};
 use crate::metrics::LinkMetrics;
 use crate::runner::{run_link, LinkRun, MeasureSpec};
@@ -94,6 +95,11 @@ pub enum JobSpec {
         /// The pair to run.
         pair: AblationPair,
     },
+    /// One event-driven city-scale run ([`crate::city::CityEngine`]).
+    City {
+        /// The scenario to simulate.
+        spec: CityScenarioSpec,
+    },
 }
 
 /// A completed job's typed result (the `Serialize` side only — results
@@ -124,6 +130,11 @@ pub enum JobResult {
     Ablation {
         /// Both arms' reports and the margin verdict.
         outcome: PairOutcome,
+    },
+    /// Result of a [`JobSpec::City`] job.
+    City {
+        /// Per-tag ledgers, totals, and scheduler statistics.
+        report: CityReport,
     },
 }
 
@@ -203,6 +214,7 @@ impl JobSpec {
             JobSpec::Matrix { .. } => "matrix",
             JobSpec::Scenario { .. } => "scenario",
             JobSpec::Ablation { .. } => "ablation",
+            JobSpec::City { .. } => "city",
         }
     }
 
@@ -218,6 +230,9 @@ impl JobSpec {
             }
             JobSpec::Scenario { .. } => 1,
             JobSpec::Ablation { .. } => 2,
+            // City runs report simulated-time percent, not event counts
+            // (total events aren't known up front).
+            JobSpec::City { .. } => 100,
         }
     }
 
@@ -265,6 +280,9 @@ impl JobSpec {
                     .map_err(|e| format!("ablation '{}' oblivious arm: {e}", pair.label))?;
                 Ok(())
             }
+            JobSpec::City { spec } => spec
+                .validate()
+                .map_err(|e| format!("city '{}': {e}", spec.label)),
         }
     }
 
@@ -363,6 +381,17 @@ impl JobSpec {
                 let outcome = pair.run()?;
                 tick(2, &mut progress);
                 Ok(JobResult::Ablation { outcome })
+            }
+            JobSpec::City { spec } => {
+                let mut engine = CityEngine::new();
+                let mut report = CityReport::default();
+                let mut forward = |p: JobProgress| {
+                    if let Some(pr) = progress.as_deref_mut() {
+                        pr(p);
+                    }
+                };
+                engine.run_ctl(spec, &mut report, cancel, &mut forward)?;
+                Ok(JobResult::City { report })
             }
         }
     }
@@ -466,6 +495,58 @@ mod tests {
         for cell in &cells {
             assert!(cell.violations.is_empty(), "{:?}", cell.violations);
         }
+    }
+
+    #[test]
+    fn city_job_round_trips_runs_and_cancels() {
+        let job = JobSpec::City {
+            spec: CityScenarioSpec {
+                label: "job-test".into(),
+                n_active: 4,
+                sim_duration_s: 400.0,
+                mean_interarrival_s: 30.0,
+                ..CityScenarioSpec::default()
+            },
+        };
+        assert_eq!(job.kind(), "city");
+        job.validate().unwrap();
+        let json = serde_json::to_string(&job).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.content_hash(), job.content_hash());
+
+        let a = job.run(RunControl::new()).unwrap();
+        let b = job.run(RunControl::new()).unwrap();
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        let JobResult::City { report } = a else {
+            panic!("wrong result kind")
+        };
+        assert!(report.totals.conserved());
+        assert!(report.totals.offered > 0);
+
+        // Cancellation is polled every few thousand events, so use a run
+        // long enough to hit a poll point.
+        let big = JobSpec::City {
+            spec: CityScenarioSpec {
+                label: "job-cancel".into(),
+                n_active: 64,
+                sim_duration_s: 3600.0,
+                mean_interarrival_s: 5.0,
+                ..CityScenarioSpec::default()
+            },
+        };
+        let cancel = || true;
+        let err = big
+            .run(RunControl::new().with_cancel(&cancel))
+            .unwrap_err();
+        assert!(matches!(err, PhyError::Cancelled { .. }));
+
+        let bad = JobSpec::City {
+            spec: CityScenarioSpec {
+                pool: 0,
+                ..CityScenarioSpec::default()
+            },
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -18,9 +18,14 @@
 //!   ([`matrix::run_matrix`]), moved here from `fdb-bench` so the job
 //!   service can run grids without depending on the experiment harness.
 //! * [`job`] — the unified serde job surface ([`job::JobSpec`]): one
-//!   enum covering link measurements, fault-matrix grids, and MAC
-//!   scenario/ablation sessions, with a stable content address per job
-//!   for result caching.
+//!   enum covering link measurements, fault-matrix grids, MAC
+//!   scenario/ablation sessions and city-scale runs, with a stable
+//!   content address per job for result caching.
+//! * [`city`] — event-driven city-scale simulation
+//!   ([`city::CityEngine`]): thousands of harvesting tags contending
+//!   through the FD feedback primitives, idle tags costing ~zero, every
+//!   tag's trajectory keyed independently so active-tag ledgers are
+//!   invariant to the idle population.
 //! * [`sweep`] — order-preserving parallel parameter sweeps on
 //!   `std::thread::scope` workers (one seed per point, derived
 //!   deterministically).
@@ -30,6 +35,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod city;
 pub mod faults;
 pub mod job;
 pub mod matrix;
@@ -39,6 +45,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sweep;
 
+pub use city::{CityEngine, CityFidelity, CityReport, CityScenarioSpec, TagLedger};
 pub use faults::{check_frame_invariants, check_link_invariants, FaultGen, FaultPlan, FaultSpec};
 pub use job::{JobProgress, JobResult, JobSpec, MatrixScenario, NamedPlan, RunControl};
 pub use matrix::MatrixCell;

@@ -27,7 +27,7 @@ fn lock_with_interferer(interferer_active: bool) -> bool {
     let mut cfg = NetworkConfig::ring(3, 0.3, TagConfig::typical(dt));
     cfg.ambient = fd_backscatter::ambient::AmbientConfig::TvWideband { k_factor: 300.0 };
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
-    let mut net = BackscatterNetwork::new(&cfg, dt, &mut rng).expect("network");
+    let mut net = BackscatterNetwork::new(&cfg, dt).expect("network");
 
     // Device 0 transmits a frame; device 2 receives; device 1 may interfere
     // with its own transmission, unsynchronised (it starts 137 samples

@@ -1,0 +1,185 @@
+//! Property-based conformance of the event-driven city engine: arbitrary
+//! bounded scenario specs must validate, run without panicking, keep the
+//! conservation ledger (`offered == delivered + lost + pending`) per tag
+//! and in aggregate, never move simulated time backwards, survive a
+//! serde round-trip bit-exactly, and be **extension-stable** — running
+//! the same spec to a longer horizon reproduces the shorter run as an
+//! exact prefix. The directed suite (`tests/city_scale.rs`) pins one
+//! golden trajectory; this covers the spec corners we didn't hand-pick.
+
+use fdb_mac::csma::AccessMode;
+use fdb_mac::duty::DutyConfig;
+use fdb_sim::city::{CityEngine, CityReport, CityScenarioSpec};
+use proptest::prelude::*;
+
+/// Bounded-but-varied scenarios: up to 7 active tags among up to 63 idle
+/// ones, areas from near-colocated (heavy contention) to 40 m sprawl,
+/// horizons of 5–90 simulated seconds, both access modes, pools down to
+/// a single slot (worst-case deferral pressure). The duty estimate is
+/// lowered so tags afford their first frame inside the horizon.
+fn arb_spec() -> impl Strategy<Value = CityScenarioSpec> {
+    (
+        (
+            any::<u64>(),
+            1u32..8,
+            0u32..64,
+            0.5f64..40.0,
+            5.0f64..90.0,
+            1.0f64..30.0,
+        ),
+        (
+            1u32..4,
+            8usize..96,
+            1u32..6,
+            64u64..1024,
+            1usize..8,
+            0.0f64..20.0,
+        ),
+        prop_oneof![
+            Just(AccessMode::Aloha),
+            Just(AccessMode::FdCollisionDetect)
+        ],
+    )
+        .prop_map(
+            |(
+                (seed, n_active, n_idle, area_m, sim_duration_s, mean_interarrival_s),
+                (burst_arrivals, payload_len, max_attempts, backoff_min_bits, pool, margin),
+                mode,
+            )| {
+                CityScenarioSpec {
+                    label: "prop".into(),
+                    seed,
+                    n_active,
+                    n_idle,
+                    area_m,
+                    sim_duration_s,
+                    mean_interarrival_s,
+                    burst_arrivals,
+                    payload_len,
+                    mode,
+                    max_attempts,
+                    backoff_min_bits,
+                    pool,
+                    collision_margin_db: margin,
+                    log_frames: true,
+                    duty: DutyConfig {
+                        initial_cost_estimate_j: 5e-6,
+                        ..DutyConfig::default()
+                    },
+                    ..CityScenarioSpec::default()
+                }
+            },
+        )
+}
+
+/// The ledger consistency shared by every property: conservation per tag
+/// and in total, frame records in event-pop (time) order, and counter
+/// sanity that would expose double-accounting.
+fn check_report(spec: &CityScenarioSpec, r: &CityReport) {
+    prop_assert!(
+        r.totals.conserved(),
+        "conservation violated: {:?}",
+        r.totals
+    );
+    prop_assert_eq!(r.ledgers.len(), spec.n_active as usize);
+    let mut totals_offered = 0u64;
+    for l in &r.ledgers {
+        prop_assert_eq!(
+            l.offered,
+            l.delivered + l.lost + l.pending,
+            "tag {} ledger does not conserve: {:?}",
+            l.tag,
+            l
+        );
+        prop_assert!(
+            l.collisions + l.phy_failures <= l.attempts,
+            "tag {} failure counters exceed attempts: {:?}",
+            l.tag,
+            l
+        );
+        prop_assert!(l.aborts <= l.collisions, "aborts without collisions: {:?}", l);
+        totals_offered += l.offered;
+    }
+    prop_assert_eq!(totals_offered, r.totals.offered, "totals drift from ledgers");
+    // The queue never goes back in time: completion records are emitted
+    // in event-pop order, so their ticks must be non-decreasing.
+    for w in r.frames.windows(2) {
+        prop_assert!(
+            w[0].tick <= w[1].tick,
+            "frame records regressed in time: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    for f in &r.frames {
+        prop_assert!(
+            f.tick <= r.horizon_ticks,
+            "frame completion past horizon: {:?}",
+            f
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any bounded spec validates, runs to completion, and leaves a
+    /// consistent ledger — no panic, no conservation drift, no
+    /// time-travel in the event order.
+    #[test]
+    fn bounded_specs_run_clean(spec in arb_spec()) {
+        spec.validate().expect("bounded spec must validate");
+        let report = CityEngine::run(&spec).expect("bounded spec must run");
+        prop_assert!(report.events_processed > 0, "engine processed no events");
+        check_report(&spec, &report);
+    }
+
+    /// Spec and report both survive a serde round-trip: the re-parsed
+    /// spec produces the identical trajectory, and the serialized report
+    /// parses back equal (the golden-diff test depends on both).
+    #[test]
+    fn serde_round_trip_preserves_trajectory(spec in arb_spec()) {
+        let spec_json = serde_json::to_string(&spec).expect("serialize spec");
+        let reparsed: CityScenarioSpec =
+            serde_json::from_str(&spec_json).expect("re-parse spec");
+        prop_assert_eq!(
+            serde_json::to_string(&reparsed).expect("re-serialize spec"),
+            spec_json,
+            "spec round-trip is not bit-stable"
+        );
+        let a = CityEngine::run(&spec).expect("original spec runs");
+        let b = CityEngine::run(&reparsed).expect("re-parsed spec runs");
+        prop_assert_eq!(&a, &b, "re-parsed spec diverged");
+        let report_json = serde_json::to_string(&a).expect("serialize report");
+        let back: CityReport = serde_json::from_str(&report_json).expect("re-parse report");
+        prop_assert_eq!(back, a, "report round-trip lost information");
+    }
+
+    /// Extension stability: simulating to `T + dt` reproduces the run to
+    /// `T` as an exact prefix — per-attempt records and event schedule
+    /// included. This is what makes horizon choice a pure view decision
+    /// rather than part of the scenario's identity.
+    #[test]
+    fn longer_horizon_extends_shorter(spec in arb_spec(), dt in 1.0f64..45.0) {
+        let short = CityEngine::run(&spec).expect("short run");
+        let mut longer_spec = spec.clone();
+        longer_spec.sim_duration_s += dt;
+        let long = CityEngine::run(&longer_spec).expect("long run");
+        prop_assert!(
+            long.events_processed >= short.events_processed,
+            "extension lost events: {} then {}",
+            short.events_processed,
+            long.events_processed
+        );
+        prop_assert!(
+            long.frames.len() >= short.frames.len(),
+            "extension lost frame records"
+        );
+        prop_assert_eq!(
+            &long.frames[..short.frames.len()],
+            &short.frames[..],
+            "short run is not a prefix of the extended run"
+        );
+        check_report(&longer_spec, &long);
+    }
+}

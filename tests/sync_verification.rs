@@ -27,7 +27,7 @@ fn run_collision(phy: &PhyConfig, interferer_offset: usize, seed: u64) -> DataRe
     let mut cfg = NetworkConfig::ring(3, 0.3, TagConfig::typical(dt));
     cfg.ambient = AmbientConfig::TvWideband { k_factor: 300.0 };
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut net = BackscatterNetwork::new(&cfg, dt, &mut rng).unwrap();
+    let mut net = BackscatterNetwork::new(&cfg, dt).unwrap();
 
     let mut tx0 = DataTransmitter::new(phy, &[0xAB; 16]).unwrap();
     let mut tx1 = DataTransmitter::new(phy, &[0x55; 16]).unwrap();

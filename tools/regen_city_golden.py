@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Regenerate the city-scale golden report in results/golden/.
+
+Runs `probe city` on the checked-in city_64 scenario and stores the full
+CityReport (per-tag ledgers, totals, scheduler statistics) as
+pretty-printed JSON. The diff test
+tests/city_scale.rs::golden_city_report_matches replays the same spec
+through fdb_sim::CityEngine and compares field-for-field, so rerun this
+script whenever an engine, MAC, or geometry change intentionally shifts
+the city trajectory — and eyeball the diff before committing.
+
+Usage:  python3 tools/regen_city_golden.py   (from the repo root)
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCENARIO = "configs/scenarios/city_64.json"
+DEST = ROOT / "results" / "golden" / "city_small.json"
+
+
+def main() -> int:
+    out = DEST.with_suffix(".tmp")
+    cmd = [
+        "cargo", "run", "--release", "-q", "-p", "fdb-bench", "--bin", "probe", "--",
+        "city",
+        "--config", SCENARIO,
+        "--json-out", str(out),
+    ]
+    subprocess.run(cmd, cwd=ROOT, check=True, capture_output=True, text=True)
+    report = json.loads(out.read_text())
+    out.unlink()
+    assert report.get("ledgers"), "probe city produced no ledgers"
+    assert report["totals"]["offered"] == (
+        report["totals"]["delivered"]
+        + report["totals"]["lost"]
+        + report["totals"]["pending"]
+    ), "conservation violated in regenerated golden"
+    DEST.parent.mkdir(parents=True, exist_ok=True)
+    DEST.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {DEST.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
